@@ -1,0 +1,107 @@
+package ariesim_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ariesim"
+)
+
+// TestPublicAPIRoundTrip exercises the façade end to end: the full
+// transactional lifecycle plus a crash/restart cycle, exactly as a
+// downstream user would drive it.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := ariesim.Open(ariesim.Options{PageSize: 1024, PoolSize: 64})
+	tbl, err := db.CreateTable("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < 50; i++ {
+		if err := tbl.Insert(tx, []byte(fmt.Sprintf("user%03d", i)), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	loser := db.Begin()
+	if err := tbl.Insert(loser, []byte("zz-ghost"), []byte("boo")); err != nil {
+		t.Fatal(err)
+	}
+	db.Log().ForceAll()
+	db.Crash()
+	rep, err := db.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LosersUndone != 1 {
+		t.Fatalf("losers undone = %d", rep.LosersUndone)
+	}
+	tbl, err = db.Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Begin()
+	if _, err := tbl.Get(r, []byte("user025")); err != nil {
+		t.Fatalf("committed row lost: %v", err)
+	}
+	if _, err := tbl.Get(r, []byte("zz-ghost")); !errors.Is(err, ariesim.ErrNotFound) {
+		t.Fatalf("uncommitted row visible: %v", err)
+	}
+	count := 0
+	if err := tbl.Scan(r, []byte("user000"), []byte("user049"), func(ariesim.Row) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("scan saw %d rows", count)
+	}
+	_ = r.Commit()
+	if err := db.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProtocolsSelectable checks the façade exposes every protocol.
+func TestProtocolsSelectable(t *testing.T) {
+	for _, p := range []ariesim.Protocol{
+		ariesim.ProtocolARIESIM, ariesim.ProtocolIndexSpecific,
+		ariesim.ProtocolARIESKVL, ariesim.ProtocolSystemR,
+	} {
+		db := ariesim.Open(ariesim.Options{PageSize: 512, Protocol: p})
+		tbl, err := db.CreateTable("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		if err := tbl.Insert(tx, []byte("a"), []byte("1")); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func ExampleOpen() {
+	db := ariesim.Open(ariesim.Options{})
+	tbl, _ := db.CreateTable("accounts")
+	tx := db.Begin()
+	_ = tbl.Insert(tx, []byte("alice"), []byte("100"))
+	_ = tx.Commit()
+
+	db.Crash()
+	_, _ = db.Restart()
+	tbl, _ = db.Table("accounts")
+
+	r := db.Begin()
+	balance, _ := tbl.Get(r, []byte("alice"))
+	_ = r.Commit()
+	fmt.Println(string(balance))
+	// Output: 100
+}

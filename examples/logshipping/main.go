@@ -1,0 +1,103 @@
+// Command logshipping demonstrates what strictly page-oriented redo (§3)
+// enables beyond crash restart: a warm standby. The primary runs
+// transactions and ships its archived write-ahead log; the standby — an
+// empty disk that never executed a transaction — replays the log with the
+// shared page-oriented appliers and becomes an exact, writable copy of
+// the primary's committed state.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ariesim"
+	"ariesim/internal/wal"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("event%05d", i)) }
+
+func main() {
+	primary := ariesim.Open(ariesim.Options{PageSize: 1024})
+	events, err := primary.CreateTable("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tx := primary.Begin()
+	for i := 0; i < 400; i++ {
+		if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	tx2 := primary.Begin()
+	for i := 100; i < 150; i++ {
+		if err := events.Delete(tx2, key(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	// An in-flight transaction at ship time: it must NOT appear on the
+	// standby (its commit record is not in the shipped log).
+	inflight := primary.Begin()
+	_ = events.Insert(inflight, []byte("zz-uncommitted"), []byte("ghost"))
+	primary.Log().ForceAll()
+
+	// "Ship" the log over the wire.
+	var wire bytes.Buffer
+	n, err := primary.ArchiveLog(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primary shipped %d log records (%d KiB)\n", n, wire.Len()/1024)
+
+	// The standby restores the log stream and runs a standard ARIES
+	// restart against an empty disk: analysis, page-oriented redo of
+	// everything, undo of the in-flight transaction.
+	shipped, err := wal.ReadArchive(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	standby, report, err := ariesim.OpenStandby(ariesim.Options{PageSize: 1024}, shipped, primary.Disk().ReadMeta())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("standby replayed: %d records analyzed, %d redone, %d in-flight rolled back\n",
+		report.RecordsSeen, report.RedosApplied, report.LosersUndone)
+
+	stbl, err := standby.Table("events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	r := standby.Begin()
+	if err := stbl.Scan(r, key(0), nil, func(ariesim.Row) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := stbl.Get(r, []byte("zz-uncommitted")); err == nil {
+		log.Fatal("uncommitted primary work visible on standby")
+	}
+	_ = r.Commit()
+	fmt.Printf("standby holds %d rows (expected 350); uncommitted work absent ✓\n", count)
+
+	// Promotion: the standby is immediately writable.
+	w := standby.Begin()
+	if err := stbl.Insert(w, []byte("written-on-standby"), []byte("promoted")); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if err := standby.VerifyConsistency(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("standby promoted and verified")
+}

@@ -1,0 +1,3 @@
+module ariesim
+
+go 1.22

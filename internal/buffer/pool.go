@@ -1,0 +1,269 @@
+// Package buffer implements the buffer pool: the volatile page cache
+// between the index/record managers and the simulated disk.
+//
+// It enforces the two policies ARIES is designed around (paper §1.2):
+//
+//   - steal: a dirty page may be written to disk before its updating
+//     transaction commits — but only after the log is forced up to the
+//     page's page_LSN (the write-ahead-logging protocol);
+//   - no-force: commit does not flush pages; it only forces the log.
+//
+// Frames carry the per-page latch (physical consistency) and the dirty
+// page table entry (recLSN) that restart analysis/redo consume. Crash()
+// discards every frame, modeling loss of volatile state.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ariesim/internal/latch"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/wal"
+)
+
+// ErrPoolExhausted reports that every frame is pinned; the pool cannot
+// honor a new Fix. Engines size pools to their working set, so hitting
+// this indicates a pin leak or a deliberately tiny test pool.
+var ErrPoolExhausted = errors.New("buffer: all frames pinned")
+
+// Frame is a buffered page: the page bytes, the page latch, and the pin /
+// dirty / recLSN bookkeeping. Callers mutate Page only while holding
+// Latch in X mode and must log the change and call MarkDirty before
+// releasing the latch.
+type Frame struct {
+	Page  *storage.Page
+	Latch *latch.Latch
+
+	id      storage.PageID
+	pins    int
+	dirty   bool
+	recLSN  wal.LSN
+	lastUse uint64
+}
+
+// ID returns the buffered page's ID.
+func (f *Frame) ID() storage.PageID { return f.id }
+
+// Pool is the buffer pool.
+type Pool struct {
+	mu       sync.Mutex
+	disk     *storage.Disk
+	log      *wal.Log
+	frames   map[storage.PageID]*Frame
+	capacity int
+	tick     uint64
+	stats    *trace.Stats
+}
+
+// NewPool creates a pool of at most capacity frames over disk, forcing log
+// as the WAL protocol requires on steal.
+func NewPool(disk *storage.Disk, log *wal.Log, capacity int, stats *trace.Stats) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d", capacity))
+	}
+	return &Pool{
+		disk:     disk,
+		log:      log,
+		frames:   make(map[storage.PageID]*Frame),
+		capacity: capacity,
+		stats:    stats,
+	}
+}
+
+// PageSize returns the underlying disk's page size.
+func (p *Pool) PageSize() int { return p.disk.PageSize() }
+
+// Fix pins page id in the pool, reading it from disk on a miss (a page
+// never written reads as zeroes, which the caller will Format). The caller
+// must Unfix the frame, and must latch Frame.Latch before touching bytes.
+func (p *Pool) Fix(id storage.PageID) (*Frame, error) {
+	if id == storage.InvalidPageID {
+		return nil, errors.New("buffer: fix of invalid page 0")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats != nil {
+		p.stats.PageFixes.Add(1)
+	}
+	p.tick++
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		f.lastUse = p.tick
+		return f, nil
+	}
+	if p.stats != nil {
+		p.stats.PageMisses.Add(1)
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	pg := storage.NewPage(p.disk.PageSize())
+	if err := p.disk.Read(id, pg.Bytes()); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Page:    pg,
+		Latch:   latch.New(p.stats),
+		id:      id,
+		pins:    1,
+		lastUse: p.tick,
+	}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Unfix releases one pin on the frame.
+func (p *Pool) Unfix(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unfix of unpinned page %d", f.id))
+	}
+	f.pins--
+}
+
+// MarkDirty records that the holder of the frame's X latch has applied the
+// update logged at lsn. On a clean→dirty transition the update's LSN
+// becomes the frame's recLSN (the dirty page table entry ARIES redo
+// starts from).
+func (p *Pool) MarkDirty(f *Frame, lsn wal.LSN) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = lsn
+	}
+}
+
+// evictLocked writes back and drops the least-recently-used unpinned frame.
+func (p *Pool) evictLocked() error {
+	var victim *Frame
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if victim == nil || f.lastUse < victim.lastUse {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return ErrPoolExhausted
+	}
+	if victim.dirty {
+		// Steal: WAL demands the log be stable up to the page's LSN
+		// before the page replaces its disk version.
+		p.log.Force(wal.LSN(victim.Page.LSN()))
+		if err := p.disk.Write(victim.id, victim.Page.Bytes()); err != nil {
+			return err
+		}
+		if p.stats != nil {
+			p.stats.PageWrites.Add(1)
+		}
+	}
+	delete(p.frames, victim.id)
+	if p.stats != nil {
+		p.stats.PageEvicted.Add(1)
+	}
+	return nil
+}
+
+// FlushPage forces page id to disk if buffered and dirty (media recovery
+// and tests; ordinary commits never flush). It briefly S-latches the frame
+// for a consistent image.
+func (p *Pool) FlushPage(id storage.PageID) error {
+	p.mu.Lock()
+	f, ok := p.frames[id]
+	if !ok || !f.dirty {
+		p.mu.Unlock()
+		return nil
+	}
+	f.pins++ // hold the frame across the latch acquisition
+	p.mu.Unlock()
+
+	f.Latch.Acquire(latch.S)
+	p.log.Force(wal.LSN(f.Page.LSN()))
+	err := p.disk.Write(f.id, f.Page.Bytes())
+	f.Latch.Release(latch.S)
+
+	p.mu.Lock()
+	f.pins--
+	if err == nil {
+		f.dirty = false
+		f.recLSN = wal.NilLSN
+	}
+	p.mu.Unlock()
+	if err == nil && p.stats != nil {
+		p.stats.PageWrites.Add(1)
+	}
+	return err
+}
+
+// FlushAll flushes every dirty frame (quiesce points and image copies).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	ids := make([]storage.PageID, 0, len(p.frames))
+	for id, f := range p.frames {
+		if f.dirty {
+			ids = append(ids, id)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := p.FlushPage(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DPT snapshots the dirty page table for a fuzzy checkpoint: every dirty
+// frame with its recLSN.
+func (p *Pool) DPT() []wal.DPTEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []wal.DPTEntry
+	for id, f := range p.frames {
+		if f.dirty {
+			out = append(out, wal.DPTEntry{Page: id, RecLSN: f.recLSN})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// Crash discards every frame without writing anything: the volatile half
+// of the failure model. Dirty pages whose updates were not stolen to disk
+// are simply lost; restart redo brings them back from the log.
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[storage.PageID]*Frame)
+}
+
+// NumBuffered returns the number of resident frames.
+func (p *Pool) NumBuffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// PinnedPages returns IDs of currently pinned frames (leak assertions).
+func (p *Pool) PinnedPages() []storage.PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []storage.PageID
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+)
+
+// countLocks runs op in a fresh transaction on a primed index and returns
+// the per-space lock-call deltas.
+func countLocks(t *testing.T, proto Protocol, op func(*env, *Index, *txn.Tx)) map[lock.Space]uint64 {
+	t.Helper()
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1, Protocol: proto})
+	setup := e.tm.Begin()
+	for i := 0; i < 10; i++ {
+		e.mustInsert(setup, ix, key(i*10))
+	}
+	e.commit(setup)
+	tx := e.tm.Begin()
+	before := e.stats.Snap()
+	op(e, ix, tx)
+	d := trace.Diff(before, e.stats.Snap())
+	e.commit(tx)
+	out := map[lock.Space]uint64{}
+	for s := 0; s < trace.MaxSpaces; s++ {
+		var n uint64
+		for m := 0; m < trace.MaxModes; m++ {
+			for dur := 0; dur < trace.MaxDurations; dur++ {
+				n += d.LockCalls[s][m][dur]
+			}
+		}
+		if n > 0 {
+			out[lock.Space(s)] = n
+		}
+	}
+	return out
+}
+
+func total(m map[lock.Space]uint64) uint64 {
+	var t uint64
+	for _, n := range m {
+		t += n
+	}
+	return t
+}
+
+// TestLockCountComparison quantifies the paper's §1/§5 claim: per
+// single-record operation, ARIES/IM (data-only) acquires fewer index locks
+// than ARIES/KVL, which acquires fewer than System R.
+func TestLockCountComparison(t *testing.T) {
+	insert := func(e *env, ix *Index, tx *txn.Tx) { e.mustInsert(tx, ix, key(55)) }
+	delete_ := func(e *env, ix *Index, tx *txn.Tx) { e.mustDelete(tx, ix, key(50)) }
+	fetch := func(e *env, ix *Index, tx *txn.Tx) {
+		if res, _, err := ix.Fetch(tx, key(50).Val, EQ); err != nil || !res.Found {
+			t.Fatalf("fetch: %+v %v", res, err)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		op   func(*env, *Index, *txn.Tx)
+	}{{"insert", insert}, {"delete", delete_}, {"fetch", fetch}} {
+		im := total(countLocks(t, DataOnly, tc.op))
+		kv := total(countLocks(t, KVL, tc.op))
+		sr := total(countLocks(t, SystemR, tc.op))
+		t.Logf("%s: ARIES/IM=%d ARIES/KVL=%d SystemR=%d lock calls", tc.name, im, kv, sr)
+		if !(im <= kv && kv <= sr) {
+			t.Errorf("%s: lock ordering violated: IM=%d KVL=%d SysR=%d", tc.name, im, kv, sr)
+		}
+		if tc.name != "fetch" && im >= sr {
+			t.Errorf("%s: System R not strictly worse than ARIES/IM", tc.name)
+		}
+	}
+}
+
+// TestKVLInsertOfExistingValueTakesIX checks the KVL fast path: inserting
+// another instance of an existing value takes a commit-duration IX on the
+// value and no next-key lock.
+func TestKVLInsertOfExistingValueTakesIX(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1, Protocol: KVL})
+	setup := e.tm.Begin()
+	e.mustInsert(setup, ix, storage.Key{Val: []byte("dup"), RID: storage.RID{Page: 1, Slot: 1}})
+	e.mustInsert(setup, ix, storage.Key{Val: []byte("zzz"), RID: storage.RID{Page: 2, Slot: 2}})
+	e.commit(setup)
+
+	tx := e.tm.Begin()
+	before := e.stats.Snap()
+	e.mustInsert(tx, ix, storage.Key{Val: []byte("dup"), RID: storage.RID{Page: 3, Slot: 3}})
+	d := trace.Diff(before, e.stats.Snap())
+	if d.LockCalls[int(lock.SpaceKeyValue)][int(lock.IX)][int(lock.Commit)] != 1 {
+		t.Errorf("existing-value insert: IX commit calls = %d, want 1",
+			d.LockCalls[int(lock.SpaceKeyValue)][int(lock.IX)][int(lock.Commit)])
+	}
+	if d.LockCalls[int(lock.SpaceKeyValue)][int(lock.X)][int(lock.Commit)] != 0 {
+		t.Error("existing-value insert took an X lock")
+	}
+	e.commit(tx)
+}
+
+// TestKVLDuplicateValueConflict demonstrates the concurrency loss §1
+// attributes to value locking: two transactions inserting DIFFERENT keys
+// with the SAME value conflict under KVL but not under ARIES/IM.
+func TestKVLDuplicateValueConflict(t *testing.T) {
+	mkKeys := func() (storage.Key, storage.Key) {
+		return storage.Key{Val: []byte("shared"), RID: storage.RID{Page: 10, Slot: 1}},
+			storage.Key{Val: []byte("shared"), RID: storage.RID{Page: 20, Slot: 2}}
+	}
+	// Under KVL: t2 blocks on t1's value lock.
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1, Protocol: KVL})
+	k1, k2 := mkKeys()
+	t1 := e.tm.Begin()
+	e.mustInsert(t1, ix, k1)
+	t2 := e.tm.Begin()
+	done := make(chan error, 1)
+	go func() { done <- ix.Insert(t2, k2) }()
+	select {
+	case err := <-done:
+		t.Fatalf("KVL allowed concurrent duplicate-value inserts: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	e.commit(t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	e.commit(t2)
+
+	// Under ARIES/IM data-only locking: no conflict (different records).
+	e2 := newEnv(t, 512, 64)
+	ix2 := e2.createIndex(Config{ID: 1, Protocol: DataOnly})
+	j1, j2 := mkKeys()
+	u1 := e2.tm.Begin()
+	e2.mustInsert(u1, ix2, j1)
+	u2 := e2.tm.Begin()
+	if err := ix2.Insert(u2, j2); err != nil {
+		t.Fatalf("ARIES/IM blocked concurrent duplicate-value insert: %v", err)
+	}
+	e2.commit(u1)
+	e2.commit(u2)
+}
+
+// TestSystemRReadersBlockOnUncommittedSMO shows the §2.1/§5 claim: under
+// System R, a completed-but-uncommitted split blocks readers of the split
+// pages until the splitter commits; under ARIES/IM the reader proceeds.
+func TestSystemRReadersBlockOnUncommittedSMO(t *testing.T) {
+	run := func(proto Protocol) (blocked bool) {
+		e := newEnv(t, 512, 64)
+		ix := e.createIndex(Config{ID: 1, Protocol: proto})
+		setup := e.tm.Begin()
+		for i := 0; i < 20; i++ {
+			e.mustInsert(setup, ix, key(i*10))
+		}
+		e.commit(setup)
+		splitsBefore := e.stats.PageSplits.Load()
+		writer := e.tm.Begin()
+		i := 0
+		for e.stats.PageSplits.Load() == splitsBefore {
+			e.mustInsert(writer, ix, key(1000+i))
+			i++
+			if i > 500 {
+				t.Fatal("no split")
+			}
+		}
+		// The split is complete but the writer has not committed. A reader
+		// now fetches a key from the original (pre-split) population.
+		reader := e.tm.Begin()
+		done := make(chan struct{})
+		go func() {
+			if _, _, err := ix.Fetch(reader, key(0).Val, EQ); err != nil {
+				t.Errorf("reader: %v", err)
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+			blocked = false
+		case <-time.After(100 * time.Millisecond):
+			blocked = true
+		}
+		e.commit(writer)
+		<-done
+		e.commit(reader)
+		return blocked
+	}
+	if run(DataOnly) {
+		t.Error("ARIES/IM reader blocked by an uncommitted SMO")
+	}
+	if !run(SystemR) {
+		t.Error("System R reader NOT blocked by an uncommitted SMO (baseline too weak)")
+	}
+}
+
+// TestSystemRWorkloadCorrectness sanity-checks that the heavyweight
+// baseline still produces a correct tree.
+func TestSystemRWorkloadCorrectness(t *testing.T) {
+	e := newEnv(t, 512, 128)
+	ix := e.createIndex(Config{ID: 1, Protocol: SystemR})
+	tx := e.tm.Begin()
+	var want []storage.Key
+	for i := 0; i < 200; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	for i := 50; i < 100; i++ {
+		e.mustDelete(tx, ix, key(i))
+	}
+	e.commit(tx)
+	for i := 0; i < 200; i++ {
+		if i < 50 || i >= 100 {
+			want = append(want, key(i))
+		}
+	}
+	e.checkTree(ix)
+	e.expectKeys(ix, want)
+}
+
+// TestKVLWorkloadCorrectness does the same for KVL, including duplicates.
+func TestKVLWorkloadCorrectness(t *testing.T) {
+	e := newEnv(t, 512, 128)
+	ix := e.createIndex(Config{ID: 1, Protocol: KVL})
+	tx := e.tm.Begin()
+	for i := 0; i < 150; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	// Duplicate values with distinct RIDs.
+	for i := 0; i < 20; i++ {
+		e.mustInsert(tx, ix, storage.Key{Val: []byte("dup"), RID: storage.RID{Page: storage.PageID(9000 + i), Slot: 1}})
+	}
+	for i := 0; i < 10; i++ {
+		e.mustDelete(tx, ix, storage.Key{Val: []byte("dup"), RID: storage.RID{Page: storage.PageID(9000 + i), Slot: 1}})
+	}
+	e.commit(tx)
+	e.checkTree(ix)
+	got, _ := ix.Dump()
+	if len(got) != 150+10 {
+		t.Fatalf("index holds %d keys, want 160", len(got))
+	}
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+)
+
+// TestConcurrentDisjointRanges runs goroutines over disjoint key ranges:
+// no lock conflicts are possible, so every transaction must commit, and
+// the final tree must match the union of the models.
+func TestConcurrentDisjointRanges(t *testing.T) {
+	e := newEnv(t, 512, 256)
+	ix := e.createIndex(Config{ID: 1})
+	const workers = 8
+	const opsPer = 400
+	models := make([]map[int]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		models[w] = map[int]bool{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			model := models[w]
+			base := w * 10000
+			tx := e.tm.Begin()
+			for i := 0; i < opsPer; i++ {
+				n := base + rng.Intn(500)
+				k := key(n)
+				if model[n] {
+					if err := ix.Delete(tx, k); err != nil {
+						t.Errorf("w%d delete: %v", w, err)
+						return
+					}
+					delete(model, n)
+				} else {
+					if err := ix.Insert(tx, k); err != nil {
+						t.Errorf("w%d insert: %v", w, err)
+						return
+					}
+					model[n] = true
+				}
+				if i%100 == 99 {
+					if err := tx.Commit(); err != nil {
+						t.Errorf("w%d commit: %v", w, err)
+						return
+					}
+					tx = e.tm.Begin()
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("w%d final commit: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	e.checkTree(ix)
+	var want []storage.Key
+	for w := 0; w < workers; w++ {
+		for n := 0; n < 10000*workers; n++ {
+			_ = n
+		}
+	}
+	// Collect expected keys in global order.
+	var all []int
+	for w := 0; w < workers; w++ {
+		for n := range models[w] {
+			all = append(all, n)
+		}
+	}
+	sortInts(all)
+	for _, n := range all {
+		want = append(want, key(n))
+	}
+	e.expectKeys(ix, want)
+	if pinned := e.pool.PinnedPages(); len(pinned) != 0 {
+		t.Fatalf("pins leaked: %v", pinned)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// TestConcurrentConflictingWorkload lets goroutines fight over a small hot
+// key range with record locks, retrying deadlock victims, and verifies the
+// tree against a serializable model of the committed transactions.
+func TestConcurrentConflictingWorkload(t *testing.T) {
+	e := newEnv(t, 512, 256)
+	ix := e.createIndex(Config{ID: 1})
+	var mu sync.Mutex // serializes model maintenance at commit points
+	model := map[int]bool{}
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for round := 0; round < 60; round++ {
+				n := rng.Intn(40)
+				k := key(n)
+				tx := e.tm.Begin()
+				// Decide insert-vs-delete by observed state under the lock
+				// that serializes writers of this key.
+				if err := tx.Lock(ix.keyLockName(k), lock.X, lock.Commit, false); err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				res, _, err := ix.Fetch(tx, k.Val, EQ)
+				if err != nil {
+					_ = tx.Rollback()
+					continue
+				}
+				var op func(*txn.Tx, storage.Key) error
+				var present bool
+				if res.Found && res.Key.Compare(k) == 0 {
+					op, present = ix.Delete, true
+				} else {
+					op, present = ix.Insert, false
+				}
+				if err := op(tx, k); err != nil {
+					if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, ErrDuplicate) || errors.Is(err, ErrKeyNotFound) {
+						_ = tx.Rollback()
+						continue
+					}
+					t.Errorf("w%d op: %v", w, err)
+					_ = tx.Rollback()
+					return
+				}
+				if rng.Intn(4) == 0 {
+					_ = tx.Rollback()
+					continue
+				}
+				mu.Lock()
+				if err := tx.Commit(); err != nil {
+					mu.Unlock()
+					t.Errorf("w%d commit: %v", w, err)
+					return
+				}
+				model[n] = !present
+				mu.Unlock()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("conflicting workload hung")
+	}
+	if t.Failed() {
+		return
+	}
+	e.checkTree(ix)
+	var want []storage.Key
+	for n := 0; n < 40; n++ {
+		if model[n] {
+			want = append(want, key(n))
+		}
+	}
+	e.expectKeys(ix, want)
+}
+
+// TestReadersRunDuringSMOs keeps a reader population scanning while
+// writers force continuous splits; with ARIES/IM readers never touch the
+// tree latch unless they trip an ambiguity, so scans proceed throughout.
+func TestReadersRunDuringSMOs(t *testing.T) {
+	e := newEnv(t, 512, 512)
+	ix := e.createIndex(Config{ID: 1})
+	setup := e.tm.Begin()
+	for i := 0; i < 100; i++ {
+		e.mustInsert(setup, ix, key(i*100))
+	}
+	e.commit(setup)
+
+	stop := make(chan struct{})
+	var readerOps, writerOps int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := e.tm.Begin()
+				_, _, err := ix.Fetch(tx, key(rng.Intn(10000)).Val, GE)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					_ = tx.Rollback()
+					return
+				}
+				_ = tx.Commit()
+				mu.Lock()
+				readerOps++
+				mu.Unlock()
+			}
+		}(r)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			// Bounded so a fast machine cannot exhaust the 512-byte-page
+			// FSM before the timer stops the workload.
+			for i < 5000 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := e.tm.Begin()
+				k := key(1000000 + w*1000000 + i)
+				i++
+				if err := ix.Insert(tx, k); err != nil {
+					t.Errorf("writer: %v", err)
+					_ = tx.Rollback()
+					return
+				}
+				_ = tx.Commit()
+				mu.Lock()
+				writerOps++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if e.stats.PageSplits.Load() == 0 {
+		t.Fatal("writers caused no splits")
+	}
+	mu.Lock()
+	ro, wo := readerOps, writerOps
+	mu.Unlock()
+	if ro == 0 || wo == 0 {
+		t.Fatalf("starved: readers=%d writers=%d", ro, wo)
+	}
+	e.checkTree(ix)
+}
+
+// TestRollbackNeverDeadlocks stresses concurrent rollbacks against live
+// writers: rolling-back transactions request no locks (§4), so every
+// rollback must complete without a deadlock error.
+func TestRollbackNeverDeadlocks(t *testing.T) {
+	e := newEnv(t, 512, 256)
+	ix := e.createIndex(Config{ID: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w * 7)))
+			for round := 0; round < 50; round++ {
+				tx := e.tm.Begin()
+				ok := true
+				for i := 0; i < 10; i++ {
+					k := key(w*100000 + rng.Intn(2000))
+					if err := ix.Insert(tx, k); err != nil {
+						if errors.Is(err, ErrDuplicate) {
+							continue
+						}
+						t.Errorf("w%d insert: %v", w, err)
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					_ = tx.Rollback()
+					return
+				}
+				// Half of all transactions roll back.
+				if round%2 == 0 {
+					if err := tx.Rollback(); err != nil {
+						t.Errorf("w%d rollback: %v", w, err)
+						return
+					}
+				} else if err := tx.Commit(); err != nil {
+					t.Errorf("w%d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("rollback stress hung (latch or tree-latch deadlock?)")
+	}
+	if t.Failed() {
+		return
+	}
+	if e.stats.Deadlocks.Load() != 0 {
+		t.Fatalf("%d deadlocks in a workload where rollbacks take no locks", e.stats.Deadlocks.Load())
+	}
+	e.checkTree(ix)
+}
+
+// TestConcurrentSMOTreeLock exercises the §5 extension: the tree latch
+// replaced by a tree lock. The workload forces many splits from several
+// transactions concurrently.
+func TestConcurrentSMOTreeLock(t *testing.T) {
+	e := newEnv(t, 512, 256)
+	ix := e.createIndex(Config{ID: 1, UseTreeLock: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tx := e.tm.Begin()
+				if err := ix.Insert(tx, key(w*100000+i)); err != nil {
+					if errors.Is(err, lock.ErrDeadlock) {
+						_ = tx.Rollback()
+						continue
+					}
+					t.Errorf("w%d: %v", w, err)
+					_ = tx.Rollback()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("w%d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("tree-lock workload hung")
+	}
+	if t.Failed() {
+		return
+	}
+	if e.stats.LockCalls(int(lock.SpaceTree), int(lock.X), int(lock.Manual)) == 0 {
+		t.Fatal("tree lock never exercised")
+	}
+	e.checkTree(ix)
+}
+
+// TestTwoLatchMaximum asserts the paper's "not more than 2 index pages
+// latched simultaneously" by auditing latch holds through a custom probe:
+// we approximate by checking the pool never reports more than 3 pinned
+// pages from a single-threaded operation stream (leaf + sibling + FSM).
+func TestTwoLatchMaximum(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	maxPinned := 0
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		for {
+			select {
+			case <-stopped:
+				return
+			default:
+			}
+			if n := len(e.pool.PinnedPages()); n > maxPinned {
+				maxPinned = n
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	e.commit(tx)
+	stopped <- struct{}{}
+	<-stopped
+	if maxPinned > 3 {
+		t.Fatalf("observed %d concurrently pinned pages from one op stream", maxPinned)
+	}
+}
+
+func ExampleIndex_Fetch() {
+	// A compact end-to-end use of the index manager.
+	e := struct {
+		disk *storage.Disk
+	}{storage.NewDisk(512)}
+	_ = e
+	fmt.Println("see examples/quickstart for a runnable walkthrough")
+	// Output: see examples/quickstart for a runnable walkthrough
+}
+
+// TestTreeLockIXConcurrency asserts that the §5 extension actually starts
+// SMOs in IX (leaf-level concurrency) and upgrades to X only when the SMO
+// propagates into nonleaf structure.
+func TestTreeLockIXConcurrency(t *testing.T) {
+	e := newEnv(t, 512, 512)
+	ix := e.createIndex(Config{ID: 1, UseTreeLock: true})
+	tx := e.tm.Begin()
+	for i := 0; i < 400; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	e.commit(tx)
+	ixCalls := e.stats.LockCalls(int(lock.SpaceTree), int(lock.IX), int(lock.Manual))
+	xCalls := e.stats.LockCalls(int(lock.SpaceTree), int(lock.X), int(lock.Manual))
+	if ixCalls == 0 {
+		t.Fatal("no IX tree-lock acquisitions: SMOs not starting leaf-level")
+	}
+	if xCalls == 0 {
+		t.Fatal("no X upgrades despite multi-level splits")
+	}
+	if xCalls >= ixCalls {
+		t.Fatalf("X calls (%d) >= IX calls (%d): leaf-level SMOs not predominating", xCalls, ixCalls)
+	}
+	e.checkTree(ix)
+}
+
+// TestTreeLockUpgradeDeadlockResolves drives many transactions into
+// simultaneous multi-level splits: concurrent IX→X upgrades deadlock by
+// construction (§5 acknowledges this), the victim aborts its SMO, and the
+// workload still converges to a correct tree.
+func TestTreeLockUpgradeDeadlockResolves(t *testing.T) {
+	e := newEnv(t, 256, 1024) // tiny pages: splits propagate often
+	ix := e.createIndex(Config{ID: 1, UseTreeLock: true})
+	var wg sync.WaitGroup
+	var deadlocks atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tx := e.tm.Begin()
+				err := ix.Insert(tx, key(w*100000+i))
+				if err != nil {
+					if errors.Is(err, lock.ErrDeadlock) {
+						deadlocks.Add(1)
+						_ = tx.Rollback()
+						i-- // retry the key
+						continue
+					}
+					t.Errorf("w%d: %v", w, err)
+					_ = tx.Rollback()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("w%d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("upgrade-deadlock workload hung")
+	}
+	if t.Failed() {
+		return
+	}
+	e.checkTree(ix)
+	got, _ := ix.Dump()
+	if len(got) != 8*250 {
+		t.Fatalf("tree holds %d keys, want 2000", len(got))
+	}
+	t.Logf("upgrade deadlocks resolved: %d", deadlocks.Load())
+}

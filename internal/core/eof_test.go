@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ariesim/internal/storage"
+)
+
+// TestEOFPhantomPrevented covers the right-edge phantom (§2.2's EOF
+// treatment): a reader that searched past the highest key holds the EOF
+// lock, so an insert beyond the old maximum — whose next-key lock IS the
+// EOF lock — must wait for the reader.
+func TestEOFPhantomPrevented(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	setup := e.tm.Begin()
+	e.mustInsert(setup, ix, key(10))
+	e.commit(setup)
+
+	t1 := e.tm.Begin()
+	res, _, err := ix.Fetch(t1, key(99).Val, EQ)
+	if err != nil || res.Found || !res.EOF {
+		t.Fatalf("fetch past end: %+v %v", res, err)
+	}
+
+	t2 := e.tm.Begin()
+	e.lockRecord(t2, ix, key(50))
+	done := make(chan error, 1)
+	go func() { done <- ix.Insert(t2, key(50)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("insert past the scanned EOF proceeded: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The reader re-checks: still not found (repeatable).
+	res2, _, err := ix.Fetch(t1, key(99).Val, EQ)
+	if err != nil || res2.Found {
+		t.Fatalf("re-fetch: %+v %v", res2, err)
+	}
+	e.commit(t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	e.commit(t2)
+}
+
+// TestEOFLockReleasedAllowsGrowth: after the EOF-holding reader commits,
+// the index grows past the old maximum freely.
+func TestEOFLockReleasedAllowsGrowth(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	t1 := e.tm.Begin()
+	if _, _, err := ix.Fetch(t1, key(0).Val, GE); err != nil {
+		t.Fatal(err)
+	}
+	e.commit(t1)
+	t2 := e.tm.Begin()
+	for i := 0; i < 50; i++ {
+		e.mustInsert(t2, ix, key(i))
+	}
+	e.commit(t2)
+	e.checkTree(ix)
+}
+
+// TestDeleteOfMaximumLocksEOF: deleting the highest key takes the EOF lock
+// as its next-key lock; an insert above it then trips on the uncommitted
+// delete — the §2.6 "tripping point" at the right edge.
+func TestDeleteOfMaximumLocksEOF(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	setup := e.tm.Begin()
+	e.mustInsert(setup, ix, key(10))
+	e.mustInsert(setup, ix, key(20))
+	e.commit(setup)
+
+	t1 := e.tm.Begin()
+	e.lockRecord(t1, ix, key(20))
+	e.mustDelete(t1, ix, key(20)) // max key: next-key lock = EOF, commit duration
+
+	t2 := e.tm.Begin()
+	e.lockRecord(t2, ix, key(30))
+	done := make(chan error, 1)
+	go func() { done <- ix.Insert(t2, key(30)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("insert above an uncommitted max-delete proceeded: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := t1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	e.commit(t2)
+	// Both the restored key(20) and the new key(30) are present.
+	e.expectKeys(ix, []storage.Key{key(10), key(20), key(30)})
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/latch"
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+)
+
+// SearchOp is the starting condition of a Fetch (paper §1.1: =, >=, >).
+type SearchOp int
+
+const (
+	// EQ fetches the key equal to the value (not-found locks the next key).
+	EQ SearchOp = iota
+	// GE fetches the smallest key >= the value.
+	GE
+	// GT fetches the smallest key > the value.
+	GT
+)
+
+func (o SearchOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	default:
+		return ">"
+	}
+}
+
+// FetchResult reports a fetch outcome. Key is meaningful when Found; on
+// not-found with a higher key present, Key holds that next key (the one
+// whose lock now protects the not-found observation).
+type FetchResult struct {
+	Key   storage.Key
+	Found bool
+	// EOF reports that the search ran off the right edge of the index and
+	// the observation is protected by the index's EOF lock.
+	EOF bool
+}
+
+// Cursor is an open range scan position: the leaf, its LSN at positioning
+// time, the slot, and the (cloned) current key. FetchNext revalidates via
+// the LSN and repositions through the root when the leaf changed (§2.3).
+type Cursor struct {
+	ix   *Index
+	leaf storage.PageID
+	lsn  uint64
+	pos  int
+	key  storage.Key
+	eof  bool
+}
+
+// Key returns the cursor's current key.
+func (c *Cursor) Key() storage.Key { return c.key }
+
+// EOF reports that the cursor ran off the index.
+func (c *Cursor) EOF() bool { return c.eof }
+
+// found is an internal positioning result: the S-latched frame holding the
+// located key, or eof.
+type found struct {
+	frame *buffer.Frame
+	pos   int
+	key   storage.Key // aliases the page; clone before unlatching
+	eof   bool
+}
+
+// findFrom locates the first key >= probe starting at the S-latched leaf,
+// walking the forward chain with latch coupling as needed. On eof the
+// input latch is released; otherwise the returned frame (possibly a
+// different leaf) is S-latched.
+func (ix *Index) findFrom(leaf *buffer.Frame, probe storage.Key) (found, error) {
+	cur := leaf
+	for hop := 0; hop < maxRestarts; hop++ {
+		pos, err := leafLowerBound(cur.Page, probe)
+		if err != nil {
+			ix.unfixLatched(cur, latch.S)
+			return found{}, err
+		}
+		if pos < cur.Page.NSlots() {
+			k, err := leafKeyAt(cur.Page, pos)
+			if err != nil {
+				ix.unfixLatched(cur, latch.S)
+				return found{}, err
+			}
+			return found{frame: cur, pos: pos, key: k}, nil
+		}
+		next := cur.Page.Next()
+		if next == storage.InvalidPageID {
+			ix.unfixLatched(cur, latch.S)
+			return found{eof: true}, nil
+		}
+		nf, err := ix.fixLatched(next, latch.S)
+		if err != nil {
+			ix.unfixLatched(cur, latch.S)
+			return found{}, err
+		}
+		ix.unfixLatched(cur, latch.S)
+		cur = nf
+	}
+	ix.unfixLatched(cur, latch.S)
+	return found{}, fmt.Errorf("core: leaf chain walk did not terminate")
+}
+
+// lockNameForFound names the S lock protecting the positioning outcome:
+// the found key's lock, or the EOF lock past the right edge.
+func (ix *Index) lockNameForFound(f found) lock.Name {
+	if f.eof {
+		return ix.eofLockName()
+	}
+	return ix.keyLockName(f.key)
+}
+
+// probeFor maps (value, op) to the full-key search probe.
+func probeFor(val []byte, op SearchOp) storage.Key {
+	if op == GT {
+		return storage.MaxKeyFor(val)
+	}
+	return storage.MinKeyFor(val)
+}
+
+// probeAfter is the smallest full key strictly greater than k.
+func probeAfter(k storage.Key) storage.Key {
+	rid := k.RID
+	if rid.Slot != ^uint16(0) {
+		rid.Slot++
+	} else {
+		rid.Page++
+		rid.Slot = 0
+	}
+	return storage.Key{Val: k.Val, RID: rid}
+}
+
+// Fetch implements the Fig 5 action routine: position at the requested or
+// next higher key, S-lock it for commit duration while holding the leaf
+// latch (conditionally; on denial release latches, wait, revalidate by
+// re-descending), and report found / not-found / EOF. The returned cursor
+// supports FetchNext range scans.
+func (ix *Index) Fetch(tx *txn.Tx, val []byte, op SearchOp) (FetchResult, *Cursor, error) {
+	return ix.fetchFrom(tx, probeFor(val, op), func(k storage.Key) bool {
+		if op != EQ {
+			return true
+		}
+		return string(k.Val) == string(val)
+	})
+}
+
+// fetchFrom positions at the first key >= probe and locks the outcome.
+// accept decides whether the located key counts as "found".
+func (ix *Index) fetchFrom(tx *txn.Tx, probe storage.Key, accept func(storage.Key) bool) (FetchResult, *Cursor, error) {
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		leaf, err := ix.traverse(tx, probe, false)
+		if err != nil {
+			return FetchResult{}, nil, err
+		}
+		fnd, err := ix.findFrom(leaf, probe)
+		if err != nil {
+			return FetchResult{}, nil, err
+		}
+		res, cur, done, err := ix.lockPositioned(tx, fnd, accept)
+		if err != nil {
+			return FetchResult{}, nil, err
+		}
+		if done {
+			return res, cur, nil
+		}
+	}
+	return FetchResult{}, nil, fmt.Errorf("core: fetch on index %d did not stabilize", ix.cfg.ID)
+}
+
+// lockPositioned runs the conditional-then-unconditional lock protocol on
+// a positioning outcome. done=false means the latch was dropped for an
+// unconditional wait and the caller must reposition.
+func (ix *Index) lockPositioned(tx *txn.Tx, fnd found, accept func(storage.Key) bool) (FetchResult, *Cursor, bool, error) {
+	names := []lock.Name{ix.lockNameForFound(fnd)}
+	if ix.cfg.Protocol == SystemR && !fnd.eof {
+		// System R readers also lock the index page to commit.
+		names = append(names, ix.pageLockName(fnd.frame.ID()))
+	}
+	for i, name := range names {
+		if err := tx.Lock(name, lock.S, lock.Commit, true); err == nil {
+			continue
+		}
+		// Denied while latched: release every latch, wait unconditionally,
+		// then revalidate by repositioning (the conservative extra locks
+		// are retained; §2.2).
+		_ = i
+		if !fnd.eof {
+			ix.unfixLatched(fnd.frame, latch.S)
+		}
+		if err := tx.Lock(name, lock.S, lock.Commit, false); err != nil {
+			return FetchResult{}, nil, false, err
+		}
+		return FetchResult{}, nil, false, nil
+	}
+	res, cur := ix.sealFound(fnd, accept)
+	return res, cur, true, nil
+}
+
+// sealFound clones the outcome into a result + cursor and releases the
+// latch.
+func (ix *Index) sealFound(fnd found, accept func(storage.Key) bool) (FetchResult, *Cursor) {
+	if fnd.eof {
+		return FetchResult{EOF: true}, &Cursor{ix: ix, eof: true}
+	}
+	k := fnd.key.Clone()
+	cur := &Cursor{ix: ix, leaf: fnd.frame.ID(), lsn: fnd.frame.Page.LSN(), pos: fnd.pos, key: k}
+	ix.unfixLatched(fnd.frame, latch.S)
+	return FetchResult{Key: k, Found: accept(k)}, cur
+}
+
+// FetchNext advances an open scan to the next key (§2.3): if the leaf's
+// LSN still matches the cursor, the next candidate is adjacent; otherwise
+// the scan repositions (possibly through the root) at the first key
+// greater than the cursor's. The located key is locked like a Fetch.
+func (ix *Index) FetchNext(tx *txn.Tx, c *Cursor) (FetchResult, error) {
+	if c.ix != ix {
+		return FetchResult{}, fmt.Errorf("core: cursor belongs to index %d", c.ix.cfg.ID)
+	}
+	if c.eof {
+		return FetchResult{EOF: true}, nil
+	}
+	probe := probeAfter(c.key)
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		f, err := ix.fixLatched(c.leaf, latch.S)
+		if err != nil {
+			return FetchResult{}, err
+		}
+		var fnd found
+		if f.Page.Type() == storage.PageTypeIndex && f.Page.IsLeaf() && f.Page.LSN() == c.lsn {
+			fnd, err = ix.findFrom(f, probe)
+		} else {
+			// The leaf changed under the cursor: reposition from the root.
+			if ix.stats != nil {
+				ix.stats.LeafReposition.Add(1)
+			}
+			ix.unfixLatched(f, latch.S)
+			var leaf *buffer.Frame
+			leaf, err = ix.traverse(tx, probe, false)
+			if err != nil {
+				return FetchResult{}, err
+			}
+			fnd, err = ix.findFrom(leaf, probe)
+		}
+		if err != nil {
+			return FetchResult{}, err
+		}
+		res, ncur, done, err := ix.lockPositioned(tx, fnd, func(storage.Key) bool { return true })
+		if err != nil {
+			return FetchResult{}, err
+		}
+		if done {
+			*c = *ncur
+			return res, nil
+		}
+	}
+	return FetchResult{}, fmt.Errorf("core: fetch-next on index %d did not stabilize", ix.cfg.ID)
+}
+
+// FetchPrefix positions at the first key whose value starts with prefix
+// (the paper's §1.1 "partial key value" starting condition). Found is true
+// when such a key exists; otherwise the next higher key (or EOF) is locked
+// exactly as in Fetch, so the absence is repeatable.
+func (ix *Index) FetchPrefix(tx *txn.Tx, prefix []byte) (FetchResult, *Cursor, error) {
+	return ix.fetchFrom(tx, storage.MinKeyFor(prefix), func(k storage.Key) bool {
+		return len(k.Val) >= len(prefix) && string(k.Val[:len(prefix)]) == string(prefix)
+	})
+}
+
+// FetchCS is a cursor-stability (degree 2) fetch: the current key is
+// locked in S for manual duration and released before returning, so the
+// read observes only committed data but does not inhibit later writers.
+// Keys the transaction itself wrote (already X-locked) stay locked.
+func (ix *Index) FetchCS(tx *txn.Tx, val []byte, op SearchOp) (FetchResult, error) {
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		probe := probeFor(val, op)
+		leaf, err := ix.traverse(tx, probe, false)
+		if err != nil {
+			return FetchResult{}, err
+		}
+		fnd, err := ix.findFrom(leaf, probe)
+		if err != nil {
+			return FetchResult{}, err
+		}
+		name := ix.lockNameForFound(fnd)
+		hadLock := tx.HoldsLock(name)
+		if err := tx.Lock(name, lock.S, lock.Manual, true); err != nil {
+			if !fnd.eof {
+				ix.unfixLatched(fnd.frame, latch.S)
+			}
+			if err := tx.Lock(name, lock.S, lock.Manual, false); err != nil {
+				return FetchResult{}, err
+			}
+			if !hadLock {
+				tx.Unlock(name)
+			}
+			continue // reposition
+		}
+		res, _ := ix.sealFound(fnd, func(k storage.Key) bool {
+			return op != EQ || string(k.Val) == string(val)
+		})
+		if !hadLock {
+			tx.Unlock(name)
+		}
+		return res, nil
+	}
+	return FetchResult{}, fmt.Errorf("core: CS fetch on index %d did not stabilize", ix.cfg.ID)
+}

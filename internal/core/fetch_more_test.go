@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+)
+
+func TestFetchPrefix(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	for _, v := range []string{"apple", "apricot", "banana", "berry", "cherry"} {
+		e.mustInsert(tx, ix, storage.Key{Val: []byte(v), RID: storage.RID{Page: 1, Slot: 1}})
+	}
+	e.commit(tx)
+
+	r := e.tm.Begin()
+	res, cur, err := ix.FetchPrefix(r, []byte("ap"))
+	if err != nil || !res.Found {
+		t.Fatalf("prefix ap: %+v %v", res, err)
+	}
+	if string(res.Key.Val) != "apple" {
+		t.Fatalf("first ap-key = %q", res.Key.Val)
+	}
+	// The cursor continues the prefix scan.
+	next, err := ix.FetchNext(r, cur)
+	if err != nil || string(next.Key.Val) != "apricot" {
+		t.Fatalf("second ap-key = %+v, %v", next, err)
+	}
+
+	// Missing prefix: not found, but the next key is locked for RR.
+	res2, _, err := ix.FetchPrefix(r, []byte("bz"))
+	if err != nil || res2.Found {
+		t.Fatalf("prefix bz: %+v %v", res2, err)
+	}
+	if string(res2.Key.Val) != "cherry" {
+		t.Fatalf("next after bz = %q", res2.Key.Val)
+	}
+	// Prefix past everything: EOF.
+	res3, _, err := ix.FetchPrefix(r, []byte("zz"))
+	if err != nil || res3.Found || !res3.EOF {
+		t.Fatalf("prefix zz: %+v %v", res3, err)
+	}
+	e.commit(r)
+}
+
+func TestFetchCSLeavesNoLock(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	e.mustInsert(tx, ix, key(10))
+	e.commit(tx)
+
+	r := e.tm.Begin()
+	res, err := ix.FetchCS(r, key(10).Val, EQ)
+	if err != nil || !res.Found {
+		t.Fatalf("CS fetch: %+v %v", res, err)
+	}
+	// No lock is retained: a writer can X-lock the record immediately.
+	if e.locks.HoldsAtLeast(lock.Owner(r.ID), ix.keyLockName(key(10)), lock.IS) {
+		t.Fatal("CS fetch left a lock behind")
+	}
+	w := e.tm.Begin()
+	if err := w.Lock(ix.keyLockName(key(10)), lock.X, lock.Commit, true); err != nil {
+		t.Fatalf("writer blocked by CS reader: %v", err)
+	}
+	e.commit(w)
+	e.commit(r)
+}
+
+func TestFetchCSWaitsForUncommittedWriter(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	w := e.tm.Begin()
+	e.lockRecord(w, ix, key(10))
+	e.mustInsert(w, ix, key(10))
+
+	r := e.tm.Begin()
+	done := make(chan struct{})
+	go func() {
+		res, err := ix.FetchCS(r, key(10).Val, EQ)
+		if err != nil || !res.Found {
+			t.Errorf("CS fetch after commit: %+v %v", res, err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("CS fetch read uncommitted data")
+	case <-time.After(50 * time.Millisecond):
+	}
+	e.commit(w)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CS fetch never unblocked")
+	}
+	e.commit(r)
+}
+
+func TestFetchCSOwnUncommittedVisible(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	e.lockRecord(tx, ix, key(5))
+	e.mustInsert(tx, ix, key(5))
+	// A transaction's CS read of its own uncommitted insert succeeds and
+	// must NOT drop its own X lock.
+	res, err := ix.FetchCS(tx, key(5).Val, EQ)
+	if err != nil || !res.Found {
+		t.Fatalf("own CS read: %+v %v", res, err)
+	}
+	if !e.locks.HoldsAtLeast(lock.Owner(tx.ID), ix.keyLockName(key(5)), lock.X) {
+		t.Fatal("CS read released the transaction's own X lock")
+	}
+	e.commit(tx)
+}
+
+// TestQuickTreeVsModel drives the index against a sorted-map model with a
+// deterministic random op stream, checking Dump equivalence and structure
+// at every commit point, across page sizes that force different shapes.
+func TestQuickTreeVsModel(t *testing.T) {
+	for _, pageSize := range []int{256, 512, 1024} {
+		pageSize := pageSize
+		t.Run(ts(pageSize), func(t *testing.T) {
+			e := newEnv(t, pageSize, 256)
+			ix := e.createIndex(Config{ID: 1})
+			model := map[int]bool{}
+			tx := e.tm.Begin()
+			rng := newRand(int64(pageSize))
+			steps := 4000
+			for i := 0; i < steps; i++ {
+				n := rng.Intn(600)
+				if model[n] {
+					e.mustDelete(tx, ix, key(n))
+					delete(model, n)
+				} else {
+					e.mustInsert(tx, ix, key(n))
+					model[n] = true
+				}
+				if rng.Intn(200) == 0 {
+					e.commit(tx)
+					e.checkTree(ix)
+					tx = e.tm.Begin()
+				}
+			}
+			e.commit(tx)
+			e.checkTree(ix)
+			var want []storage.Key
+			for n := 0; n < 600; n++ {
+				if model[n] {
+					want = append(want, key(n))
+				}
+			}
+			e.expectKeys(ix, want)
+		})
+	}
+}
+
+func ts(n int) string {
+	return string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/latch"
+	"ariesim/internal/lock"
+	"ariesim/internal/space"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// Protocol selects how index keys are locked (paper §2.1).
+type Protocol uint8
+
+const (
+	// DataOnly is ARIES/IM's headline design: the lock of a key is the
+	// lock on the corresponding record (the RID inside the key). Key
+	// inserts/deletes need no current-key lock because the record manager
+	// already holds the record X lock, and fetches lock the key so the
+	// record manager need not re-lock the record.
+	DataOnly Protocol = iota
+	// IndexSpecific locks key values within the index (Fig 2's "if
+	// index-specific locking is used" column): slightly more concurrency
+	// in some interleavings, strictly more lock calls.
+	IndexSpecific
+	// KVL is the ARIES/KVL baseline (Moha90a): commit-duration key-value
+	// locks on current values, instant IX on next values — more lock
+	// calls per operation and coarser conflicts on duplicate values.
+	KVL
+	// SystemR is the System R-style baseline: key-value locks plus
+	// commit-duration index page locks, including on every page an SMO
+	// touches — readers and SMOs block each other until end of
+	// transaction (§1, §5).
+	SystemR
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case IndexSpecific:
+		return "index-specific"
+	case KVL:
+		return "aries-kvl"
+	case SystemR:
+		return "system-r"
+	default:
+		return "data-only"
+	}
+}
+
+// Config describes an index at creation/open time.
+type Config struct {
+	ID       uint32
+	Unique   bool
+	Protocol Protocol
+	// Granularity of data locks (record vs data page); must match the
+	// record manager's setting so key locks and record locks coincide.
+	Granularity lock.Granularity
+	// UseTreeLock enables the §5 extension: SMOs serialize on a lock-
+	// manager tree lock (IX for leaf-level SMOs, upgraded to X for
+	// multi-level ones) instead of the X tree latch, permitting concurrent
+	// leaf-level SMOs on one index.
+	UseTreeLock bool
+}
+
+// Errors returned by index operations.
+var (
+	// ErrDuplicate reports a unique-key violation. The violating
+	// transaction retains a commit-duration S lock on the existing key so
+	// the error is repeatable (paper §2.4).
+	ErrDuplicate = errors.New("core: unique key violation")
+	// ErrKeyNotFound reports a delete of a key that is not in the index.
+	ErrKeyNotFound = errors.New("core: key not found")
+)
+
+// Manager owns every index of an engine and routes undo by index ID.
+type Manager struct {
+	pool  *buffer.Pool
+	stats *trace.Stats
+
+	mu      sync.RWMutex
+	indexes map[uint32]*Index
+}
+
+// NewManager creates an index manager over pool.
+func NewManager(pool *buffer.Pool, stats *trace.Stats) *Manager {
+	return &Manager{pool: pool, stats: stats, indexes: make(map[uint32]*Index)}
+}
+
+// Index is one B+-tree. The root page ID is fixed for the index's
+// lifetime (root splits redistribute the root's content into two fresh
+// children), so no mutable root pointer exists.
+type Index struct {
+	cfg  Config
+	root storage.PageID
+
+	pool      *buffer.Pool
+	stats     *trace.Stats
+	mgr       *Manager
+	treeLatch *latch.Latch
+}
+
+// CreateIndex allocates and formats the root (initially an empty leaf)
+// within tx and registers the index.
+func (m *Manager) CreateIndex(tx *txn.Tx, cfg Config) (*Index, error) {
+	root, err := space.Alloc(tx, m.pool)
+	if err != nil {
+		return nil, err
+	}
+	f, err := m.pool.Fix(root)
+	if err != nil {
+		return nil, err
+	}
+	f.Latch.Acquire(latch.X)
+	pl := formatPayload{Index: cfg.ID, Level: 0}
+	lsn := tx.LogUpdate(root, wal.OpIdxFormat, pl.encode(), false)
+	f.Page.Format(root, storage.PageTypeIndex, 0)
+	f.Page.SetLSN(uint64(lsn))
+	m.pool.MarkDirty(f, lsn)
+	f.Latch.Release(latch.X)
+	m.pool.Unfix(f)
+	return m.register(cfg, root), nil
+}
+
+// OpenIndex rebinds an existing index (after restart) and registers it.
+func (m *Manager) OpenIndex(cfg Config, root storage.PageID) *Index {
+	return m.register(cfg, root)
+}
+
+func (m *Manager) register(cfg Config, root storage.PageID) *Index {
+	ix := &Index{
+		cfg: cfg, root: root, pool: m.pool, stats: m.stats, mgr: m,
+		treeLatch: latch.NewTree(m.stats),
+	}
+	m.mu.Lock()
+	m.indexes[cfg.ID] = ix
+	m.mu.Unlock()
+	return ix
+}
+
+// Lookup returns a registered index.
+func (m *Manager) Lookup(id uint32) *Index {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.indexes[id]
+}
+
+// ID returns the index's identifier.
+func (ix *Index) ID() uint32 { return ix.cfg.ID }
+
+// Root returns the fixed root page ID.
+func (ix *Index) Root() storage.PageID { return ix.root }
+
+// Unique reports whether the index enforces unique key values.
+func (ix *Index) Unique() bool { return ix.cfg.Unique }
+
+// Protocol returns the locking protocol in force.
+func (ix *Index) Protocol() Protocol { return ix.cfg.Protocol }
+
+func hashVal(val []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(val)
+	return h.Sum64()
+}
+
+// keyLockName names the lock protecting key k. Under data-only locking it
+// is the record lock (the paper's central trick); under every other
+// protocol it is a key-value lock within this index.
+func (ix *Index) keyLockName(k storage.Key) lock.Name {
+	if ix.cfg.Protocol != DataOnly {
+		return lock.KeyValueName(uint64(ix.cfg.ID), hashVal(k.Val))
+	}
+	return lock.DataLockName(ix.cfg.Granularity, uint64(k.RID.Page), k.RID.Slot)
+}
+
+// eofLockName names the end-of-file lock used as the "next key" when a
+// key-range operation runs past the highest key in the index (paper §2.2).
+func (ix *Index) eofLockName() lock.Name { return lock.EOFName(uint64(ix.cfg.ID)) }
+
+// Tree latch helpers. With UseTreeLock the tree latch becomes a lock
+// (paper §5); instant S acquisition is the traverser's "wait for the SMO
+// to finish" primitive (Fig 4, 6, 7).
+
+func (ix *Index) treeWaitInstantS(tx *txn.Tx) error {
+	if ix.cfg.UseTreeLock {
+		return tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), lock.S, lock.Instant, false)
+	}
+	ix.treeLatch.AcquireInstant(latch.S)
+	return nil
+}
+
+// treeTryInstantS attempts the instant S without blocking (used while a
+// page latch is held: the tree latch must never be waited for under a
+// page latch).
+func (ix *Index) treeTryInstantS(tx *txn.Tx) bool {
+	if ix.cfg.UseTreeLock {
+		return tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), lock.S, lock.Instant, true) == nil
+	}
+	if ix.treeLatch.TryAcquire(latch.S) {
+		ix.treeLatch.Release(latch.S)
+		return true
+	}
+	return false
+}
+
+// treeHold represents a held tree latch/lock that must be released.
+type treeHold struct {
+	ix       *Index
+	tx       *txn.Tx
+	mode     latch.Mode
+	lock     bool
+	lockMode lock.Mode
+}
+
+func (h *treeHold) release() {
+	if h == nil {
+		return
+	}
+	if h.lock {
+		var name = lock.TreeName(uint64(h.ix.cfg.ID))
+		h.tx.Unlock(name)
+		return
+	}
+	h.ix.treeLatch.Release(h.mode)
+}
+
+// upgradeX strengthens an SMO's tree hold to X before any nonleaf-level
+// structure change (§5: "If a nonleaf-level SMO is required, then they
+// will upgrade the IX lock to an X lock"). Under the tree latch this is a
+// no-op (the latch is already exclusive). Concurrent upgrades can
+// deadlock; the victim's error aborts its SMO, which is rolled back
+// page-oriented and retried by the caller.
+func (h *treeHold) upgradeX() error {
+	if h == nil || !h.lock || h.lockMode == lock.X {
+		return nil
+	}
+	if err := h.tx.Lock(lock.TreeName(uint64(h.ix.cfg.ID)), lock.X, lock.Manual, false); err != nil {
+		return err
+	}
+	h.lockMode = lock.X
+	return nil
+}
+
+// treeAcquireS holds the tree latch in S for the duration of a boundary-
+// key delete (Fig 7).
+func (ix *Index) treeAcquireS(tx *txn.Tx) (*treeHold, error) {
+	if ix.cfg.UseTreeLock {
+		if err := tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), lock.S, lock.Manual, false); err != nil {
+			return nil, err
+		}
+		return &treeHold{ix: ix, tx: tx, lock: true}, nil
+	}
+	ix.treeLatch.Acquire(latch.S)
+	return &treeHold{ix: ix, mode: latch.S}, nil
+}
+
+// treeTryS is the conditional variant, legal while page latches are held.
+func (ix *Index) treeTryS(tx *txn.Tx) (*treeHold, bool) {
+	if ix.cfg.UseTreeLock {
+		if tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), lock.S, lock.Manual, true) == nil {
+			return &treeHold{ix: ix, tx: tx, lock: true}, true
+		}
+		return nil, false
+	}
+	if ix.treeLatch.TryAcquire(latch.S) {
+		return &treeHold{ix: ix, mode: latch.S}, true
+	}
+	return nil, false
+}
+
+// treeAcquireX serializes an SMO exclusively. No page latches may be held.
+func (ix *Index) treeAcquireX(tx *txn.Tx) (*treeHold, error) {
+	if ix.cfg.UseTreeLock {
+		if err := tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), lock.X, lock.Manual, false); err != nil {
+			return nil, err
+		}
+		return &treeHold{ix: ix, tx: tx, lock: true, lockMode: lock.X}, nil
+	}
+	ix.treeLatch.Acquire(latch.X)
+	return &treeHold{ix: ix, mode: latch.X}, nil
+}
+
+// treeAcquireSMO takes the serialization an SMO starts with. With the
+// default tree latch that is exclusive (SMOs fully serialized, §2.1).
+// With the §5 tree-lock extension, forward transactions begin leaf-level
+// SMOs in IX — concurrent leaf SMOs interleave, serialized only at shared
+// pages by page latches — and upgrade to X (upgradeX) before touching
+// nonleaf structure; rolling-back transactions take X outright so they
+// can never deadlock on the upgrade (§5).
+func (ix *Index) treeAcquireSMO(tx *txn.Tx) (*treeHold, error) {
+	if !ix.cfg.UseTreeLock {
+		ix.treeLatch.Acquire(latch.X)
+		return &treeHold{ix: ix, mode: latch.X}, nil
+	}
+	mode := lock.IX
+	if tx.IsRollingBack() {
+		mode = lock.X
+	}
+	if err := tx.Lock(lock.TreeName(uint64(ix.cfg.ID)), mode, lock.Manual, false); err != nil {
+		return nil, err
+	}
+	return &treeHold{ix: ix, tx: tx, lock: true, lockMode: mode}, nil
+}
+
+// Page-shape helpers (callers hold the page latch).
+
+// leafLowerBound returns the position of the first leaf cell >= k.
+func leafLowerBound(p *storage.Page, k storage.Key) (int, error) {
+	lo, hi := 0, p.NSlots()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ck, err := storage.DecodeLeafCell(p.MustCell(mid))
+		if err != nil {
+			return 0, err
+		}
+		if ck.Compare(k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// leafKeyAt decodes the leaf cell at pos.
+func leafKeyAt(p *storage.Page, pos int) (storage.Key, error) {
+	return storage.DecodeLeafCell(p.MustCell(pos))
+}
+
+// nodeChildFor returns the child to descend into for key k: the child of
+// the first high key strictly greater than k, else the rightmost child.
+// unbounded reports that k fell past every high key (the Fig 4 ambiguity
+// test needs it).
+func nodeChildFor(p *storage.Page, k storage.Key) (child storage.PageID, unbounded bool, err error) {
+	lo, hi := 0, p.NSlots()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		hk, _, derr := storage.DecodeNodeCell(p.MustCell(mid))
+		if derr != nil {
+			return 0, false, derr
+		}
+		if hk.Compare(k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == p.NSlots() {
+		return p.Rightmost(), true, nil
+	}
+	_, c, derr := storage.DecodeNodeCell(p.MustCell(lo))
+	return c, false, derr
+}
+
+// nodeChildPos locates the entry for child in a parent: its cell position,
+// or rightmost=true. Used by SMO propagation under the tree latch.
+func nodeChildPos(p *storage.Page, child storage.PageID) (pos int, rightmost bool, err error) {
+	for i := 0; i < p.NSlots(); i++ {
+		_, c, derr := storage.DecodeNodeCell(p.MustCell(i))
+		if derr != nil {
+			return 0, false, derr
+		}
+		if c == child {
+			return i, false, nil
+		}
+	}
+	if p.Rightmost() == child {
+		return 0, true, nil
+	}
+	return 0, false, fmt.Errorf("core: child %d not found in parent %d", child, p.ID())
+}
+
+// patchNodeChild rewrites the child pointer of the node cell at pos in
+// place (the child occupies the cell's trailing 4 bytes).
+func patchNodeChild(p *storage.Page, pos int, child storage.PageID) {
+	cell := p.MustCell(pos)
+	cell[len(cell)-4] = byte(child)
+	cell[len(cell)-3] = byte(child >> 8)
+	cell[len(cell)-2] = byte(child >> 16)
+	cell[len(cell)-1] = byte(child >> 24)
+}
+
+// pageCells copies every cell payload off an index page.
+func pageCells(p *storage.Page) [][]byte {
+	out := make([][]byte, p.NSlots())
+	for i := range out {
+		out[i] = append([]byte(nil), p.MustCell(i)...)
+	}
+	return out
+}
+
+// applyLogged performs the standard logged-update dance on a latched
+// frame: append the record, mutate, stamp the page LSN, mark dirty.
+func (ix *Index) applyLogged(tx *txn.Tx, f *buffer.Frame, op wal.OpCode, payload []byte, redoOnly bool, mutate func() error) (wal.LSN, error) {
+	lsn := tx.LogUpdate(f.ID(), op, payload, redoOnly)
+	if err := mutate(); err != nil {
+		// A mutation that fails after logging would desynchronize page and
+		// log; treat as invariant violation.
+		panic(fmt.Sprintf("core: logged mutation failed on page %d op %s: %v", f.ID(), op, err))
+	}
+	f.Page.SetLSN(uint64(lsn))
+	ix.pool.MarkDirty(f, lsn)
+	return lsn, nil
+}
+
+// applyCLR is applyLogged for compensation records during undo.
+func (ix *Index) applyCLR(tx *txn.Tx, f *buffer.Frame, op wal.OpCode, payload []byte, undoNxt wal.LSN, mutate func() error) wal.LSN {
+	lsn := tx.LogCLR(f.ID(), op, payload, undoNxt)
+	if err := mutate(); err != nil {
+		panic(fmt.Sprintf("core: CLR mutation failed on page %d op %s: %v", f.ID(), op, err))
+	}
+	f.Page.SetLSN(uint64(lsn))
+	ix.pool.MarkDirty(f, lsn)
+	return lsn
+}
+
+// fixLatched fixes and latches a page in one step.
+func (ix *Index) fixLatched(id storage.PageID, m latch.Mode) (*buffer.Frame, error) {
+	f, err := ix.pool.Fix(id)
+	if err != nil {
+		return nil, err
+	}
+	f.Latch.Acquire(m)
+	return f, nil
+}
+
+func (ix *Index) unfixLatched(f *buffer.Frame, m latch.Mode) {
+	f.Latch.Release(m)
+	ix.pool.Unfix(f)
+}
+
+// resetBits clears the SM_Bit and (optionally) Delete_Bit on a latched
+// page with a redo-only record, as Figs 6 and 7 do once an instant tree
+// latch has proven no SMO is in progress. Callers hold the X latch.
+func (ix *Index) resetBits(tx *txn.Tx, f *buffer.Frame, clearDelete bool) {
+	flags := f.Page.Flags() &^ storage.FlagSMBit
+	if clearDelete {
+		flags &^= storage.FlagDeleteBit
+	}
+	if flags == f.Page.Flags() {
+		return
+	}
+	pl := setBitsPayload{Index: ix.cfg.ID, Flags: flags}
+	_, _ = ix.applyLogged(tx, f, wal.OpIdxSetBits, pl.encode(), true, func() error {
+		f.Page.SetFlags(flags)
+		return nil
+	})
+}

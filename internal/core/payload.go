@@ -1,0 +1,403 @@
+// Package core implements the paper's contribution: the ARIES/IM index
+// manager. It provides B+-tree Fetch / FetchNext / Insert / Delete with
+// data-only (or index-specific) key locking, next-key locking for
+// repeatable reads, SM_Bit / Delete_Bit based interaction with structure
+// modification operations, SMOs as nested top actions serialized by a tree
+// latch (or, per §5, a tree lock), page-oriented redo, and page-oriented
+// undo with logical fallback.
+//
+// This file defines the binary payloads of the index manager's log
+// records. Every payload leads with the owning index ID so that undo can
+// route back to the index (for logical undo through the root) even though
+// redo never needs it (redo is purely page-oriented, §3).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ariesim/internal/storage"
+)
+
+type payloadWriter struct{ b []byte }
+
+func (w *payloadWriter) u8(v uint8)           { w.b = append(w.b, v) }
+func (w *payloadWriter) u16(v uint16)         { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *payloadWriter) u32(v uint32)         { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *payloadWriter) pid(v storage.PageID) { w.u32(uint32(v)) }
+func (w *payloadWriter) bytes(v []byte) {
+	w.u16(uint16(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *payloadWriter) cells(cs [][]byte) {
+	w.u16(uint16(len(cs)))
+	for _, c := range cs {
+		w.bytes(c)
+	}
+}
+
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("core: payload truncated at %d(+%d) of %d", r.off, n, len(r.b))
+		return false
+	}
+	return true
+}
+
+func (r *payloadReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) pid() storage.PageID { return storage.PageID(r.u32()) }
+
+func (r *payloadReader) bytes() []byte {
+	n := int(r.u16())
+	if !r.need(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) cells() [][]byte {
+	n := int(r.u16())
+	out := make([][]byte, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.bytes())
+	}
+	return out
+}
+
+func (r *payloadReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("core: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// keyOpPayload carries OpIdxInsertKey / OpIdxDeleteKey (and their CLR
+// counterparts): the slot position, the flag byte before and after (the
+// delete sets Delete_Bit as part of the same record, Fig 7), and the full
+// leaf cell.
+type keyOpPayload struct {
+	Index     uint32
+	Pos       uint16
+	PreFlags  uint8
+	PostFlags uint8
+	Cell      []byte
+}
+
+func (p keyOpPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u16(p.Pos)
+	w.u8(p.PreFlags)
+	w.u8(p.PostFlags)
+	w.bytes(p.Cell)
+	return w.b
+}
+
+func decodeKeyOp(b []byte) (keyOpPayload, error) {
+	r := &payloadReader{b: b}
+	p := keyOpPayload{Index: r.u32(), Pos: r.u16(), PreFlags: r.u8(), PostFlags: r.u8(), Cell: r.bytes()}
+	return p, r.done()
+}
+
+// formatPayload carries OpIdxFormat: the full image of a freshly formatted
+// index page (the right half created by a split).
+type formatPayload struct {
+	Index     uint32
+	Level     uint8
+	Flags     uint8
+	Prev      storage.PageID
+	Next      storage.PageID
+	Rightmost storage.PageID
+	Cells     [][]byte
+}
+
+func (p formatPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u8(p.Level)
+	w.u8(p.Flags)
+	w.pid(p.Prev)
+	w.pid(p.Next)
+	w.pid(p.Rightmost)
+	w.cells(p.Cells)
+	return w.b
+}
+
+func decodeFormat(b []byte) (formatPayload, error) {
+	r := &payloadReader{b: b}
+	p := formatPayload{
+		Index: r.u32(), Level: r.u8(), Flags: r.u8(),
+		Prev: r.pid(), Next: r.pid(), Rightmost: r.pid(), Cells: r.cells(),
+	}
+	return p, r.done()
+}
+
+// splitLeftPayload carries OpIdxSplitLeft / OpIdxUnsplitLeft: the cells
+// moved off the split page's upper half, plus the chain/rightmost changes.
+// For a leaf split, Moved = cells[From:] and the next pointer changes; for
+// a nonleaf split, Moved = cells[From:] where the first moved cell's child
+// becomes the left page's new rightmost and its high key is promoted.
+type splitLeftPayload struct {
+	Index        uint32
+	From         uint16
+	PreFlags     uint8
+	PostFlags    uint8
+	OldNext      storage.PageID
+	NewNext      storage.PageID
+	OldRightmost storage.PageID
+	NewRightmost storage.PageID
+	Moved        [][]byte
+}
+
+func (p splitLeftPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u16(p.From)
+	w.u8(p.PreFlags)
+	w.u8(p.PostFlags)
+	w.pid(p.OldNext)
+	w.pid(p.NewNext)
+	w.pid(p.OldRightmost)
+	w.pid(p.NewRightmost)
+	w.cells(p.Moved)
+	return w.b
+}
+
+func decodeSplitLeft(b []byte) (splitLeftPayload, error) {
+	r := &payloadReader{b: b}
+	p := splitLeftPayload{
+		Index: r.u32(), From: r.u16(), PreFlags: r.u8(), PostFlags: r.u8(),
+		OldNext: r.pid(), NewNext: r.pid(), OldRightmost: r.pid(), NewRightmost: r.pid(),
+		Moved: r.cells(),
+	}
+	return p, r.done()
+}
+
+// chainFixPayload carries OpIdxChainFix: one sibling-pointer rewrite. The
+// record doubles as its own inverse with Old and New swapped.
+type chainFixPayload struct {
+	Index     uint32
+	NextField bool // true: rewrite Next; false: rewrite Prev
+	Old       storage.PageID
+	New       storage.PageID
+	PreFlags  uint8
+	PostFlags uint8
+}
+
+func (p chainFixPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	if p.NextField {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.pid(p.Old)
+	w.pid(p.New)
+	w.u8(p.PreFlags)
+	w.u8(p.PostFlags)
+	return w.b
+}
+
+func decodeChainFix(b []byte) (chainFixPayload, error) {
+	r := &payloadReader{b: b}
+	p := chainFixPayload{Index: r.u32(), NextField: r.u8() == 1, Old: r.pid(), New: r.pid(),
+		PreFlags: r.u8(), PostFlags: r.u8()}
+	return p, r.done()
+}
+
+// splitParentPayload carries OpIdxSplitParent / OpIdxUnsplitParent:
+// posting the separator (SepCell = encoded (sep, left) node cell) at Pos.
+// If AtRightmost, the split child was the parent's rightmost and the new
+// page takes that role; otherwise the pre-existing cell (now at Pos+1) has
+// its child patched from left to Right.
+type splitParentPayload struct {
+	Index       uint32
+	Pos         uint16
+	AtRightmost bool
+	PreFlags    uint8
+	PostFlags   uint8
+	Right       storage.PageID
+	SepCell     []byte
+}
+
+func (p splitParentPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u16(p.Pos)
+	if p.AtRightmost {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(p.PreFlags)
+	w.u8(p.PostFlags)
+	w.pid(p.Right)
+	w.bytes(p.SepCell)
+	return w.b
+}
+
+func decodeSplitParent(b []byte) (splitParentPayload, error) {
+	r := &payloadReader{b: b}
+	p := splitParentPayload{Index: r.u32(), Pos: r.u16(), AtRightmost: r.u8() == 1,
+		PreFlags: r.u8(), PostFlags: r.u8(), Right: r.pid(), SepCell: r.bytes()}
+	return p, r.done()
+}
+
+// deleteChildPayload carries OpIdxDeleteChild / OpIdxUndeleteChild:
+// removing a (high key, child) entry from a parent during page deletion.
+type deleteChildPayload struct {
+	Index        uint32
+	Pos          uint16
+	WasRightmost bool // the deleted child was the parent's rightmost
+	PreFlags     uint8
+	PostFlags    uint8
+	OldRightmost storage.PageID
+	NewRightmost storage.PageID
+	Removed      []byte // the removed node cell (empty when WasRightmost and the parent had no cells)
+}
+
+func (p deleteChildPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u16(p.Pos)
+	if p.WasRightmost {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u8(p.PreFlags)
+	w.u8(p.PostFlags)
+	w.pid(p.OldRightmost)
+	w.pid(p.NewRightmost)
+	w.bytes(p.Removed)
+	return w.b
+}
+
+func decodeDeleteChild(b []byte) (deleteChildPayload, error) {
+	r := &payloadReader{b: b}
+	p := deleteChildPayload{Index: r.u32(), Pos: r.u16(), WasRightmost: r.u8() == 1,
+		PreFlags: r.u8(), PostFlags: r.u8(), OldRightmost: r.pid(), NewRightmost: r.pid(),
+		Removed: r.bytes()}
+	return p, r.done()
+}
+
+// replacePayload carries OpIdxReplacePage: a physical full-page rewrite
+// (root split and root collapse). After is what redo installs; Before is
+// carried for undo (the CLR's payload holds only its own After).
+type replacePayload struct {
+	Index  uint32
+	After  []byte
+	Before []byte
+}
+
+func (p replacePayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.bytes(p.After)
+	w.bytes(p.Before)
+	return w.b
+}
+
+func decodeReplace(b []byte) (replacePayload, error) {
+	r := &payloadReader{b: b}
+	p := replacePayload{Index: r.u32(), After: r.bytes(), Before: r.bytes()}
+	return p, r.done()
+}
+
+// freePagePayload carries OpIdxFreePage / OpIdxUnfreePage: enough of the
+// freed page's header to restore its empty shell on undo.
+type freePagePayload struct {
+	Index     uint32
+	Level     uint8
+	Flags     uint8
+	Prev      storage.PageID
+	Next      storage.PageID
+	Rightmost storage.PageID
+}
+
+func (p freePagePayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u8(p.Level)
+	w.u8(p.Flags)
+	w.pid(p.Prev)
+	w.pid(p.Next)
+	w.pid(p.Rightmost)
+	return w.b
+}
+
+func decodeFreePage(b []byte) (freePagePayload, error) {
+	r := &payloadReader{b: b}
+	p := freePagePayload{Index: r.u32(), Level: r.u8(), Flags: r.u8(),
+		Prev: r.pid(), Next: r.pid(), Rightmost: r.pid()}
+	return p, r.done()
+}
+
+// setBitsPayload carries OpIdxSetBits: a redo-only flag-byte rewrite used
+// to reset SM_Bit / Delete_Bit once the structure is known consistent.
+type setBitsPayload struct {
+	Index uint32
+	Flags uint8
+}
+
+func (p setBitsPayload) encode() []byte {
+	w := &payloadWriter{}
+	w.u32(p.Index)
+	w.u8(p.Flags)
+	return w.b
+}
+
+func decodeSetBits(b []byte) (setBitsPayload, error) {
+	r := &payloadReader{b: b}
+	p := setBitsPayload{Index: r.u32(), Flags: r.u8()}
+	return p, r.done()
+}
+
+// indexIDOf extracts the leading index ID common to every core payload.
+func indexIDOf(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("core: payload too short for index ID")
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ariesim/internal/storage"
+)
+
+// TestQuickInsertDumpSorted: for any set of distinct small keys, inserting
+// them in the given (arbitrary) order yields a structurally valid tree
+// whose dump is exactly the sorted set. testing/quick drives the key sets.
+func TestQuickInsertDumpSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		// Distinct key numbers from the raw input.
+		seen := map[uint16]bool{}
+		var nums []uint16
+		for _, r := range raw {
+			if !seen[r] {
+				seen[r] = true
+				nums = append(nums, r)
+			}
+			if len(nums) == 150 {
+				break
+			}
+		}
+		e := newEnv(t, 256, 512)
+		ix := e.createIndex(Config{ID: 1})
+		tx := e.tm.Begin()
+		for _, n := range nums {
+			if err := ix.Insert(tx, key(int(n))); err != nil {
+				t.Logf("insert %d: %v", n, err)
+				return false
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return false
+		}
+		if err := ix.CheckStructure(); err != nil {
+			t.Logf("structure: %v", err)
+			return false
+		}
+		got, err := ix.Dump()
+		if err != nil || len(got) != len(nums) {
+			return false
+		}
+		sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+		for i, n := range nums {
+			if got[i].Compare(key(int(n))) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertThenRollbackIsIdentity: any batch of inserts followed by
+// rollback leaves the index exactly as before — including any splits the
+// batch caused (SMOs survive, content does not).
+func TestQuickInsertThenRollbackIsIdentity(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := newEnv(t, 256, 512)
+		ix := e.createIndex(Config{ID: 1})
+		setup := e.tm.Begin()
+		for i := 0; i < 40; i++ {
+			if err := ix.Insert(setup, key(i*3)); err != nil {
+				return false
+			}
+		}
+		if err := setup.Commit(); err != nil {
+			return false
+		}
+		before, err := ix.Dump()
+		if err != nil {
+			return false
+		}
+
+		tx := e.tm.Begin()
+		seen := map[uint16]bool{}
+		for _, r := range raw {
+			n := 1000 + int(r%500)
+			if seen[uint16(n)] {
+				continue
+			}
+			seen[uint16(n)] = true
+			if err := ix.Insert(tx, key(n)); err != nil {
+				return false
+			}
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Logf("rollback: %v", err)
+			return false
+		}
+		if err := ix.CheckStructure(); err != nil {
+			t.Logf("structure after rollback: %v", err)
+			return false
+		}
+		after, err := ix.Dump()
+		if err != nil || len(after) != len(before) {
+			return false
+		}
+		for i := range before {
+			if before[i].Compare(after[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteRollbackIdentity mirrors the insert property for deletes.
+func TestQuickDeleteRollbackIdentity(t *testing.T) {
+	f := func(raw []uint8) bool {
+		e := newEnv(t, 256, 512)
+		ix := e.createIndex(Config{ID: 1})
+		setup := e.tm.Begin()
+		for i := 0; i < 120; i++ {
+			if err := ix.Insert(setup, key(i)); err != nil {
+				return false
+			}
+		}
+		if err := setup.Commit(); err != nil {
+			return false
+		}
+		tx := e.tm.Begin()
+		seen := map[uint8]bool{}
+		for _, r := range raw {
+			n := int(r) % 120
+			if seen[uint8(n)] {
+				continue
+			}
+			seen[uint8(n)] = true
+			if err := ix.Delete(tx, key(n)); err != nil {
+				return false
+			}
+		}
+		if err := tx.Rollback(); err != nil {
+			return false
+		}
+		if err := ix.CheckStructure(); err != nil {
+			return false
+		}
+		got, err := ix.Dump()
+		return err == nil && len(got) == 120
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = storage.Key{} // keep the import if cases above change

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"ariesim/internal/storage"
+	"ariesim/internal/wal"
+)
+
+// ApplyRedo reapplies one index-manager log record to its page. This is
+// the whole of ARIES/IM's redo story (§3): redos are always page-oriented —
+// no tree traversal, no other page, no index metadata. The caller holds
+// the page exclusively and has already decided, by comparing the page_LSN
+// with the record's LSN, that the update is missing.
+//
+// CLR redo funnels through the same switch: a CLR's OpCode is the
+// compensating page action (e.g. OpIdxUnsplitLeft), so compensation is
+// replayed exactly like forward work.
+func ApplyRedo(p *storage.Page, rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpIdxInsertKey:
+		pl, err := decodeKeyOp(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := p.InsertCellAt(int(pl.Pos), pl.Cell); err != nil {
+			return fmt.Errorf("core: redo insert at %d on page %d: %w", pl.Pos, rec.Page, err)
+		}
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxDeleteKey:
+		pl, err := decodeKeyOp(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if _, err := p.DeleteCellAt(int(pl.Pos)); err != nil {
+			return fmt.Errorf("core: redo delete at %d on page %d: %w", pl.Pos, rec.Page, err)
+		}
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxFormat:
+		pl, err := decodeFormat(rec.Payload)
+		if err != nil {
+			return err
+		}
+		p.Format(rec.Page, storage.PageTypeIndex, pl.Level)
+		p.SetFlags(pl.Flags)
+		p.SetPrev(pl.Prev)
+		p.SetNext(pl.Next)
+		p.SetRightmost(pl.Rightmost)
+		for i, c := range pl.Cells {
+			if err := p.InsertCellAt(i, c); err != nil {
+				return fmt.Errorf("core: redo format cell %d on page %d: %w", i, rec.Page, err)
+			}
+		}
+		return nil
+
+	case wal.OpIdxSplitLeft:
+		pl, err := decodeSplitLeft(rec.Payload)
+		if err != nil {
+			return err
+		}
+		for p.NSlots() > int(pl.From) {
+			if _, err := p.DeleteCellAt(p.NSlots() - 1); err != nil {
+				return err
+			}
+		}
+		if p.IsLeaf() {
+			p.SetNext(pl.NewNext)
+		} else {
+			p.SetRightmost(pl.NewRightmost)
+		}
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxUnsplitLeft:
+		pl, err := decodeSplitLeft(rec.Payload)
+		if err != nil {
+			return err
+		}
+		for i, c := range pl.Moved {
+			if err := p.InsertCellAt(int(pl.From)+i, c); err != nil {
+				return fmt.Errorf("core: redo unsplit cell %d on page %d: %w", i, rec.Page, err)
+			}
+		}
+		if p.IsLeaf() {
+			p.SetNext(pl.OldNext)
+		} else {
+			p.SetRightmost(pl.OldRightmost)
+		}
+		p.SetFlags(pl.PreFlags)
+		return nil
+
+	case wal.OpIdxChainFix:
+		pl, err := decodeChainFix(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if pl.NextField {
+			p.SetNext(pl.New)
+		} else {
+			p.SetPrev(pl.New)
+		}
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxSplitParent:
+		pl, err := decodeSplitParent(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := p.InsertCellAt(int(pl.Pos), pl.SepCell); err != nil {
+			return fmt.Errorf("core: redo split-parent at %d on page %d: %w", pl.Pos, rec.Page, err)
+		}
+		if pl.AtRightmost {
+			p.SetRightmost(pl.Right)
+		} else {
+			patchNodeChild(p, int(pl.Pos)+1, pl.Right)
+		}
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxUnsplitParent:
+		pl, err := decodeSplitParent(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_, left, err := storage.DecodeNodeCell(pl.SepCell)
+		if err != nil {
+			return err
+		}
+		if _, err := p.DeleteCellAt(int(pl.Pos)); err != nil {
+			return fmt.Errorf("core: redo unsplit-parent at %d on page %d: %w", pl.Pos, rec.Page, err)
+		}
+		if pl.AtRightmost {
+			p.SetRightmost(left)
+		} else {
+			patchNodeChild(p, int(pl.Pos), left)
+		}
+		p.SetFlags(pl.PreFlags)
+		return nil
+
+	case wal.OpIdxDeleteChild:
+		pl, err := decodeDeleteChild(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(pl.Removed) > 0 {
+			if _, err := p.DeleteCellAt(int(pl.Pos)); err != nil {
+				return fmt.Errorf("core: redo delete-child at %d on page %d: %w", pl.Pos, rec.Page, err)
+			}
+		}
+		p.SetRightmost(pl.NewRightmost)
+		p.SetFlags(pl.PostFlags)
+		return nil
+
+	case wal.OpIdxUndeleteChild:
+		pl, err := decodeDeleteChild(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(pl.Removed) > 0 {
+			if err := p.InsertCellAt(int(pl.Pos), pl.Removed); err != nil {
+				return fmt.Errorf("core: redo undelete-child at %d on page %d: %w", pl.Pos, rec.Page, err)
+			}
+		}
+		p.SetRightmost(pl.OldRightmost)
+		p.SetFlags(pl.PreFlags)
+		return nil
+
+	case wal.OpIdxReplacePage:
+		pl, err := decodeReplace(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(pl.After) != len(p.Bytes()) {
+			return fmt.Errorf("core: redo replace-page image is %d bytes, page is %d", len(pl.After), len(p.Bytes()))
+		}
+		copy(p.Bytes(), pl.After)
+		return nil
+
+	case wal.OpIdxFreePage:
+		pl, err := decodeFreePage(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_ = pl
+		p.Format(rec.Page, storage.PageTypeFree, 0)
+		return nil
+
+	case wal.OpIdxUnfreePage:
+		pl, err := decodeFreePage(rec.Payload)
+		if err != nil {
+			return err
+		}
+		p.Format(rec.Page, storage.PageTypeIndex, pl.Level)
+		p.SetFlags(pl.Flags)
+		p.SetPrev(pl.Prev)
+		p.SetNext(pl.Next)
+		p.SetRightmost(pl.Rightmost)
+		return nil
+
+	case wal.OpIdxSetBits:
+		pl, err := decodeSetBits(rec.Payload)
+		if err != nil {
+			return err
+		}
+		p.SetFlags(pl.Flags)
+		return nil
+
+	default:
+		return fmt.Errorf("core: not an index op: %s", rec.Op)
+	}
+}

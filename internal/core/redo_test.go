@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ariesim/internal/storage"
+	"ariesim/internal/wal"
+)
+
+// Unit tests of ApplyRedo for each opcode and its inverse: apply the
+// forward action to a page, apply the inverse, and require the original
+// logical state back (header fields and live cells; physical layout may
+// differ through garbage and compaction).
+
+func freshLeaf(t *testing.T) *storage.Page {
+	t.Helper()
+	p := storage.NewPage(512)
+	p.Format(7, storage.PageTypeIndex, 0)
+	for i, v := range []string{"aa", "cc", "ee"} {
+		cell := storage.EncodeLeafCell(storage.Key{Val: []byte(v), RID: storage.RID{Page: storage.PageID(i + 1), Slot: 1}})
+		if err := p.InsertCellAt(i, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// logicalState captures everything redo must reproduce: the header fields
+// and the ordered live cells. Physical layout (garbage from deletions,
+// compaction state) legitimately differs between histories.
+func logicalState(t *testing.T, p *storage.Page) string {
+	t.Helper()
+	out := fmt.Sprintf("id=%d type=%v level=%d flags=%x prev=%d next=%d rm=%d n=%d|",
+		p.ID(), p.Type(), p.Level(), p.Flags(), p.Prev(), p.Next(), p.Rightmost(), p.NSlots())
+	for i := 0; i < p.NSlots(); i++ {
+		c, ok := p.Cell(i)
+		out += fmt.Sprintf("%d:%v=%x|", i, ok, c)
+	}
+	return out
+}
+
+func apply(t *testing.T, p *storage.Page, op wal.OpCode, payload []byte) {
+	t.Helper()
+	if err := ApplyRedo(p, &wal.Record{Op: op, Page: p.ID(), Payload: payload}); err != nil {
+		t.Fatalf("redo %s: %v", op, err)
+	}
+}
+
+func TestRedoInsertDeleteKeyInverse(t *testing.T) {
+	p := freshLeaf(t)
+	orig := logicalState(t, p)
+	cell := storage.EncodeLeafCell(storage.Key{Val: []byte("bb"), RID: storage.RID{Page: 9, Slot: 9}})
+	pl := keyOpPayload{Index: 1, Pos: 1, PreFlags: 0, PostFlags: 0, Cell: cell}
+	apply(t, p, wal.OpIdxInsertKey, pl.encode())
+	if p.NSlots() != 4 {
+		t.Fatalf("nslots = %d", p.NSlots())
+	}
+	apply(t, p, wal.OpIdxDeleteKey, pl.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("insert+delete did not round-trip the page bytes")
+	}
+}
+
+func TestRedoSplitLeftAndUnsplit(t *testing.T) {
+	p := freshLeaf(t)
+	p.SetNext(99)
+	orig := logicalState(t, p)
+	moved := [][]byte{append([]byte(nil), p.MustCell(2)...)}
+	pl := splitLeftPayload{
+		Index: 1, From: 2, PreFlags: p.Flags(), PostFlags: p.Flags() | storage.FlagSMBit,
+		OldNext: 99, NewNext: 55, Moved: moved,
+	}
+	apply(t, p, wal.OpIdxSplitLeft, pl.encode())
+	if p.NSlots() != 2 || p.Next() != 55 || !p.SMBit() {
+		t.Fatalf("split-left state: nslots=%d next=%d sm=%v", p.NSlots(), p.Next(), p.SMBit())
+	}
+	apply(t, p, wal.OpIdxUnsplitLeft, pl.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("split+unsplit did not round-trip")
+	}
+}
+
+func TestRedoSplitLeftNonleafRightmost(t *testing.T) {
+	p := storage.NewPage(512)
+	p.Format(8, storage.PageTypeIndex, 1)
+	for i, v := range []string{"gg", "pp"} {
+		cell := storage.EncodeNodeCell(storage.Key{Val: []byte(v)}, storage.PageID(30+i))
+		if err := p.InsertCellAt(i, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetRightmost(40)
+	orig := logicalState(t, p)
+	moved := [][]byte{append([]byte(nil), p.MustCell(1)...)}
+	pl := splitLeftPayload{
+		Index: 1, From: 1, PreFlags: 0, PostFlags: storage.FlagSMBit,
+		OldRightmost: 40, NewRightmost: 31, Moved: moved,
+	}
+	apply(t, p, wal.OpIdxSplitLeft, pl.encode())
+	if p.Rightmost() != 31 || p.NSlots() != 1 {
+		t.Fatalf("nonleaf split-left: rightmost=%d nslots=%d", p.Rightmost(), p.NSlots())
+	}
+	apply(t, p, wal.OpIdxUnsplitLeft, pl.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("nonleaf split round-trip failed")
+	}
+}
+
+func TestRedoChainFixSelfInverse(t *testing.T) {
+	p := freshLeaf(t)
+	p.SetPrev(11)
+	orig := logicalState(t, p)
+	pl := chainFixPayload{Index: 1, NextField: false, Old: 11, New: 22,
+		PreFlags: p.Flags(), PostFlags: p.Flags()}
+	apply(t, p, wal.OpIdxChainFix, pl.encode())
+	if p.Prev() != 22 {
+		t.Fatalf("prev = %d", p.Prev())
+	}
+	inv := chainFixPayload{Index: 1, NextField: false, Old: 22, New: 11,
+		PreFlags: pl.PostFlags, PostFlags: pl.PreFlags}
+	apply(t, p, wal.OpIdxChainFix, inv.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("chain fix round-trip failed")
+	}
+}
+
+func TestRedoSplitParentAndUnsplit(t *testing.T) {
+	p := storage.NewPage(512)
+	p.Format(9, storage.PageTypeIndex, 1)
+	cell := storage.EncodeNodeCell(storage.Key{Val: []byte("mm")}, 50)
+	if err := p.InsertCellAt(0, cell); err != nil {
+		t.Fatal(err)
+	}
+	p.SetRightmost(60)
+	orig := logicalState(t, p)
+
+	// Middle post: child 50 split into 50 + 55 with separator "hh".
+	sep := storage.EncodeNodeCell(storage.Key{Val: []byte("hh")}, 50)
+	pl := splitParentPayload{Index: 1, Pos: 0, AtRightmost: false,
+		PreFlags: 0, PostFlags: storage.FlagSMBit, Right: 55, SepCell: sep}
+	apply(t, p, wal.OpIdxSplitParent, pl.encode())
+	if p.NSlots() != 2 {
+		t.Fatalf("nslots = %d", p.NSlots())
+	}
+	_, child1, _ := storage.DecodeNodeCell(p.MustCell(1))
+	if child1 != 55 {
+		t.Fatalf("patched child = %d, want 55", child1)
+	}
+	apply(t, p, wal.OpIdxUnsplitParent, pl.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("middle parent post round-trip failed")
+	}
+
+	// Rightmost post: rightmost child 60 split into 60 + 70, separator "zz".
+	sep2 := storage.EncodeNodeCell(storage.Key{Val: []byte("zz")}, 60)
+	pl2 := splitParentPayload{Index: 1, Pos: 1, AtRightmost: true,
+		PreFlags: 0, PostFlags: storage.FlagSMBit, Right: 70, SepCell: sep2}
+	apply(t, p, wal.OpIdxSplitParent, pl2.encode())
+	if p.Rightmost() != 70 || p.NSlots() != 2 {
+		t.Fatalf("rightmost post: rm=%d nslots=%d", p.Rightmost(), p.NSlots())
+	}
+	apply(t, p, wal.OpIdxUnsplitParent, pl2.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("rightmost parent post round-trip failed")
+	}
+}
+
+func TestRedoDeleteChildAndUndelete(t *testing.T) {
+	p := storage.NewPage(512)
+	p.Format(9, storage.PageTypeIndex, 1)
+	for i, v := range []string{"dd", "mm"} {
+		if err := p.InsertCellAt(i, storage.EncodeNodeCell(storage.Key{Val: []byte(v)}, storage.PageID(70+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetRightmost(80)
+	orig := logicalState(t, p)
+
+	// Remove a middle child.
+	pl := deleteChildPayload{Index: 1, Pos: 0, WasRightmost: false,
+		PreFlags: 0, PostFlags: storage.FlagSMBit,
+		OldRightmost: 80, NewRightmost: 80,
+		Removed: append([]byte(nil), p.MustCell(0)...)}
+	apply(t, p, wal.OpIdxDeleteChild, pl.encode())
+	if p.NSlots() != 1 {
+		t.Fatalf("nslots = %d", p.NSlots())
+	}
+	apply(t, p, wal.OpIdxUndeleteChild, pl.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("delete-child round-trip failed")
+	}
+
+	// Remove the rightmost child: last separator promoted.
+	pl2 := deleteChildPayload{Index: 1, Pos: 1, WasRightmost: true,
+		PreFlags: 0, PostFlags: storage.FlagSMBit,
+		OldRightmost: 80, NewRightmost: 71,
+		Removed: append([]byte(nil), p.MustCell(1)...)}
+	apply(t, p, wal.OpIdxDeleteChild, pl2.encode())
+	if p.Rightmost() != 71 || p.NSlots() != 1 {
+		t.Fatalf("rightmost removal: rm=%d nslots=%d", p.Rightmost(), p.NSlots())
+	}
+	apply(t, p, wal.OpIdxUndeleteChild, pl2.encode())
+	if logicalState(t, p) != orig {
+		t.Fatal("rightmost delete-child round-trip failed")
+	}
+}
+
+func TestRedoFreeUnfreePage(t *testing.T) {
+	p := freshLeaf(t)
+	p.SetPrev(3)
+	p.SetNext(4)
+	pl := freePagePayload{Index: 1, Level: 0, Flags: p.Flags(), Prev: 3, Next: 4}
+	apply(t, p, wal.OpIdxFreePage, pl.encode())
+	if p.Type() != storage.PageTypeFree {
+		t.Fatalf("type = %v", p.Type())
+	}
+	apply(t, p, wal.OpIdxUnfreePage, pl.encode())
+	if p.Type() != storage.PageTypeIndex || p.Prev() != 3 || p.Next() != 4 || p.NSlots() != 0 {
+		t.Fatal("unfree did not restore the empty shell")
+	}
+}
+
+func TestRedoReplacePage(t *testing.T) {
+	p := freshLeaf(t)
+	before := append([]byte(nil), p.Bytes()...)
+	shadow := storage.NewPage(512)
+	shadow.Format(p.ID(), storage.PageTypeIndex, 2)
+	pl := replacePayload{Index: 1, After: shadow.Bytes(), Before: before}
+	apply(t, p, wal.OpIdxReplacePage, pl.encode())
+	if p.Level() != 2 {
+		t.Fatalf("level = %d", p.Level())
+	}
+	// The inverse is a replace with the before image.
+	inv := replacePayload{Index: 1, After: before}
+	apply(t, p, wal.OpIdxReplacePage, inv.encode())
+	if string(p.Bytes()) != string(before) {
+		t.Fatal("replace round-trip failed")
+	}
+	// Size mismatch rejected.
+	bad := replacePayload{Index: 1, After: []byte("short")}
+	if err := ApplyRedo(p, &wal.Record{Op: wal.OpIdxReplacePage, Page: p.ID(), Payload: bad.encode()}); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestRedoSetBits(t *testing.T) {
+	p := freshLeaf(t)
+	pl := setBitsPayload{Index: 1, Flags: storage.FlagSMBit | storage.FlagDeleteBit}
+	apply(t, p, wal.OpIdxSetBits, pl.encode())
+	if !p.SMBit() || !p.DeleteBit() {
+		t.Fatal("set-bits redo failed")
+	}
+}
+
+func TestRedoRejectsForeignAndCorrupt(t *testing.T) {
+	p := freshLeaf(t)
+	if err := ApplyRedo(p, &wal.Record{Op: wal.OpDataInsert, Page: 7}); err == nil {
+		t.Fatal("data op applied by index redo")
+	}
+	if err := ApplyRedo(p, &wal.Record{Op: wal.OpIdxInsertKey, Page: 7, Payload: []byte{1, 2}}); err == nil {
+		t.Fatal("corrupt payload applied")
+	}
+}
+
+func TestPayloadCodecsRoundTrip(t *testing.T) {
+	cases := []struct {
+		op  wal.OpCode
+		enc []byte
+	}{
+		{wal.OpIdxInsertKey, keyOpPayload{Index: 3, Pos: 7, PreFlags: 1, PostFlags: 2, Cell: []byte("cell")}.encode()},
+		{wal.OpIdxFormat, formatPayload{Index: 3, Level: 2, Flags: 1, Prev: 4, Next: 5, Rightmost: 6, Cells: [][]byte{[]byte("a"), []byte("bb")}}.encode()},
+		{wal.OpIdxSplitLeft, splitLeftPayload{Index: 3, From: 2, OldNext: 9, NewNext: 10, OldRightmost: 11, NewRightmost: 12, Moved: [][]byte{[]byte("m")}}.encode()},
+		{wal.OpIdxChainFix, chainFixPayload{Index: 3, NextField: true, Old: 1, New: 2, PreFlags: 3, PostFlags: 4}.encode()},
+		{wal.OpIdxSplitParent, splitParentPayload{Index: 3, Pos: 1, AtRightmost: true, Right: 8, SepCell: []byte("sep")}.encode()},
+		{wal.OpIdxDeleteChild, deleteChildPayload{Index: 3, Pos: 1, WasRightmost: true, OldRightmost: 7, NewRightmost: 8, Removed: []byte("rm")}.encode()},
+		{wal.OpIdxReplacePage, replacePayload{Index: 3, After: []byte("after"), Before: []byte("before")}.encode()},
+		{wal.OpIdxFreePage, freePagePayload{Index: 3, Level: 1, Flags: 2, Prev: 3, Next: 4, Rightmost: 5}.encode()},
+		{wal.OpIdxSetBits, setBitsPayload{Index: 3, Flags: 3}.encode()},
+	}
+	for _, c := range cases {
+		id, err := indexIDOf(c.enc)
+		if err != nil || id != 3 {
+			t.Fatalf("%s: indexIDOf = %d, %v", c.op, id, err)
+		}
+		// Truncated payloads must be rejected, never mis-decoded.
+		for cut := 0; cut < len(c.enc); cut++ {
+			var derr error
+			switch c.op {
+			case wal.OpIdxInsertKey:
+				_, derr = decodeKeyOp(c.enc[:cut])
+			case wal.OpIdxFormat:
+				_, derr = decodeFormat(c.enc[:cut])
+			case wal.OpIdxSplitLeft:
+				_, derr = decodeSplitLeft(c.enc[:cut])
+			case wal.OpIdxChainFix:
+				_, derr = decodeChainFix(c.enc[:cut])
+			case wal.OpIdxSplitParent:
+				_, derr = decodeSplitParent(c.enc[:cut])
+			case wal.OpIdxDeleteChild:
+				_, derr = decodeDeleteChild(c.enc[:cut])
+			case wal.OpIdxReplacePage:
+				_, derr = decodeReplace(c.enc[:cut])
+			case wal.OpIdxFreePage:
+				_, derr = decodeFreePage(c.enc[:cut])
+			case wal.OpIdxSetBits:
+				_, derr = decodeSetBits(c.enc[:cut])
+			}
+			if derr == nil {
+				t.Fatalf("%s: truncation at %d of %d accepted", c.op, cut, len(c.enc))
+			}
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/latch"
+	"ariesim/internal/lock"
+	"ariesim/internal/space"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// Structure modification operations (Fig 8).
+//
+// An SMO is performed by the transaction that encountered the need for it,
+// as a nested top action: once its dummy CLR is on the log, the SMO is
+// permanent regardless of the transaction's fate. SMOs within one tree are
+// serialized by the X tree latch (or tree lock, §5); the latch is taken
+// only after the pages involved are fixed in the buffer pool, and no I/O
+// is done while holding it. Every page touched gets SM_Bit set; the bits
+// are reset (redo-only records) after the dummy CLR.
+//
+// A failure in the middle of an SMO is handled as the paper prescribes: the
+// partial SMO is rolled back page-oriented (its records are regular
+// undo-redo records) and the tree latch is released only after the
+// rollback completes.
+
+// errSMOConflict reports that a concurrent leaf-level SMO (possible only
+// under the §5 IX tree lock) changed a neighborhood this SMO was relying
+// on; the partial SMO is rolled back page-oriented and retried.
+var errSMOConflict = errors.New("core: concurrent SMO changed the page neighborhood")
+
+// smoCtx tracks pages touched by an in-flight SMO for the SM_Bit sweep,
+// plus the tree hold for §5 IX→X upgrades.
+type smoCtx struct {
+	touched []storage.PageID
+	hold    *treeHold
+}
+
+func (c *smoCtx) touch(id storage.PageID) {
+	for _, t := range c.touched {
+		if t == id {
+			return
+		}
+	}
+	c.touched = append(c.touched, id)
+}
+
+// SplitForInsert runs the page-split SMO so that the (released) leaf can
+// accept a cell of cellSize bytes, then returns; the caller re-traverses
+// and performs its insert only after the split has fully propagated
+// (Fig 8's ordering: the insert that necessitated the split happens after
+// the dummy CLR).
+func (ix *Index) SplitForInsert(tx *txn.Tx, leafID storage.PageID, cellSize int) error {
+	hold, err := ix.treeAcquireSMO(tx)
+	if err != nil {
+		return err
+	}
+	defer hold.release()
+	save := tx.Savepoint()
+
+	f, err := ix.fixLatched(leafID, latch.X)
+	if err != nil {
+		return err
+	}
+	// Revalidate under the tree latch: the page may have been emptied,
+	// deleted, or drained since the caller released it.
+	if f.Page.Type() != storage.PageTypeIndex || f.Page.HasRoomFor(cellSize) || f.Page.NSlots() < 2 {
+		ix.unfixLatched(f, latch.X)
+		return nil // nothing to do; the caller retries its insert
+	}
+	if ix.stats != nil {
+		ix.stats.SMOs.Add(1)
+		ix.stats.PageSplits.Add(1)
+	}
+	tok := tx.BeginNTA()
+	ctx := &smoCtx{hold: hold}
+	err = ix.splitLocked(tx, ctx, f) // consumes the latch
+	if err != nil {
+		// Process failure inside the SMO: undo its records page-oriented,
+		// then let the tree latch go (§3 "Structure Modification
+		// Operations", failure handling).
+		if rbErr := tx.RollbackTo(save); rbErr != nil {
+			return fmt.Errorf("core: SMO failed (%v) and its rollback failed: %w", err, rbErr)
+		}
+		return err
+	}
+	tx.EndNTA(tok)
+	ix.resetSMBits(tx, ctx)
+	return nil
+}
+
+// splitLocked splits the X-latched page f (leaf or nonleaf, not the root)
+// or the root, propagating upward. The latch on f is released before the
+// parent is touched (§4: lower-level latches released before higher-level
+// pages are latched).
+func (ix *Index) splitLocked(tx *txn.Tx, ctx *smoCtx, f *buffer.Frame) error {
+	if f.ID() == ix.root {
+		return ix.rootSplitLocked(tx, ctx, f)
+	}
+	if !f.Page.IsLeaf() {
+		// Splitting a nonleaf page is a nonleaf-level SMO: under the §5
+		// tree lock, upgrade IX→X first (no-op for the tree latch).
+		if err := ctx.hold.upgradeX(); err != nil {
+			ix.unfixLatched(f, latch.X)
+			return err
+		}
+	}
+	if err := ix.smoPageLock(tx, f.ID()); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	p := f.Page
+	isLeaf := p.IsLeaf()
+	n := p.NSlots()
+	m := splitPoint(p)
+
+	cells := pageCells(p)
+	var sep storage.Key
+	var newCells [][]byte
+	var newRightmost storage.PageID // for the new page (nonleaf)
+	var leftNewRightmost storage.PageID
+	if isLeaf {
+		k, err := storage.DecodeLeafCell(cells[m])
+		if err != nil {
+			return err
+		}
+		sep = ix.leafSeparator(k)
+		newCells = cells[m:]
+	} else {
+		hk, child, err := storage.DecodeNodeCell(cells[m])
+		if err != nil {
+			return err
+		}
+		sep = hk.Clone()
+		leftNewRightmost = child
+		newCells = cells[m+1:]
+		newRightmost = p.Rightmost()
+	}
+	oldNext := p.Next()
+	oldRightmost := p.Rightmost()
+	preFlags := p.Flags()
+
+	// Allocate and format the new right page.
+	newPid, err := space.Alloc(tx, ix.pool)
+	if err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	if err := ix.smoPageLock(tx, newPid); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	ctx.touch(newPid)
+	nf, err := ix.pool.Fix(newPid)
+	if err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	nf.Latch.Acquire(latch.X)
+	fp := formatPayload{
+		Index: ix.cfg.ID, Level: p.Level(), Flags: storage.FlagSMBit,
+		Rightmost: newRightmost, Cells: newCells,
+	}
+	if isLeaf {
+		fp.Prev, fp.Next = f.ID(), oldNext
+	}
+	if _, err := ix.applyLogged(tx, nf, wal.OpIdxFormat, fp.encode(), false, func() error {
+		nf.Page.Format(newPid, storage.PageTypeIndex, fp.Level)
+		nf.Page.SetFlags(fp.Flags)
+		nf.Page.SetPrev(fp.Prev)
+		nf.Page.SetNext(fp.Next)
+		nf.Page.SetRightmost(fp.Rightmost)
+		for i, c := range fp.Cells {
+			if err := nf.Page.InsertCellAt(i, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	ix.unfixLatched(nf, latch.X)
+
+	// Strip the moved cells off the left page (splits go right, §2.1).
+	ctx.touch(f.ID())
+	sl := splitLeftPayload{
+		Index: ix.cfg.ID, From: uint16(m),
+		PreFlags: preFlags, PostFlags: preFlags | storage.FlagSMBit,
+		OldNext: oldNext, NewNext: newPid,
+		OldRightmost: oldRightmost, NewRightmost: leftNewRightmost,
+		Moved: cells[m:],
+	}
+	if _, err := ix.applyLogged(tx, f, wal.OpIdxSplitLeft, sl.encode(), false, func() error {
+		for p.NSlots() > m {
+			if _, derr := p.DeleteCellAt(p.NSlots() - 1); derr != nil {
+				return derr
+			}
+		}
+		if isLeaf {
+			p.SetNext(newPid)
+		} else {
+			p.SetRightmost(leftNewRightmost)
+		}
+		p.SetFlags(sl.PostFlags)
+		return nil
+	}); err != nil {
+		return err
+	}
+	leftID := f.ID()
+	level := p.Level()
+	_ = n
+	ix.unfixLatched(f, latch.X)
+
+	// Back-chain the old right neighbor (leaves only).
+	if isLeaf && oldNext != storage.InvalidPageID {
+		if err := ix.chainFix(tx, ctx, oldNext, false, leftID, newPid); err != nil {
+			return err
+		}
+	}
+
+	// Propagate: post (sep, left) to the parent, splitting it if needed.
+	return ix.postSeparator(tx, ctx, sep, leftID, newPid, level)
+}
+
+// chainFix rewrites one sibling pointer under an X latch, setting SM_Bit.
+// It verifies the pointer still holds the expected old value: under
+// concurrent leaf SMOs (§5 IX mode) a neighbor may have been rewired
+// since this SMO read its headers, in which case the SMO must abort and
+// retry (errSMOConflict).
+func (ix *Index) chainFix(tx *txn.Tx, ctx *smoCtx, pid storage.PageID, nextField bool, old, new storage.PageID) error {
+	if err := ix.smoPageLock(tx, pid); err != nil {
+		return err
+	}
+	ctx.touch(pid)
+	f, err := ix.fixLatched(pid, latch.X)
+	if err != nil {
+		return err
+	}
+	defer ix.unfixLatched(f, latch.X)
+	current := f.Page.Prev()
+	if nextField {
+		current = f.Page.Next()
+	}
+	if current != old {
+		return errSMOConflict
+	}
+	pre := f.Page.Flags()
+	pl := chainFixPayload{
+		Index: ix.cfg.ID, NextField: nextField, Old: old, New: new,
+		PreFlags: pre, PostFlags: pre | storage.FlagSMBit,
+	}
+	_, err = ix.applyLogged(tx, f, wal.OpIdxChainFix, pl.encode(), false, func() error {
+		if nextField {
+			f.Page.SetNext(new)
+		} else {
+			f.Page.SetPrev(new)
+		}
+		f.Page.SetFlags(pl.PostFlags)
+		return nil
+	})
+	return err
+}
+
+// postSeparator installs (sep→left, right) into left's parent at
+// childLevel+1, splitting ancestors as required. The parent is located by
+// a fresh latch-coupled descent — valid because the tree latch serializes
+// SMOs, so nonleaf structure is stable except under our own hands.
+func (ix *Index) postSeparator(tx *txn.Tx, ctx *smoCtx, sep storage.Key, left, right storage.PageID, childLevel uint8) error {
+	sepCell := storage.EncodeNodeCell(sep, left)
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		parent, err := ix.parentOf(tx, sep, left, childLevel)
+		if err != nil {
+			return err
+		}
+		if !parent.Page.HasRoomFor(len(sepCell)) {
+			// Split the ancestor first, then retry the post.
+			if err := ix.splitLocked(tx, ctx, parent); err != nil { // consumes latch
+				return err
+			}
+			continue
+		}
+		if err := ix.smoPageLock(tx, parent.ID()); err != nil {
+			ix.unfixLatched(parent, latch.X)
+			return err
+		}
+		ctx.touch(parent.ID())
+		pos, atRightmost, err := nodeChildPos(parent.Page, left)
+		if err != nil {
+			ix.unfixLatched(parent, latch.X)
+			return err
+		}
+		if atRightmost {
+			pos = parent.Page.NSlots()
+		}
+		pre := parent.Page.Flags()
+		pl := splitParentPayload{
+			Index: ix.cfg.ID, Pos: uint16(pos), AtRightmost: atRightmost,
+			PreFlags: pre, PostFlags: pre | storage.FlagSMBit,
+			Right: right, SepCell: sepCell,
+		}
+		if _, err := ix.applyLogged(tx, parent, wal.OpIdxSplitParent, pl.encode(), false, func() error {
+			if err := parent.Page.InsertCellAt(pos, sepCell); err != nil {
+				return err
+			}
+			if atRightmost {
+				parent.Page.SetRightmost(right)
+			} else {
+				patchNodeChild(parent.Page, pos+1, right)
+			}
+			parent.Page.SetFlags(pl.PostFlags)
+			return nil
+		}); err != nil {
+			ix.unfixLatched(parent, latch.X)
+			return err
+		}
+		ix.unfixLatched(parent, latch.X)
+		return nil
+	}
+	return fmt.Errorf("core: separator post did not stabilize")
+}
+
+// parentOf descends from the root to the page at childLevel+1 whose
+// subtree contains probe, returning it X-latched. It verifies the page
+// really references child.
+func (ix *Index) parentOf(tx *txn.Tx, probe storage.Key, child storage.PageID, childLevel uint8) (*buffer.Frame, error) {
+	targetLevel := childLevel + 1
+	cur, err := ix.fixLatched(ix.root, latch.S)
+	if err != nil {
+		return nil, err
+	}
+	mode := latch.S
+	if cur.Page.Level() == targetLevel {
+		// Upgrade the root latch.
+		ix.unfixLatched(cur, mode)
+		cur, err = ix.fixLatched(ix.root, latch.X)
+		if err != nil {
+			return nil, err
+		}
+		mode = latch.X
+	}
+	for {
+		if cur.Page.Level() == targetLevel {
+			if _, _, err := nodeChildPos(cur.Page, child); err != nil {
+				ix.unfixLatched(cur, mode)
+				return nil, err
+			}
+			if mode != latch.X {
+				ix.unfixLatched(cur, mode)
+				return nil, fmt.Errorf("core: parent latch mode error")
+			}
+			return cur, nil
+		}
+		if cur.Page.IsLeaf() || cur.Page.Level() < targetLevel {
+			ix.unfixLatched(cur, mode)
+			return nil, fmt.Errorf("core: no ancestor at level %d for page %d", targetLevel, child)
+		}
+		next, _, err := nodeChildFor(cur.Page, probe)
+		if err != nil {
+			ix.unfixLatched(cur, mode)
+			return nil, err
+		}
+		nextMode := latch.S
+		if cur.Page.Level() == targetLevel+1 {
+			nextMode = latch.X
+		}
+		nf, err := ix.fixLatched(next, nextMode)
+		if err != nil {
+			ix.unfixLatched(cur, mode)
+			return nil, err
+		}
+		ix.unfixLatched(cur, mode)
+		cur, mode = nf, nextMode
+	}
+}
+
+// rootSplitLocked splits the root by redistributing its content into two
+// fresh children — the root page ID never changes (DESIGN.md §4). The
+// X latch on the root frame is consumed.
+func (ix *Index) rootSplitLocked(tx *txn.Tx, ctx *smoCtx, f *buffer.Frame) error {
+	// Restructuring the root is a nonleaf-level SMO (§5).
+	if err := ctx.hold.upgradeX(); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	p := f.Page
+	isLeaf := p.IsLeaf()
+	cells := pageCells(p)
+	m := splitPoint(p)
+	before := append([]byte(nil), p.Bytes()...)
+
+	var sep storage.Key
+	var leftCells, rightCells [][]byte
+	var leftRightmost, rightRightmost storage.PageID
+	if isLeaf {
+		k, err := storage.DecodeLeafCell(cells[m])
+		if err != nil {
+			ix.unfixLatched(f, latch.X)
+			return err
+		}
+		sep = ix.leafSeparator(k)
+		leftCells, rightCells = cells[:m], cells[m:]
+	} else {
+		hk, child, err := storage.DecodeNodeCell(cells[m])
+		if err != nil {
+			ix.unfixLatched(f, latch.X)
+			return err
+		}
+		sep = hk.Clone()
+		leftRightmost = child
+		rightRightmost = p.Rightmost()
+		leftCells, rightCells = cells[:m], cells[m+1:]
+	}
+
+	leftID, err := space.Alloc(tx, ix.pool)
+	if err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	rightID, err := space.Alloc(tx, ix.pool)
+	if err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	for _, pid := range []storage.PageID{ix.root, leftID, rightID} {
+		if err := ix.smoPageLock(tx, pid); err != nil {
+			ix.unfixLatched(f, latch.X)
+			return err
+		}
+	}
+	ctx.touch(leftID)
+	ctx.touch(rightID)
+	ctx.touch(ix.root)
+
+	format := func(pid storage.PageID, cells [][]byte, prev, next, rightmost storage.PageID) error {
+		nf, err := ix.pool.Fix(pid)
+		if err != nil {
+			return err
+		}
+		nf.Latch.Acquire(latch.X)
+		defer ix.unfixLatched(nf, latch.X)
+		fp := formatPayload{
+			Index: ix.cfg.ID, Level: p.Level(), Flags: storage.FlagSMBit,
+			Prev: prev, Next: next, Rightmost: rightmost, Cells: cells,
+		}
+		_, err = ix.applyLogged(tx, nf, wal.OpIdxFormat, fp.encode(), false, func() error {
+			nf.Page.Format(pid, storage.PageTypeIndex, fp.Level)
+			nf.Page.SetFlags(fp.Flags)
+			nf.Page.SetPrev(fp.Prev)
+			nf.Page.SetNext(fp.Next)
+			nf.Page.SetRightmost(fp.Rightmost)
+			for i, c := range fp.Cells {
+				if err := nf.Page.InsertCellAt(i, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return err
+	}
+	var lp, ln, rp, rn storage.PageID
+	if isLeaf {
+		lp, ln, rp, rn = 0, rightID, leftID, 0
+	}
+	if err := format(leftID, leftCells, lp, ln, leftRightmost); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	if err := format(rightID, rightCells, rp, rn, rightRightmost); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+
+	// Rewrite the root as a one-separator nonleaf over (left, right).
+	shadow := storage.NewPage(len(p.Bytes()))
+	shadow.Format(ix.root, storage.PageTypeIndex, p.Level()+1)
+	shadow.SetFlags(storage.FlagSMBit)
+	shadow.SetRightmost(rightID)
+	if err := shadow.InsertCellAt(0, storage.EncodeNodeCell(sep, leftID)); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	pl := replacePayload{Index: ix.cfg.ID, After: shadow.Bytes(), Before: before}
+	if _, err := ix.applyLogged(tx, f, wal.OpIdxReplacePage, pl.encode(), false, func() error {
+		copy(p.Bytes(), shadow.Bytes())
+		return nil
+	}); err != nil {
+		ix.unfixLatched(f, latch.X)
+		return err
+	}
+	ix.unfixLatched(f, latch.X)
+	return nil
+}
+
+// leafSeparator derives the high key posted to the parent when a leaf
+// splits: the first moved key. For a UNIQUE index its RID is zeroed: key
+// values are strictly increasing across a consistent unique leaf, so the
+// value-only separator still strictly exceeds everything left of it, and —
+// crucially — it can never partition one value's (past or future) instances
+// across subtrees. A full-key separator could: a separator (v, rid)
+// outlives the key it was derived from, and a later reincarnation of v
+// with a smaller RID would live LEFT of it while the uniqueness probe for
+// a larger-RID insert routes RIGHT of it, hiding the existing instance
+// from the §2.4 duplicate check.
+func (ix *Index) leafSeparator(firstMoved storage.Key) storage.Key {
+	if ix.cfg.Unique {
+		return storage.Key{Val: append([]byte(nil), firstMoved.Val...)}
+	}
+	return firstMoved.Clone()
+}
+
+// splitPoint picks the split index by accumulated cell bytes: the first
+// index where the lower half reaches half of the used cell space, clamped
+// to keep at least one cell on each side.
+func splitPoint(p *storage.Page) int {
+	n := p.NSlots()
+	total := 0
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		sizes[i] = len(p.MustCell(i)) + 2
+		total += sizes[i]
+	}
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += sizes[i]
+		if acc >= total/2 {
+			m := i + 1
+			if m >= n {
+				m = n - 1
+			}
+			if m < 1 {
+				m = 1
+			}
+			return m
+		}
+	}
+	return n / 2
+}
+
+// resetSMBits clears SM_Bit on every page the completed SMO touched
+// (Fig 8 marks this optional; doing it keeps later traversals from paying
+// instant tree-latch waits). Freed pages are skipped. Under the §5 IX
+// tree lock the sweep is skipped entirely: another SMO may hold a claim
+// on a shared page (e.g. the common parent), and its warning bit must
+// survive ours — lazy cleanup (Fig 6's instant-S path, which requires
+// full quiescence) clears stale bits instead.
+func (ix *Index) resetSMBits(tx *txn.Tx, ctx *smoCtx) {
+	if ctx.hold != nil && ctx.hold.lock && ctx.hold.lockMode == lock.IX {
+		return
+	}
+	for _, pid := range ctx.touched {
+		f, err := ix.pool.Fix(pid)
+		if err != nil {
+			continue
+		}
+		f.Latch.Acquire(latch.X)
+		if f.Page.Type() == storage.PageTypeIndex {
+			ix.resetBits(tx, f, false)
+		}
+		ix.unfixLatched(f, latch.X)
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"ariesim/internal/storage"
+)
+
+// TestThreeLevelTree grows the index to height >= 3 (nonleaf splits and a
+// nonleaf root split) and validates structure and content.
+func TestThreeLevelTree(t *testing.T) {
+	e := newEnv(t, 256, 1024) // tiny pages force a tall tree
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		e.mustInsert(tx, ix, key(i))
+		if i%300 == 299 {
+			e.commit(tx)
+			tx = e.tm.Begin()
+		}
+	}
+	e.commit(tx)
+	h, err := ix.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 3 {
+		t.Fatalf("height = %d, want >= 3", h)
+	}
+	e.checkTree(ix)
+	var want []storage.Key
+	for i := 0; i < n; i++ {
+		want = append(want, key(i))
+	}
+	e.expectKeys(ix, want)
+}
+
+// TestRootCollapse drains a multi-level tree completely: page deletions
+// propagate, the root collapses back toward a leaf, and the tree stays
+// correct and reusable at every stage.
+func TestRootCollapse(t *testing.T) {
+	e := newEnv(t, 256, 1024)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	const n = 1200
+	for i := 0; i < n; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	e.commit(tx)
+	h0, _ := ix.Height()
+	if h0 < 3 {
+		t.Fatalf("setup height = %d", h0)
+	}
+
+	del := e.tm.Begin()
+	for i := 0; i < n; i++ {
+		e.mustDelete(del, ix, key(i))
+		if i%400 == 399 {
+			e.commit(del)
+			e.checkTree(ix)
+			del = e.tm.Begin()
+		}
+	}
+	e.commit(del)
+	e.checkTree(ix)
+	e.expectKeys(ix, nil)
+	h1, _ := ix.Height()
+	if h1 != 1 {
+		t.Fatalf("drained tree height = %d, want 1 (root collapsed to a leaf)", h1)
+	}
+	// The collapsed tree is fully reusable.
+	re := e.tm.Begin()
+	for i := 0; i < 300; i++ {
+		e.mustInsert(re, ix, key(i))
+	}
+	e.commit(re)
+	e.checkTree(ix)
+	got, _ := ix.Dump()
+	if len(got) != 300 {
+		t.Fatalf("reuse holds %d keys", len(got))
+	}
+}
+
+// TestFreedPagesAreRecycled drains a region and verifies the FSM hands the
+// freed pages back to later splits (space management, §1's "efficient ...
+// storage management").
+func TestFreedPagesAreRecycled(t *testing.T) {
+	e := newEnv(t, 256, 1024)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	for i := 0; i < 800; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	e.commit(tx)
+	grown := e.disk.NumPages() + e.pool.NumBuffered() // rough page budget
+
+	del := e.tm.Begin()
+	for i := 0; i < 800; i++ {
+		e.mustDelete(del, ix, key(i))
+	}
+	e.commit(del)
+
+	// Refill with a DIFFERENT key range: allocations must reuse freed bits
+	// rather than growing the disk unboundedly.
+	re := e.tm.Begin()
+	for i := 2000; i < 2800; i++ {
+		e.mustInsert(re, ix, key(i))
+	}
+	e.commit(re)
+	e.checkTree(ix)
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Allow slack for variance, but an unbounded allocator would double.
+	if e.disk.NumPages() > grown*2 {
+		t.Fatalf("disk grew from ~%d to %d pages: freed pages not recycled", grown, e.disk.NumPages())
+	}
+}
+
+// TestBoundaryKeyDeleteHoldsPOSC verifies Fig 7's boundary rule: deleting
+// the smallest or largest key of a page passes through the tree-S POSC
+// (counted) and leaves Delete_Bit CLEAR, while a middle delete leaves it
+// SET.
+func TestBoundaryKeyDeleteHoldsPOSC(t *testing.T) {
+	e := newEnv(t, 512, 64)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	for i := 0; i < 15; i++ {
+		e.mustInsert(tx, ix, key(i))
+	}
+	e.commit(tx)
+	// Everything fits on one leaf (the root): key(0) is its smallest.
+	leaf, _, err := ix.LeafOf(key(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mid := e.tm.Begin()
+	e.mustDelete(mid, ix, key(7)) // middle key
+	e.commit(mid)
+	f, _ := ix.fixLatched(leaf, 0) // latch.S == 0
+	db := f.Page.DeleteBit()
+	ix.unfixLatched(f, 0)
+	if !db {
+		t.Fatal("middle delete did not set Delete_Bit")
+	}
+
+	poscBefore := e.stats.DeleteBitPOSCs.Load()
+	bdry := e.tm.Begin()
+	e.mustDelete(bdry, ix, key(0)) // boundary (smallest) key
+	e.commit(bdry)
+	if e.stats.DeleteBitPOSCs.Load() == poscBefore {
+		t.Fatal("boundary delete did not establish a POSC")
+	}
+	f2, _ := ix.fixLatched(leaf, 0)
+	db2 := f2.Page.DeleteBit()
+	ix.unfixLatched(f2, 0)
+	if db2 {
+		t.Fatal("boundary delete under tree-S left Delete_Bit set")
+	}
+}
+
+// TestDuplicateValuesSpanningLeaves checks nonunique-index behavior when
+// one value's instances cross page boundaries: ordering by RID holds and
+// the unique check in a parallel unique index still works.
+func TestDuplicateValuesSpanningLeaves(t *testing.T) {
+	e := newEnv(t, 256, 256)
+	ix := e.createIndex(Config{ID: 1})
+	tx := e.tm.Begin()
+	const dups = 200 // far more than one 256-byte leaf holds
+	for i := 0; i < dups; i++ {
+		e.mustInsert(tx, ix, storage.Key{Val: []byte("samesame"), RID: storage.RID{Page: storage.PageID(100 + i), Slot: 1}})
+	}
+	e.commit(tx)
+	e.checkTree(ix)
+	got, err := ix.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != dups {
+		t.Fatalf("%d duplicates stored", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("duplicates out of RID order")
+		}
+	}
+	// A range scan sees every instance exactly once.
+	r := e.tm.Begin()
+	res, cur, err := ix.Fetch(r, []byte("samesame"), GE)
+	if err != nil || !res.Found {
+		t.Fatal(err)
+	}
+	count := 1
+	for {
+		res, err = ix.FetchNext(r, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EOF {
+			break
+		}
+		count++
+	}
+	if count != dups {
+		t.Fatalf("scan saw %d instances", count)
+	}
+	e.commit(r)
+}
+
+// TestUniqueSeparatorsAreValueOnly is the regression test for a uniqueness
+// hole the crash-torture harness found: in a unique index, a leaf split
+// must promote a VALUE-ONLY separator (RID zeroed). A full-key separator
+// outlives its source key, and a later reincarnation of the value with a
+// smaller RID then lives LEFT of the separator while the §2.4 duplicate
+// probe for a larger-RID insert routes RIGHT of it — admitting a duplicate.
+func TestUniqueSeparatorsAreValueOnly(t *testing.T) {
+	e := newEnv(t, 512, 128)
+	ix := e.createIndex(Config{ID: 1, Unique: true})
+	tx := e.tm.Begin()
+	for i := 0; i < 200; i++ {
+		// Large, varied RIDs so a full-key separator would be visible.
+		e.mustInsert(tx, ix, storage.Key{
+			Val: key(i).Val,
+			RID: storage.RID{Page: storage.PageID(5000 + i*13), Slot: uint16(i % 90)},
+		})
+	}
+	e.commit(tx)
+	if h, _ := ix.Height(); h < 2 {
+		t.Fatal("no splits occurred")
+	}
+	// Walk every nonleaf page: every separator must carry a nil RID.
+	var walk func(pid storage.PageID) error
+	walk = func(pid storage.PageID) error {
+		f, err := ix.fixLatched(pid, 0)
+		if err != nil {
+			return err
+		}
+		defer ix.unfixLatched(f, 0)
+		if f.Page.IsLeaf() {
+			return nil
+		}
+		for i := 0; i < f.Page.NSlots(); i++ {
+			hk, child, err := storage.DecodeNodeCell(f.Page.MustCell(i))
+			if err != nil {
+				return err
+			}
+			if hk.RID != storage.NilRID {
+				t.Errorf("nonleaf %d separator %d carries RID %v (must be value-only in a unique index)", pid, i, hk.RID)
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return walk(f.Page.Rightmost())
+	}
+	if err := walk(ix.Root()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scenario end to end: delete a value, reincarnate it with a
+	// SMALLER RID, then try a larger-RID duplicate — must be rejected.
+	mutate := e.tm.Begin()
+	victim := storage.Key{Val: key(100).Val, RID: storage.RID{Page: storage.PageID(5000 + 100*13), Slot: uint16(100 % 90)}}
+	e.lockRecord(mutate, ix, victim)
+	e.mustDelete(mutate, ix, victim)
+	reborn := storage.Key{Val: key(100).Val, RID: storage.RID{Page: 3, Slot: 1}}
+	e.lockRecord(mutate, ix, reborn)
+	e.mustInsert(mutate, ix, reborn)
+	e.commit(mutate)
+
+	dupTx := e.tm.Begin()
+	dup := storage.Key{Val: key(100).Val, RID: storage.RID{Page: 999999, Slot: 1}}
+	err := ix.Insert(dupTx, dup)
+	if err == nil {
+		t.Fatal("duplicate value admitted into a unique index")
+	}
+	_ = dupTx.Rollback()
+	e.checkTree(ix)
+}

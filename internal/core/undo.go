@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesim/internal/latch"
+	"ariesim/internal/space"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// Undo compensates one index-manager (or FSM) log record on behalf of tx.
+//
+// Key inserts and deletes are undone page-oriented whenever possible: the
+// page named in the record is checked against its current state, and only
+// when the paper's four conditions demand it (§3 "Restart Undo
+// Considerations") does the undo retraverse the tree from the root —
+// writing the compensation as a CLR either way, with any SMO needed along
+// the way logged as regular records inside a nested top action.
+//
+// SMO records themselves (formats, splits, chain fixes, parent posts,
+// frees) are only ever undone when the SMO was interrupted; their undo is
+// strictly page-oriented, restoring structural consistency.
+func (m *Manager) Undo(tx *txn.Tx, rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpFSMAlloc, wal.OpFSMFree:
+		return space.Undo(tx, m.pool, rec)
+	}
+	id, err := indexIDOf(rec.Payload)
+	if err != nil {
+		return err
+	}
+	ix := m.Lookup(id)
+	if ix == nil {
+		return fmt.Errorf("core: undo for unregistered index %d (op %s)", id, rec.Op)
+	}
+	switch rec.Op {
+	case wal.OpIdxInsertKey:
+		return ix.undoInsert(tx, rec)
+	case wal.OpIdxDeleteKey:
+		return ix.undoDelete(tx, rec)
+	case wal.OpIdxFormat:
+		// The formatted page reverts to a free shell; its FSM bit is
+		// released by the allocation record's own undo.
+		return ix.undoSMORecord(tx, rec, wal.OpIdxFreePage,
+			freePagePayload{Index: ix.cfg.ID}.encode())
+	case wal.OpIdxSplitLeft:
+		return ix.undoSMORecord(tx, rec, wal.OpIdxUnsplitLeft, rec.Payload)
+	case wal.OpIdxChainFix:
+		pl, err := decodeChainFix(rec.Payload)
+		if err != nil {
+			return err
+		}
+		inv := chainFixPayload{Index: pl.Index, NextField: pl.NextField,
+			Old: pl.New, New: pl.Old, PreFlags: pl.PostFlags, PostFlags: pl.PreFlags}
+		return ix.undoSMORecord(tx, rec, wal.OpIdxChainFix, inv.encode())
+	case wal.OpIdxSplitParent:
+		return ix.undoSMORecord(tx, rec, wal.OpIdxUnsplitParent, rec.Payload)
+	case wal.OpIdxDeleteChild:
+		return ix.undoSMORecord(tx, rec, wal.OpIdxUndeleteChild, rec.Payload)
+	case wal.OpIdxReplacePage:
+		pl, err := decodeReplace(rec.Payload)
+		if err != nil {
+			return err
+		}
+		inv := replacePayload{Index: pl.Index, After: pl.Before}
+		return ix.undoSMORecord(tx, rec, wal.OpIdxReplacePage, inv.encode())
+	case wal.OpIdxFreePage:
+		return ix.undoSMORecord(tx, rec, wal.OpIdxUnfreePage, rec.Payload)
+	default:
+		return fmt.Errorf("core: cannot undo op %s", rec.Op)
+	}
+}
+
+// undoSMORecord performs a page-oriented compensation: it logs a CLR whose
+// op is the inverse page action and applies it through the shared redo
+// path.
+func (ix *Index) undoSMORecord(tx *txn.Tx, rec *wal.Record, invOp wal.OpCode, invPayload []byte) error {
+	f, err := ix.pool.Fix(rec.Page)
+	if err != nil {
+		return err
+	}
+	defer ix.pool.Unfix(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+	if ix.stats != nil {
+		ix.stats.UndoPageOriented.Add(1)
+	}
+	ix.applyCLR(tx, f, invOp, invPayload, rec.PrevLSN, func() error {
+		return ApplyRedo(f.Page, &wal.Record{Op: invOp, Page: rec.Page, Payload: invPayload})
+	})
+	return nil
+}
+
+// undoInsert removes a key the transaction inserted. Page-oriented when
+// the key is still on the original page and removing it leaves the page
+// nonempty; logical otherwise (§3 reasons 2 and 4).
+func (ix *Index) undoInsert(tx *txn.Tx, rec *wal.Record) error {
+	pl, err := decodeKeyOp(rec.Payload)
+	if err != nil {
+		return err
+	}
+	key, err := storage.DecodeLeafCell(pl.Cell)
+	if err != nil {
+		return err
+	}
+	key = key.Clone()
+
+	// Page-oriented attempt against the original page.
+	f, err := ix.pool.Fix(rec.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Acquire(latch.X)
+	if f.Page.Type() == storage.PageTypeIndex && f.Page.IsLeaf() {
+		pos, perr := leafLowerBound(f.Page, key)
+		if perr != nil {
+			ix.unfixLatched(f, latch.X)
+			return perr
+		}
+		if pos < f.Page.NSlots() {
+			k, kerr := leafKeyAt(f.Page, pos)
+			if kerr != nil {
+				ix.unfixLatched(f, latch.X)
+				return kerr
+			}
+			if k.Compare(key) == 0 && (f.Page.NSlots() > 1 || rec.Page == ix.root) {
+				if ix.stats != nil {
+					ix.stats.UndoPageOriented.Add(1)
+				}
+				flags := f.Page.Flags()
+				cpl := keyOpPayload{Index: ix.cfg.ID, Pos: uint16(pos),
+					PreFlags: flags, PostFlags: flags, Cell: pl.Cell}
+				ix.applyCLR(tx, f, wal.OpIdxDeleteKey, cpl.encode(), rec.PrevLSN, func() error {
+					_, derr := f.Page.DeleteCellAt(pos)
+					return derr
+				})
+				ix.unfixLatched(f, latch.X)
+				return nil
+			}
+		}
+	}
+	ix.unfixLatched(f, latch.X)
+
+	// Logical undo: retraverse from the root (Fig 1).
+	if ix.stats != nil {
+		ix.stats.UndoLogical.Add(1)
+	}
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		leaf, err := ix.traverse(tx, key, true)
+		if err != nil {
+			return err
+		}
+		done, err := ix.awaitLeafQuiescent(tx, leaf, false)
+		if err != nil {
+			return err
+		}
+		if !done {
+			continue
+		}
+		pos, err := leafLowerBound(leaf.Page, key)
+		if err != nil {
+			ix.unfixLatched(leaf, latch.X)
+			return err
+		}
+		if pos >= leaf.Page.NSlots() {
+			ix.unfixLatched(leaf, latch.X)
+			return fmt.Errorf("core: undo-insert cannot find key %s", key)
+		}
+		k, err := leafKeyAt(leaf.Page, pos)
+		if err != nil || k.Compare(key) != 0 {
+			ix.unfixLatched(leaf, latch.X)
+			if err == nil {
+				err = fmt.Errorf("core: undo-insert cannot find key %s", key)
+			}
+			return err
+		}
+		if leaf.Page.NSlots() == 1 && leaf.ID() != ix.root {
+			// Removing the key empties the page: page-deletion SMO (§3
+			// reason 4), key-delete CLR first, SMO as regular records.
+			leafID := leaf.ID()
+			ix.unfixLatched(leaf, latch.X)
+			finished, err := ix.deleteEmptyingLeaf(tx, leafID, key, rec)
+			if err != nil {
+				if errors.Is(err, errSMOConflict) {
+					continue
+				}
+				return err
+			}
+			if finished {
+				return nil
+			}
+			continue
+		}
+		flags := leaf.Page.Flags()
+		cpl := keyOpPayload{Index: ix.cfg.ID, Pos: uint16(pos), PreFlags: flags, PostFlags: flags, Cell: pl.Cell}
+		ix.applyCLR(tx, leaf, wal.OpIdxDeleteKey, cpl.encode(), rec.PrevLSN, func() error {
+			_, derr := leaf.Page.DeleteCellAt(pos)
+			return derr
+		})
+		ix.unfixLatched(leaf, latch.X)
+		return nil
+	}
+	return fmt.Errorf("core: undo-insert did not stabilize")
+}
+
+// undoDelete reinserts a key the transaction deleted. Page-oriented when
+// the original page is still a leaf, the key is bound on it (a lower and
+// a higher key present — or it is the root leaf), and there is room;
+// logical otherwise (§3 reasons 1, 2 and 3), splitting with regular
+// records if the freed space was consumed.
+func (ix *Index) undoDelete(tx *txn.Tx, rec *wal.Record) error {
+	pl, err := decodeKeyOp(rec.Payload)
+	if err != nil {
+		return err
+	}
+	key, err := storage.DecodeLeafCell(pl.Cell)
+	if err != nil {
+		return err
+	}
+	key = key.Clone()
+
+	f, err := ix.pool.Fix(rec.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Acquire(latch.X)
+	if f.Page.Type() == storage.PageTypeIndex && f.Page.IsLeaf() {
+		pos, perr := leafLowerBound(f.Page, key)
+		if perr != nil {
+			ix.unfixLatched(f, latch.X)
+			return perr
+		}
+		bound := pos > 0 && pos < f.Page.NSlots()
+		if (bound || rec.Page == ix.root) && f.Page.HasRoomFor(len(pl.Cell)) {
+			if ix.stats != nil {
+				ix.stats.UndoPageOriented.Add(1)
+			}
+			flags := f.Page.Flags()
+			cpl := keyOpPayload{Index: ix.cfg.ID, Pos: uint16(pos), PreFlags: flags, PostFlags: flags, Cell: pl.Cell}
+			ix.applyCLR(tx, f, wal.OpIdxInsertKey, cpl.encode(), rec.PrevLSN, func() error {
+				return f.Page.InsertCellAt(pos, pl.Cell)
+			})
+			ix.unfixLatched(f, latch.X)
+			return nil
+		}
+	}
+	ix.unfixLatched(f, latch.X)
+
+	// Logical undo through the root.
+	if ix.stats != nil {
+		ix.stats.UndoLogical.Add(1)
+	}
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		leaf, err := ix.traverse(tx, key, true)
+		if err != nil {
+			return err
+		}
+		done, err := ix.awaitLeafQuiescent(tx, leaf, true)
+		if err != nil {
+			return err
+		}
+		if !done {
+			continue
+		}
+		if !leaf.Page.HasRoomFor(len(pl.Cell)) {
+			// Freed space was consumed (§3 reason 1): split with regular
+			// records inside an NTA, then retry the reinsertion.
+			leafID := leaf.ID()
+			ix.unfixLatched(leaf, latch.X)
+			if err := ix.SplitForInsert(tx, leafID, len(pl.Cell)); err != nil {
+				if !errors.Is(err, errSMOConflict) {
+					return err
+				}
+			}
+			continue
+		}
+		pos, err := leafLowerBound(leaf.Page, key)
+		if err != nil {
+			ix.unfixLatched(leaf, latch.X)
+			return err
+		}
+		if pos < leaf.Page.NSlots() {
+			if k, kerr := leafKeyAt(leaf.Page, pos); kerr == nil && k.Compare(key) == 0 {
+				ix.unfixLatched(leaf, latch.X)
+				return fmt.Errorf("core: undo-delete found key %s already present", key)
+			}
+		}
+		flags := leaf.Page.Flags()
+		cpl := keyOpPayload{Index: ix.cfg.ID, Pos: uint16(pos), PreFlags: flags, PostFlags: flags, Cell: pl.Cell}
+		ix.applyCLR(tx, leaf, wal.OpIdxInsertKey, cpl.encode(), rec.PrevLSN, func() error {
+			return leaf.Page.InsertCellAt(pos, pl.Cell)
+		})
+		ix.unfixLatched(leaf, latch.X)
+		return nil
+	}
+	return fmt.Errorf("core: undo-delete did not stabilize")
+}

@@ -1,0 +1,507 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/latch"
+	"ariesim/internal/lock"
+	"ariesim/internal/space"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// ErrNotFound reports a fetch or delete of a RID that holds no live record.
+var ErrNotFound = errors.New("data: record not found")
+
+// Manager is the record manager. One Manager serves every table of an
+// engine; tables are thin handles over their page chains.
+type Manager struct {
+	pool  *buffer.Pool
+	gran  lock.Granularity
+	stats *trace.Stats
+}
+
+// NewManager creates a record manager over pool using the given lock
+// granularity for record locks.
+func NewManager(pool *buffer.Pool, gran lock.Granularity, stats *trace.Stats) *Manager {
+	return &Manager{pool: pool, gran: gran, stats: stats}
+}
+
+// Granularity returns the data lock granularity in force.
+func (m *Manager) Granularity() lock.Granularity { return m.gran }
+
+// LockName names the data lock protecting rid — the same name ARIES/IM's
+// index manager uses as the key lock under data-only locking.
+func (m *Manager) LockName(rid storage.RID) lock.Name {
+	return lock.DataLockName(m.gran, uint64(rid.Page), rid.Slot)
+}
+
+// Table is a handle on one table's data page chain.
+type Table struct {
+	ID        uint64
+	FirstPage storage.PageID
+	m         *Manager
+
+	mu   sync.Mutex
+	hint storage.PageID // last page known to have had room
+}
+
+// CreateTable allocates and formats the first data page of a new table
+// within tx. The caller persists (ID, FirstPage) in its catalog.
+func (m *Manager) CreateTable(tx *txn.Tx, id uint64) (*Table, error) {
+	pid, err := space.Alloc(tx, m.pool)
+	if err != nil {
+		return nil, err
+	}
+	f, err := m.pool.Fix(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer m.pool.Unfix(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+	lsn := tx.LogUpdate(pid, wal.OpDataFormat, formatPayload{}.encode(), false)
+	f.Page.Format(pid, storage.PageTypeData, 0)
+	f.Page.SetLSN(uint64(lsn))
+	m.pool.MarkDirty(f, lsn)
+	return &Table{ID: id, FirstPage: pid, m: m, hint: pid}, nil
+}
+
+// OpenTable rebinds a handle to an existing table (after restart).
+func (m *Manager) OpenTable(id uint64, firstPage storage.PageID) *Table {
+	return &Table{ID: id, FirstPage: firstPage, m: m, hint: firstPage}
+}
+
+func (t *Table) intentLock(tx *txn.Tx, mode lock.Mode) error {
+	return tx.Lock(lock.TableName(t.ID), mode, lock.Commit, false)
+}
+
+// Insert stores rec and returns its RID, holding a commit-duration X lock
+// on it. Under data-only locking this lock doubles as the lock on every
+// index key that will reference the record.
+func (t *Table) Insert(tx *txn.Tx, rec []byte) (storage.RID, error) {
+	if err := t.intentLock(tx, lock.IX); err != nil {
+		return storage.RID{}, err
+	}
+	if 1+len(rec) > storage.PageCapacity(t.m.pool.PageSize()) {
+		return storage.RID{}, fmt.Errorf("data: record of %d bytes exceeds page capacity", len(rec))
+	}
+	t.mu.Lock()
+	start := t.hint
+	t.mu.Unlock()
+
+	tryRun := func(from, until storage.PageID) (storage.RID, storage.PageID, error) {
+		pid := from
+		last := pid
+		for pid != storage.InvalidPageID && pid != until {
+			rid, next, err := t.tryInsertOn(tx, pid, rec)
+			if err != nil || rid != (storage.RID{}) {
+				return rid, pid, err
+			}
+			last = pid
+			pid = next
+		}
+		return storage.RID{}, last, nil
+	}
+
+	// Phase 1: from the hint to the end of the chain.
+	rid, tail, err := tryRun(start, storage.InvalidPageID)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	// Phase 2: wrap to the head in case earlier pages regained space
+	// (purged ghosts).
+	if rid == (storage.RID{}) && start != t.FirstPage {
+		rid, _, err = tryRun(t.FirstPage, start)
+		if err != nil {
+			return storage.RID{}, err
+		}
+	}
+	// Phase 3: extend the table with fresh pages inside nested top
+	// actions, so each page survives even if tx later rolls back (other
+	// transactions may have inserted into it meanwhile).
+	for attempt := 0; rid == (storage.RID{}); attempt++ {
+		if attempt > 1_000_000 {
+			return storage.RID{}, errors.New("data: insert livelock")
+		}
+		newPid, err := t.extend(tx, tail)
+		if err != nil {
+			return storage.RID{}, err
+		}
+		rid, tail, err = tryRun(newPid, storage.InvalidPageID)
+		if err != nil {
+			return storage.RID{}, err
+		}
+	}
+	t.mu.Lock()
+	t.hint = rid.Page
+	t.mu.Unlock()
+	return rid, nil
+}
+
+// tryInsertOn attempts the insert on page pid. It returns the RID on
+// success; a zero RID with next set means "advance to next page"; a zero
+// RID with next == InvalidPageID means the chain ended.
+func (t *Table) tryInsertOn(tx *txn.Tx, pid storage.PageID, rec []byte) (storage.RID, storage.PageID, error) {
+	cell := wrapRecord(rec)
+	for {
+		f, err := t.m.pool.Fix(pid)
+		if err != nil {
+			return storage.RID{}, 0, err
+		}
+		f.Latch.Acquire(latch.X)
+		if !f.Page.HasRoomFor(len(cell)) {
+			t.purgeGhosts(tx, f)
+		}
+		if !f.Page.HasRoomFor(len(cell)) {
+			next := f.Page.Next()
+			f.Latch.Release(latch.X)
+			t.m.pool.Unfix(f)
+			return storage.RID{}, next, nil
+		}
+		slot := t.freeSlot(f.Page)
+		rid := storage.RID{Page: pid, Slot: slot}
+		name := t.m.LockName(rid)
+		// Lock the new record conditionally while holding the latch; on
+		// denial (a rare reused slot whose old lock lingers), fall back to
+		// the unconditional protocol: unlatch, wait, revalidate.
+		if err := tx.Lock(name, lock.X, lock.Commit, true); err != nil {
+			f.Latch.Release(latch.X)
+			t.m.pool.Unfix(f)
+			if err := tx.Lock(name, lock.X, lock.Commit, false); err != nil {
+				return storage.RID{}, 0, err
+			}
+			// Revalidate from scratch; the page may have changed shape.
+			continue
+		}
+		lsn := tx.LogUpdate(pid, wal.OpDataInsert, insertPayload{Slot: slot, Record: rec}.encode(), false)
+		if err := f.Page.AddCellAt(slot, cell); err != nil {
+			f.Latch.Release(latch.X)
+			t.m.pool.Unfix(f)
+			return storage.RID{}, 0, fmt.Errorf("data: insert apply on page %d slot %d: %w", pid, slot, err)
+		}
+		f.Page.SetLSN(uint64(lsn))
+		t.m.pool.MarkDirty(f, lsn)
+		f.Latch.Release(latch.X)
+		t.m.pool.Unfix(f)
+		return rid, 0, nil
+	}
+}
+
+// freeSlot picks the insertion slot: the first freed stable slot, or a new
+// one at the end of the directory.
+func (t *Table) freeSlot(p *storage.Page) uint16 {
+	n := p.NSlots()
+	for i := 0; i < n; i++ {
+		if _, ok := p.Cell(i); !ok {
+			return uint16(i)
+		}
+	}
+	return uint16(n)
+}
+
+// purgeGhosts physically removes ghost records whose locks are free — the
+// deleter committed, so the space is reclaimable. Purges are logged
+// redo-only: they are never undone.
+func (t *Table) purgeGhosts(tx *txn.Tx, f *buffer.Frame) {
+	for i := 0; i < f.Page.NSlots(); i++ {
+		cell, ok := f.Page.Cell(i)
+		if !ok {
+			continue
+		}
+		ghost, _ := unwrapCell(cell)
+		if !ghost {
+			continue
+		}
+		rid := storage.RID{Page: f.ID(), Slot: uint16(i)}
+		name := t.m.LockName(rid)
+		// Skip our own uncommitted deletes.
+		if tx.HoldsLock(name) {
+			continue
+		}
+		// An instant conditional X grant proves no one holds the lock.
+		if err := tx.Lock(name, lock.X, lock.Instant, true); err != nil {
+			continue
+		}
+		lsn := tx.LogUpdate(f.ID(), wal.OpDataPurge, purgePayload{Slot: uint16(i)}.encode(), true)
+		if _, err := f.Page.RemoveCell(uint16(i)); err != nil {
+			panic(fmt.Sprintf("data: purge of verified ghost failed: %v", err))
+		}
+		f.Page.SetLSN(uint64(lsn))
+		t.m.pool.MarkDirty(f, lsn)
+	}
+}
+
+// extend appends a fresh data page after tail inside a nested top action.
+func (t *Table) extend(tx *txn.Tx, tail storage.PageID) (storage.PageID, error) {
+	tok := tx.BeginNTA()
+	pid, err := space.Alloc(tx, t.m.pool)
+	if err != nil {
+		return 0, err
+	}
+	nf, err := t.m.pool.Fix(pid)
+	if err != nil {
+		return 0, err
+	}
+	nf.Latch.Acquire(latch.X)
+	lsn := tx.LogUpdate(pid, wal.OpDataFormat, formatPayload{Prev: tail}.encode(), false)
+	nf.Page.Format(pid, storage.PageTypeData, 0)
+	nf.Page.SetPrev(tail)
+	nf.Page.SetLSN(uint64(lsn))
+	t.m.pool.MarkDirty(nf, lsn)
+	nf.Latch.Release(latch.X)
+	t.m.pool.Unfix(nf)
+
+	tf, err := t.m.pool.Fix(tail)
+	if err != nil {
+		return 0, err
+	}
+	tf.Latch.Acquire(latch.X)
+	if tf.Page.Next() != storage.InvalidPageID {
+		// Another transaction extended concurrently; free ours and use theirs.
+		next := tf.Page.Next()
+		tf.Latch.Release(latch.X)
+		t.m.pool.Unfix(tf)
+		if err := space.Free(tx, t.m.pool, pid); err != nil {
+			return 0, err
+		}
+		tx.EndNTA(tok)
+		return next, nil
+	}
+	lsn = tx.LogUpdate(tail, wal.OpDataChainFix,
+		chainFixPayload{Next: true, Old: storage.InvalidPageID, New: pid}.encode(), false)
+	tf.Page.SetNext(pid)
+	tf.Page.SetLSN(uint64(lsn))
+	t.m.pool.MarkDirty(tf, lsn)
+	tf.Latch.Release(latch.X)
+	t.m.pool.Unfix(tf)
+	tx.EndNTA(tok)
+	return pid, nil
+}
+
+// Delete ghosts the record at rid. If locked is false the record X lock is
+// acquired here; the index manager passes true when the lock is already
+// held (data-only locking acquires it once per record operation).
+func (t *Table) Delete(tx *txn.Tx, rid storage.RID, locked bool) error {
+	if err := t.intentLock(tx, lock.IX); err != nil {
+		return err
+	}
+	if !locked {
+		if err := tx.Lock(t.m.LockName(rid), lock.X, lock.Commit, false); err != nil {
+			return err
+		}
+	}
+	f, err := t.m.pool.Fix(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer t.m.pool.Unfix(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+	cell, ok := f.Page.Cell(int(rid.Slot))
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	ghost, rec := unwrapCell(cell)
+	if ghost {
+		return fmt.Errorf("%w: %s (already deleted)", ErrNotFound, rid)
+	}
+	recCopy := append([]byte(nil), rec...)
+	lsn := tx.LogUpdate(rid.Page, wal.OpDataDelete, deletePayload{Slot: rid.Slot, Record: recCopy}.encode(), false)
+	cell[0] |= cellGhost
+	f.Page.SetLSN(uint64(lsn))
+	t.m.pool.MarkDirty(f, lsn)
+	return nil
+}
+
+// Fetch returns the record at rid. With lockIt the caller gets a
+// commit-duration S lock first (standalone reads); the index fetch path
+// passes false because ARIES/IM's index manager has already locked the key
+// (= the record) during the index access (paper §2.1).
+func (t *Table) Fetch(tx *txn.Tx, rid storage.RID, lockIt bool) ([]byte, error) {
+	if err := t.intentLock(tx, lock.IS); err != nil {
+		return nil, err
+	}
+	if lockIt {
+		if err := tx.Lock(t.m.LockName(rid), lock.S, lock.Commit, false); err != nil {
+			return nil, err
+		}
+	}
+	f, err := t.m.pool.Fix(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer t.m.pool.Unfix(f)
+	f.Latch.Acquire(latch.S)
+	defer f.Latch.Release(latch.S)
+	cell, ok := f.Page.Cell(int(rid.Slot))
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	ghost, rec := unwrapCell(cell)
+	if ghost {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// ScanAll returns every live record in the table, bypassing locking: the
+// verification sweep used by tests and the crash tool on a quiesced engine.
+func (t *Table) ScanAll() (map[storage.RID][]byte, error) {
+	out := make(map[storage.RID][]byte)
+	pid := t.FirstPage
+	for pid != storage.InvalidPageID {
+		f, err := t.m.pool.Fix(pid)
+		if err != nil {
+			return nil, err
+		}
+		f.Latch.Acquire(latch.S)
+		for i := 0; i < f.Page.NSlots(); i++ {
+			cell, ok := f.Page.Cell(i)
+			if !ok {
+				continue
+			}
+			if ghost, rec := unwrapCell(cell); !ghost {
+				out[storage.RID{Page: pid, Slot: uint16(i)}] = append([]byte(nil), rec...)
+			}
+		}
+		next := f.Page.Next()
+		f.Latch.Release(latch.S)
+		t.m.pool.Unfix(f)
+		pid = next
+	}
+	return out, nil
+}
+
+// ApplyRedo reapplies a data-manager log record to the page during the
+// redo pass. The caller holds the page exclusively and has already decided
+// by LSN comparison that the record is missing from the page.
+func ApplyRedo(p *storage.Page, rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpDataFormat:
+		pl, err := decodeFormatPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		p.Format(rec.Page, storage.PageTypeData, 0)
+		p.SetPrev(pl.Prev)
+		p.SetNext(pl.Next)
+		return nil
+	case wal.OpDataInsert:
+		pl, err := decodeInsertPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if cell, ok := p.Cell(int(pl.Slot)); ok {
+			// Reviving a ghost (CLR of a delete).
+			cell[0] &^= cellGhost
+			return nil
+		}
+		return p.AddCellAt(pl.Slot, wrapRecord(pl.Record))
+	case wal.OpDataDelete:
+		pl, err := decodeInsertPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		cell, ok := p.Cell(int(pl.Slot))
+		if !ok {
+			return fmt.Errorf("data: redo delete of missing slot %d on page %d", pl.Slot, rec.Page)
+		}
+		cell[0] |= cellGhost
+		return nil
+	case wal.OpDataPurge:
+		pl, err := decodePurgePayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_, err = p.RemoveCell(pl.Slot)
+		return err
+	case wal.OpDataChainFix:
+		pl, err := decodeChainFixPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if pl.Next {
+			p.SetNext(pl.New)
+		} else {
+			p.SetPrev(pl.New)
+		}
+		return nil
+	case wal.OpDataFree:
+		p.Format(rec.Page, storage.PageTypeFree, 0)
+		return nil
+	default:
+		return fmt.Errorf("data: not a data op: %s", rec.Op)
+	}
+}
+
+// Undo compensates one data-manager record during rollback. Data undos are
+// always page-oriented: ghosting guarantees the space and slot survive.
+func (m *Manager) Undo(tx *txn.Tx, rec *wal.Record) error {
+	f, err := m.pool.Fix(rec.Page)
+	if err != nil {
+		return err
+	}
+	defer m.pool.Unfix(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+
+	switch rec.Op {
+	case wal.OpDataInsert:
+		pl, err := decodeInsertPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		lsn := tx.LogCLR(rec.Page, wal.OpDataPurge, purgePayload{Slot: pl.Slot}.encode(), rec.PrevLSN)
+		if _, err := f.Page.RemoveCell(pl.Slot); err != nil {
+			return fmt.Errorf("data: undo insert: %w", err)
+		}
+		f.Page.SetLSN(uint64(lsn))
+		m.pool.MarkDirty(f, lsn)
+		return nil
+	case wal.OpDataDelete:
+		pl, err := decodeInsertPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		cell, ok := f.Page.Cell(int(pl.Slot))
+		if !ok {
+			return fmt.Errorf("data: undo delete: slot %d gone from page %d", pl.Slot, rec.Page)
+		}
+		lsn := tx.LogCLR(rec.Page, wal.OpDataInsert, insertPayload{Slot: pl.Slot, Record: pl.Record}.encode(), rec.PrevLSN)
+		cell[0] &^= cellGhost
+		f.Page.SetLSN(uint64(lsn))
+		m.pool.MarkDirty(f, lsn)
+		return nil
+	case wal.OpDataFormat:
+		// Undoing a table-extension format: the page reverts to a free
+		// shell; the FSM undo (a separate record) releases its bit.
+		lsn := tx.LogCLR(rec.Page, wal.OpDataFree, nil, rec.PrevLSN)
+		f.Page.Format(rec.Page, storage.PageTypeFree, 0)
+		f.Page.SetLSN(uint64(lsn))
+		m.pool.MarkDirty(f, lsn)
+		return nil
+	case wal.OpDataChainFix:
+		pl, err := decodeChainFixPayload(rec.Payload)
+		if err != nil {
+			return err
+		}
+		inv := chainFixPayload{Next: pl.Next, Old: pl.New, New: pl.Old}
+		lsn := tx.LogCLR(rec.Page, wal.OpDataChainFix, inv.encode(), rec.PrevLSN)
+		if pl.Next {
+			f.Page.SetNext(pl.Old)
+		} else {
+			f.Page.SetPrev(pl.Old)
+		}
+		f.Page.SetLSN(uint64(lsn))
+		m.pool.MarkDirty(f, lsn)
+		return nil
+	default:
+		return fmt.Errorf("data: cannot undo op %s", rec.Op)
+	}
+}

@@ -1,0 +1,131 @@
+// Package data implements the record manager: data pages of records
+// addressed by stable RIDs, with commit-duration record locks and logged
+// insert/delete/purge operations.
+//
+// Deletes are "ghosted": the record stays on the page with a ghost flag so
+// the delete can always be undone page-oriented (no relocation — RIDs are
+// referenced by index keys and must never move). Ghosts are physically
+// purged, with a redo-only log record, only when a later insert needs the
+// space and the ghost's record lock is free — i.e. the deleter committed.
+// This mirrors the "uncommitted delete leaves a tripping point" discipline
+// the paper builds its index protocols around (§2.6), applied to data.
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ariesim/internal/storage"
+)
+
+// Ghost flag inside a data cell's leading flags byte.
+const cellGhost = 0x01
+
+// wrapRecord builds a cell payload: flags byte + record bytes.
+func wrapRecord(rec []byte) []byte {
+	out := make([]byte, 1+len(rec))
+	copy(out[1:], rec)
+	return out
+}
+
+// unwrapCell splits a cell payload into (ghost, record).
+func unwrapCell(cell []byte) (bool, []byte) {
+	if len(cell) == 0 {
+		return false, nil
+	}
+	return cell[0]&cellGhost != 0, cell[1:]
+}
+
+// insertPayload is the body of OpDataInsert and of the CLR that revives a
+// ghost when a delete is undone.
+type insertPayload struct {
+	Slot   uint16
+	Record []byte
+}
+
+func (p insertPayload) encode() []byte {
+	b := make([]byte, 2+len(p.Record))
+	binary.LittleEndian.PutUint16(b, p.Slot)
+	copy(b[2:], p.Record)
+	return b
+}
+
+func decodeInsertPayload(b []byte) (insertPayload, error) {
+	if len(b) < 2 {
+		return insertPayload{}, fmt.Errorf("data: insert payload %d bytes", len(b))
+	}
+	return insertPayload{Slot: binary.LittleEndian.Uint16(b), Record: b[2:]}, nil
+}
+
+// deletePayload is the body of OpDataDelete: the slot plus the record
+// image (needed to undo the ghosting and to verify redo).
+type deletePayload = insertPayload
+
+// purgePayload is the body of OpDataPurge (redo-only physical removal).
+type purgePayload struct {
+	Slot uint16
+}
+
+func (p purgePayload) encode() []byte {
+	b := make([]byte, 2)
+	binary.LittleEndian.PutUint16(b, p.Slot)
+	return b
+}
+
+func decodePurgePayload(b []byte) (purgePayload, error) {
+	if len(b) != 2 {
+		return purgePayload{}, fmt.Errorf("data: purge payload %d bytes", len(b))
+	}
+	return purgePayload{Slot: binary.LittleEndian.Uint16(b)}, nil
+}
+
+// formatPayload is the body of OpDataFormat: chain pointers for the fresh
+// data page.
+type formatPayload struct {
+	Prev, Next storage.PageID
+}
+
+func (p formatPayload) encode() []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b, uint32(p.Prev))
+	binary.LittleEndian.PutUint32(b[4:], uint32(p.Next))
+	return b
+}
+
+func decodeFormatPayload(b []byte) (formatPayload, error) {
+	if len(b) != 8 {
+		return formatPayload{}, fmt.Errorf("data: format payload %d bytes", len(b))
+	}
+	return formatPayload{
+		Prev: storage.PageID(binary.LittleEndian.Uint32(b)),
+		Next: storage.PageID(binary.LittleEndian.Uint32(b[4:])),
+	}, nil
+}
+
+// chainFixPayload is the body of OpDataChainFix.
+type chainFixPayload struct {
+	Next bool // true: rewrite Next; false: rewrite Prev
+	Old  storage.PageID
+	New  storage.PageID
+}
+
+func (p chainFixPayload) encode() []byte {
+	b := make([]byte, 9)
+	if p.Next {
+		b[0] = 1
+	}
+	binary.LittleEndian.PutUint32(b[1:], uint32(p.Old))
+	binary.LittleEndian.PutUint32(b[5:], uint32(p.New))
+	return b
+}
+
+func decodeChainFixPayload(b []byte) (chainFixPayload, error) {
+	if len(b) != 9 {
+		return chainFixPayload{}, fmt.Errorf("data: chain-fix payload %d bytes", len(b))
+	}
+	return chainFixPayload{
+		Next: b[0] == 1,
+		Old:  storage.PageID(binary.LittleEndian.Uint32(b[1:])),
+		New:  storage.PageID(binary.LittleEndian.Uint32(b[5:])),
+	}, nil
+}

@@ -1,0 +1,696 @@
+// Package db assembles the full engine: disk, write-ahead log, buffer
+// pool, lock manager, transaction manager, record manager, and the
+// ARIES/IM index manager, behind a small table-oriented API.
+//
+// The engine exposes the failure model the paper assumes: Crash() discards
+// every volatile structure (buffer pool, lock table, transaction table,
+// unforced log tail); Restart() rebuilds them and runs ARIES restart
+// recovery. Stable storage (the simulated disk and the forced log prefix)
+// persists across the pair.
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/core"
+	"ariesim/internal/data"
+	"ariesim/internal/lock"
+	"ariesim/internal/recovery"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// ErrNotFound reports a missing row.
+var ErrNotFound = errors.New("db: key not found")
+
+// ErrDuplicate reports a primary-key violation.
+var ErrDuplicate = core.ErrDuplicate
+
+// Options configures an engine.
+type Options struct {
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// PoolSize in frames (default 256).
+	PoolSize int
+	// Granularity of data locking (record by default; page for coarse).
+	Granularity lock.Granularity
+	// Protocol selects the index locking protocol for every index:
+	// core.DataOnly (ARIES/IM, default), core.IndexSpecific, core.KVL or
+	// core.SystemR (baselines).
+	Protocol core.Protocol
+	// UseTreeLock enables the §5 concurrent-SMO extension.
+	UseTreeLock bool
+	// Stats receives instrumentation; one is created when nil.
+	Stats *trace.Stats
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 256
+	}
+	if o.Stats == nil {
+		o.Stats = &trace.Stats{}
+	}
+	return o
+}
+
+// catalog is the persisted schema. It stands in for the host system's
+// catalog (see DESIGN.md §4) and lives in the disk's meta area.
+type catalog struct {
+	NextTableID uint64         `json:"next_table_id"`
+	NextIndexID uint32         `json:"next_index_id"`
+	Tables      []catalogTable `json:"tables"`
+}
+
+type catalogTable struct {
+	Name      string         `json:"name"`
+	ID        uint64         `json:"id"`
+	FirstPage uint32         `json:"first_page"`
+	Indexes   []catalogIndex `json:"indexes"`
+}
+
+type catalogIndex struct {
+	Name      string `json:"name"`
+	ID        uint32 `json:"id"`
+	Root      uint32 `json:"root"`
+	Unique    bool   `json:"unique"`
+	Secondary bool   `json:"secondary"`
+}
+
+// DB is an engine instance.
+type DB struct {
+	opts  Options
+	stats *trace.Stats
+	disk  *storage.Disk
+	log   *wal.Log
+
+	mu     sync.Mutex
+	locks  *lock.Manager
+	tm     *txn.Manager
+	pool   *buffer.Pool
+	im     *core.Manager
+	dm     *data.Manager
+	cat    catalog
+	tables map[string]*Table
+	downed bool
+}
+
+// Open creates a fresh engine on a new simulated disk.
+func Open(opts Options) *DB {
+	opts = opts.withDefaults()
+	d := &DB{
+		opts:  opts,
+		stats: opts.Stats,
+		disk:  storage.NewDisk(opts.PageSize),
+		log:   wal.NewLog(opts.Stats),
+		cat:   catalog{NextTableID: 1, NextIndexID: 1},
+	}
+	lock.RegisterTraceNames()
+	d.buildVolatile()
+	return d
+}
+
+func (d *DB) buildVolatile() {
+	d.locks = lock.NewManager(d.stats)
+	d.tm = txn.NewManager(d.log, d.locks)
+	d.pool = buffer.NewPool(d.disk, d.log, d.opts.PoolSize, d.stats)
+	d.im = core.NewManager(d.pool, d.stats)
+	d.dm = data.NewManager(d.pool, d.opts.Granularity, d.stats)
+	d.tm.SetUndoer(&undoRouter{db: d})
+	d.tables = make(map[string]*Table)
+	d.downed = false
+}
+
+// undoRouter dispatches rollback work to the owning resource manager.
+type undoRouter struct{ db *DB }
+
+func (r *undoRouter) Undo(tx *txn.Tx, rec *wal.Record) error {
+	switch {
+	case rec.Op >= wal.OpIdxInsertKey && rec.Op <= wal.OpIdxUnfreePage,
+		rec.Op == wal.OpFSMAlloc, rec.Op == wal.OpFSMFree:
+		return r.db.im.Undo(tx, rec)
+	case rec.Op >= wal.OpDataFormat && rec.Op <= wal.OpDataFree:
+		return r.db.dm.Undo(tx, rec)
+	default:
+		return fmt.Errorf("db: no undo route for op %s", rec.Op)
+	}
+}
+
+// Stats returns the engine's instrumentation sink.
+func (d *DB) Stats() *trace.Stats { return d.stats }
+
+// Log exposes the write-ahead log (benches, verification).
+func (d *DB) Log() *wal.Log { return d.log }
+
+// Disk exposes the simulated disk (image copies, media-failure injection).
+func (d *DB) Disk() *storage.Disk { return d.disk }
+
+// Pool exposes the buffer pool (checkpoint flushes in tests).
+func (d *DB) Pool() *buffer.Pool { return d.pool }
+
+// Begin starts a transaction.
+func (d *DB) Begin() *txn.Tx {
+	if d.downed {
+		panic("db: engine is crashed; call Restart first")
+	}
+	return d.tm.Begin()
+}
+
+// Checkpoint takes a fuzzy checkpoint.
+func (d *DB) Checkpoint() { d.tm.Checkpoint(d.pool) }
+
+// saveCatalog persists the schema to the disk meta area.
+func (d *DB) saveCatalog() {
+	b, err := json.Marshal(d.cat)
+	if err != nil {
+		panic(fmt.Sprintf("db: catalog marshal: %v", err))
+	}
+	d.disk.WriteMeta(b)
+}
+
+// Table is a handle on one table: a record heap plus a unique primary
+// index over the row key, with optional secondary indexes.
+type Table struct {
+	db      *DB
+	name    string
+	id      uint64
+	data    *data.Table
+	primary *core.Index
+
+	mu          sync.Mutex
+	secondaries []*secondary
+}
+
+type secondary struct {
+	name    string
+	ix      *core.Index
+	extract func(value []byte) []byte
+}
+
+// CreateTable creates a table with its primary index in one internal
+// transaction.
+func (d *DB) CreateTable(name string) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q exists", name)
+	}
+	tx := d.tm.Begin()
+	tableID := d.cat.NextTableID
+	indexID := d.cat.NextIndexID
+	dt, err := d.dm.CreateTable(tx, tableID)
+	if err != nil {
+		_ = tx.Rollback()
+		return nil, err
+	}
+	ix, err := d.im.CreateIndex(tx, d.indexConfig(indexID, true))
+	if err != nil {
+		_ = tx.Rollback()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	d.cat.NextTableID++
+	d.cat.NextIndexID++
+	d.cat.Tables = append(d.cat.Tables, catalogTable{
+		Name: name, ID: tableID, FirstPage: uint32(dt.FirstPage),
+		Indexes: []catalogIndex{{Name: name + "_pk", ID: indexID, Root: uint32(ix.Root()), Unique: true}},
+	})
+	d.saveCatalog()
+	t := &Table{db: d, name: name, id: tableID, data: dt, primary: ix}
+	d.tables[name] = t
+	return t, nil
+}
+
+func (d *DB) indexConfig(id uint32, unique bool) core.Config {
+	return core.Config{
+		ID: id, Unique: unique, Protocol: d.opts.Protocol,
+		Granularity: d.opts.Granularity, UseTreeLock: d.opts.UseTreeLock,
+	}
+}
+
+// Table returns an open table handle by name.
+func (d *DB) Table(name string) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// AddSecondaryIndex creates a non-unique secondary index over extract(value).
+// The extractor is code, not data: after Restart it must be re-registered
+// with the same name via OpenSecondaryIndex.
+func (t *Table) AddSecondaryIndex(name string, extract func(value []byte) []byte) error {
+	d := t.db
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tx := d.tm.Begin()
+	id := d.cat.NextIndexID
+	ix, err := d.im.CreateIndex(tx, d.indexConfig(id, false))
+	if err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	d.cat.NextIndexID++
+	for i := range d.cat.Tables {
+		if d.cat.Tables[i].ID == t.id {
+			d.cat.Tables[i].Indexes = append(d.cat.Tables[i].Indexes,
+				catalogIndex{Name: name, ID: id, Root: uint32(ix.Root()), Secondary: true})
+		}
+	}
+	d.saveCatalog()
+	t.mu.Lock()
+	t.secondaries = append(t.secondaries, &secondary{name: name, ix: ix, extract: extract})
+	t.mu.Unlock()
+	return nil
+}
+
+// OpenSecondaryIndex re-binds a secondary index's extractor after restart.
+func (t *Table) OpenSecondaryIndex(name string, extract func(value []byte) []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.secondaries {
+		if s.name == name {
+			s.extract = extract
+			return nil
+		}
+	}
+	return fmt.Errorf("db: table %q has no secondary index %q", t.name, name)
+}
+
+// row codec: u16 keyLen | key | value.
+func encodeRow(key, value []byte) []byte {
+	b := make([]byte, 2+len(key)+len(value))
+	b[0] = byte(len(key))
+	b[1] = byte(len(key) >> 8)
+	copy(b[2:], key)
+	copy(b[2+len(key):], value)
+	return b
+}
+
+func decodeRow(rec []byte) (key, value []byte, err error) {
+	if len(rec) < 2 {
+		return nil, nil, fmt.Errorf("db: row too short")
+	}
+	kl := int(rec[0]) | int(rec[1])<<8
+	if len(rec) < 2+kl {
+		return nil, nil, fmt.Errorf("db: row truncated")
+	}
+	return rec[2 : 2+kl], rec[2+kl:], nil
+}
+
+// Insert stores a row. The record manager X-locks the new record for
+// commit duration; under data-only locking that same lock protects every
+// index key referencing it, so the index inserts add only instant
+// next-key locks (the paper's minimal-locking claim).
+func (t *Table) Insert(tx *txn.Tx, key, value []byte) error {
+	save := tx.Savepoint()
+	rid, err := t.data.Insert(tx, encodeRow(key, value))
+	if err != nil {
+		return err
+	}
+	if err := t.primary.Insert(tx, storage.Key{Val: key, RID: rid}); err != nil {
+		if rbErr := tx.RollbackTo(save); rbErr != nil {
+			return fmt.Errorf("db: insert failed (%v); rollback failed: %w", err, rbErr)
+		}
+		return err
+	}
+	t.mu.Lock()
+	secs := append([]*secondary(nil), t.secondaries...)
+	t.mu.Unlock()
+	for _, s := range secs {
+		if err := s.ix.Insert(tx, storage.Key{Val: s.extract(value), RID: rid}); err != nil {
+			if rbErr := tx.RollbackTo(save); rbErr != nil {
+				return fmt.Errorf("db: secondary insert failed (%v); rollback failed: %w", err, rbErr)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// recordLockNeeded reports whether reads must lock records explicitly:
+// under ARIES/IM data-only locking the index key lock IS the record lock,
+// so the record manager skips it; under every index-specific protocol
+// (including the baselines) "the record manager would have to do that
+// locking also" (§2.1).
+func (t *Table) recordLockNeeded() bool {
+	return t.db.opts.Protocol != core.DataOnly
+}
+
+// Get fetches a row by primary key at repeatable-read isolation. The index
+// fetch locks the key — which under data-only locking is the record lock,
+// so the record manager does not lock again (§2.1).
+func (t *Table) Get(tx *txn.Tx, key []byte) ([]byte, error) {
+	res, _, err := t.primary.Fetch(tx, key, core.EQ)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
+	if err != nil {
+		return nil, err
+	}
+	_, value, err := decodeRow(rec)
+	if err != nil {
+		return nil, err
+	}
+	return value, nil
+}
+
+// Delete removes a row by primary key.
+func (t *Table) Delete(tx *txn.Tx, key []byte) error {
+	save := tx.Savepoint()
+	res, _, err := t.primary.Fetch(tx, key, core.EQ)
+	if err != nil {
+		return err
+	}
+	if !res.Found {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	rid := res.Key.RID
+	rec, err := t.data.Fetch(tx, rid, t.recordLockNeeded())
+	if err != nil {
+		return err
+	}
+	_, value, err := decodeRow(rec)
+	if err != nil {
+		return err
+	}
+	if err := t.data.Delete(tx, rid, false); err != nil { // upgrades S→X
+		return err
+	}
+	fail := func(err error) error {
+		if rbErr := tx.RollbackTo(save); rbErr != nil {
+			return fmt.Errorf("db: delete failed (%v); rollback failed: %w", err, rbErr)
+		}
+		return err
+	}
+	if err := t.primary.Delete(tx, storage.Key{Val: res.Key.Val, RID: rid}); err != nil {
+		return fail(err)
+	}
+	t.mu.Lock()
+	secs := append([]*secondary(nil), t.secondaries...)
+	t.mu.Unlock()
+	for _, s := range secs {
+		if err := s.ix.Delete(tx, storage.Key{Val: s.extract(value), RID: rid}); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// Update replaces a row's value (delete + insert; the RID may change).
+func (t *Table) Update(tx *txn.Tx, key, value []byte) error {
+	if err := t.Delete(tx, key); err != nil {
+		return err
+	}
+	return t.Insert(tx, key, value)
+}
+
+// Row is one scan result.
+type Row struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan iterates rows with from <= key <= to (nil to = unbounded) in key
+// order at repeatable-read isolation: every row touched stays S-locked to
+// commit, and next-key locking protects the range's gaps from phantoms.
+func (t *Table) Scan(tx *txn.Tx, from, to []byte, fn func(Row) (bool, error)) error {
+	res, cur, err := t.primary.Fetch(tx, from, core.GE)
+	if err != nil {
+		return err
+	}
+	for {
+		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
+			return nil
+		}
+		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
+		if err != nil {
+			return err
+		}
+		k, v, err := decodeRow(rec)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		if err != nil || !cont {
+			return err
+		}
+		res, err = t.primary.FetchNext(tx, cur)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// ScanSecondary iterates (secondaryKey, row) pairs in secondary-key order.
+func (t *Table) ScanSecondary(tx *txn.Tx, name string, from, to []byte, fn func(secKey []byte, r Row) (bool, error)) error {
+	t.mu.Lock()
+	var sec *secondary
+	for _, s := range t.secondaries {
+		if s.name == name {
+			sec = s
+		}
+	}
+	t.mu.Unlock()
+	if sec == nil {
+		return fmt.Errorf("db: no secondary index %q", name)
+	}
+	res, cur, err := sec.ix.Fetch(tx, from, core.GE)
+	if err != nil {
+		return err
+	}
+	for {
+		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
+			return nil
+		}
+		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
+		if err != nil {
+			return err
+		}
+		k, v, err := decodeRow(rec)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(append([]byte(nil), res.Key.Val...), Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		if err != nil || !cont {
+			return err
+		}
+		res, err = sec.ix.FetchNext(tx, cur)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// PrimaryIndex exposes the primary index (benches, verification).
+func (t *Table) PrimaryIndex() *core.Index { return t.primary }
+
+// DataTable exposes the record heap (verification).
+func (t *Table) DataTable() *data.Table { return t.data }
+
+// Crash discards every volatile structure: the unforced log tail, the
+// buffer pool, the lock table, and the transaction table. Stable storage
+// survives. The engine refuses work until Restart.
+func (d *DB) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log.Crash()
+	d.pool.Crash()
+	d.downed = true
+}
+
+// Restart rebuilds the volatile state, reopens the catalog, and runs the
+// three-pass ARIES restart. Secondary index extractors must be re-bound
+// afterwards via OpenSecondaryIndex.
+func (d *DB) Restart() (*recovery.Report, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buildVolatile()
+	if meta := d.disk.ReadMeta(); len(meta) > 0 {
+		if err := json.Unmarshal(meta, &d.cat); err != nil {
+			return nil, fmt.Errorf("db: catalog corrupt: %w", err)
+		}
+	}
+	for _, ct := range d.cat.Tables {
+		t := &Table{db: d, name: ct.Name, id: ct.ID,
+			data: d.dm.OpenTable(ct.ID, storage.PageID(ct.FirstPage))}
+		for _, ci := range ct.Indexes {
+			ix := d.im.OpenIndex(d.indexConfig(ci.ID, ci.Unique), storage.PageID(ci.Root))
+			if ci.Secondary {
+				t.secondaries = append(t.secondaries, &secondary{name: ci.Name, ix: ix,
+					extract: func([]byte) []byte { panic("db: secondary extractor not re-bound; call OpenSecondaryIndex") }})
+			} else {
+				t.primary = ix
+			}
+		}
+		d.tables[ct.Name] = t
+	}
+	return recovery.Restart(d.log, d.pool, d.tm, d.locks, d.stats)
+}
+
+// VerifyConsistency cross-checks every table on a quiesced engine: the
+// tree invariants hold, and the primary index and record heap are exact
+// mirrors (every live record indexed once under its own RID, and vice
+// versa). Secondary indexes are checked against the extractor when bound.
+func (d *DB) VerifyConsistency() error {
+	d.mu.Lock()
+	tables := make([]*Table, 0, len(d.tables))
+	for _, t := range d.tables {
+		tables = append(tables, t)
+	}
+	d.mu.Unlock()
+	for _, t := range tables {
+		if err := t.primary.CheckStructure(); err != nil {
+			return fmt.Errorf("table %q primary: %w", t.name, err)
+		}
+		records, err := t.data.ScanAll()
+		if err != nil {
+			return err
+		}
+		keys, err := t.primary.Dump()
+		if err != nil {
+			return err
+		}
+		if len(keys) != len(records) {
+			return fmt.Errorf("table %q: %d index keys vs %d records", t.name, len(keys), len(records))
+		}
+		for _, k := range keys {
+			rec, ok := records[k.RID]
+			if !ok {
+				return fmt.Errorf("table %q: index key %s references missing record", t.name, k)
+			}
+			rk, _, err := decodeRow(rec)
+			if err != nil {
+				return err
+			}
+			if string(rk) != string(k.Val) {
+				return fmt.Errorf("table %q: index key %q vs record key %q at %s", t.name, k.Val, rk, k.RID)
+			}
+		}
+		t.mu.Lock()
+		secs := append([]*secondary(nil), t.secondaries...)
+		t.mu.Unlock()
+		for _, s := range secs {
+			if err := s.ix.CheckStructure(); err != nil {
+				return fmt.Errorf("table %q secondary %q: %w", t.name, s.name, err)
+			}
+			skeys, err := s.ix.Dump()
+			if err != nil {
+				return err
+			}
+			if len(skeys) != len(records) {
+				return fmt.Errorf("table %q secondary %q: %d keys vs %d records", t.name, s.name, len(skeys), len(records))
+			}
+		}
+	}
+	return nil
+}
+
+// GetCS fetches a row at cursor-stability (degree 2) isolation: the read
+// sees only committed data but leaves no lock behind, so it neither blocks
+// later writers nor guarantees repeatability. The paper's protocols target
+// repeatable read; CS is the weaker mode real systems offer alongside it.
+func (t *Table) GetCS(tx *txn.Tx, key []byte) ([]byte, error) {
+	res, err := t.primary.FetchCS(tx, key, core.EQ)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
+	if err != nil {
+		return nil, err
+	}
+	_, value, err := decodeRow(rec)
+	return value, err
+}
+
+// ScanPrefix iterates all rows whose key starts with prefix, in key order,
+// at repeatable-read isolation (§1.1's partial-key starting condition).
+func (t *Table) ScanPrefix(tx *txn.Tx, prefix []byte, fn func(Row) (bool, error)) error {
+	res, cur, err := t.primary.FetchPrefix(tx, prefix)
+	if err != nil {
+		return err
+	}
+	for {
+		if res.EOF || !res.Found {
+			return nil
+		}
+		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
+		if err != nil {
+			return err
+		}
+		k, v, err := decodeRow(rec)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		if err != nil || !cont {
+			return err
+		}
+		res, err = t.primary.FetchNext(tx, cur)
+		if err != nil {
+			return err
+		}
+		if res.EOF || len(res.Key.Val) < len(prefix) || string(res.Key.Val[:len(prefix)]) != string(prefix) {
+			return nil
+		}
+		res.Found = true
+	}
+}
+
+// ArchiveLog streams the stable log prefix to w (offline log archiving,
+// the prerequisite for §5 media recovery beyond the online log). It
+// returns the number of records archived.
+func (d *DB) ArchiveLog(w io.Writer) (int, error) { return d.log.Archive(w) }
+
+// OpenStandby builds an engine on a FRESH disk from a shipped log (see
+// wal.ReadArchive) plus the primary's catalog blob, and runs ARIES restart
+// against it: page-oriented redo reconstructs every page, the undo pass
+// rolls back whatever was in flight at ship time. The result is a warm
+// standby, immediately writable after promotion. Secondary-index
+// extractors must be re-bound via OpenSecondaryIndex, as after any restart.
+func OpenStandby(opts Options, shipped *wal.Log, catalogMeta []byte) (*DB, *recovery.Report, error) {
+	opts = opts.withDefaults()
+	d := &DB{
+		opts:  opts,
+		stats: opts.Stats,
+		disk:  storage.NewDisk(opts.PageSize),
+		log:   shipped,
+		cat:   catalog{NextTableID: 1, NextIndexID: 1},
+	}
+	lock.RegisterTraceNames()
+	d.disk.WriteMeta(catalogMeta)
+	d.buildVolatile()
+	rep, err := d.Restart()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, rep, nil
+}

@@ -1,0 +1,178 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ariesim/internal/core"
+	"ariesim/internal/lock"
+	"ariesim/internal/workload"
+)
+
+// TestSoakConcurrentWithCrashes is the long-haul exercise: several rounds
+// of concurrent mixed workload (every op type, rollbacks, deadlock-victim
+// retries, periodic fuzzy checkpoints), each round ended by a crash and a
+// verified restart. Run with -short to skip.
+func TestSoakConcurrentWithCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"aries-im-record", Options{PageSize: 512, PoolSize: 96}},
+		{"aries-im-pagegran", Options{PageSize: 512, PoolSize: 96, Granularity: lock.GranPage}},
+		{"aries-kvl", Options{PageSize: 512, PoolSize: 96, Protocol: core.KVL}},
+		{"tree-lock", Options{PageSize: 512, PoolSize: 96, UseTreeLock: true}},
+	} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			soak(t, cfg.opts, 3, 4, 150)
+		})
+	}
+}
+
+func soak(t *testing.T, opts Options, rounds, workers, opsPerWorker int) {
+	t.Helper()
+	d := Open(opts)
+	tbl, err := d.CreateTable("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := map[string]string{}
+	var mu sync.Mutex
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				gen := workload.New(workload.Spec{
+					Keys: 400, ReadFrac: 0.3, InsertFrac: 0.4, DeleteFrac: 0.2,
+					Seed: int64(round*100 + w),
+				})
+				rng := rand.New(rand.NewSource(int64(round*31 + w)))
+				for i := 0; i < opsPerWorker; {
+					tx := d.Begin()
+					staged := map[string]*string{}
+					aborted := false
+					for j := 0; j < rng.Intn(5)+1 && !aborted; j++ {
+						op := gen.Next()
+						i++
+						switch op.Kind {
+						case workload.Insert:
+							err := tbl.Insert(tx, op.Key, op.Value)
+							switch {
+							case err == nil:
+								s := string(op.Value)
+								staged[string(op.Key)] = &s
+							case errors.Is(err, ErrDuplicate):
+							case errors.Is(err, lock.ErrDeadlock):
+								aborted = true
+							default:
+								t.Errorf("insert: %v", err)
+								aborted = true
+							}
+						case workload.Delete:
+							err := tbl.Delete(tx, op.Key)
+							switch {
+							case err == nil:
+								staged[string(op.Key)] = nil
+							case errors.Is(err, ErrNotFound):
+							case errors.Is(err, lock.ErrDeadlock):
+								aborted = true
+							default:
+								t.Errorf("delete: %v", err)
+								aborted = true
+							}
+						case workload.ScanShort:
+							n := 0
+							err := tbl.Scan(tx, op.Key, nil, func(Row) (bool, error) {
+								n++
+								return n < 16, nil
+							})
+							if err != nil && !errors.Is(err, lock.ErrDeadlock) {
+								t.Errorf("scan: %v", err)
+							}
+							if err != nil {
+								aborted = true
+							}
+						default:
+							if _, err := tbl.Get(tx, op.Key); err != nil &&
+								!errors.Is(err, ErrNotFound) && !errors.Is(err, lock.ErrDeadlock) {
+								t.Errorf("get: %v", err)
+							}
+						}
+					}
+					if aborted || rng.Intn(6) == 0 {
+						_ = tx.Rollback()
+						continue
+					}
+					mu.Lock()
+					if err := tx.Commit(); err != nil {
+						mu.Unlock()
+						t.Errorf("commit: %v", err)
+						return
+					}
+					for key, val := range staged {
+						if val == nil {
+							delete(committed, key)
+						} else {
+							committed[key] = *val
+						}
+					}
+					mu.Unlock()
+					if rng.Intn(40) == 0 {
+						d.Checkpoint()
+					}
+				}
+			}(w)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(120 * time.Second):
+			t.Fatal("soak round hung")
+		}
+		if t.Failed() {
+			return
+		}
+		d.Crash()
+		if _, err := d.Restart(); err != nil {
+			t.Fatalf("round %d restart: %v", round, err)
+		}
+		tbl, err = d.Table("soak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.VerifyConsistency(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		rows := map[string]string{}
+		r := d.Begin()
+		_ = tbl.Scan(r, []byte(""), nil, func(row Row) (bool, error) {
+			rows[string(row.Key)] = string(row.Value)
+			return true, nil
+		})
+		_ = r.Commit()
+		if len(rows) != len(committed) {
+			t.Fatalf("round %d: %d rows vs %d committed", round, len(rows), len(committed))
+		}
+		for key, val := range committed {
+			if rows[key] != val {
+				t.Fatalf("round %d: %q = %q want %q", round, key, rows[key], val)
+			}
+		}
+	}
+	if d.Stats().PageSplits.Load() == 0 {
+		t.Error("soak caused no splits; workload too small")
+	}
+	_ = fmt.Sprintf
+}

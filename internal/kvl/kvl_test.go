@@ -1,0 +1,56 @@
+package kvl
+
+import (
+	"testing"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/core"
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+func TestFacadeCreatesKVLIndex(t *testing.T) {
+	stats := &trace.Stats{}
+	disk := storage.NewDisk(512)
+	log := wal.NewLog(stats)
+	pool := buffer.NewPool(disk, log, 64, stats)
+	locks := lock.NewManager(stats)
+	tm := txn.NewManager(log, locks)
+	im := core.NewManager(pool, stats)
+	tm.SetUndoer(im)
+
+	tx := tm.Begin()
+	ix, err := CreateIndex(tx, im, 7, false, lock.GranRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Protocol() != core.KVL {
+		t.Fatalf("protocol = %v", ix.Protocol())
+	}
+	// An insert acquires key-value locks, the KVL signature.
+	w := tm.Begin()
+	if err := ix.Insert(w, storage.Key{Val: []byte("kv"), RID: storage.RID{Page: 9, Slot: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	kvCalls := uint64(0)
+	for m := 0; m < trace.MaxModes; m++ {
+		for d := 0; d < trace.MaxDurations; d++ {
+			kvCalls += stats.LockCalls(int(lock.SpaceKeyValue), m, d)
+		}
+	}
+	if kvCalls == 0 {
+		t.Fatal("no key-value locks taken by the KVL facade")
+	}
+	if cfg := Config(3, true, lock.GranPage); cfg.Protocol != core.KVL || !cfg.Unique {
+		t.Fatalf("Config = %+v", cfg)
+	}
+}

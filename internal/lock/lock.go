@@ -1,0 +1,585 @@
+// Package lock implements the transaction lock manager ariesim's index and
+// record managers rely on.
+//
+// ARIES/IM assumes a lock manager with: S/X/IS/IX/SIX modes (Gray's
+// multi-granularity modes), instant and commit durations, conditional and
+// unconditional requests, lock conversions, and deadlock detection. The
+// locking protocols in the paper are built on two rules this package makes
+// cheap to follow:
+//
+//   - a lock requested conditionally while latches are held is never
+//     waited for: the caller releases its latches, requests the lock
+//     unconditionally, and revalidates (paper §2.2);
+//   - a deadlock is resolved by denying the requester (ErrDeadlock), which
+//     combined with ARIES/IM's latch protocol means rolling-back
+//     transactions never deadlock (paper §4).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ariesim/internal/trace"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// ModeNone holds nothing; it is the identity of Supremum.
+	ModeNone Mode = iota
+	// IS is intention shared (multi-granularity).
+	IS
+	// IX is intention exclusive.
+	IX
+	// S is shared.
+	S
+	// SIX is shared + intention exclusive.
+	SIX
+	// X is exclusive.
+	X
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "-"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("mode%d", uint8(m))
+	}
+}
+
+// compat is Gray's compatibility matrix.
+var compat = [6][6]bool{
+	//            None   IS     IX     S      SIX    X
+	/* None */ {true, true, true, true, true, true},
+	/* IS   */ {true, true, true, true, true, false},
+	/* IX   */ {true, true, true, false, false, false},
+	/* S    */ {true, true, false, true, false, false},
+	/* SIX  */ {true, true, false, false, false, false},
+	/* X    */ {true, false, false, false, false, false},
+}
+
+// Compatible reports whether modes a and b can be held concurrently by
+// different transactions.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup is the mode-conversion supremum table.
+var sup = [6][6]Mode{
+	/* None */ {ModeNone, IS, IX, S, SIX, X},
+	/* IS   */ {IS, IS, IX, S, SIX, X},
+	/* IX   */ {IX, IX, IX, SIX, SIX, X},
+	/* S    */ {S, S, SIX, S, SIX, X},
+	/* SIX  */ {SIX, SIX, SIX, SIX, SIX, X},
+	/* X    */ {X, X, X, X, X, X},
+}
+
+// Supremum returns the weakest mode at least as strong as both a and b.
+func Supremum(a, b Mode) Mode { return sup[a][b] }
+
+// Duration is how long a granted lock is held.
+type Duration uint8
+
+const (
+	// Instant duration: the requester only needs to know the lock was
+	// grantable at this moment; it is released as soon as granted. Used
+	// for the next-key lock during inserts (paper Fig 2).
+	Instant Duration = iota
+	// Manual duration: released explicitly before commit (cursor
+	// stability reads).
+	Manual
+	// Commit duration: held until the transaction terminates.
+	Commit
+)
+
+func (d Duration) String() string {
+	switch d {
+	case Instant:
+		return "instant"
+	case Manual:
+		return "manual"
+	case Commit:
+		return "commit"
+	default:
+		return fmt.Sprintf("dur%d", uint8(d))
+	}
+}
+
+// Space partitions the lock name space. The spaces let the trace package
+// present per-object-class lock counts (the paper's efficiency metric).
+type Space uint8
+
+const (
+	// SpaceTable holds table-level intention locks.
+	SpaceTable Space = iota
+	// SpaceRecord holds record (RID) locks — ARIES/IM data-only locking
+	// names its key locks here.
+	SpaceRecord
+	// SpacePage holds data-page locks (page-granularity locking).
+	SpacePage
+	// SpaceEOF holds the per-index end-of-file lock used when next-key
+	// locking runs off the right edge of the index (paper §2.2).
+	SpaceEOF
+	// SpaceKeyValue holds key-value locks (ARIES/KVL and System R
+	// baselines; also ARIES/IM's index-specific variant).
+	SpaceKeyValue
+	// SpaceIndexPage holds index-page locks (System R-style baseline).
+	SpaceIndexPage
+	// SpaceTree holds the per-index tree lock (the §5 extension that
+	// replaces the tree latch to allow concurrent SMOs).
+	SpaceTree
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceTable:
+		return "table"
+	case SpaceRecord:
+		return "record"
+	case SpacePage:
+		return "page"
+	case SpaceEOF:
+		return "eof"
+	case SpaceKeyValue:
+		return "keyvalue"
+	case SpaceIndexPage:
+		return "indexpage"
+	case SpaceTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("space%d", uint8(s))
+	}
+}
+
+// RegisterTraceNames labels the trace dimensions with this package's
+// enums; called once by the engine.
+func RegisterTraceNames() {
+	for s := SpaceTable; s <= SpaceTree; s++ {
+		trace.RegisterSpaceName(int(s), s.String())
+	}
+	for m := ModeNone; m <= X; m++ {
+		trace.RegisterModeName(int(m), m.String())
+	}
+	for d := Instant; d <= Commit; d++ {
+		trace.RegisterDurationName(int(d), d.String())
+	}
+}
+
+// Name is a lock name: a space plus two 64-bit qualifiers. Examples:
+// record lock = {SpaceRecord, pageID, slot}; EOF lock = {SpaceEOF, indexID,
+// 0}; key-value lock = {SpaceKeyValue, indexID, hash(value)}.
+type Name struct {
+	Space Space
+	A, B  uint64
+}
+
+func (n Name) String() string { return fmt.Sprintf("%s(%d,%d)", n.Space, n.A, n.B) }
+
+// Owner identifies a lock owner (a transaction).
+type Owner uint32
+
+// Errors returned by Request.
+var (
+	// ErrNotGranted reports a conditional request that could not be
+	// granted immediately.
+	ErrNotGranted = errors.New("lock: not granted")
+	// ErrDeadlock reports that granting would close a waits-for cycle;
+	// the requester is chosen as the victim.
+	ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
+)
+
+type holding struct {
+	owner Owner
+	mode  Mode
+	count int
+}
+
+type request struct {
+	owner   Owner
+	mode    Mode // target mode (post-conversion mode for conversions)
+	convert bool
+	name    Name
+	granted chan error
+}
+
+type head struct {
+	granted []*holding
+	queue   []*request
+}
+
+// Manager is the lock manager. All state is volatile: a crash empties the
+// lock table (restart reacquires locks only for prepared transactions).
+type Manager struct {
+	mu    sync.Mutex
+	table map[Name]*head
+	held  map[Owner]map[Name]*holding // secondary index for release-all
+	waits map[Owner]*request          // one blocked request per owner
+	stats *trace.Stats
+}
+
+// NewManager creates an empty lock manager reporting into stats (may be nil).
+func NewManager(stats *trace.Stats) *Manager {
+	return &Manager{
+		table: make(map[Name]*head),
+		held:  make(map[Owner]map[Name]*holding),
+		waits: make(map[Owner]*request),
+		stats: stats,
+	}
+}
+
+func (m *Manager) headOf(n Name) *head {
+	h := m.table[n]
+	if h == nil {
+		h = &head{}
+		m.table[n] = h
+	}
+	return h
+}
+
+// compatibleWithGranted reports whether owner may hold mode alongside all
+// *other* granted holders.
+func (h *head) compatibleWithGranted(owner Owner, mode Mode) bool {
+	for _, g := range h.granted {
+		if g.owner != owner && !Compatible(g.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *head) holdingOf(owner Owner) *holding {
+	for _, g := range h.granted {
+		if g.owner == owner {
+			return g
+		}
+	}
+	return nil
+}
+
+// Request asks for a lock. Conditional requests never block: they return
+// ErrNotGranted when the lock is not immediately available. Unconditional
+// requests block until granted or until deadlock detection picks the
+// requester as victim. Instant-duration locks are released as soon as they
+// are granted; their purpose is purely to observe grantability.
+func (m *Manager) Request(owner Owner, name Name, mode Mode, dur Duration, conditional bool) error {
+	if m.stats != nil {
+		m.stats.CountLock(int(name.Space), int(mode), int(dur))
+	}
+	m.mu.Lock()
+	h := m.headOf(name)
+	mine := h.holdingOf(owner)
+
+	if mine != nil && Supremum(mine.mode, mode) == mine.mode {
+		// Already held in a sufficient mode.
+		if dur != Instant {
+			mine.count++
+		}
+		m.mu.Unlock()
+		return nil
+	}
+
+	target := mode
+	convert := mine != nil
+	if convert {
+		target = Supremum(mine.mode, mode)
+	}
+
+	canGrant := h.compatibleWithGranted(owner, target) &&
+		(convert || len(h.queue) == 0) // new requests honor FIFO; conversions may pass the queue
+	if canGrant {
+		m.grantLocked(h, owner, name, target, mine)
+		if dur == Instant && mine == nil {
+			m.releaseLocked(name, owner)
+		}
+		m.mu.Unlock()
+		return nil
+	}
+
+	if conditional {
+		m.mu.Unlock()
+		if m.stats != nil {
+			m.stats.LockDenials.Add(1)
+		}
+		return ErrNotGranted
+	}
+
+	// Enqueue. Conversions go ahead of non-conversions.
+	req := &request{owner: owner, mode: target, convert: convert, name: name, granted: make(chan error, 1)}
+	if convert {
+		i := 0
+		for i < len(h.queue) && h.queue[i].convert {
+			i++
+		}
+		h.queue = append(h.queue, nil)
+		copy(h.queue[i+1:], h.queue[i:])
+		h.queue[i] = req
+	} else {
+		h.queue = append(h.queue, req)
+	}
+	m.waits[owner] = req
+
+	if m.deadlockLocked(owner) {
+		m.removeRequestLocked(h, req)
+		delete(m.waits, owner)
+		// Removing the victim may unblock requests queued behind it.
+		m.processQueueLocked(name, h)
+		m.mu.Unlock()
+		if m.stats != nil {
+			m.stats.Deadlocks.Add(1)
+		}
+		return ErrDeadlock
+	}
+	m.mu.Unlock()
+	if m.stats != nil {
+		m.stats.LockWaits.Add(1)
+	}
+
+	err := <-req.granted
+	if err != nil {
+		return err
+	}
+	// An instant lock is released on grant — unless this was a conversion,
+	// where the pre-existing (longer-duration) holding must survive; the
+	// conservative upgrade is kept until transaction end.
+	if dur == Instant && !req.convert {
+		m.Release(owner, name)
+	}
+	return nil
+}
+
+// grantLocked installs or upgrades owner's holding.
+func (m *Manager) grantLocked(h *head, owner Owner, name Name, mode Mode, mine *holding) {
+	if mine != nil {
+		mine.mode = mode
+		mine.count++
+		return
+	}
+	g := &holding{owner: owner, mode: mode, count: 1}
+	h.granted = append(h.granted, g)
+	byOwner := m.held[owner]
+	if byOwner == nil {
+		byOwner = make(map[Name]*holding)
+		m.held[owner] = byOwner
+	}
+	byOwner[name] = g
+}
+
+func (m *Manager) removeRequestLocked(h *head, req *request) {
+	for i, r := range h.queue {
+		if r == req {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseLocked removes owner's holding on name and processes the queue.
+func (m *Manager) releaseLocked(name Name, owner Owner) {
+	h := m.table[name]
+	if h == nil {
+		return
+	}
+	for i, g := range h.granted {
+		if g.owner == owner {
+			h.granted = append(h.granted[:i], h.granted[i+1:]...)
+			break
+		}
+	}
+	if byOwner := m.held[owner]; byOwner != nil {
+		delete(byOwner, name)
+		if len(byOwner) == 0 {
+			delete(m.held, owner)
+		}
+	}
+	m.processQueueLocked(name, h)
+}
+
+// processQueueLocked grants queued requests in order; it stops at the
+// first non-grantable request to preserve FIFO fairness (conversions sit
+// at the front of the queue and so are considered first).
+func (m *Manager) processQueueLocked(name Name, h *head) {
+	for len(h.queue) > 0 {
+		req := h.queue[0]
+		mine := h.holdingOf(req.owner)
+		if !h.compatibleWithGranted(req.owner, req.mode) {
+			return
+		}
+		h.queue = h.queue[1:]
+		m.grantLocked(h, req.owner, name, req.mode, mine)
+		delete(m.waits, req.owner)
+		req.granted <- nil
+	}
+	if len(h.granted) == 0 && len(h.queue) == 0 {
+		delete(m.table, name)
+	}
+}
+
+// Release drops owner's holding on name (manual-duration unlock).
+func (m *Manager) Release(owner Owner, name Name) {
+	m.mu.Lock()
+	m.releaseLocked(name, owner)
+	m.mu.Unlock()
+}
+
+// ReleaseAll drops every lock owner holds: commit or rollback completion.
+func (m *Manager) ReleaseAll(owner Owner) {
+	m.mu.Lock()
+	names := make([]Name, 0, len(m.held[owner]))
+	for n := range m.held[owner] {
+		names = append(names, n)
+	}
+	for _, n := range names {
+		m.releaseLocked(n, owner)
+	}
+	m.mu.Unlock()
+}
+
+// HoldsAtLeast reports whether owner currently holds name in mode or
+// stronger (verification and debugging).
+func (m *Manager) HoldsAtLeast(owner Owner, name Name, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if byOwner := m.held[owner]; byOwner != nil {
+		if g, ok := byOwner[name]; ok {
+			return Supremum(g.mode, mode) == g.mode
+		}
+	}
+	return false
+}
+
+// Held lists owner's current locks (prepare records, tests).
+type Held struct {
+	Name Name
+	Mode Mode
+}
+
+// LocksOf returns the locks owner currently holds.
+func (m *Manager) LocksOf(owner Owner) []Held {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Held, 0, len(m.held[owner]))
+	for n, g := range m.held[owner] {
+		out = append(out, Held{Name: n, Mode: g.mode})
+	}
+	return out
+}
+
+// NumLocks returns the number of distinct (name, owner) holdings.
+func (m *Manager) NumLocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, byOwner := range m.held {
+		n += len(byOwner)
+	}
+	return n
+}
+
+// deadlockLocked reports whether start's blocked request closes a cycle in
+// the waits-for graph. Edges: a blocked owner waits for (1) every granted
+// holder incompatible with its target mode and (2) every request queued
+// ahead of it.
+func (m *Manager) deadlockLocked(start Owner) bool {
+	visited := map[Owner]bool{}
+	var dfs func(o Owner) bool
+	dfs = func(o Owner) bool {
+		req := m.waits[o]
+		if req == nil {
+			return false
+		}
+		h := m.table[req.name]
+		if h == nil {
+			return false
+		}
+		var successors []Owner
+		for _, g := range h.granted {
+			if g.owner != o && !Compatible(g.mode, req.mode) {
+				successors = append(successors, g.owner)
+			}
+		}
+		for _, q := range h.queue {
+			if q == req {
+				break
+			}
+			if q.owner != o {
+				successors = append(successors, q.owner)
+			}
+		}
+		for _, s := range successors {
+			if s == start {
+				return true
+			}
+			if !visited[s] {
+				visited[s] = true
+				if dfs(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// Granularity selects the data lock granularity (paper §2.1: "different
+// granularities of locking ... in a flexible manner").
+type Granularity uint8
+
+const (
+	// GranRecord locks individual records (RIDs): the fine-granularity
+	// default ARIES/IM is designed around.
+	GranRecord Granularity = iota
+	// GranPage locks whole data pages: the coarse alternative; a key lock
+	// becomes a lock on the data page ID part of the RID.
+	GranPage
+)
+
+func (g Granularity) String() string {
+	if g == GranPage {
+		return "page"
+	}
+	return "record"
+}
+
+// DataLockName names the lock protecting the record with the given RID at
+// the chosen granularity. ARIES/IM data-only locking uses this same name
+// for the index key containing the RID: locking the key IS locking the
+// data (paper §2.1).
+func DataLockName(g Granularity, page uint64, slot uint16) Name {
+	if g == GranPage {
+		return Name{Space: SpacePage, A: page}
+	}
+	return Name{Space: SpaceRecord, A: page, B: uint64(slot)}
+}
+
+// TableName names a table's intention lock.
+func TableName(tableID uint64) Name { return Name{Space: SpaceTable, A: tableID} }
+
+// EOFName names the per-index end-of-file lock (paper §2.2).
+func EOFName(indexID uint64) Name { return Name{Space: SpaceEOF, A: indexID} }
+
+// KeyValueName names a key-value lock: the ARIES/KVL and System R
+// baselines, and ARIES/IM's index-specific variant, lock hashed key values
+// within an index.
+func KeyValueName(indexID uint64, hash uint64) Name {
+	return Name{Space: SpaceKeyValue, A: indexID, B: hash}
+}
+
+// IndexPageName names an index-page lock (System R-style baseline).
+func IndexPageName(indexID uint64, page uint64) Name {
+	return Name{Space: SpaceIndexPage, A: indexID, B: page}
+}
+
+// TreeName names the per-index tree lock (§5 concurrent-SMO extension).
+func TreeName(indexID uint64) Name { return Name{Space: SpaceTree, A: indexID} }

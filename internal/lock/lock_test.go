@@ -1,0 +1,402 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ariesim/internal/trace"
+)
+
+func rec(a, b uint64) Name { return Name{Space: SpaceRecord, A: a, B: b} }
+
+func mustGrant(t *testing.T, m *Manager, o Owner, n Name, mode Mode, d Duration) {
+	t.Helper()
+	if err := m.Request(o, n, mode, d, false); err != nil {
+		t.Fatalf("Request(%d, %v, %v): %v", o, n, mode, err)
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{S, S, true}, {S, X, false}, {X, X, false},
+		{IS, IX, true}, {IX, IX, true}, {IX, S, false},
+		{SIX, IS, true}, {SIX, IX, false}, {SIX, S, false},
+		{IS, X, false}, {ModeNone, X, true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Compatible(c.b, c.a); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSupremum(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{S, IX, SIX}, {IS, IX, IX}, {S, X, X}, {ModeNone, S, S},
+		{SIX, S, SIX}, {IX, IX, IX},
+	}
+	for _, c := range cases {
+		if got := Supremum(c.a, c.b); got != c.want {
+			t.Errorf("Supremum(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSharedGrantsCoexist(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	mustGrant(t, m, 2, rec(1, 1), S, Commit)
+	if m.NumLocks() != 2 {
+		t.Fatalf("NumLocks = %d", m.NumLocks())
+	}
+}
+
+func TestConditionalDenial(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	err := m.Request(2, rec(1, 1), S, Commit, true)
+	if !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("want ErrNotGranted, got %v", err)
+	}
+	// Owner 1 re-requesting its own lock conditionally succeeds.
+	if err := m.Request(1, rec(1, 1), S, Commit, true); err != nil {
+		t.Fatalf("re-request: %v", err)
+	}
+}
+
+func TestUnconditionalBlocksUntilRelease(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	got := make(chan error, 1)
+	go func() { got <- m.Request(2, rec(1, 1), S, Commit, false) }()
+	select {
+	case err := <-got:
+		t.Fatalf("granted during conflict: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("never granted")
+	}
+	if !m.HoldsAtLeast(2, rec(1, 1), S) {
+		t.Fatal("owner 2 not recorded as holder")
+	}
+}
+
+func TestInstantDurationLeavesNothing(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Instant)
+	if m.NumLocks() != 0 {
+		t.Fatalf("instant lock retained: %d", m.NumLocks())
+	}
+	// Instant lock must still observe grantability: conflicts block it.
+	mustGrant(t, m, 1, rec(2, 2), X, Commit)
+	done := make(chan error, 1)
+	go func() { done <- m.Request(2, rec(2, 2), X, Instant, false) }()
+	select {
+	case <-done:
+		t.Fatal("instant X granted over conflicting X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLocks() != 0 {
+		t.Fatal("instant lock retained after blocked grant")
+	}
+}
+
+func TestInstantConversionKeepsHolding(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	// Instant X over own S: conservative upgrade, still held at X after.
+	mustGrant(t, m, 1, rec(1, 1), X, Instant)
+	if !m.HoldsAtLeast(1, rec(1, 1), S) {
+		t.Fatal("instant conversion destroyed the commit-duration holding")
+	}
+}
+
+func TestConversionJumpsQueue(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	mustGrant(t, m, 2, rec(1, 1), S, Commit)
+	// Owner 3 queues for X.
+	o3got := make(chan error, 1)
+	go func() { o3got <- m.Request(3, rec(1, 1), X, Commit, false) }()
+	time.Sleep(10 * time.Millisecond)
+	// Owner 2 converts S→X: must pass owner 3 in the queue, blocked only
+	// by owner 1's S.
+	o2got := make(chan error, 1)
+	go func() { o2got <- m.Request(2, rec(1, 1), X, Commit, false) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	select {
+	case err := <-o2got:
+		if err != nil {
+			t.Fatalf("conversion errored: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("conversion never granted")
+	}
+	select {
+	case <-o3got:
+		t.Fatal("queued X granted while converter holds X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-o3got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestFIFOFairness(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	order := make(chan Owner, 2)
+	var wg sync.WaitGroup
+	enqueue := func(o Owner) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Request(o, rec(1, 1), X, Commit, false); err != nil {
+				t.Errorf("owner %d: %v", o, err)
+				return
+			}
+			order <- o
+			m.ReleaseAll(o)
+		}()
+		time.Sleep(15 * time.Millisecond) // establish queue order
+	}
+	enqueue(2)
+	enqueue(3)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if first := <-order; first != 2 {
+		t.Fatalf("first grant to %d, want 2", first)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager(&trace.Stats{})
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 2, rec(2, 2), X, Commit)
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Request(1, rec(2, 2), X, Commit, false) }()
+	time.Sleep(20 * time.Millisecond)
+	// Owner 2 now closes the cycle: 2 waits for 1 waits for 2.
+	err := m.Request(2, rec(1, 1), X, Commit, false)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; owner 1 proceeds.
+	m.ReleaseAll(2)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 2, rec(2, 2), X, Commit)
+	mustGrant(t, m, 3, rec(3, 3), X, Commit)
+	go m.Request(1, rec(2, 2), X, Commit, false)
+	time.Sleep(10 * time.Millisecond)
+	go m.Request(2, rec(3, 3), X, Commit, false)
+	time.Sleep(10 * time.Millisecond)
+	err := m.Request(3, rec(1, 1), X, Commit, false)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(3)
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestConversionDeadlock(t *testing.T) {
+	// Paper §5: concurrent upgrades can deadlock — the detector must see it.
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	mustGrant(t, m, 2, rec(1, 1), S, Commit)
+	go m.Request(1, rec(1, 1), X, Commit, false)
+	time.Sleep(20 * time.Millisecond)
+	err := m.Request(2, rec(1, 1), X, Commit, false)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock on conversion cycle, got %v", err)
+	}
+	m.ReleaseAll(2) // victim rollback unblocks the other conversion
+	time.Sleep(20 * time.Millisecond)
+	if !m.HoldsAtLeast(1, rec(1, 1), X) {
+		t.Fatal("survivor conversion not granted")
+	}
+}
+
+func TestNoFalseDeadlock(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	mustGrant(t, m, 2, rec(1, 1), S, Commit)
+	done := make(chan error, 1)
+	go func() { done <- m.Request(3, rec(1, 1), X, Commit, false) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("spurious failure: %v", err)
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 1, rec(2, 2), X, Commit)
+	var wg sync.WaitGroup
+	for o := Owner(2); o <= 5; o++ {
+		wg.Add(1)
+		go func(o Owner) {
+			defer wg.Done()
+			n := rec(uint64(o%2)+1, uint64(o%2)+1)
+			if err := m.Request(o, n, S, Commit, false); err != nil {
+				t.Errorf("owner %d: %v", o, err)
+			}
+		}(o)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+}
+
+func TestLocksOfAndSpaces(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, Name{Space: SpaceTable, A: 9}, IX, Commit)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 1, Name{Space: SpaceEOF, A: 3}, S, Commit)
+	locks := m.LocksOf(1)
+	if len(locks) != 3 {
+		t.Fatalf("LocksOf = %d entries", len(locks))
+	}
+	spaces := map[Space]bool{}
+	for _, l := range locks {
+		spaces[l.Name.Space] = true
+	}
+	if !spaces[SpaceTable] || !spaces[SpaceRecord] || !spaces[SpaceEOF] {
+		t.Fatalf("spaces missing: %v", spaces)
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	st := &trace.Stats{}
+	m := NewManager(st)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	mustGrant(t, m, 1, rec(1, 2), X, Instant)
+	if got := st.LockCalls(int(SpaceRecord), int(S), int(Commit)); got != 1 {
+		t.Errorf("S/commit count = %d", got)
+	}
+	if got := st.LockCalls(int(SpaceRecord), int(X), int(Instant)); got != 1 {
+		t.Errorf("X/instant count = %d", got)
+	}
+	if st.TotalLockCalls() != 2 {
+		t.Errorf("total = %d", st.TotalLockCalls())
+	}
+}
+
+func TestManualRelease(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Manual)
+	if m.NumLocks() != 1 {
+		t.Fatal("manual lock not held")
+	}
+	m.Release(1, rec(1, 1))
+	if m.NumLocks() != 0 {
+		t.Fatal("manual release failed")
+	}
+	if err := m.Request(2, rec(1, 1), X, Commit, true); err != nil {
+		t.Fatalf("lock not available after manual release: %v", err)
+	}
+}
+
+func TestHoldsAtLeast(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), SIX, Commit)
+	if !m.HoldsAtLeast(1, rec(1, 1), S) || !m.HoldsAtLeast(1, rec(1, 1), IX) {
+		t.Fatal("SIX should cover S and IX")
+	}
+	if m.HoldsAtLeast(1, rec(1, 1), X) {
+		t.Fatal("SIX should not cover X")
+	}
+	if m.HoldsAtLeast(2, rec(1, 1), IS) {
+		t.Fatal("non-holder reported as holder")
+	}
+}
+
+// TestStressMixedWorkload hammers the manager with conflicting requests and
+// verifies it neither hangs nor corrupts state. Deadlock victims retry.
+func TestStressMixedWorkload(t *testing.T) {
+	m := NewManager(&trace.Stats{})
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(o Owner) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n1 := rec(uint64(i%5), 0)
+				n2 := rec(uint64((i+1)%5), 0)
+				mode := S
+				if i%3 == 0 {
+					mode = X
+				}
+				if err := m.Request(o, n1, mode, Commit, false); err != nil {
+					m.ReleaseAll(o) // victim: rollback
+					continue
+				}
+				if err := m.Request(o, n2, mode, Commit, false); err != nil {
+					m.ReleaseAll(o)
+					continue
+				}
+				m.ReleaseAll(o)
+			}
+		}(Owner(g + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress workload hung")
+	}
+	if m.NumLocks() != 0 {
+		t.Fatalf("locks leaked: %d", m.NumLocks())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if X.String() != "X" || SIX.String() != "SIX" || Instant.String() != "instant" {
+		t.Fatal("stringers broken")
+	}
+	if SpaceRecord.String() != "record" || SpaceEOF.String() != "eof" {
+		t.Fatal("space stringers broken")
+	}
+	n := rec(7, 8)
+	if n.String() != "record(7,8)" {
+		t.Fatalf("Name.String = %q", n.String())
+	}
+}

@@ -1,0 +1,111 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic properties of the mode lattice, checked exhaustively and via
+// testing/quick (the generator drives random casts into the enum range).
+
+func allModes() []Mode {
+	return []Mode{ModeNone, IS, IX, S, SIX, X}
+}
+
+func TestSupremumLatticeLaws(t *testing.T) {
+	for _, a := range allModes() {
+		for _, b := range allModes() {
+			ab := Supremum(a, b)
+			if ab != Supremum(b, a) {
+				t.Fatalf("Supremum(%v,%v) not commutative", a, b)
+			}
+			if Supremum(a, a) != a {
+				t.Fatalf("Supremum(%v,%v) not idempotent", a, a)
+			}
+			// The supremum is an upper bound: re-joining either side is a
+			// no-op.
+			if Supremum(ab, a) != ab || Supremum(ab, b) != ab {
+				t.Fatalf("Supremum(%v,%v)=%v is not an upper bound", a, b, ab)
+			}
+			for _, c := range allModes() {
+				if Supremum(Supremum(a, b), c) != Supremum(a, Supremum(b, c)) {
+					t.Fatalf("Supremum not associative at (%v,%v,%v)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCompatibilityMonotonicity(t *testing.T) {
+	// Strengthening a mode can only REMOVE compatibility: if sup(a,b)=b
+	// (b at least as strong as a) then anything compatible with b is
+	// compatible with a.
+	for _, a := range allModes() {
+		for _, b := range allModes() {
+			if Supremum(a, b) != b {
+				continue
+			}
+			for _, c := range allModes() {
+				if Compatible(b, c) && !Compatible(a, c) {
+					t.Fatalf("weaker %v incompatible with %v while stronger %v is", a, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickCompatSymmetry(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a, b := Mode(x%6), Mode(y%6)
+		return Compatible(a, b) == Compatible(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInstantLocksLeaveTableEmpty(t *testing.T) {
+	// Property: any sequence of instant-duration locks by one owner leaves
+	// the lock table empty.
+	f := func(spaces, modes []uint8) bool {
+		m := NewManager(nil)
+		n := len(spaces)
+		if len(modes) < n {
+			n = len(modes)
+		}
+		for i := 0; i < n; i++ {
+			name := Name{Space: Space(spaces[i] % 7), A: uint64(i % 3)}
+			mode := Mode(modes[i]%5 + 1)
+			if err := m.Request(1, name, mode, Instant, false); err != nil {
+				return false
+			}
+		}
+		return m.NumLocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReleaseAllAlwaysEmpties(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewManager(nil)
+		for i, op := range ops {
+			owner := Owner(op%3 + 1)
+			name := Name{Space: Space(op % 5), A: uint64(op % 7)}
+			mode := Mode(op%5 + 1)
+			// Conditional so the single-goroutine property never blocks.
+			_ = m.Request(owner, name, mode, Commit, true)
+			if i%5 == 4 {
+				m.ReleaseAll(owner)
+			}
+		}
+		for o := Owner(1); o <= 3; o++ {
+			m.ReleaseAll(o)
+		}
+		return m.NumLocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

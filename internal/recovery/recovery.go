@@ -1,0 +1,340 @@
+// Package recovery implements ARIES restart recovery (paper §1.2) and
+// page-oriented media recovery (§5) for ariesim.
+//
+// Restart makes three passes over the log:
+//
+//   - analysis: from the last checkpoint to the end of the log, rebuilding
+//     the transaction table and dirty page table;
+//   - redo: from the minimum recLSN, repeating history — every logged page
+//     action (including CLRs, including in-flight transactions' updates)
+//     whose effect is missing from its page (page_LSN < record LSN) is
+//     reapplied, strictly page-oriented;
+//   - undo: the losers' updates are rolled back in a single global
+//     reverse-LSN sweep, writing CLRs; this global order is what
+//     guarantees that an incomplete SMO is undone before any logical undo
+//     needs to traverse its tree (§3 "Restart Undo Considerations").
+//
+// Locks are reacquired only for in-doubt (prepared) transactions, from
+// the lock lists carried in their prepare records.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/core"
+	"ariesim/internal/data"
+	"ariesim/internal/latch"
+	"ariesim/internal/lock"
+	"ariesim/internal/space"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// routeRedo dispatches one record's redo to its resource manager.
+func routeRedo(p *storage.Page, rec *wal.Record) error {
+	switch {
+	case rec.Op >= wal.OpIdxInsertKey && rec.Op <= wal.OpIdxUnfreePage:
+		return core.ApplyRedo(p, rec)
+	case rec.Op == wal.OpFSMAlloc || rec.Op == wal.OpFSMFree:
+		return space.ApplyRedo(p, rec)
+	case rec.Op >= wal.OpDataFormat && rec.Op <= wal.OpDataFree:
+		return data.ApplyRedo(p, rec)
+	default:
+		return fmt.Errorf("recovery: no resource manager for op %s", rec.Op)
+	}
+}
+
+// Report summarizes a restart for tests and the bench harness.
+type Report struct {
+	AnalyzedFrom  wal.LSN
+	RedoFrom      wal.LSN
+	RecordsSeen   int
+	RedosApplied  int
+	RedosSkipped  int
+	LosersUndone  int
+	InDoubt       []wal.TxID
+	LocksRestored int
+}
+
+// Restart runs the three recovery passes. The caller supplies the freshly
+// constructed (post-crash) managers: an empty lock manager, a transaction
+// manager with its undoer wired to the reopened index/record managers, and
+// a buffer pool over the surviving disk. stats may be nil.
+func Restart(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manager, stats *trace.Stats) (*Report, error) {
+	rep := &Report{}
+	txTable, dpt, maxTx, err := analyze(log, rep)
+	if err != nil {
+		return nil, err
+	}
+	tm.SetNextID(maxTx + 1)
+	if err := redo(log, pool, dpt, rep, stats); err != nil {
+		return nil, err
+	}
+	if err := reacquireLocks(log, tm, txTable, rep); err != nil {
+		return nil, err
+	}
+	if err := undoLosers(tm, txTable, rep); err != nil {
+		return nil, err
+	}
+	// Post-restart checkpoint bounds the next restart's analysis pass.
+	tm.Checkpoint(pool)
+	return rep, nil
+}
+
+// analyze rebuilds the transaction table and dirty page table.
+func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[storage.PageID]wal.LSN, wal.TxID, error) {
+	txTable := map[wal.TxID]*wal.TxTableEntry{}
+	dpt := map[storage.PageID]wal.LSN{}
+	var maxTx wal.TxID
+
+	start := wal.NilLSN + 1
+	if master := log.Master(); master != wal.NilLSN {
+		start = master
+		// Prime the tables from the checkpoint's end record.
+		var primed bool
+		log.Scan(master, func(r *wal.Record) bool {
+			if r.Type == wal.RecEndCkpt {
+				ckpt, err := wal.DecodeCheckpointData(r.Payload)
+				if err == nil {
+					for i := range ckpt.Txs {
+						e := ckpt.Txs[i]
+						txTable[e.TxID] = &e
+						if e.TxID > maxTx {
+							maxTx = e.TxID
+						}
+					}
+					for _, d := range ckpt.DPT {
+						dpt[d.Page] = d.RecLSN
+					}
+				}
+				primed = true
+				return false
+			}
+			return true
+		})
+		_ = primed
+	}
+	rep.AnalyzedFrom = start
+
+	log.Scan(start, func(r *wal.Record) bool {
+		rep.RecordsSeen++
+		if r.TxID != 0 {
+			if r.TxID > maxTx {
+				maxTx = r.TxID
+			}
+			e := txTable[r.TxID]
+			if e == nil {
+				e = &wal.TxTableEntry{TxID: r.TxID, State: wal.TxActive}
+				txTable[r.TxID] = e
+			}
+			e.LastLSN = r.LSN
+			switch {
+			case r.IsCLR():
+				e.UndoNxtLSN = r.UndoNxtLSN
+			case r.Type == wal.RecUpdate && r.RedoOnly:
+				// Never undone; leaves the chain untouched (mirrors txn.Log).
+			default:
+				e.UndoNxtLSN = r.LSN
+			}
+			switch r.Type {
+			case wal.RecCommit:
+				e.State = wal.TxCommitted
+			case wal.RecAbort:
+				e.State = wal.TxRollingBack
+			case wal.RecPrepare:
+				e.State = wal.TxPrepared
+			case wal.RecEnd:
+				delete(txTable, r.TxID)
+			}
+		}
+		if r.Redoable() {
+			if _, ok := dpt[r.Page]; !ok {
+				dpt[r.Page] = r.LSN
+			}
+		}
+		return true
+	})
+	// Committed-but-not-ended transactions need only their end record.
+	for id, e := range txTable {
+		if e.State == wal.TxCommitted {
+			delete(txTable, id)
+		}
+	}
+	return txTable, dpt, maxTx, nil
+}
+
+// redo repeats history from the minimum recLSN.
+func redo(log *wal.Log, pool *buffer.Pool, dpt map[storage.PageID]wal.LSN, rep *Report, stats *trace.Stats) error {
+	if len(dpt) == 0 {
+		return nil
+	}
+	redoFrom := wal.LSN(^uint64(0))
+	for _, l := range dpt {
+		if l < redoFrom {
+			redoFrom = l
+		}
+	}
+	rep.RedoFrom = redoFrom
+	var redoErr error
+	log.Scan(redoFrom, func(r *wal.Record) bool {
+		if !r.Redoable() {
+			return true
+		}
+		rec, ok := dpt[r.Page]
+		if !ok || r.LSN < rec {
+			return true
+		}
+		f, err := pool.Fix(r.Page)
+		if err != nil {
+			redoErr = err
+			return false
+		}
+		f.Latch.Acquire(latch.X)
+		if f.Page.LSN() < uint64(r.LSN) {
+			if err := routeRedo(f.Page, r); err != nil {
+				f.Latch.Release(latch.X)
+				pool.Unfix(f)
+				redoErr = fmt.Errorf("recovery: redo of %s: %w", r, err)
+				return false
+			}
+			f.Page.SetLSN(uint64(r.LSN))
+			pool.MarkDirty(f, r.LSN)
+			rep.RedosApplied++
+			if stats != nil {
+				stats.RedoApplied.Add(1)
+			}
+		} else {
+			rep.RedosSkipped++
+			if stats != nil {
+				stats.RedoSkipped.Add(1)
+			}
+		}
+		f.Latch.Release(latch.X)
+		pool.Unfix(f)
+		return true
+	})
+	return redoErr
+}
+
+// reacquireLocks restores the locks of in-doubt transactions from their
+// prepare records, so new transactions cannot see their uncommitted data.
+func reacquireLocks(log *wal.Log, tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Report) error {
+	for _, e := range txTable {
+		if e.State != wal.TxPrepared {
+			continue
+		}
+		rep.InDoubt = append(rep.InDoubt, e.TxID)
+		// Adopt the in-doubt transaction so the coordinator's eventual
+		// decision (commit or rollback) can be executed against it.
+		tm.AdoptLoser(*e)
+		// Find the prepare record by walking the PrevLSN chain.
+		lsn := e.LastLSN
+		for lsn != wal.NilLSN {
+			r, err := log.Read(lsn)
+			if err != nil {
+				return err
+			}
+			if r.Type == wal.RecPrepare {
+				specs, err := wal.DecodeLocks(r.Payload)
+				if err != nil {
+					return err
+				}
+				for _, s := range specs {
+					name := lock.Name{Space: lock.Space(s.Space), A: s.A, B: s.B}
+					if err := tm.Locks().Request(lock.Owner(e.TxID), name, lock.Mode(s.Mode), lock.Commit, false); err != nil {
+						return fmt.Errorf("recovery: reacquire %v for tx %d: %w", name, e.TxID, err)
+					}
+					rep.LocksRestored++
+				}
+				break
+			}
+			lsn = r.PrevLSN
+		}
+	}
+	sort.Slice(rep.InDoubt, func(i, j int) bool { return rep.InDoubt[i] < rep.InDoubt[j] })
+	return nil
+}
+
+// undoLosers rolls back every in-flight transaction in one global
+// reverse-LSN sweep, exactly as the ARIES undo pass prescribes.
+func undoLosers(tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Report) error {
+	losers := map[wal.TxID]*txn.Tx{}
+	for _, e := range txTable {
+		if e.State == wal.TxActive || e.State == wal.TxRollingBack {
+			losers[e.TxID] = tm.AdoptLoser(*e)
+		}
+	}
+	rep.LosersUndone = len(losers)
+	for len(losers) > 0 {
+		// Pick the loser with the maximum UndoNxtLSN.
+		var victim *txn.Tx
+		for _, t := range losers {
+			if t.UndoNxtLSN() == wal.NilLSN {
+				t.EndLoser()
+				delete(losers, t.ID)
+				continue
+			}
+			if victim == nil || t.UndoNxtLSN() > victim.UndoNxtLSN() {
+				victim = t
+			}
+		}
+		if victim == nil {
+			break
+		}
+		if err := victim.UndoStep(); err != nil {
+			return err
+		}
+		if victim.UndoNxtLSN() == wal.NilLSN {
+			victim.EndLoser()
+			delete(losers, victim.ID)
+		}
+	}
+	return nil
+}
+
+// ImageCopy is a fuzzy archive dump: a point-in-time copy of the disk
+// pages plus the stable-log position at dump time. It is taken without
+// quiescing anything (the log makes the copy action-consistent).
+type ImageCopy struct {
+	Pages   map[storage.PageID][]byte
+	DumpLSN wal.LSN
+}
+
+// TakeImageCopy snapshots the disk for media recovery.
+func TakeImageCopy(disk *storage.Disk, log *wal.Log) *ImageCopy {
+	return &ImageCopy{Pages: disk.Snapshot(), DumpLSN: log.StableLSN()}
+}
+
+// RecoverPage rebuilds a single damaged page from the image copy plus one
+// forward pass of the log — the paper's §5 page-oriented media recovery:
+// no tree traversal, no other pages, index pages handled exactly like data
+// pages.
+func RecoverPage(disk *storage.Disk, log *wal.Log, img *ImageCopy, pid storage.PageID) error {
+	page := storage.NewPage(disk.PageSize())
+	if b, ok := img.Pages[pid]; ok {
+		copy(page.Bytes(), b)
+	}
+	var applyErr error
+	log.Scan(wal.NilLSN+1, func(r *wal.Record) bool {
+		if r.Page != pid || !r.Redoable() {
+			return true
+		}
+		if page.LSN() >= uint64(r.LSN) {
+			return true
+		}
+		if err := routeRedo(page, r); err != nil {
+			applyErr = fmt.Errorf("recovery: media redo of %s: %w", r, err)
+			return false
+		}
+		page.SetLSN(uint64(r.LSN))
+		return true
+	})
+	if applyErr != nil {
+		return applyErr
+	}
+	return disk.Write(pid, page.Bytes())
+}

@@ -1,0 +1,262 @@
+package recovery
+
+import (
+	"testing"
+
+	"ariesim/internal/core"
+	"ariesim/internal/wal"
+)
+
+// cutAfter truncates the stable log right after the first record of the
+// given op logged by tx, simulating a crash at that exact point.
+func (e *env) cutAfter(t *testing.T, tx wal.TxID, op wal.OpCode) bool {
+	t.Helper()
+	for _, r := range e.log.Records(1) {
+		if r.TxID == tx && r.Op == op {
+			e.log.TruncateTo(r.LSN)
+			e.pool.Crash()
+			return true
+		}
+	}
+	return false
+}
+
+// expectCLRs asserts that restart wrote at least one CLR with each op.
+func (e *env) expectCLRs(t *testing.T, ops ...wal.OpCode) {
+	t.Helper()
+	seen := map[wal.OpCode]bool{}
+	for _, r := range e.log.Records(1) {
+		if r.Type == wal.RecCLR {
+			seen[r.Op] = true
+		}
+	}
+	for _, op := range ops {
+		if !seen[op] {
+			t.Errorf("no CLR with op %s written during restart", op)
+		}
+	}
+}
+
+// TestCrashAfterSplitParentPost cuts the log right after the separator was
+// posted to the parent but before the dummy CLR: restart must unwind the
+// whole split page-oriented (unsplit-parent, unsplit-left, free the new
+// page, free its FSM bit).
+func TestCrashAfterSplitParentPost(t *testing.T) {
+	e := newEnv(t, core.Config{ID: 1})
+	// A committed two-level tree, so the loser's split posts a separator
+	// to an existing parent instead of splitting the root.
+	setup := e.tm.Begin()
+	e.insertRange(setup, 0, 150)
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.ix.Height(); h < 2 {
+		t.Fatal("setup tree too short")
+	}
+	tx := e.tm.Begin()
+	i := 150
+	hasParentPost := func() bool {
+		for _, r := range e.log.Records(1) {
+			if r.TxID == tx.ID && r.Op == wal.OpIdxSplitParent {
+				return true
+			}
+		}
+		return false
+	}
+	for !hasParentPost() {
+		if err := e.ix.Insert(tx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i > 2000 {
+			t.Fatal("no parent-posting split")
+		}
+	}
+	if !e.cutAfter(t, tx.ID, wal.OpIdxSplitParent) {
+		t.Fatal("cut point vanished")
+	}
+	e.restart()
+	e.expectCLRs(t, wal.OpIdxUnsplitParent, wal.OpIdxUnsplitLeft, wal.OpFSMFree)
+	want := map[int]bool{}
+	for j := 0; j < 150; j++ {
+		want[j] = true
+	}
+	for j := 150; j < i; j++ {
+		want[j] = false
+	}
+	e.expectKeySet(want)
+}
+
+// TestCrashDuringRootSplit cuts the log right after the root's physical
+// replacement: restart undoes it via the before-image CLR and frees the
+// two fresh children.
+func TestCrashDuringRootSplit(t *testing.T) {
+	e := newEnv(t, core.Config{ID: 1})
+	tx := e.tm.Begin()
+	i := 0
+	for e.stats.PageSplits.Load() == 0 {
+		if err := e.ix.Insert(tx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		if i > 500 {
+			t.Fatal("no split")
+		}
+	}
+	// The first split of a fresh index is a root split.
+	if !e.cutAfter(t, tx.ID, wal.OpIdxReplacePage) {
+		t.Fatal("no root replace record found")
+	}
+	e.restart()
+	e.expectCLRs(t, wal.OpIdxReplacePage, wal.OpIdxFreePage, wal.OpFSMFree)
+	e.expectKeySet(map[int]bool{}) // the whole tx is a loser
+	// The root is a leaf again, and usable.
+	if h, err := e.ix.Height(); err != nil || h != 1 {
+		t.Fatalf("height after unwound root split = %d, %v", h, err)
+	}
+	redo := e.tm.Begin()
+	if err := e.ix.Insert(redo, key(999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := redo.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDuringPageDeleteChainFix cuts the log after the sibling chain
+// was rewired but before the parent entry was removed: restart restores
+// the chain and the deleted key page-oriented.
+func TestCrashDuringPageDeleteChainFix(t *testing.T) {
+	e := newEnv(t, core.Config{ID: 1})
+	setup := e.tm.Begin()
+	e.insertRange(setup, 0, 120)
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.tm.Begin()
+	i := 0
+	for e.stats.PageDeletes.Load() == 0 && i < 120 {
+		if err := e.ix.Delete(tx, key(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	if e.stats.PageDeletes.Load() == 0 {
+		t.Fatal("no page delete")
+	}
+	if !e.cutAfter(t, tx.ID, wal.OpIdxChainFix) {
+		t.Fatal("no chain-fix record found")
+	}
+	e.restart()
+	// The chain fix was compensated with its swapped-payload twin.
+	clrChainFixes := 0
+	for _, r := range e.log.Records(1) {
+		if r.Type == wal.RecCLR && r.Op == wal.OpIdxChainFix {
+			clrChainFixes++
+		}
+	}
+	if clrChainFixes == 0 {
+		t.Fatal("chain fix not compensated")
+	}
+	// Everything the loser deleted is back.
+	want := map[int]bool{}
+	for j := 0; j < 120; j++ {
+		want[j] = true
+	}
+	e.expectKeySet(want)
+}
+
+// TestCrashDuringRootCollapse drives the tree up and back down so the root
+// collapse (ReplacePage + child free) appears in the log, then cuts inside
+// it.
+func TestCrashDuringRootCollapse(t *testing.T) {
+	e := newEnv(t, core.Config{ID: 1})
+	setup := e.tm.Begin()
+	e.insertRange(setup, 0, 200)
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := e.ix.Height(); h < 2 {
+		t.Fatal("tree too short")
+	}
+	// Drain almost everything in one loser transaction: collapses occur.
+	tx := e.tm.Begin()
+	e.deleteRange(tx, 0, 199)
+	// Find a ReplacePage logged by the DRAIN (a collapse, not a split).
+	if !e.cutAfter(t, tx.ID, wal.OpIdxReplacePage) {
+		t.Skip("drain caused no root collapse on this geometry")
+	}
+	e.restart()
+	// All 200 keys are back (the whole drain was a loser), and the tree
+	// is structurally sound despite the interrupted collapse.
+	want := map[int]bool{}
+	for j := 0; j < 200; j++ {
+		want[j] = true
+	}
+	e.expectKeySet(want)
+}
+
+// TestCrashAtEveryRecordOfOneSplit sweeps every single cut point through
+// one split SMO — the finest-grained structural-consistency check.
+func TestCrashAtEveryRecordOfOneSplit(t *testing.T) {
+	build := func() (*env, wal.LSN, wal.LSN, int) {
+		e := newEnv(t, core.Config{ID: 1})
+		setup := e.tm.Begin()
+		e.insertRange(setup, 0, 20)
+		if err := setup.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tx := e.tm.Begin()
+		splitStart := wal.LSN(0)
+		i := 20
+		for e.stats.PageSplits.Load() == 0 {
+			if err := e.ix.Insert(tx, key(i)); err != nil {
+				t.Fatal(err)
+			}
+			i++
+			if i > 500 {
+				t.Fatal("no split")
+			}
+		}
+		// Locate the SMO region: first FSMAlloc by tx to the dummy CLR.
+		var end wal.LSN
+		for _, r := range e.log.Records(1) {
+			if r.TxID == tx.ID && r.Op == wal.OpFSMAlloc && splitStart == 0 {
+				splitStart = r.LSN
+			}
+			if r.TxID == tx.ID && r.Type == wal.RecDummyCLR {
+				end = r.LSN
+			}
+		}
+		if splitStart == 0 || end == 0 {
+			t.Fatal("SMO region not found")
+		}
+		return e, splitStart, end, i
+	}
+	probe, start, end, _ := build()
+	var cuts []wal.LSN
+	for _, r := range probe.log.Records(start) {
+		if r.LSN > end {
+			break
+		}
+		cuts = append(cuts, r.LSN)
+	}
+	if len(cuts) < 4 {
+		t.Fatalf("only %d records in the SMO region", len(cuts))
+	}
+	for _, cut := range cuts {
+		cut := cut
+		e, _, _, inserted := build()
+		e.log.TruncateTo(cut)
+		e.pool.Crash()
+		e.restart()
+		want := map[int]bool{}
+		for j := 0; j < 20; j++ {
+			want[j] = true
+		}
+		for j := 20; j < inserted; j++ {
+			want[j] = false
+		}
+		e.expectKeySet(want)
+	}
+}

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Free-space-map codec.
+//
+// Page allocation must be recoverable: a page split allocates a page, and
+// repeating history at restart must reproduce that allocation. ariesim
+// therefore keeps the allocator's state in an ordinary page (FSMPageID)
+// whose bitmap is mutated only through logged operations, all inside the
+// same nested top action as the SMO that needed the page (DESIGN.md §4).
+//
+// The bitmap occupies the page body after the header: bit b set means page
+// (FirstAllocatablePageID + b) is allocated. One 4 KiB FSM page manages
+// ~32k pages (≈128 MiB at 4 KiB pages), ample for the reproduction; the
+// codec reports exhaustion explicitly.
+
+// ErrDiskFull reports FSM bitmap exhaustion.
+var ErrDiskFull = errors.New("storage: free-space map exhausted")
+
+// FSMCapacity returns how many pages an FSM page of the given size manages.
+func FSMCapacity(pageSize int) int { return (pageSize - headerSize) * 8 }
+
+// FormatFSM initializes p as the free-space-map page.
+func FormatFSM(p *Page) {
+	p.Format(FSMPageID, PageTypeFSM, 0)
+}
+
+// FSMBitForPage maps a page ID to its bitmap index.
+func FSMBitForPage(id PageID) (int, error) {
+	if id < FirstAllocatablePageID {
+		return 0, fmt.Errorf("storage: page %d is not FSM-managed", id)
+	}
+	return int(id - FirstAllocatablePageID), nil
+}
+
+// FSMPageForBit maps a bitmap index back to a page ID.
+func FSMPageForBit(bit int) PageID {
+	return FirstAllocatablePageID + PageID(bit)
+}
+
+// FSMIsSet reports whether bit is set (page allocated) in the FSM page.
+func FSMIsSet(p *Page, bit int) bool {
+	byteOff := headerSize + bit/8
+	if byteOff >= p.Size() {
+		return false
+	}
+	return p.b[byteOff]&(1<<(bit%8)) != 0
+}
+
+// FSMSet sets or clears an allocation bit. This is the physical action
+// described by FSM log records; redo and undo both funnel through it.
+func FSMSet(p *Page, bit int, on bool) error {
+	byteOff := headerSize + bit/8
+	if byteOff >= p.Size() {
+		return ErrDiskFull
+	}
+	mask := byte(1) << (bit % 8)
+	if on {
+		p.b[byteOff] |= mask
+	} else {
+		p.b[byteOff] &^= mask
+	}
+	return nil
+}
+
+// FSMFindFree returns the lowest clear bit, i.e. the next page to allocate.
+func FSMFindFree(p *Page) (int, error) {
+	body := p.b[headerSize:]
+	for i, by := range body {
+		if by == 0xFF {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			if by&(1<<j) == 0 {
+				return i*8 + j, nil
+			}
+		}
+	}
+	return 0, ErrDiskFull
+}
+
+// FSMCountAllocated returns the number of set bits (verification sweeps).
+func FSMCountAllocated(p *Page) int {
+	n := 0
+	for _, by := range p.b[headerSize:] {
+		for ; by != 0; by &= by - 1 {
+			n++
+		}
+	}
+	return n
+}

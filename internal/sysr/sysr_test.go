@@ -1,0 +1,52 @@
+package sysr
+
+import (
+	"testing"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/core"
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+func TestFacadeCreatesSystemRIndex(t *testing.T) {
+	stats := &trace.Stats{}
+	disk := storage.NewDisk(512)
+	log := wal.NewLog(stats)
+	pool := buffer.NewPool(disk, log, 64, stats)
+	locks := lock.NewManager(stats)
+	tm := txn.NewManager(log, locks)
+	im := core.NewManager(pool, stats)
+	tm.SetUndoer(im)
+
+	tx := tm.Begin()
+	ix, err := CreateIndex(tx, im, 7, true, lock.GranRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Protocol() != core.SystemR {
+		t.Fatalf("protocol = %v", ix.Protocol())
+	}
+	// An insert acquires a commit-duration index PAGE lock, the System R
+	// signature, and it lives until commit.
+	w := tm.Begin()
+	if err := ix.Insert(w, storage.Key{Val: []byte("sysr"), RID: storage.RID{Page: 9, Slot: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	pageLock := lock.IndexPageName(uint64(ix.ID()), uint64(ix.Root()))
+	if !locks.HoldsAtLeast(lock.Owner(w.ID), pageLock, lock.X) {
+		t.Fatal("System R insert left no commit-duration page lock")
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if locks.NumLocks() != 0 {
+		t.Fatal("locks leaked past commit")
+	}
+}

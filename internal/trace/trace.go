@@ -1,0 +1,334 @@
+// Package trace provides the instrumentation substrate for ariesim.
+//
+// ARIES/IM's evaluation is expressed in counts: locks acquired (by name
+// space, mode, and duration), latch acquisitions and waits, pages fixed,
+// log records and bytes written, synchronous I/Os, and tree traversals
+// performed during redo/undo. Every component of the engine reports into a
+// Stats sink so that the benchmark harness can regenerate the paper's
+// Figure 2 table and quantify the qualitative claims (fewer locks than
+// ARIES/KVL and System R, page-oriented redo, readers unblocked by SMOs).
+//
+// All counters are updateable concurrently; Snapshot produces a consistent-
+// enough copy for reporting (individual counters are atomic; cross-counter
+// skew is irrelevant for the quantities measured).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Dimension bounds for the lock-call table. These mirror the enums in the
+// lock package; trace stays dependency-free so every layer can import it.
+const (
+	MaxSpaces    = 12
+	MaxModes     = 8
+	MaxDurations = 4
+)
+
+// Stats is a sink of engine counters. The zero value is ready to use.
+// A nil *Stats is also valid: every method is a no-op, so hot paths can be
+// instrumented unconditionally.
+type Stats struct {
+	// Lock manager.
+	lockCalls   [MaxSpaces][MaxModes][MaxDurations]atomic.Uint64
+	LockWaits   atomic.Uint64 // requests that could not be granted immediately
+	LockDenials atomic.Uint64 // conditional requests denied
+	Deadlocks   atomic.Uint64
+
+	// Latches.
+	LatchAcquires     atomic.Uint64
+	LatchWaits        atomic.Uint64 // unconditional acquisitions that blocked
+	LatchTryFailures  atomic.Uint64 // conditional acquisitions denied
+	TreeLatchAcquires atomic.Uint64
+	TreeLatchWaits    atomic.Uint64
+
+	// Buffer pool.
+	PageFixes   atomic.Uint64
+	PageMisses  atomic.Uint64 // fixes that required a disk read
+	PageWrites  atomic.Uint64 // dirty pages written to disk (steal or flush)
+	PageEvicted atomic.Uint64
+
+	// Log.
+	LogRecords atomic.Uint64
+	LogBytes   atomic.Uint64
+	LogForces  atomic.Uint64 // synchronous force operations
+
+	// Index manager.
+	Traversals        atomic.Uint64 // root-to-leaf tree traversals
+	LeafReposition    atomic.Uint64 // fetch-next repositionings after LSN change
+	SMOs              atomic.Uint64 // page splits + page deletions
+	PageSplits        atomic.Uint64
+	PageDeletes       atomic.Uint64
+	UndoPageOriented  atomic.Uint64 // undos applied without a traversal
+	UndoLogical       atomic.Uint64 // undos that retraversed the tree
+	RedoApplied       atomic.Uint64 // log records redone at restart
+	RedoSkipped       atomic.Uint64 // redo candidates already on the page
+	AmbiguityRestarts atomic.Uint64 // Fig 4 "unwind recursion" events
+	SMBitWaits        atomic.Uint64 // operations delayed by SM_Bit
+	DeleteBitPOSCs    atomic.Uint64 // points of structural consistency forced by Delete_Bit
+}
+
+// mu guards spaceNames / modeNames / durationNames registration.
+var (
+	namesMu       sync.RWMutex
+	spaceNames    = map[int]string{}
+	modeNames     = map[int]string{}
+	durationNames = map[int]string{}
+)
+
+// RegisterSpaceName associates a human-readable label with a lock name
+// space index for table rendering.
+func RegisterSpaceName(space int, name string) {
+	namesMu.Lock()
+	defer namesMu.Unlock()
+	spaceNames[space] = name
+}
+
+// RegisterModeName associates a label with a lock mode index.
+func RegisterModeName(mode int, name string) {
+	namesMu.Lock()
+	defer namesMu.Unlock()
+	modeNames[mode] = name
+}
+
+// RegisterDurationName associates a label with a lock duration index.
+func RegisterDurationName(d int, name string) {
+	namesMu.Lock()
+	defer namesMu.Unlock()
+	durationNames[d] = name
+}
+
+func spaceName(i int) string    { return lookupName(spaceNames, i, "space") }
+func modeName(i int) string     { return lookupName(modeNames, i, "mode") }
+func durationName(i int) string { return lookupName(durationNames, i, "dur") }
+
+func lookupName(m map[int]string, i int, kind string) string {
+	namesMu.RLock()
+	defer namesMu.RUnlock()
+	if s, ok := m[i]; ok {
+		return s
+	}
+	return fmt.Sprintf("%s%d", kind, i)
+}
+
+// CountLock records one lock request in the (space, mode, duration) cell.
+// Out-of-range indices are clamped into the table so an unregistered
+// dimension can never panic a production path.
+func (s *Stats) CountLock(space, mode, duration int) {
+	if s == nil {
+		return
+	}
+	s.lockCalls[clamp(space, MaxSpaces)][clamp(mode, MaxModes)][clamp(duration, MaxDurations)].Add(1)
+}
+
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// LockCalls returns the count for one cell.
+func (s *Stats) LockCalls(space, mode, duration int) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.lockCalls[clamp(space, MaxSpaces)][clamp(mode, MaxModes)][clamp(duration, MaxDurations)].Load()
+}
+
+// TotalLockCalls sums the lock table.
+func (s *Stats) TotalLockCalls() uint64 {
+	if s == nil {
+		return 0
+	}
+	var t uint64
+	for i := range s.lockCalls {
+		for j := range s.lockCalls[i] {
+			for k := range s.lockCalls[i][j] {
+				t += s.lockCalls[i][j][k].Load()
+			}
+		}
+	}
+	return t
+}
+
+// Add is a nil-safe increment helper for the scalar counters.
+func Add(c *atomic.Uint64, n uint64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// Inc is a nil-safe helper used by components holding a possibly-nil Stats.
+func (s *Stats) Inc(c *atomic.Uint64) {
+	if s == nil || c == nil {
+		return
+	}
+	c.Add(1)
+}
+
+// Snapshot is a plain-value copy of all counters, suitable for diffing
+// around a measured region.
+type Snapshot struct {
+	LockCalls [MaxSpaces][MaxModes][MaxDurations]uint64
+
+	LockWaits, LockDenials, Deadlocks                         uint64
+	LatchAcquires, LatchWaits, LatchTryFailures               uint64
+	TreeLatchAcquires, TreeLatchWaits                         uint64
+	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
+	LogRecords, LogBytes, LogForces                           uint64
+	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
+	UndoPageOriented, UndoLogical, RedoApplied, RedoSkipped   uint64
+	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
+}
+
+// Snap copies the current counter values.
+func (s *Stats) Snap() Snapshot {
+	var out Snapshot
+	if s == nil {
+		return out
+	}
+	for i := range s.lockCalls {
+		for j := range s.lockCalls[i] {
+			for k := range s.lockCalls[i][j] {
+				out.LockCalls[i][j][k] = s.lockCalls[i][j][k].Load()
+			}
+		}
+	}
+	out.LockWaits = s.LockWaits.Load()
+	out.LockDenials = s.LockDenials.Load()
+	out.Deadlocks = s.Deadlocks.Load()
+	out.LatchAcquires = s.LatchAcquires.Load()
+	out.LatchWaits = s.LatchWaits.Load()
+	out.LatchTryFailures = s.LatchTryFailures.Load()
+	out.TreeLatchAcquires = s.TreeLatchAcquires.Load()
+	out.TreeLatchWaits = s.TreeLatchWaits.Load()
+	out.PageFixes = s.PageFixes.Load()
+	out.PageMisses = s.PageMisses.Load()
+	out.PageWrites = s.PageWrites.Load()
+	out.PageEvicted = s.PageEvicted.Load()
+	out.LogRecords = s.LogRecords.Load()
+	out.LogBytes = s.LogBytes.Load()
+	out.LogForces = s.LogForces.Load()
+	out.Traversals = s.Traversals.Load()
+	out.LeafReposition = s.LeafReposition.Load()
+	out.SMOs = s.SMOs.Load()
+	out.PageSplits = s.PageSplits.Load()
+	out.PageDeletes = s.PageDeletes.Load()
+	out.UndoPageOriented = s.UndoPageOriented.Load()
+	out.UndoLogical = s.UndoLogical.Load()
+	out.RedoApplied = s.RedoApplied.Load()
+	out.RedoSkipped = s.RedoSkipped.Load()
+	out.AmbiguityRestarts = s.AmbiguityRestarts.Load()
+	out.SMBitWaits = s.SMBitWaits.Load()
+	out.DeleteBitPOSCs = s.DeleteBitPOSCs.Load()
+	return out
+}
+
+// Diff returns after - before, cell-wise.
+func Diff(before, after Snapshot) Snapshot {
+	var d Snapshot
+	for i := range d.LockCalls {
+		for j := range d.LockCalls[i] {
+			for k := range d.LockCalls[i][j] {
+				d.LockCalls[i][j][k] = after.LockCalls[i][j][k] - before.LockCalls[i][j][k]
+			}
+		}
+	}
+	d.LockWaits = after.LockWaits - before.LockWaits
+	d.LockDenials = after.LockDenials - before.LockDenials
+	d.Deadlocks = after.Deadlocks - before.Deadlocks
+	d.LatchAcquires = after.LatchAcquires - before.LatchAcquires
+	d.LatchWaits = after.LatchWaits - before.LatchWaits
+	d.LatchTryFailures = after.LatchTryFailures - before.LatchTryFailures
+	d.TreeLatchAcquires = after.TreeLatchAcquires - before.TreeLatchAcquires
+	d.TreeLatchWaits = after.TreeLatchWaits - before.TreeLatchWaits
+	d.PageFixes = after.PageFixes - before.PageFixes
+	d.PageMisses = after.PageMisses - before.PageMisses
+	d.PageWrites = after.PageWrites - before.PageWrites
+	d.PageEvicted = after.PageEvicted - before.PageEvicted
+	d.LogRecords = after.LogRecords - before.LogRecords
+	d.LogBytes = after.LogBytes - before.LogBytes
+	d.LogForces = after.LogForces - before.LogForces
+	d.Traversals = after.Traversals - before.Traversals
+	d.LeafReposition = after.LeafReposition - before.LeafReposition
+	d.SMOs = after.SMOs - before.SMOs
+	d.PageSplits = after.PageSplits - before.PageSplits
+	d.PageDeletes = after.PageDeletes - before.PageDeletes
+	d.UndoPageOriented = after.UndoPageOriented - before.UndoPageOriented
+	d.UndoLogical = after.UndoLogical - before.UndoLogical
+	d.RedoApplied = after.RedoApplied - before.RedoApplied
+	d.RedoSkipped = after.RedoSkipped - before.RedoSkipped
+	d.AmbiguityRestarts = after.AmbiguityRestarts - before.AmbiguityRestarts
+	d.SMBitWaits = after.SMBitWaits - before.SMBitWaits
+	d.DeleteBitPOSCs = after.DeleteBitPOSCs - before.DeleteBitPOSCs
+	return d
+}
+
+// TotalLocks sums every lock-call cell in the snapshot.
+func (sn Snapshot) TotalLocks() uint64 {
+	var t uint64
+	for i := range sn.LockCalls {
+		for j := range sn.LockCalls[i] {
+			for k := range sn.LockCalls[i][j] {
+				t += sn.LockCalls[i][j][k]
+			}
+		}
+	}
+	return t
+}
+
+// LockCell describes one nonzero entry of the lock table in a snapshot.
+type LockCell struct {
+	Space, Mode, Duration string
+	Count                 uint64
+}
+
+// NonzeroLockCells returns the nonzero lock-table entries with registered
+// labels, ordered deterministically (by space, mode, duration index).
+func (sn Snapshot) NonzeroLockCells() []LockCell {
+	var cells []LockCell
+	for i := range sn.LockCalls {
+		for j := range sn.LockCalls[i] {
+			for k := range sn.LockCalls[i][j] {
+				if n := sn.LockCalls[i][j][k]; n > 0 {
+					cells = append(cells, LockCell{
+						Space:    spaceName(i),
+						Mode:     modeName(j),
+						Duration: durationName(k),
+						Count:    n,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// FormatLockTable renders the nonzero lock-table entries as an aligned
+// text table, the building block of the Figure 2 reproduction.
+func (sn Snapshot) FormatLockTable() string {
+	cells := sn.NonzeroLockCells()
+	if len(cells) == 0 {
+		return "(no locks acquired)\n"
+	}
+	sort.SliceStable(cells, func(a, b int) bool {
+		if cells[a].Space != cells[b].Space {
+			return cells[a].Space < cells[b].Space
+		}
+		return cells[a].Mode < cells[b].Mode
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-5s %-8s %8s\n", "SPACE", "MODE", "DURATION", "COUNT")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-12s %-5s %-8s %8d\n", c.Space, c.Mode, c.Duration, c.Count)
+	}
+	return b.String()
+}

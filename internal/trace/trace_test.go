@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.CountLock(1, 2, 1) // must not panic
+	if s.LockCalls(1, 2, 1) != 0 || s.TotalLockCalls() != 0 {
+		t.Fatal("nil stats returned nonzero")
+	}
+	sn := s.Snap()
+	if sn.TotalLocks() != 0 {
+		t.Fatal("nil snapshot nonzero")
+	}
+}
+
+func TestLockTableClamping(t *testing.T) {
+	s := &Stats{}
+	s.CountLock(-5, 999, -1) // clamped, not panicking
+	if s.TotalLockCalls() != 1 {
+		t.Fatalf("clamped count = %d", s.TotalLockCalls())
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	s := &Stats{}
+	s.CountLock(1, 3, 2)
+	s.Traversals.Add(5)
+	before := s.Snap()
+	s.CountLock(1, 3, 2)
+	s.CountLock(2, 5, 0)
+	s.Traversals.Add(2)
+	d := Diff(before, s.Snap())
+	if d.LockCalls[1][3][2] != 1 || d.LockCalls[2][5][0] != 1 {
+		t.Fatalf("diff cells wrong: %+v", d.LockCalls[1][3][2])
+	}
+	if d.Traversals != 2 {
+		t.Fatalf("diff traversals = %d", d.Traversals)
+	}
+	if d.TotalLocks() != 2 {
+		t.Fatalf("diff total = %d", d.TotalLocks())
+	}
+}
+
+func TestFormatLockTable(t *testing.T) {
+	RegisterSpaceName(1, "record")
+	RegisterModeName(3, "S")
+	RegisterDurationName(2, "commit")
+	s := &Stats{}
+	s.CountLock(1, 3, 2)
+	out := s.Snap().FormatLockTable()
+	for _, want := range []string{"record", "S", "commit", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	empty := (&Stats{}).Snap().FormatLockTable()
+	if !strings.Contains(empty, "no locks") {
+		t.Fatalf("empty table = %q", empty)
+	}
+}
+
+func TestUnregisteredNamesFallBack(t *testing.T) {
+	s := &Stats{}
+	s.CountLock(9, 6, 3) // nothing registered at these indices
+	cells := s.Snap().NonzeroLockCells()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %v", cells)
+	}
+	if cells[0].Space == "" || cells[0].Mode == "" {
+		t.Fatal("fallback names empty")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	s := &Stats{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.CountLock(i%4, i%6, i%3)
+				s.PageFixes.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.TotalLockCalls() != 8000 {
+		t.Fatalf("total = %d", s.TotalLockCalls())
+	}
+	if s.PageFixes.Load() != 8000 {
+		t.Fatalf("fixes = %d", s.PageFixes.Load())
+	}
+}

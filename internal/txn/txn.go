@@ -1,0 +1,427 @@
+// Package txn implements ariesim's transaction manager: the transaction
+// table, commit (force-at-commit), total and partial rollback driven by
+// the UndoNxtLSN chain, nested top actions (dummy CLRs), two-phase-commit
+// prepare, and fuzzy checkpoints.
+//
+// Rollback follows ARIES (paper §1.2): records are undone in reverse
+// chronological order; every undo writes a compensation log record whose
+// UndoNxtLSN points at the predecessor of the record undone, so logging is
+// bounded even across repeated failures. A nested top action's dummy CLR
+// points just before the action began, letting rollback bypass it — the
+// mechanism ARIES/IM uses to make completed SMOs permanent regardless of
+// the enclosing transaction's fate (paper §3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/wal"
+)
+
+// Undoer compensates one undoable log record on behalf of tx. The
+// implementation (the owning resource manager) must apply the inverse page
+// action and log it with tx.LogCLR, passing rec.PrevLSN as the undo-next
+// pointer; it may first perform logical undo work (tree traversal, SMOs
+// logged as regular records inside a nested top action).
+type Undoer interface {
+	Undo(tx *Tx, rec *wal.Record) error
+}
+
+// ErrTxDone reports an operation on a finished transaction.
+var ErrTxDone = errors.New("txn: transaction already finished")
+
+// Tx is one transaction. A Tx is driven by a single goroutine; the small
+// mutex exists only so the fuzzy checkpointer can snapshot its fields.
+type Tx struct {
+	ID wal.TxID
+
+	mu          sync.Mutex
+	state       wal.TxState
+	lastLSN     wal.LSN
+	undoNxtLSN  wal.LSN
+	rollingBack bool
+
+	mgr *Manager
+}
+
+// State returns the transaction's current state.
+func (t *Tx) State() wal.TxState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// LastLSN returns the LSN of the transaction's most recent log record.
+func (t *Tx) LastLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// UndoNxtLSN returns the next record rollback would examine.
+func (t *Tx) UndoNxtLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.undoNxtLSN
+}
+
+// Manager owns the transaction table. Like the lock table, it is volatile:
+// restart rebuilds it from the log during analysis.
+type Manager struct {
+	mu     sync.Mutex
+	table  map[wal.TxID]*Tx
+	nextID wal.TxID
+
+	log    *wal.Log
+	locks  *lock.Manager
+	undoer Undoer
+}
+
+// NewManager creates a transaction manager over log and locks.
+func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
+	return &Manager{table: make(map[wal.TxID]*Tx), nextID: 1, log: log, locks: locks}
+}
+
+// SetUndoer wires the resource-manager undo dispatcher (done once at
+// engine assembly; a separate call breaks the package cycle).
+func (m *Manager) SetUndoer(u Undoer) { m.undoer = u }
+
+// Locks exposes the lock manager (index/record managers lock through tx).
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Log exposes the log manager.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// SetNextID ensures future transaction IDs start above id (restart sets
+// this to one past the highest ID seen in the log, preventing reuse).
+func (m *Manager) SetNextID(id wal.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Tx{ID: m.nextID, state: wal.TxActive, mgr: m}
+	m.nextID++
+	m.table[t.ID] = t
+	return t
+}
+
+// adopt installs a reconstructed transaction (restart undo of losers).
+func (m *Manager) adopt(t *Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t.mgr = m
+	m.table[t.ID] = t
+	if t.ID >= m.nextID {
+		m.nextID = t.ID + 1
+	}
+}
+
+// AdoptLoser reconstructs an in-flight transaction from analysis output so
+// the undo pass (or in-doubt handling) can drive it.
+func (m *Manager) AdoptLoser(e wal.TxTableEntry) *Tx {
+	t := &Tx{ID: e.TxID, state: e.State, lastLSN: e.LastLSN, undoNxtLSN: e.UndoNxtLSN}
+	if e.State == wal.TxRollingBack {
+		t.rollingBack = true
+	}
+	m.adopt(t)
+	return t
+}
+
+// Lookup returns the live transaction with the given ID, if any.
+func (m *Manager) Lookup(id wal.TxID) *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.table[id]
+}
+
+// Active snapshots the transaction table for a fuzzy checkpoint.
+func (m *Manager) Active() []wal.TxTableEntry {
+	m.mu.Lock()
+	txs := make([]*Tx, 0, len(m.table))
+	for _, t := range m.table {
+		txs = append(txs, t)
+	}
+	m.mu.Unlock()
+	out := make([]wal.TxTableEntry, 0, len(txs))
+	for _, t := range txs {
+		t.mu.Lock()
+		out = append(out, wal.TxTableEntry{TxID: t.ID, State: t.state, LastLSN: t.lastLSN, UndoNxtLSN: t.undoNxtLSN})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+func (m *Manager) finish(t *Tx) {
+	m.mu.Lock()
+	delete(m.table, t.ID)
+	m.mu.Unlock()
+}
+
+// Lock requests a lock on behalf of the transaction.
+func (t *Tx) Lock(name lock.Name, mode lock.Mode, dur lock.Duration, conditional bool) error {
+	return t.mgr.locks.Request(lock.Owner(t.ID), name, mode, dur, conditional)
+}
+
+// Unlock releases one manual-duration lock.
+func (t *Tx) Unlock(name lock.Name) { t.mgr.locks.Release(lock.Owner(t.ID), name) }
+
+// IsRollingBack reports whether the transaction is mid-rollback; rolling-
+// back transactions never request locks (§4), so protocol code consults
+// this before acquiring baseline-specific locks on undo paths.
+func (t *Tx) IsRollingBack() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rollingBack
+}
+
+// HoldsLock reports whether the transaction holds any lock on name.
+func (t *Tx) HoldsLock(name lock.Name) bool {
+	return t.mgr.locks.HoldsAtLeast(lock.Owner(t.ID), name, lock.IS)
+}
+
+// Log appends a record stamped with this transaction's ID and PrevLSN
+// chain, updating LastLSN and UndoNxtLSN per ARIES rules.
+func (t *Tx) Log(rec *wal.Record) wal.LSN {
+	t.mu.Lock()
+	rec.TxID = t.ID
+	rec.PrevLSN = t.lastLSN
+	t.mu.Unlock()
+	lsn := t.mgr.log.Append(rec)
+	t.mu.Lock()
+	t.lastLSN = lsn
+	switch {
+	case rec.IsCLR():
+		t.undoNxtLSN = rec.UndoNxtLSN
+	case rec.Type == wal.RecUpdate && rec.RedoOnly:
+		// Redo-only updates are never undone; rollback must not revisit
+		// them, so they leave the undo chain untouched. (Essential when a
+		// redo-only record — an SM_Bit reset — is written *during* undo:
+		// advancing the chain would orphan the remaining rollback work.)
+	default:
+		t.undoNxtLSN = lsn
+	}
+	t.mu.Unlock()
+	return lsn
+}
+
+// LogUpdate logs a forward page action (undo-redo unless redoOnly).
+func (t *Tx) LogUpdate(page storage.PageID, op wal.OpCode, payload []byte, redoOnly bool) wal.LSN {
+	return t.Log(&wal.Record{
+		Type: wal.RecUpdate, Page: page, Op: op, Payload: payload, RedoOnly: redoOnly,
+	})
+}
+
+// LogCLR logs a compensation record for a page action performed during
+// undo; undoNxt must be the PrevLSN of the record being compensated.
+func (t *Tx) LogCLR(page storage.PageID, op wal.OpCode, payload []byte, undoNxt wal.LSN) wal.LSN {
+	return t.Log(&wal.Record{
+		Type: wal.RecCLR, Page: page, Op: op, Payload: payload, UndoNxtLSN: undoNxt, RedoOnly: true,
+	})
+}
+
+// NTAToken marks the start of a nested top action.
+type NTAToken struct{ resume wal.LSN }
+
+// BeginNTA starts a nested top action: the returned token captures the
+// point rollback should resume from if the action completes. In forward
+// processing that is the transaction's last log record; during rollback it
+// is the record currently being undone (so an undo-time SMO is bypassed
+// but the interrupted undo itself is not lost).
+func (t *Tx) BeginNTA() NTAToken {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rollingBack {
+		return NTAToken{resume: t.undoNxtLSN}
+	}
+	return NTAToken{resume: t.lastLSN}
+}
+
+// EndNTA completes a nested top action by writing the dummy CLR whose
+// UndoNxtLSN bypasses the action's records (paper Figs 8–10).
+func (t *Tx) EndNTA(tok NTAToken) wal.LSN {
+	return t.Log(&wal.Record{Type: wal.RecDummyCLR, UndoNxtLSN: tok.resume})
+}
+
+// Savepoint returns a token for partial rollback to the current point.
+func (t *Tx) Savepoint() wal.LSN { return t.LastLSN() }
+
+// Commit terminates the transaction: commit record, synchronous log force,
+// lock release, end record.
+func (t *Tx) Commit() error {
+	t.mu.Lock()
+	if t.state != wal.TxActive && t.state != wal.TxPrepared {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.state = wal.TxCommitted
+	t.mu.Unlock()
+	lsn := t.Log(&wal.Record{Type: wal.RecCommit})
+	t.mgr.log.Force(lsn)
+	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	t.Log(&wal.Record{Type: wal.RecEnd})
+	t.mgr.finish(t)
+	return nil
+}
+
+// Prepare logs the in-doubt record carrying the transaction's locks and
+// forces it. The transaction then awaits CommitPrepared or Rollback.
+func (t *Tx) Prepare() error {
+	t.mu.Lock()
+	if t.state != wal.TxActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.state = wal.TxPrepared
+	t.mu.Unlock()
+	var specs []wal.LockSpec
+	for _, h := range t.mgr.locks.LocksOf(lock.Owner(t.ID)) {
+		specs = append(specs, wal.LockSpec{Space: uint8(h.Name.Space), Mode: uint8(h.Mode), A: h.Name.A, B: h.Name.B})
+	}
+	lsn := t.Log(&wal.Record{Type: wal.RecPrepare, Payload: wal.EncodeLocks(specs)})
+	t.mgr.log.Force(lsn)
+	return nil
+}
+
+// Rollback undoes the whole transaction and releases its locks.
+func (t *Tx) Rollback() error {
+	t.mu.Lock()
+	if t.state == wal.TxCommitted {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.state = wal.TxRollingBack
+	t.rollingBack = true
+	t.mu.Unlock()
+	t.Log(&wal.Record{Type: wal.RecAbort})
+	if err := t.undoTo(wal.NilLSN); err != nil {
+		return err
+	}
+	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	t.Log(&wal.Record{Type: wal.RecEnd})
+	t.mgr.finish(t)
+	return nil
+}
+
+// RollbackTo partially rolls back to a savepoint; the transaction remains
+// active and keeps its locks (ARIES does not release locks on partial
+// rollback).
+func (t *Tx) RollbackTo(save wal.LSN) error {
+	t.mu.Lock()
+	if t.state != wal.TxActive {
+		t.mu.Unlock()
+		return ErrTxDone
+	}
+	t.rollingBack = true
+	t.mu.Unlock()
+	err := t.undoTo(save)
+	t.mu.Lock()
+	t.rollingBack = false
+	t.mu.Unlock()
+	return err
+}
+
+// UndoStep processes exactly one record of the rollback chain: a CLR is
+// skipped via its UndoNxtLSN, an undoable update is compensated through
+// the undoer, and anything else steps back via PrevLSN. Restart recovery
+// uses this to interleave the undo of several losers in global reverse-LSN
+// order (which guarantees incomplete SMOs are undone before any logical
+// undo needs to traverse the tree).
+func (t *Tx) UndoStep() error {
+	t.mu.Lock()
+	next := t.undoNxtLSN
+	t.rollingBack = true
+	t.mu.Unlock()
+	if next == wal.NilLSN {
+		return nil
+	}
+	rec, err := t.mgr.log.Read(next)
+	if err != nil {
+		return fmt.Errorf("txn %d: undo chain broken: %w", t.ID, err)
+	}
+	switch {
+	case rec.IsCLR():
+		t.mu.Lock()
+		t.undoNxtLSN = rec.UndoNxtLSN
+		t.mu.Unlock()
+	case rec.Undoable():
+		if t.mgr.undoer == nil {
+			return fmt.Errorf("txn %d: no undoer wired for op %s", t.ID, rec.Op)
+		}
+		if err := t.mgr.undoer.Undo(t, rec); err != nil {
+			return fmt.Errorf("txn %d: undo of %s at LSN %d: %w", t.ID, rec.Op, rec.LSN, err)
+		}
+		if t.UndoNxtLSN() >= next {
+			return fmt.Errorf("txn %d: undoer did not advance past LSN %d (no CLR logged?)", t.ID, rec.LSN)
+		}
+	default:
+		// Redo-only updates and status records: skip backward.
+		t.mu.Lock()
+		t.undoNxtLSN = rec.PrevLSN
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// undoTo drives the UndoNxtLSN chain down to (exclusive) stopAfter.
+func (t *Tx) undoTo(stopAfter wal.LSN) error {
+	for {
+		t.mu.Lock()
+		next := t.undoNxtLSN
+		t.mu.Unlock()
+		if next == wal.NilLSN || next <= stopAfter {
+			return nil
+		}
+		if err := t.UndoStep(); err != nil {
+			return err
+		}
+	}
+}
+
+// EndLoser finalizes a fully-undone restart loser: locks released (only
+// prepared transactions reacquired any), end record written, table entry
+// removed.
+func (t *Tx) EndLoser() {
+	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	t.Log(&wal.Record{Type: wal.RecEnd})
+	t.mgr.finish(t)
+}
+
+// UndoAll is the restart-undo entry point: it finishes rolling back an
+// adopted loser and writes its end record.
+func (t *Tx) UndoAll() error {
+	t.mu.Lock()
+	t.state = wal.TxRollingBack
+	t.rollingBack = true
+	t.mu.Unlock()
+	if err := t.undoTo(wal.NilLSN); err != nil {
+		return err
+	}
+	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	t.Log(&wal.Record{Type: wal.RecEnd})
+	t.mgr.finish(t)
+	return nil
+}
+
+// Checkpoint takes a fuzzy checkpoint: begin record, end record carrying
+// the transaction table and pool's dirty page table, force, then master
+// record update. No pages are flushed and no activity is quiesced.
+func (m *Manager) Checkpoint(pool *buffer.Pool) wal.LSN {
+	begin := m.log.Append(&wal.Record{Type: wal.RecBeginCkpt})
+	data := &wal.CheckpointData{Txs: m.Active(), DPT: pool.DPT()}
+	end := m.log.Append(&wal.Record{Type: wal.RecEndCkpt, PrevLSN: begin, Payload: data.Encode()})
+	m.log.Force(end)
+	m.log.SetMaster(begin)
+	return begin
+}

@@ -1,0 +1,417 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/lock"
+	"ariesim/internal/storage"
+	"ariesim/internal/wal"
+)
+
+// recordingUndoer applies the standard CLR protocol without touching pages,
+// recording which records it was asked to compensate.
+type recordingUndoer struct {
+	undone []wal.LSN
+	fail   error
+}
+
+func (u *recordingUndoer) Undo(tx *Tx, rec *wal.Record) error {
+	if u.fail != nil {
+		return u.fail
+	}
+	u.undone = append(u.undone, rec.LSN)
+	tx.LogCLR(rec.Page, rec.Op, rec.Payload, rec.PrevLSN)
+	return nil
+}
+
+func newEnv() (*Manager, *wal.Log, *lock.Manager, *recordingUndoer) {
+	log := wal.NewLog(nil)
+	locks := lock.NewManager(nil)
+	m := NewManager(log, locks)
+	u := &recordingUndoer{}
+	m.SetUndoer(u)
+	return m, log, locks, u
+}
+
+func TestBeginAssignsUniqueIDs(t *testing.T) {
+	m, _, _, _ := newEnv()
+	t1, t2 := m.Begin(), m.Begin()
+	if t1.ID == t2.ID {
+		t.Fatal("duplicate tx IDs")
+	}
+	if m.Lookup(t1.ID) != t1 || m.Lookup(t2.ID) != t2 {
+		t.Fatal("Lookup broken")
+	}
+}
+
+func TestLogChainsPrevLSN(t *testing.T) {
+	m, log, _, _ := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	l2 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("b"), false)
+	r2, _ := log.Read(l2)
+	if r2.PrevLSN != l1 {
+		t.Fatalf("PrevLSN = %d, want %d", r2.PrevLSN, l1)
+	}
+	if tx.LastLSN() != l2 || tx.UndoNxtLSN() != l2 {
+		t.Fatalf("LastLSN=%d UndoNxt=%d", tx.LastLSN(), tx.UndoNxtLSN())
+	}
+}
+
+func TestCommitForcesLogAndReleasesLocks(t *testing.T) {
+	m, log, locks, _ := newEnv()
+	tx := m.Begin()
+	n := lock.Name{Space: lock.SpaceRecord, A: 1}
+	if err := tx.Lock(n, lock.X, lock.Commit, false); err != nil {
+		t.Fatal(err)
+	}
+	lsn := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if log.StableLSN() <= lsn {
+		t.Fatal("commit did not force the log past the update")
+	}
+	if locks.NumLocks() != 0 {
+		t.Fatal("locks survived commit")
+	}
+	if m.Lookup(tx.ID) != nil {
+		t.Fatal("tx survived commit in table")
+	}
+	// Records: update, commit, end.
+	recs := log.Records(1)
+	if recs[len(recs)-1].Type != wal.RecEnd || recs[len(recs)-2].Type != wal.RecCommit {
+		t.Fatal("commit/end records missing or misordered")
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestRollbackUndoesInReverseOrder(t *testing.T) {
+	m, log, locks, u := newEnv()
+	tx := m.Begin()
+	_ = tx.Lock(lock.Name{Space: lock.SpaceRecord, A: 1}, lock.X, lock.Commit, false)
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	l2 := tx.LogUpdate(6, wal.OpIdxInsertKey, []byte("b"), false)
+	l3 := tx.LogUpdate(7, wal.OpIdxDeleteKey, []byte("c"), false)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	want := []wal.LSN{l3, l2, l1}
+	if len(u.undone) != 3 {
+		t.Fatalf("undone %d records", len(u.undone))
+	}
+	for i := range want {
+		if u.undone[i] != want[i] {
+			t.Fatalf("undo order %v, want %v", u.undone, want)
+		}
+	}
+	if locks.NumLocks() != 0 {
+		t.Fatal("locks survived rollback")
+	}
+	// CLRs chain correctly: each CLR's UndoNxtLSN = undone record's PrevLSN.
+	var clrs []*wal.Record
+	for _, r := range log.Records(1) {
+		if r.Type == wal.RecCLR {
+			clrs = append(clrs, r)
+		}
+	}
+	if len(clrs) != 3 {
+		t.Fatalf("%d CLRs", len(clrs))
+	}
+	if clrs[0].UndoNxtLSN != l2 || clrs[1].UndoNxtLSN != l1 || clrs[2].UndoNxtLSN != wal.NilLSN {
+		t.Fatalf("CLR UndoNxt chain wrong: %d %d %d", clrs[0].UndoNxtLSN, clrs[1].UndoNxtLSN, clrs[2].UndoNxtLSN)
+	}
+}
+
+func TestRedoOnlyRecordsSkippedInUndo(t *testing.T) {
+	m, _, _, u := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	tx.LogUpdate(5, wal.OpIdxSetBits, []byte{0}, true) // redo-only
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.undone) != 1 || u.undone[0] != l1 {
+		t.Fatalf("undone = %v, want [%d]", u.undone, l1)
+	}
+}
+
+func TestPartialRollbackToSavepoint(t *testing.T) {
+	m, _, locks, u := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	_ = l1
+	save := tx.Savepoint()
+	_ = tx.Lock(lock.Name{Space: lock.SpaceRecord, A: 9}, lock.X, lock.Commit, false)
+	l2 := tx.LogUpdate(6, wal.OpIdxInsertKey, []byte("b"), false)
+	l3 := tx.LogUpdate(7, wal.OpIdxInsertKey, []byte("c"), false)
+	if err := tx.RollbackTo(save); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.undone) != 2 || u.undone[0] != l3 || u.undone[1] != l2 {
+		t.Fatalf("undone = %v, want [%d %d]", u.undone, l3, l2)
+	}
+	// Locks are retained on partial rollback; tx still active.
+	if locks.NumLocks() == 0 {
+		t.Fatal("partial rollback released locks")
+	}
+	if tx.State() != wal.TxActive {
+		t.Fatalf("state = %v", tx.State())
+	}
+	// Continue and commit; undo chain must not revisit undone records.
+	u.undone = nil
+	l4 := tx.LogUpdate(8, wal.OpIdxInsertKey, []byte("d"), false)
+	_ = l4
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.undone) != 2 || u.undone[0] != l4 || u.undone[1] != l1 {
+		t.Fatalf("full rollback after partial: undone %v, want [%d %d]", u.undone, l4, l1)
+	}
+}
+
+func TestNestedTopActionBypassedOnRollback(t *testing.T) {
+	m, _, _, u := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("pre"), false)
+	tok := tx.BeginNTA()
+	tx.LogUpdate(20, wal.OpIdxFormat, []byte("smo1"), false)
+	tx.LogUpdate(21, wal.OpIdxSplitLeft, []byte("smo2"), false)
+	tx.EndNTA(tok)
+	l5 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("post"), false)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Only pre and post are undone; the SMO survives.
+	if len(u.undone) != 2 || u.undone[0] != l5 || u.undone[1] != l1 {
+		t.Fatalf("undone = %v, want [%d %d]", u.undone, l5, l1)
+	}
+}
+
+func TestIncompleteNTAIsUndone(t *testing.T) {
+	m, _, _, u := newEnv()
+	tx := m.Begin()
+	tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("pre"), false)
+	_ = tx.BeginNTA()
+	smo1 := tx.LogUpdate(20, wal.OpIdxFormat, []byte("smo1"), false)
+	// No EndNTA: the dummy CLR was never written (failure mid-SMO).
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.undone) != 2 || u.undone[0] != smo1 {
+		t.Fatalf("incomplete NTA not undone: %v", u.undone)
+	}
+}
+
+func TestUndoerErrorPropagates(t *testing.T) {
+	m, _, _, u := newEnv()
+	tx := m.Begin()
+	tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	u.fail = errors.New("page vanished")
+	if err := tx.Rollback(); err == nil {
+		t.Fatal("rollback swallowed undoer error")
+	}
+}
+
+// stubbornUndoer never logs a CLR: the manager must detect the stall
+// rather than loop forever.
+type stubbornUndoer struct{}
+
+func (stubbornUndoer) Undo(tx *Tx, rec *wal.Record) error { return nil }
+
+func TestUndoStallDetected(t *testing.T) {
+	log := wal.NewLog(nil)
+	m := NewManager(log, lock.NewManager(nil))
+	m.SetUndoer(stubbornUndoer{})
+	tx := m.Begin()
+	tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	if err := tx.Rollback(); err == nil {
+		t.Fatal("stalled undo not detected")
+	}
+}
+
+func TestPrepareCarriesLocks(t *testing.T) {
+	m, log, _, _ := newEnv()
+	tx := m.Begin()
+	_ = tx.Lock(lock.Name{Space: lock.SpaceRecord, A: 4, B: 2}, lock.X, lock.Commit, false)
+	_ = tx.Lock(lock.Name{Space: lock.SpaceEOF, A: 1}, lock.S, lock.Commit, false)
+	if err := tx.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != wal.TxPrepared {
+		t.Fatalf("state = %v", tx.State())
+	}
+	recs := log.Records(1)
+	last := recs[len(recs)-1]
+	if last.Type != wal.RecPrepare {
+		t.Fatalf("last record = %v", last.Type)
+	}
+	if log.StableLSN() < last.LSN {
+		t.Fatal("prepare not forced")
+	}
+	specs, err := wal.DecodeLocks(last.Payload)
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("lock list: %v, %v", specs, err)
+	}
+	// A prepared transaction can still commit.
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// And cannot prepare twice.
+	if err := tx.Prepare(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("prepare after commit: %v", err)
+	}
+}
+
+func TestAdoptLoserContinuesUndo(t *testing.T) {
+	m, log, _, u := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	l2 := tx.LogUpdate(6, wal.OpIdxInsertKey, []byte("b"), false)
+	// Simulate crash: rebuild manager state from an analysis-style entry.
+	m2 := NewManager(log, lock.NewManager(nil))
+	m2.SetUndoer(u)
+	loser := m2.AdoptLoser(wal.TxTableEntry{TxID: tx.ID, State: wal.TxActive, LastLSN: l2, UndoNxtLSN: l2})
+	if err := loser.UndoAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.undone) != 2 || u.undone[0] != l2 || u.undone[1] != l1 {
+		t.Fatalf("restart undo = %v", u.undone)
+	}
+	// New transactions get IDs above the adopted loser.
+	if m2.Begin().ID <= tx.ID {
+		t.Fatal("tx ID reuse after adoption")
+	}
+}
+
+func TestBoundedLoggingOnRepeatedRollback(t *testing.T) {
+	// Undo half, "crash", adopt, undo rest: total CLRs == total updates.
+	m, log, _, _ := newEnv()
+	tx := m.Begin()
+	var updates []wal.LSN
+	for i := 0; i < 6; i++ {
+		updates = append(updates, tx.LogUpdate(storage.PageID(5+i), wal.OpIdxInsertKey, []byte{byte(i)}, false))
+	}
+	// Manually undo three records (simulating an interrupted rollback).
+	half := &recordingUndoer{}
+	m.SetUndoer(half)
+	tx.mu.Lock()
+	tx.rollingBack = true
+	tx.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		rec, _ := log.Read(tx.UndoNxtLSN())
+		if err := half.Undo(tx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastLSN := tx.LastLSN()
+	undoNxt := tx.UndoNxtLSN()
+	// Crash and adopt; finish the rollback.
+	m2 := NewManager(log, lock.NewManager(nil))
+	rest := &recordingUndoer{}
+	m2.SetUndoer(rest)
+	loser := m2.AdoptLoser(wal.TxTableEntry{TxID: tx.ID, State: wal.TxRollingBack, LastLSN: lastLSN, UndoNxtLSN: undoNxt})
+	if err := loser.UndoAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.undone) != 3 {
+		t.Fatalf("second pass undid %d, want 3", len(rest.undone))
+	}
+	clrs := 0
+	for _, r := range log.Records(1) {
+		if r.Type == wal.RecCLR {
+			clrs++
+		}
+	}
+	if clrs != len(updates) {
+		t.Fatalf("CLRs = %d, want %d (bounded logging)", clrs, len(updates))
+	}
+}
+
+func TestCheckpointCapturesTables(t *testing.T) {
+	m, log, _, _ := newEnv()
+	disk := storage.NewDisk(512)
+	pool := buffer.NewPool(disk, log, 4, nil)
+	tx := m.Begin()
+	f, _ := pool.Fix(5)
+	lsn := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	f.Page.SetLSN(uint64(lsn))
+	pool.MarkDirty(f, lsn)
+	pool.Unfix(f)
+
+	begin := m.Checkpoint(pool)
+	if log.Master() != begin {
+		t.Fatalf("master = %d, want %d", log.Master(), begin)
+	}
+	// Decode the end-checkpoint payload.
+	var end *wal.Record
+	for _, r := range log.Records(begin) {
+		if r.Type == wal.RecEndCkpt {
+			end = r
+		}
+	}
+	if end == nil {
+		t.Fatal("no end-checkpoint record")
+	}
+	data, err := wal.DecodeCheckpointData(end.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Txs) != 1 || data.Txs[0].TxID != tx.ID {
+		t.Fatalf("checkpoint txs = %+v", data.Txs)
+	}
+	if len(data.DPT) != 1 || data.DPT[0].Page != 5 || data.DPT[0].RecLSN != lsn {
+		t.Fatalf("checkpoint DPT = %+v", data.DPT)
+	}
+	if log.StableLSN() < end.LSN {
+		t.Fatal("checkpoint not forced")
+	}
+}
+
+func TestNTATokenDuringRollbackResumesAtUndoneRecord(t *testing.T) {
+	// During rollback (logical undo needing an SMO), the dummy CLR must
+	// point at the record being undone — not at LastLSN (a CLR).
+	m, _, _, _ := newEnv()
+	tx := m.Begin()
+	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
+	_ = l1
+	l2 := tx.LogUpdate(6, wal.OpIdxDeleteKey, []byte("b"), false)
+	smoUndoer := &smoDuringUndoUndoer{}
+	m.SetUndoer(smoUndoer)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The dummy CLR written while undoing l2 must carry UndoNxtLSN == l2.
+	if smoUndoer.dummyUndoNxt != l2 {
+		t.Fatalf("undo-time NTA resume = %d, want %d", smoUndoer.dummyUndoNxt, l2)
+	}
+	if len(smoUndoer.undone) != 2 {
+		t.Fatalf("undone = %v", smoUndoer.undone)
+	}
+}
+
+type smoDuringUndoUndoer struct {
+	undone       []wal.LSN
+	dummyUndoNxt wal.LSN
+	didSMO       bool
+}
+
+func (u *smoDuringUndoUndoer) Undo(tx *Tx, rec *wal.Record) error {
+	u.undone = append(u.undone, rec.LSN)
+	if !u.didSMO {
+		u.didSMO = true
+		tok := tx.BeginNTA()
+		tx.LogUpdate(30, wal.OpIdxFormat, []byte("undo-smo"), false)
+		dummy := tx.EndNTA(tok)
+		r, _ := tx.mgr.log.Read(dummy)
+		u.dummyUndoNxt = r.UndoNxtLSN
+		// NOTE: tx.UndoNxtLSN now equals the token (rec.LSN); the CLR below
+		// moves it past rec.
+	}
+	tx.LogCLR(rec.Page, rec.Op, rec.Payload, rec.PrevLSN)
+	return nil
+}

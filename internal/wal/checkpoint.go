@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ariesim/internal/storage"
+)
+
+// TxState is a transaction's state as carried in checkpoint records and
+// reconstructed by restart analysis.
+type TxState uint8
+
+const (
+	// TxActive: in-flight; a loser if the log holds no commit record.
+	TxActive TxState = iota + 1
+	// TxPrepared: in-doubt under two-phase commit; restart reacquires its
+	// locks and awaits the coordinator's decision.
+	TxPrepared
+	// TxCommitted: commit record logged but end record not yet written.
+	TxCommitted
+	// TxRollingBack: an abort record was logged; restart finishes the undo.
+	TxRollingBack
+)
+
+func (s TxState) String() string {
+	switch s {
+	case TxActive:
+		return "active"
+	case TxPrepared:
+		return "prepared"
+	case TxCommitted:
+		return "committed"
+	case TxRollingBack:
+		return "rolling-back"
+	default:
+		return fmt.Sprintf("txstate%d", uint8(s))
+	}
+}
+
+// TxTableEntry is one row of the transaction table.
+type TxTableEntry struct {
+	TxID       TxID
+	State      TxState
+	LastLSN    LSN
+	UndoNxtLSN LSN
+}
+
+// DPTEntry is one row of the dirty page table: the page and its recovery
+// LSN (the earliest log record that might not be reflected on disk).
+type DPTEntry struct {
+	Page   storage.PageID
+	RecLSN LSN
+}
+
+// CheckpointData is the payload of an end-checkpoint record: fuzzy copies
+// of the transaction table and dirty page table.
+type CheckpointData struct {
+	Txs []TxTableEntry
+	DPT []DPTEntry
+}
+
+// Encode serializes the checkpoint payload.
+func (c *CheckpointData) Encode() []byte {
+	b := make([]byte, 0, 8+len(c.Txs)*21+len(c.DPT)*12)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		b = append(b, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		b = append(b, tmp[:8]...)
+	}
+	put32(uint32(len(c.Txs)))
+	for _, t := range c.Txs {
+		put32(uint32(t.TxID))
+		b = append(b, uint8(t.State))
+		put64(uint64(t.LastLSN))
+		put64(uint64(t.UndoNxtLSN))
+	}
+	put32(uint32(len(c.DPT)))
+	for _, d := range c.DPT {
+		put32(uint32(d.Page))
+		put64(uint64(d.RecLSN))
+	}
+	return b
+}
+
+// DecodeCheckpointData parses an end-checkpoint payload.
+func DecodeCheckpointData(b []byte) (*CheckpointData, error) {
+	c := &CheckpointData{}
+	off := 0
+	need := func(n int) error {
+		if off+n > len(b) {
+			return fmt.Errorf("wal: checkpoint payload truncated at %d (+%d of %d)", off, n, len(b))
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nTx := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nTx; i++ {
+		if err := need(21); err != nil {
+			return nil, err
+		}
+		t := TxTableEntry{
+			TxID:  TxID(binary.LittleEndian.Uint32(b[off:])),
+			State: TxState(b[off+4]),
+		}
+		t.LastLSN = LSN(binary.LittleEndian.Uint64(b[off+5:]))
+		t.UndoNxtLSN = LSN(binary.LittleEndian.Uint64(b[off+13:]))
+		off += 21
+		c.Txs = append(c.Txs, t)
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nDP := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < nDP; i++ {
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		c.DPT = append(c.DPT, DPTEntry{
+			Page:   storage.PageID(binary.LittleEndian.Uint32(b[off:])),
+			RecLSN: LSN(binary.LittleEndian.Uint64(b[off+4:])),
+		})
+		off += 12
+	}
+	return c, nil
+}
+
+// LockSpec names one lock held by a prepared transaction, carried in the
+// prepare record so restart analysis can reacquire it.
+type LockSpec struct {
+	Space uint8
+	Mode  uint8
+	A, B  uint64
+}
+
+// EncodeLocks serializes a prepare record's lock list.
+func EncodeLocks(locks []LockSpec) []byte {
+	b := make([]byte, 4+len(locks)*18)
+	binary.LittleEndian.PutUint32(b, uint32(len(locks)))
+	off := 4
+	for _, l := range locks {
+		b[off] = l.Space
+		b[off+1] = l.Mode
+		binary.LittleEndian.PutUint64(b[off+2:], l.A)
+		binary.LittleEndian.PutUint64(b[off+10:], l.B)
+		off += 18
+	}
+	return b
+}
+
+// DecodeLocks parses a prepare record's lock list.
+func DecodeLocks(b []byte) ([]LockSpec, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wal: lock list truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+n*18 {
+		return nil, fmt.Errorf("wal: lock list claims %d entries, have %d bytes", n, len(b))
+	}
+	out := make([]LockSpec, n)
+	off := 4
+	for i := range out {
+		out[i] = LockSpec{
+			Space: b[off],
+			Mode:  b[off+1],
+			A:     binary.LittleEndian.Uint64(b[off+2:]),
+			B:     binary.LittleEndian.Uint64(b[off+10:]),
+		}
+		off += 18
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ariesim/internal/trace"
+)
+
+// Log is the write-ahead log manager. Records live in a single virtual
+// byte address space; a record's LSN is one plus its byte offset, so LSNs
+// are monotonically increasing and directly comparable with page_LSNs.
+//
+// The log models the volatile log buffer + stable log file split that
+// ARIES depends on: Append places a record in the buffer, Force hardens
+// every record up to an LSN, and Crash discards the unforced tail. The
+// WAL protocol proper (force before writing a dirty page; force at commit)
+// is enforced by the buffer pool and transaction manager, which call Force
+// with the relevant LSNs.
+type Log struct {
+	mu      sync.Mutex
+	recs    []*Record // decoded records, in order
+	offs    []LSN     // recs[i].LSN, for binary search
+	nextOff LSN       // next byte offset to assign (LSN-1 of next record)
+	stable  LSN       // highest LSN whose record (entirely) is on stable storage
+	master  LSN       // "master record": LSN of the last end-checkpoint, forced separately
+	bytes   uint64
+
+	stats *trace.Stats
+}
+
+// NewLog creates an empty log reporting into stats (which may be nil).
+func NewLog(stats *trace.Stats) *Log {
+	return &Log{stats: stats}
+}
+
+// Append assigns the next LSN to r and adds it to the log buffer. The
+// record is volatile until a Force covers it. Append returns the LSN.
+func (l *Log) Append(r *Record) LSN {
+	enc := len(r.Encode()) // realistic byte accounting
+	l.mu.Lock()
+	r.LSN = l.nextOff + 1
+	l.recs = append(l.recs, r)
+	l.offs = append(l.offs, r.LSN)
+	l.nextOff += LSN(enc)
+	l.bytes += uint64(enc)
+	l.mu.Unlock()
+	if l.stats != nil {
+		l.stats.LogRecords.Add(1)
+		l.stats.LogBytes.Add(uint64(enc))
+	}
+	return r.LSN
+}
+
+// Force hardens the log up to and including lsn (a no-op if already
+// stable). This is the synchronous log I/O that commit and the
+// steal policy pay for.
+func (l *Log) Force(lsn LSN) {
+	l.mu.Lock()
+	forced := false
+	if lsn > l.stable {
+		l.stable = lsn
+		forced = true
+	}
+	l.mu.Unlock()
+	if forced && l.stats != nil {
+		l.stats.LogForces.Add(1)
+	}
+}
+
+// ForceAll hardens the entire log.
+func (l *Log) ForceAll() {
+	l.mu.Lock()
+	var last LSN
+	if n := len(l.recs); n > 0 {
+		last = l.recs[n-1].LSN
+	}
+	l.mu.Unlock()
+	if last != NilLSN {
+		l.Force(last)
+	}
+}
+
+// StableLSN returns the highest forced LSN.
+func (l *Log) StableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stable
+}
+
+// MaxLSN returns the LSN of the most recently appended record (NilLSN if
+// the log is empty).
+func (l *Log) MaxLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) == 0 {
+		return NilLSN
+	}
+	return l.recs[len(l.recs)-1].LSN
+}
+
+// Bytes returns the total bytes appended (volatile + stable).
+func (l *Log) Bytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// NumRecords returns the number of appended records.
+func (l *Log) NumRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// SetMaster durably stores the checkpoint anchor (the "master record" kept
+// at a well-known disk location in real systems). Callers must have forced
+// the checkpoint records first.
+func (l *Log) SetMaster(lsn LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.stable {
+		panic("wal: master record set before checkpoint was forced")
+	}
+	l.master = lsn
+}
+
+// Master returns the checkpoint anchor LSN (NilLSN if none).
+func (l *Log) Master() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.master
+}
+
+func (l *Log) idxOf(lsn LSN) (int, bool) {
+	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= lsn })
+	if i < len(l.offs) && l.offs[i] == lsn {
+		return i, true
+	}
+	return 0, false
+}
+
+// Read returns the record at lsn.
+func (l *Log) Read(lsn LSN) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i, ok := l.idxOf(lsn); ok {
+		return l.recs[i], nil
+	}
+	return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
+}
+
+// Scan invokes fn on every record with LSN >= from, in order, until fn
+// returns false. It snapshots the record list so fn may use the log.
+func (l *Log) Scan(from LSN, fn func(*Record) bool) {
+	l.mu.Lock()
+	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
+	snapshot := l.recs[i:]
+	l.mu.Unlock()
+	for _, r := range snapshot {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Records returns all records from LSN from onward (test/verification aid).
+func (l *Log) Records(from LSN) []*Record {
+	var out []*Record
+	l.Scan(from, func(r *Record) bool { out = append(out, r); return true })
+	return out
+}
+
+// Crash simulates loss of volatile state: every record after the stable
+// LSN disappears, exactly as an unforced log buffer would. The master
+// record survives only because SetMaster requires a prior force.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] > l.stable })
+	l.recs = l.recs[:i]
+	l.offs = l.offs[:i]
+	if i > 0 {
+		last := l.recs[i-1]
+		l.nextOff = last.LSN - 1 + LSN(last.EncodedSize())
+	} else {
+		l.nextOff = 0
+	}
+	l.bytes = uint64(l.nextOff)
+}
+
+// TruncateTo is a failure-injection hook for crash-point testing: it
+// rewinds BOTH the stable mark and the log contents to lsn, simulating a
+// crash in a run whose last force reached exactly lsn. It must only be
+// used when no page with a higher page_LSN has reached the disk (the WAL
+// protocol would forbid that state); tests assert this themselves.
+func (l *Log) TruncateTo(lsn LSN) {
+	l.mu.Lock()
+	l.stable = lsn
+	if l.master > lsn {
+		l.master = NilLSN
+	}
+	l.mu.Unlock()
+	l.Crash()
+}
+
+// CodecRoundTrip re-encodes and decodes every stable record, verifying the
+// on-log format end to end. Used by tests and the crash tool.
+func (l *Log) CodecRoundTrip() error {
+	for _, r := range l.Records(NilLSN + 1) {
+		got, n, err := DecodeRecord(r.Encode())
+		if err != nil {
+			return fmt.Errorf("LSN %d: %w", r.LSN, err)
+		}
+		if n != r.EncodedSize() {
+			return fmt.Errorf("LSN %d: size %d != %d", r.LSN, n, r.EncodedSize())
+		}
+		got.LSN = r.LSN
+		if got.String() != r.String() {
+			return fmt.Errorf("LSN %d: round trip mismatch:\n  %s\n  %s", r.LSN, r, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package wal implements write-ahead logging for ariesim: log sequence
+// numbers, the log record model (undo-redo updates, redo-only updates,
+// compensation log records, dummy CLRs for nested top actions, transaction
+// status records, fuzzy checkpoints), a binary codec, and a log manager
+// with an explicit stable prefix so crashes can be simulated faithfully
+// (everything after the last Force is lost).
+//
+// The design follows ARIES (Mohan et al., TODS 1992) as summarized in
+// ARIES/IM §1.2: every page carries a page_LSN; CLRs are redo-only and
+// chain via UndoNxtLSN to bound logging during (possibly repeated)
+// rollbacks; a dummy CLR closes a nested top action by pointing past the
+// action's log records.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ariesim/internal/storage"
+)
+
+// LSN is a log sequence number: one plus the byte offset of the record in
+// the log address space, so LSNs increase monotonically and 0 is "nil".
+type LSN uint64
+
+// NilLSN is the null LSN (no predecessor, unset page_LSN).
+const NilLSN LSN = 0
+
+// TxID identifies a transaction. 0 is reserved for system activity.
+type TxID uint32
+
+// RecType classifies log records.
+type RecType uint8
+
+const (
+	// RecUpdate is a forward-processing update, normally undo-redo; an
+	// update with RedoOnly set cannot be undone (e.g. SM_Bit resets).
+	RecUpdate RecType = iota + 1
+	// RecCLR is a compensation log record: redo-only, written during undo,
+	// chained via UndoNxtLSN to the predecessor of the record it undoes.
+	RecCLR
+	// RecDummyCLR terminates a nested top action: a CLR with no page
+	// action whose UndoNxtLSN points just before the action began.
+	RecDummyCLR
+	// RecCommit marks a transaction committed (forced at commit).
+	RecCommit
+	// RecAbort marks the start of a total rollback.
+	RecAbort
+	// RecEnd marks a transaction fully finished (after commit processing
+	// or rollback completion).
+	RecEnd
+	// RecPrepare marks an in-doubt (two-phase commit) transaction; its
+	// payload carries the locks to reacquire during restart.
+	RecPrepare
+	// RecBeginCkpt and RecEndCkpt delimit a fuzzy checkpoint; the end
+	// record carries the dirty page table and transaction table.
+	RecBeginCkpt
+	RecEndCkpt
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecUpdate:
+		return "update"
+	case RecCLR:
+		return "clr"
+	case RecDummyCLR:
+		return "dummy-clr"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecEnd:
+		return "end"
+	case RecPrepare:
+		return "prepare"
+	case RecBeginCkpt:
+		return "begin-ckpt"
+	case RecEndCkpt:
+		return "end-ckpt"
+	default:
+		return fmt.Sprintf("rectype%d", uint8(t))
+	}
+}
+
+// OpCode identifies the page operation an update (or the compensating
+// action a CLR) performs. Redo is dispatched purely on (OpCode, payload) in
+// a page-oriented fashion; undo of forward updates is dispatched through
+// the owning resource manager, which may choose a logical path.
+type OpCode uint16
+
+const (
+	OpNone OpCode = iota
+
+	// Index manager operations.
+	OpIdxInsertKey   // insert one key cell into a leaf
+	OpIdxDeleteKey   // delete one key cell from a leaf
+	OpIdxFormat      // format a fresh index page with a full cell image
+	OpIdxSplitLeft   // remove the moved upper cells from the split page
+	OpIdxChainFix    // rewrite a sibling chain pointer
+	OpIdxSplitParent // post a separator (high key, child) into a parent
+	OpIdxDeleteChild // remove a child entry from a parent
+	OpIdxReplacePage // physical full-page replace (root split/collapse)
+	OpIdxFreePage    // mark an index page free (page deletion)
+	OpIdxSetBits     // redo-only flag-byte update (SM_Bit/Delete_Bit resets)
+
+	// Compensating index actions (the redo bodies of CLRs written when a
+	// partially completed SMO is undone page-oriented).
+	OpIdxUnsplitLeft   // put the moved cells back (undo of OpIdxSplitLeft)
+	OpIdxUnsplitParent // remove a posted separator (undo of OpIdxSplitParent)
+	OpIdxUndeleteChild // restore a removed child entry (undo of OpIdxDeleteChild)
+	OpIdxUnfreePage    // restore a freed page's empty shell (undo of OpIdxFreePage)
+
+	// Free-space map operations.
+	OpFSMAlloc // set an allocation bit
+	OpFSMFree  // clear an allocation bit
+
+	// Record (data) manager operations.
+	OpDataFormat   // format a fresh data page
+	OpDataInsert   // add a record at a stable slot (or revive its ghost)
+	OpDataDelete   // ghost a record in a stable slot
+	OpDataPurge    // physically remove a committed ghost (redo-only)
+	OpDataChainFix // rewrite a data-page chain pointer
+	OpDataFree     // mark a data page free (undo of OpDataFormat)
+)
+
+func (o OpCode) String() string {
+	names := [...]string{
+		"none", "idx-insert", "idx-delete", "idx-format", "idx-split-left",
+		"idx-chain-fix", "idx-split-parent", "idx-delete-child",
+		"idx-replace-page", "idx-free-page", "idx-set-bits",
+		"idx-unsplit-left", "idx-unsplit-parent", "idx-undelete-child",
+		"idx-unfree-page",
+		"fsm-alloc", "fsm-free", "data-format", "data-insert", "data-delete",
+		"data-purge", "data-chain-fix", "data-free",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op%d", uint16(o))
+}
+
+// Record is a log record. PrevLSN chains a transaction's records backward;
+// UndoNxtLSN (CLRs only) points at the next record to undo, letting
+// rollback skip already-compensated work.
+type Record struct {
+	LSN        LSN // assigned by Log.Append
+	PrevLSN    LSN
+	TxID       TxID
+	Type       RecType
+	UndoNxtLSN LSN
+	Page       storage.PageID
+	Op         OpCode
+	RedoOnly   bool
+	Payload    []byte
+}
+
+// IsCLR reports whether the record is any kind of compensation record.
+func (r *Record) IsCLR() bool { return r.Type == RecCLR || r.Type == RecDummyCLR }
+
+// Redoable reports whether the record describes a page action that the
+// redo pass must consider.
+func (r *Record) Redoable() bool {
+	return (r.Type == RecUpdate || r.Type == RecCLR) && r.Op != OpNone && r.Page != storage.InvalidPageID
+}
+
+// Undoable reports whether rollback must compensate this record.
+func (r *Record) Undoable() bool {
+	return r.Type == RecUpdate && !r.RedoOnly && r.Op != OpNone
+}
+
+const recHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 4 + 2
+
+// EncodedSize returns the on-log size of the record.
+func (r *Record) EncodedSize() int { return recHeaderSize + len(r.Payload) }
+
+// Encode serializes the record (excluding its LSN, which is its address).
+func (r *Record) Encode() []byte {
+	b := make([]byte, r.EncodedSize())
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(b)))
+	b[4] = uint8(r.Type)
+	if r.RedoOnly {
+		b[5] = 1
+	}
+	binary.LittleEndian.PutUint32(b[6:10], uint32(r.TxID))
+	binary.LittleEndian.PutUint64(b[10:18], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(b[18:26], uint64(r.UndoNxtLSN))
+	binary.LittleEndian.PutUint32(b[26:30], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[30:32], uint16(r.Op))
+	copy(b[recHeaderSize:], r.Payload)
+	return b
+}
+
+// DecodeRecord parses one record from the head of b, returning it and the
+// number of bytes consumed.
+func DecodeRecord(b []byte) (*Record, int, error) {
+	if len(b) < recHeaderSize {
+		return nil, 0, fmt.Errorf("wal: record header truncated (%d bytes)", len(b))
+	}
+	total := int(binary.LittleEndian.Uint32(b[0:4]))
+	if total < recHeaderSize || total > len(b) {
+		return nil, 0, fmt.Errorf("wal: record length %d invalid (have %d)", total, len(b))
+	}
+	r := &Record{
+		Type:       RecType(b[4]),
+		RedoOnly:   b[5] == 1,
+		TxID:       TxID(binary.LittleEndian.Uint32(b[6:10])),
+		PrevLSN:    LSN(binary.LittleEndian.Uint64(b[10:18])),
+		UndoNxtLSN: LSN(binary.LittleEndian.Uint64(b[18:26])),
+		Page:       storage.PageID(binary.LittleEndian.Uint32(b[26:30])),
+		Op:         OpCode(binary.LittleEndian.Uint16(b[30:32])),
+	}
+	if total > recHeaderSize {
+		r.Payload = make([]byte, total-recHeaderSize)
+		copy(r.Payload, b[recHeaderSize:total])
+	}
+	return r, total, nil
+}
+
+func (r *Record) String() string {
+	return fmt.Sprintf("LSN %d %s tx=%d op=%s page=%d prev=%d undoNxt=%d payload=%dB",
+		r.LSN, r.Type, r.TxID, r.Op, r.Page, r.PrevLSN, r.UndoNxtLSN, len(r.Payload))
+}
