@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race smoke sweep bench ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Crash-torture smoke under injected disk faults, torn log tails, and
+# planted silent corruption: every fault class must be absorbed.
+smoke:
+	$(GO) run ./cmd/ariesim-crash -rounds 3 -workers 2 -ops 120 -faults -torn -bitflip
+
+# Exhaustive crash-point sweep: every log record boundary, double recovery.
+sweep:
+	$(GO) run ./cmd/ariesim-crash -sweep
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet race smoke

@@ -17,7 +17,7 @@
 //
 //	db := ariesim.Open(ariesim.Options{})
 //	tbl, _ := db.CreateTable("accounts")
-//	tx := db.Begin()
+//	tx, _ := db.Begin() // fails with ErrCrashed while the engine is down
 //	_ = tbl.Insert(tx, []byte("alice"), []byte("100"))
 //	_ = tx.Commit()
 //	db.Crash()        // lose all volatile state
@@ -94,6 +94,12 @@ var (
 	// ErrDeadlock reports that the transaction was chosen as a deadlock
 	// victim; roll it back and retry.
 	ErrDeadlock = lock.ErrDeadlock
+	// ErrCrashed reports that the engine is down (after Crash) and must be
+	// Restarted before it accepts new transactions.
+	ErrCrashed = db.ErrCrashed
+	// ErrMediaFailure reports a corrupt page that media recovery could not
+	// rebuild from the image copy and log.
+	ErrMediaFailure = db.ErrMediaFailure
 )
 
 // Open creates a fresh engine on a new simulated disk.

@@ -17,7 +17,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := db.Begin()
+	tx := db.MustBegin()
 	for i := 0; i < 50; i++ {
 		if err := tbl.Insert(tx, []byte(fmt.Sprintf("user%03d", i)), []byte("data")); err != nil {
 			t.Fatal(err)
@@ -27,7 +27,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loser := db.Begin()
+	loser := db.MustBegin()
 	if err := tbl.Insert(loser, []byte("zz-ghost"), []byte("boo")); err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := db.Begin()
+	r := db.MustBegin()
 	if _, err := tbl.Get(r, []byte("user025")); err != nil {
 		t.Fatalf("committed row lost: %v", err)
 	}
@@ -78,7 +78,7 @@ func TestProtocolsSelectable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tx := db.Begin()
+		tx := db.MustBegin()
 		if err := tbl.Insert(tx, []byte("a"), []byte("1")); err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -91,7 +91,7 @@ func TestProtocolsSelectable(t *testing.T) {
 func ExampleOpen() {
 	db := ariesim.Open(ariesim.Options{})
 	tbl, _ := db.CreateTable("accounts")
-	tx := db.Begin()
+	tx := db.MustBegin()
 	_ = tbl.Insert(tx, []byte("alice"), []byte("100"))
 	_ = tx.Commit()
 
@@ -99,7 +99,7 @@ func ExampleOpen() {
 	_, _ = db.Restart()
 	tbl, _ = db.Table("accounts")
 
-	r := db.Begin()
+	r := db.MustBegin()
 	balance, _ := tbl.Get(r, []byte("alice"))
 	_ = r.Commit()
 	fmt.Println(string(balance))

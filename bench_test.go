@@ -41,7 +41,7 @@ func primedDB(b *testing.B, proto core.Protocol, n int) (*db.DB, *db.Table) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < n; i++ {
 		if err := tbl.Insert(tx, bkey(i*2), []byte("benchmark-row-payload")); err != nil {
 			b.Fatal(err)
@@ -50,7 +50,7 @@ func primedDB(b *testing.B, proto core.Protocol, n int) (*db.DB, *db.Table) {
 			if err := tx.Commit(); err != nil {
 				b.Fatal(err)
 			}
-			tx = d.Begin()
+			tx = d.MustBegin()
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -69,7 +69,7 @@ func BenchmarkFig2LockCalls(b *testing.B) {
 		run   func(d *db.DB, tbl *db.Table, i int) error
 	}{
 		{name: "fetch", run: func(d *db.DB, tbl *db.Table, i int) error {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			_, err := tbl.Get(tx, bkey((i%5000)*2))
 			if err != nil {
 				return err
@@ -77,7 +77,7 @@ func BenchmarkFig2LockCalls(b *testing.B) {
 			return tx.Commit()
 		}},
 		{name: "insert", run: func(d *db.DB, tbl *db.Table, i int) error {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			if err := tbl.Insert(tx, bkey(20000+i), []byte("new")); err != nil {
 				return err
 			}
@@ -86,21 +86,21 @@ func BenchmarkFig2LockCalls(b *testing.B) {
 		{name: "delete", setup: func(b *testing.B, d *db.DB, tbl *db.Table, n int) {
 			// One pre-populated victim per iteration, so every measured
 			// delete is a real delete.
-			tx := d.Begin()
+			tx := d.MustBegin()
 			for i := 0; i < n; i++ {
 				if err := tbl.Insert(tx, bkey(10_000_000+i), []byte("victim")); err != nil {
 					b.Fatal(err)
 				}
 				if i%2000 == 1999 {
 					_ = tx.Commit()
-					tx = d.Begin()
+					tx = d.MustBegin()
 				}
 			}
 			if err := tx.Commit(); err != nil {
 				b.Fatal(err)
 			}
 		}, run: func(d *db.DB, tbl *db.Table, i int) error {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			if err := tbl.Delete(tx, bkey(10_000_000+i)); err != nil {
 				return err
 			}
@@ -147,7 +147,7 @@ func BenchmarkMixedThroughput(b *testing.B) {
 				})
 				for pb.Next() {
 					op := g.Next()
-					tx := d.Begin()
+					tx := d.MustBegin()
 					var err error
 					switch op.Kind {
 					case workload.Read:
@@ -205,7 +205,7 @@ func BenchmarkSMOInterference(b *testing.B) {
 		b.Run(p.name, func(b *testing.B) {
 			d := db.Open(db.Options{PageSize: 512, PoolSize: 2048, Protocol: p.proto})
 			tbl, _ := d.CreateTable("bench")
-			setup := d.Begin()
+			setup := d.MustBegin()
 			for i := 0; i < 500; i++ {
 				if err := tbl.Insert(setup, bkey(i*40), []byte("seed")); err != nil {
 					b.Fatal(err)
@@ -219,7 +219,7 @@ func BenchmarkSMOInterference(b *testing.B) {
 			go func() {
 				defer close(writerDone)
 				i := 0
-				tx := d.Begin()
+				tx := d.MustBegin()
 				for {
 					select {
 					case <-stop:
@@ -230,13 +230,13 @@ func BenchmarkSMOInterference(b *testing.B) {
 					k := append(bkey((i*13)%20000), 'w', byte('0'+i%10), byte('0'+(i/10)%10), byte('0'+(i/100)%10))
 					if err := tbl.Insert(tx, k, []byte("fodder")); err != nil {
 						_ = tx.Rollback()
-						tx = d.Begin()
+						tx = d.MustBegin()
 						continue
 					}
 					i++
 					if i%50 == 0 {
 						_ = tx.Commit()
-						tx = d.Begin()
+						tx = d.MustBegin()
 					}
 				}
 			}()
@@ -244,7 +244,7 @@ func BenchmarkSMOInterference(b *testing.B) {
 			b.ResetTimer()
 			deadlocks := 0
 			for i := 0; i < b.N; i++ {
-				tx := d.Begin()
+				tx := d.MustBegin()
 				_, err := tbl.Get(tx, g.Next().Key)
 				if err != nil && !errors.Is(err, db.ErrNotFound) {
 					// System R's commit-duration page locks can deadlock a
@@ -284,14 +284,14 @@ func BenchmarkFig1Undo(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tx := d.Begin()
+		tx := d.MustBegin()
 		for i := 0; i < 2000; i++ {
 			if err := tbl.Insert(tx, bkey(i*2), []byte("row")); err != nil {
 				b.Fatal(err)
 			}
 			if i%500 == 499 {
 				_ = tx.Commit()
-				tx = d.Begin()
+				tx = d.MustBegin()
 			}
 		}
 		if err := tx.Commit(); err != nil {
@@ -304,7 +304,7 @@ func BenchmarkFig1Undo(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			v := 2 * ((i * 131) % 1900)
-			t1 := d.Begin()
+			t1 := d.MustBegin()
 			if err := tbl.Delete(t1, bkey(v)); err != nil {
 				b.Fatal(err)
 			}
@@ -329,7 +329,7 @@ func BenchmarkFig1Undo(b *testing.B) {
 			// deletes trigger page deletions), keeping the engine at a
 			// steady state regardless of b.N.
 			if prevV >= 0 {
-				clean := d.Begin()
+				clean := d.MustBegin()
 				for j := 0; j < fillers; j++ {
 					if err := tbl.Delete(clean, filler(prevV, j)); err != nil {
 						b.Fatal(err)
@@ -341,14 +341,14 @@ func BenchmarkFig1Undo(b *testing.B) {
 			}
 			v := 2 * ((i*131)%1900 + 4) // victim; anchors v-4, v-2 stay committed
 			prevV = v
-			t1 := d.Begin()
+			t1 := d.MustBegin()
 			if err := tbl.Delete(t1, bkey(v)); err != nil {
 				b.Fatal(err)
 			}
 			// T2 consumes the leaf's space just below the victim (its
 			// next-key locks land on the committed bkey(v-2), never on
 			// T1's tripping point) and splits the leaf, then commits.
-			t2 := d.Begin()
+			t2 := d.MustBegin()
 			for j := 0; j < fillers; j++ {
 				if err := tbl.Insert(t2, filler(v, j), []byte("space-consumer-payload")); err != nil {
 					b.Fatal(err)
@@ -375,14 +375,14 @@ func BenchmarkRestartRecovery(b *testing.B) {
 		b.StopTimer()
 		d := db.Open(db.Options{PageSize: 1024, PoolSize: 4096})
 		tbl, _ := d.CreateTable("bench")
-		tx := d.Begin()
+		tx := d.MustBegin()
 		for j := 0; j < 4000; j++ {
 			if err := tbl.Insert(tx, bkey(j), []byte("recover-me")); err != nil {
 				b.Fatal(err)
 			}
 			if j%500 == 499 {
 				_ = tx.Commit()
-				tx = d.Begin()
+				tx = d.MustBegin()
 			}
 		}
 		_ = tx.Rollback()
@@ -448,7 +448,7 @@ func BenchmarkTreeLatchVsTreeLock(b *testing.B) {
 				base := int(seq.Add(1)) * 10_000_000
 				i := 0
 				for pb.Next() {
-					tx := d.Begin()
+					tx := d.MustBegin()
 					if err := tbl.Insert(tx, bkey(base+i), []byte("split-heavy")); err != nil {
 						if errors.Is(err, ariesim.ErrDeadlock) {
 							_ = tx.Rollback()
@@ -475,7 +475,7 @@ func BenchmarkCoreOps(b *testing.B) {
 		d, tbl := primedDB(b, core.DataOnly, 10000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			if _, err := tbl.Get(tx, bkey((i%10000)*2)); err != nil {
 				b.Fatal(err)
 			}
@@ -489,7 +489,7 @@ func BenchmarkCoreOps(b *testing.B) {
 		b.ResetTimer()
 		i := 0
 		for i < b.N {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			err := tbl.Scan(tx, bkey(0), nil, func(db.Row) (bool, error) {
 				i++
 				return i < b.N, nil
@@ -506,7 +506,7 @@ func BenchmarkCoreOps(b *testing.B) {
 		d, tbl := primedDB(b, core.DataOnly, 1000)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			if err := tbl.Insert(tx, bkey(1_000_000+i), []byte("bench-insert")); err != nil {
 				b.Fatal(err)
 			}
@@ -518,14 +518,14 @@ func BenchmarkCoreOps(b *testing.B) {
 	b.Run("delete", func(b *testing.B) {
 		d, tbl := primedDB(b, core.DataOnly, 1000)
 		// Pre-populate enough victims outside the timer.
-		tx := d.Begin()
+		tx := d.MustBegin()
 		for i := 0; i < b.N; i++ {
 			if err := tbl.Insert(tx, bkey(2_000_000+i), []byte("bench-delete")); err != nil {
 				b.Fatal(err)
 			}
 			if i%2000 == 1999 {
 				_ = tx.Commit()
-				tx = d.Begin()
+				tx = d.MustBegin()
 			}
 		}
 		if err := tx.Commit(); err != nil {
@@ -533,7 +533,7 @@ func BenchmarkCoreOps(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			if err := tbl.Delete(tx, bkey(2_000_000+i)); err != nil {
 				b.Fatal(err)
 			}
@@ -552,7 +552,7 @@ func BenchmarkCommitForce(b *testing.B) {
 	before := d.Stats().Snap()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tx := d.Begin()
+		tx := d.MustBegin()
 		if err := tbl.Insert(tx, bkey(3_000_000+i), []byte("x")); err != nil {
 			b.Fatal(err)
 		}
@@ -570,7 +570,7 @@ func BenchmarkCommitForce(b *testing.B) {
 // flushes, no quiesce — two log records plus the table snapshots).
 func BenchmarkCheckpointOverhead(b *testing.B) {
 	d, tbl := primedDB(b, core.DataOnly, 5000)
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 50; i++ {
 		_ = tbl.Insert(tx, bkey(4_000_000+i), []byte("dirty"))
 	}

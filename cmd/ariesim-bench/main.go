@@ -202,7 +202,7 @@ func runSMOWindow(proto core.Protocol, window time.Duration) (readerOps, writerO
 	if err != nil {
 		panic(err)
 	}
-	setup := d.Begin()
+	setup := d.MustBegin()
 	for i := 0; i < 200; i++ {
 		if err := tbl.Insert(setup, workload.KeyFor(i*100), []byte("seed")); err != nil {
 			panic(err)
@@ -227,7 +227,7 @@ func runSMOWindow(proto core.Protocol, window time.Duration) (readerOps, writerO
 					return
 				default:
 				}
-				tx := d.Begin()
+				tx := d.MustBegin()
 				_, _ = tbl.Get(tx, g.Next().Key)
 				_ = tx.Commit()
 				ro.Add(1)
@@ -242,7 +242,7 @@ func runSMOWindow(proto core.Protocol, window time.Duration) (readerOps, writerO
 	go func() {
 		defer wg.Done()
 		i := 0
-		tx := d.Begin()
+		tx := d.MustBegin()
 		for {
 			select {
 			case <-stop:
@@ -253,14 +253,14 @@ func runSMOWindow(proto core.Protocol, window time.Duration) (readerOps, writerO
 			k := append(workload.KeyFor((i*37)%20000), byte('w'), byte('0'+i%10), byte('0'+(i/10)%10))
 			if err := tbl.Insert(tx, k, []byte("split-fodder")); err != nil {
 				_ = tx.Rollback()
-				tx = d.Begin()
+				tx = d.MustBegin()
 				continue
 			}
 			i++
 			wo.Add(1)
 			if i%50 == 0 {
 				_ = tx.Commit()
-				tx = d.Begin()
+				tx = d.MustBegin()
 			}
 		}
 	}()
@@ -280,7 +280,7 @@ func restartReport() {
 	}
 	g := workload.New(workload.Spec{Keys: 3000, InsertFrac: 0.7, DeleteFrac: 0.3, Seed: 9})
 	live := map[string]bool{}
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 5000; i++ {
 		op := g.Next()
 		if op.Kind == workload.Insert && !live[string(op.Key)] {
@@ -298,7 +298,7 @@ func restartReport() {
 			if err := tx.Commit(); err != nil {
 				panic(err)
 			}
-			tx = d.Begin()
+			tx = d.MustBegin()
 		}
 	}
 	_ = tx.Rollback()
@@ -332,7 +332,7 @@ func mediaRecovery() {
 	if err != nil {
 		panic(err)
 	}
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 2000; i++ {
 		if err := tbl.Insert(tx, workload.KeyFor(i), []byte("media")); err != nil {
 			panic(err)
@@ -345,7 +345,7 @@ func mediaRecovery() {
 		panic(err)
 	}
 	img := recovery.TakeImageCopy(d.Disk(), d.Log())
-	tx2 := d.Begin()
+	tx2 := d.MustBegin()
 	for i := 2000; i < 2500; i++ {
 		if err := tbl.Insert(tx2, workload.KeyFor(i), []byte("post-dump")); err != nil {
 			panic(err)

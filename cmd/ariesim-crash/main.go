@@ -5,7 +5,16 @@
 // fully present, (b) no other transaction left a trace, and (c) every
 // structural invariant of the tree and record heap holds.
 //
+// The fault flags turn the simulated hardware hostile: -faults makes the
+// disk fail, tear, and bit-flip page I/O under a seeded schedule, -torn
+// tears the log tail at each crash, and -bitflip plants silent on-disk
+// corruption each round. The engine must absorb all of it: transient
+// errors are retried, checksum-detected corruption is healed by media
+// recovery, and a torn log is truncated at the first bad-CRC record.
+//
 //	ariesim-crash -rounds 20 -workers 4 -ops 300 -seed 1
+//	ariesim-crash -rounds 10 -faults -torn -bitflip
+//	ariesim-crash -sweep               # every-boundary crash-point sweep
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"ariesim/internal/db"
 	"ariesim/internal/lock"
+	"ariesim/internal/storage"
 	"ariesim/internal/workload"
 )
 
@@ -28,13 +38,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	pageSize := flag.Int("pagesize", 512, "page size (small pages force SMOs)")
 	poolSize := flag.Int("pool", 64, "buffer pool frames (small pools force steals)")
+	faults := flag.Bool("faults", false, "inject seeded disk faults (failed/torn/bit-flipped I/O)")
+	torn := flag.Bool("torn", false, "tear the log tail at each crash")
+	bitflip := flag.Bool("bitflip", false, "plant silent corruption on a random disk page each round")
+	sweep := flag.Bool("sweep", false, "run the every-log-boundary crash-point sweep instead of torture rounds")
 	flag.Parse()
+
+	if *sweep {
+		runSweep(*seed)
+		return
+	}
 
 	d := db.Open(db.Options{PageSize: *pageSize, PoolSize: *poolSize})
 	tbl, err := d.CreateTable("torture")
 	if err != nil {
 		fail("create table: %v", err)
 	}
+
+	var inj *storage.Faults
+	if *faults {
+		inj = storage.NewFaults(storage.FaultConfig{
+			Seed:           *seed,
+			ReadErrorProb:  0.03,
+			WriteErrorProb: 0.03,
+			TornWriteProb:  0.05,
+			BitFlipProb:    0.05,
+		})
+		d.Disk().SetInjector(inj)
+	}
+	crashRNG := rand.New(rand.NewSource(*seed * 31))
 
 	// committed mirrors exactly the state the committed transactions
 	// produced, maintained under a mutex at commit points.
@@ -57,7 +89,7 @@ func main() {
 				for i := 0; i < *ops; {
 					// One transaction of 1..6 operations.
 					n := rng.Intn(6) + 1
-					tx := d.Begin()
+					tx := d.MustBegin()
 					local := map[string]*string{} // staged changes
 					ok := true
 					for j := 0; j < n && ok; j++ {
@@ -124,7 +156,7 @@ func main() {
 		// Pre-crash verification: distinguishes concurrency bugs (visible
 		// now) from recovery bugs (appearing only after restart).
 		preRows := map[string]bool{}
-		pre := d.Begin()
+		pre := d.MustBegin()
 		if err := tbl.Scan(pre, []byte(""), nil, func(r db.Row) (bool, error) {
 			preRows[string(r.Key)] = true
 			return true, nil
@@ -141,8 +173,31 @@ func main() {
 			fail("round %d PRE-CRASH: %d rows vs %d committed", round, len(preRows), len(committed))
 		}
 
+		// Push every dirty page through the (possibly faulty) device so the
+		// write fates actually fire and the disk has pages to corrupt; the
+		// crash then drops the pool, forcing restart to reread them all.
+		if *faults || *torn || *bitflip {
+			if err := d.Pool().FlushAll(); err != nil {
+				fail("round %d: flush: %v", round, err)
+			}
+		}
+
+		// Silent corruption: flip stored bits on a random disk page without
+		// updating its checksum; the post-restart sweep must heal it.
+		if *bitflip {
+			if ids := d.Disk().PageIDs(); len(ids) > 0 {
+				victim := ids[crashRNG.Intn(len(ids))]
+				d.Disk().CorruptBits(victim, crashRNG.Intn(*pageSize-1)+1, byte(crashRNG.Intn(255)+1))
+			}
+		}
+
 		// Crash. Whatever was not forced (in-flight work) is gone; the
-		// commit protocol forced everything in `committed`.
+		// commit protocol forced everything in `committed`. A torn crash
+		// lets a few unforced records survive with the last one torn —
+		// commits are always in the forced prefix, so the model still holds.
+		if *torn {
+			d.Log().CrashWithTornTail(1 + crashRNG.Intn(3))
+		}
 		d.Crash()
 		totalCrashes++
 		if _, err := d.Restart(); err != nil {
@@ -157,7 +212,7 @@ func main() {
 		}
 		// Exact-state check against the committed model.
 		rows := map[string]string{}
-		tx := d.Begin()
+		tx := d.MustBegin()
 		if err := tbl.Scan(tx, []byte(""), nil, func(r db.Row) (bool, error) {
 			rows[string(r.Key)] = string(r.Value)
 			return true, nil
@@ -195,6 +250,29 @@ func main() {
 	fmt.Printf("\nPASS: %d crashes survived, %d transactions committed\n", totalCrashes, totalCommits)
 	fmt.Printf("engine totals: %d traversals, %d splits, %d page deletes, %d logical undos, %d page-oriented undos, %d redos\n",
 		sn.Traversals, sn.PageSplits, sn.PageDeletes, sn.UndoLogical, sn.UndoPageOriented, sn.RedoApplied)
+	if *faults || *torn || *bitflip {
+		fmt.Printf("fault handling: %d corrupt pages detected, %d media recoveries, %d torn-tail truncations, %d I/O retries\n",
+			sn.CorruptPages, sn.MediaRecoveries, sn.TornTailTruncations, sn.IORetries)
+	}
+	if inj != nil {
+		c := inj.Counts()
+		fmt.Printf("faults injected: %d read errors, %d write errors, %d torn writes, %d bit flips\n",
+			c.ReadFaults, c.WriteFaults, c.TornWrites, c.BitFlips)
+	}
+}
+
+// runSweep exhaustively crash-tests every log record boundary of a
+// scripted workload, double-crashing each point mid-restart.
+func runSweep(seed int64) {
+	res, err := db.CrashSweep(db.SweepOpts{
+		Seed: seed,
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	fmt.Printf("\nPASS: %d/%d crash points verified (%d with interrupted restarts), %d commits, %d rollbacks\n",
+		res.Points, res.Records, res.DoubleRecoveries, res.Commits, res.Rollbacks)
 }
 
 func fail(format string, args ...any) {

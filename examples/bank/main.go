@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	setup := db.Begin()
+	setup := db.MustBegin()
 	for i := 0; i < accounts; i++ {
 		if err := tbl.Insert(setup, acct(i), amount(initial)); err != nil {
 			log.Fatal(err)
@@ -73,7 +73,7 @@ func main() {
 
 	// Verify conservation.
 	total := 0
-	tx := db.Begin()
+	tx := db.MustBegin()
 	if err := tbl.Scan(tx, acct(0), nil, func(r ariesim.Row) (bool, error) {
 		n, err := strconv.Atoi(string(r.Value))
 		total += n
@@ -106,7 +106,7 @@ func verdict(ok bool) string {
 }
 
 func transfer(db *ariesim.DB, tbl *ariesim.Table, from, to, amt int) error {
-	tx := db.Begin()
+	tx := db.MustBegin()
 	fail := func(err error) error {
 		_ = tx.Rollback()
 		return err

@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tx := primary.Begin()
+	tx := primary.MustBegin()
 	for i := 0; i < 400; i++ {
 		if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
 			log.Fatal(err)
@@ -33,7 +33,7 @@ func main() {
 	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
-	tx2 := primary.Begin()
+	tx2 := primary.MustBegin()
 	for i := 100; i < 150; i++ {
 		if err := events.Delete(tx2, key(i)); err != nil {
 			log.Fatal(err)
@@ -44,7 +44,7 @@ func main() {
 	}
 	// An in-flight transaction at ship time: it must NOT appear on the
 	// standby (its commit record is not in the shipped log).
-	inflight := primary.Begin()
+	inflight := primary.MustBegin()
 	_ = events.Insert(inflight, []byte("zz-uncommitted"), []byte("ghost"))
 	primary.Log().ForceAll()
 
@@ -75,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	count := 0
-	r := standby.Begin()
+	r := standby.MustBegin()
 	if err := stbl.Scan(r, key(0), nil, func(ariesim.Row) (bool, error) {
 		count++
 		return true, nil
@@ -89,7 +89,7 @@ func main() {
 	fmt.Printf("standby holds %d rows (expected 350); uncommitted work absent ✓\n", count)
 
 	// Promotion: the standby is immediately writable.
-	w := standby.Begin()
+	w := standby.MustBegin()
 	if err := stbl.Insert(w, []byte("written-on-standby"), []byte("promoted")); err != nil {
 		log.Fatal(err)
 	}

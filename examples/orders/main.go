@@ -36,7 +36,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	seed := db.Begin()
+	seed := db.MustBegin()
 	customers := []string{"acme", "globex", "initech"}
 	items := []string{"widget", "sprocket", "gear", "flange"}
 	for i := 0; i < 80; i += 2 { // even order ids only; odd ids arrive later
@@ -50,7 +50,7 @@ func main() {
 	}
 
 	// Primary range scan.
-	tx := db.Begin()
+	tx := db.MustBegin()
 	fmt.Println("orders 10..14 by id:")
 	_ = orders.Scan(tx, orderKey(10), orderKey(14), func(r ariesim.Row) (bool, error) {
 		fmt.Printf("  %s -> %s\n", r.Key, r.Value)
@@ -74,7 +74,7 @@ func main() {
 	// Phantom protection, live: a scanner counts orders 20..29; a writer
 	// tries to insert order 25 mid-scan and is held until the scanner
 	// commits.
-	scanner := db.Begin()
+	scanner := db.MustBegin()
 	count := 0
 	_ = orders.Scan(scanner, orderKey(20), orderKey(29), func(ariesim.Row) (bool, error) {
 		count++
@@ -85,7 +85,7 @@ func main() {
 	writerDone := make(chan error, 1)
 	start := time.Now()
 	go func() {
-		w := db.Begin()
+		w := db.MustBegin()
 		if err := orders.Insert(w, orderKey(25), orderVal("acme", "phantom")); err != nil {
 			writerDone <- err
 			return
@@ -116,7 +116,7 @@ func main() {
 	fmt.Printf("writer completed after %v (released by the scanner's commit)\n",
 		time.Since(start).Round(time.Millisecond))
 
-	final := db.Begin()
+	final := db.MustBegin()
 	total := 0
 	_ = orders.Scan(final, orderKey(20), orderKey(29), func(ariesim.Row) (bool, error) {
 		total++

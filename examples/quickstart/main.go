@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -18,8 +19,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A committed transaction.
-	tx := db.Begin()
+	// A committed transaction. Begin reports ErrCrashed when the engine is
+	// down; MustBegin is the panic-on-error shorthand used below.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, name := range []string{"alice", "bob", "carol", "dave"} {
 		if err := users.Insert(tx, []byte(name), []byte(fmt.Sprintf("user #%d", i+1))); err != nil {
 			log.Fatal(err)
@@ -31,7 +36,7 @@ func main() {
 	fmt.Println("committed 4 users")
 
 	// A rolled-back transaction: its work vanishes atomically.
-	tx = db.Begin()
+	tx = db.MustBegin()
 	_ = users.Insert(tx, []byte("mallory"), []byte("intruder"))
 	_ = users.Delete(tx, []byte("alice"))
 	if err := tx.Rollback(); err != nil {
@@ -40,7 +45,7 @@ func main() {
 	fmt.Println("rolled back mallory's transaction")
 
 	// Range scan at repeatable-read isolation.
-	tx = db.Begin()
+	tx = db.MustBegin()
 	fmt.Println("scan a..d:")
 	_ = users.Scan(tx, []byte("a"), []byte("d"), func(r ariesim.Row) (bool, error) {
 		fmt.Printf("  %s = %s\n", r.Key, r.Value)
@@ -50,10 +55,17 @@ func main() {
 
 	// Crash with an in-flight transaction; restart recovers committed
 	// state and rolls the in-flight transaction back.
-	inflight := db.Begin()
+	inflight := db.MustBegin()
 	_ = users.Insert(inflight, []byte("eve"), []byte("uncommitted"))
 	db.Log().ForceAll() // the update records are stable, the commit is not
 	db.Crash()
+
+	// While down, the engine degrades gracefully instead of panicking.
+	if _, err := db.Begin(); !errors.Is(err, ariesim.ErrCrashed) {
+		log.Fatalf("expected ErrCrashed while down, got %v", err)
+	}
+	fmt.Println("engine down: Begin returns ErrCrashed until Restart")
+
 	report, err := db.Restart()
 	if err != nil {
 		log.Fatal(err)
@@ -62,7 +74,7 @@ func main() {
 		report.RecordsSeen, report.RedosApplied, report.LosersUndone)
 
 	users, _ = db.Table("users")
-	tx = db.Begin()
+	tx = db.MustBegin()
 	if _, err := users.Get(tx, []byte("alice")); err != nil {
 		log.Fatalf("alice lost: %v", err)
 	}

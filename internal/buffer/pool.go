@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ariesim/internal/latch"
 	"ariesim/internal/storage"
@@ -29,6 +30,16 @@ import (
 // honor a new Fix. Engines size pools to their working set, so hitting
 // this indicates a pin leak or a deliberately tiny test pool.
 var ErrPoolExhausted = errors.New("buffer: all frames pinned")
+
+// maxIORetries caps how many times a transient disk error is retried
+// before the pool gives up and surfaces it.
+const maxIORetries = 6
+
+// MediaRecoverer rebuilds a page on stable storage after its disk copy was
+// found corrupt (checksum mismatch) or permanently unreadable. The engine
+// installs one that restores from the latest image copy and rolls the page
+// forward from the log.
+type MediaRecoverer func(storage.PageID) error
 
 // Frame is a buffered page: the page bytes, the page latch, and the pin /
 // dirty / recLSN bookkeeping. Callers mutate Page only while holding
@@ -56,6 +67,7 @@ type Pool struct {
 	frames   map[storage.PageID]*Frame
 	capacity int
 	tick     uint64
+	recover  MediaRecoverer
 	stats    *trace.Stats
 }
 
@@ -76,6 +88,79 @@ func NewPool(disk *storage.Disk, log *wal.Log, capacity int, stats *trace.Stats)
 
 // PageSize returns the underlying disk's page size.
 func (p *Pool) PageSize() int { return p.disk.PageSize() }
+
+// SetMediaRecoverer installs the self-healing hook invoked when a page
+// read fails its checksum or hits a permanent device error.
+func (p *Pool) SetMediaRecoverer(r MediaRecoverer) {
+	p.mu.Lock()
+	p.recover = r
+	p.mu.Unlock()
+}
+
+// backoff is the capped linear retry delay for transient I/O errors. Real
+// engines wait out controller hiccups; the simulator keeps the shape (and
+// the retry accounting) at microsecond scale.
+func backoff(attempt int) time.Duration {
+	return time.Duration(attempt+1) * 50 * time.Microsecond
+}
+
+// readPage reads page id with graceful degradation: transient errors are
+// retried with capped backoff, and checksum or permanent failures trigger
+// one automatic media recovery before the read is retried. Anything the
+// pool cannot heal is returned to the caller.
+func (p *Pool) readPage(id storage.PageID, buf []byte) error {
+	recoveries := 0
+	for attempt := 0; ; attempt++ {
+		err := p.disk.Read(id, buf)
+		if err == nil {
+			return nil
+		}
+		switch {
+		case errors.Is(err, storage.ErrTransientIO):
+			if attempt >= maxIORetries {
+				return err
+			}
+			if p.stats != nil {
+				p.stats.IORetries.Add(1)
+			}
+			time.Sleep(backoff(attempt))
+		case errors.Is(err, storage.ErrChecksum) || errors.Is(err, storage.ErrPermanentIO):
+			if p.stats != nil {
+				p.stats.CorruptPages.Add(1)
+			}
+			// Recovery's own rebuild write may be torn or flipped by the
+			// same faulty device, so allow a few rounds; a fault injector
+			// that caps consecutive faults guarantees convergence.
+			if p.recover == nil || recoveries >= maxIORetries {
+				return err
+			}
+			recoveries++
+			if rerr := p.recover(id); rerr != nil {
+				return fmt.Errorf("buffer: media recovery of page %d failed: %w", id, rerr)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// writePage writes page id, retrying transient device errors with capped
+// backoff. Non-transient errors surface immediately.
+func (p *Pool) writePage(id storage.PageID, buf []byte) error {
+	for attempt := 0; ; attempt++ {
+		err := p.disk.Write(id, buf)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, storage.ErrTransientIO) || attempt >= maxIORetries {
+			return err
+		}
+		if p.stats != nil {
+			p.stats.IORetries.Add(1)
+		}
+		time.Sleep(backoff(attempt))
+	}
+}
 
 // Fix pins page id in the pool, reading it from disk on a miss (a page
 // never written reads as zeroes, which the caller will Format). The caller
@@ -104,7 +189,7 @@ func (p *Pool) Fix(id storage.PageID) (*Frame, error) {
 		}
 	}
 	pg := storage.NewPage(p.disk.PageSize())
-	if err := p.disk.Read(id, pg.Bytes()); err != nil {
+	if err := p.readPage(id, pg.Bytes()); err != nil {
 		return nil, err
 	}
 	f := &Frame{
@@ -159,7 +244,9 @@ func (p *Pool) evictLocked() error {
 		// Steal: WAL demands the log be stable up to the page's LSN
 		// before the page replaces its disk version.
 		p.log.Force(wal.LSN(victim.Page.LSN()))
-		if err := p.disk.Write(victim.id, victim.Page.Bytes()); err != nil {
+		if err := p.writePage(victim.id, victim.Page.Bytes()); err != nil {
+			// The frame stays resident, dirty, and in the DPT: nothing is
+			// lost, and a later evict or flush retries the write.
 			return err
 		}
 		if p.stats != nil {
@@ -188,7 +275,7 @@ func (p *Pool) FlushPage(id storage.PageID) error {
 
 	f.Latch.Acquire(latch.S)
 	p.log.Force(wal.LSN(f.Page.LSN()))
-	err := p.disk.Write(f.id, f.Page.Bytes())
+	err := p.writePage(f.id, f.Page.Bytes())
 	f.Latch.Release(latch.S)
 
 	p.mu.Lock()

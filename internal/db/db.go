@@ -33,6 +33,15 @@ var ErrNotFound = errors.New("db: key not found")
 // ErrDuplicate reports a primary-key violation.
 var ErrDuplicate = core.ErrDuplicate
 
+// ErrCrashed reports that the engine is down (after Crash, or after an
+// interrupted restart) and must be Restarted before accepting work.
+var ErrCrashed = errors.New("db: engine is crashed; call Restart first")
+
+// ErrMediaFailure reports a page that could not be rebuilt by media
+// recovery — the disk copy is corrupt and the image copy + log replay
+// also failed. Data loss is possible; the error wraps the cause.
+var ErrMediaFailure = errors.New("db: unrecoverable media failure")
+
 // Options configures an engine.
 type Options struct {
 	// PageSize in bytes (default 4096).
@@ -103,6 +112,12 @@ type DB struct {
 	cat    catalog
 	tables map[string]*Table
 	downed bool
+
+	// img is the latest image copy, the restore base for automatic media
+	// recovery. Nil means recovery replays each page's full log history
+	// (valid here because the simulated log is never pruned).
+	imgMu sync.Mutex
+	img   *recovery.ImageCopy
 }
 
 // Open creates a fresh engine on a new simulated disk.
@@ -127,6 +142,7 @@ func (d *DB) buildVolatile() {
 	d.im = core.NewManager(d.pool, d.stats)
 	d.dm = data.NewManager(d.pool, d.opts.Granularity, d.stats)
 	d.tm.SetUndoer(&undoRouter{db: d})
+	d.pool.SetMediaRecoverer(d.recoverPage)
 	d.tables = make(map[string]*Table)
 	d.downed = false
 }
@@ -158,12 +174,64 @@ func (d *DB) Disk() *storage.Disk { return d.disk }
 // Pool exposes the buffer pool (checkpoint flushes in tests).
 func (d *DB) Pool() *buffer.Pool { return d.pool }
 
-// Begin starts a transaction.
-func (d *DB) Begin() *txn.Tx {
+// Begin starts a transaction. After a Crash (and before Restart) it fails
+// with ErrCrashed so callers can degrade gracefully instead of dying.
+func (d *DB) Begin() (*txn.Tx, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.downed {
-		panic("db: engine is crashed; call Restart first")
+		return nil, ErrCrashed
 	}
-	return d.tm.Begin()
+	return d.tm.Begin(), nil
+}
+
+// MustBegin starts a transaction, panicking on ErrCrashed. Convenience
+// for tests, benches, and examples that control the crash schedule.
+func (d *DB) MustBegin() *txn.Tx {
+	tx, err := d.Begin()
+	if err != nil {
+		panic(err)
+	}
+	return tx
+}
+
+// TakeImageCopy takes a fuzzy image copy of the disk (no quiescing; the
+// log makes it action-consistent), installs it as the restore base for
+// automatic media recovery, and returns it. Corrupt on-disk pages are
+// excluded from the image — they are rebuilt from the log instead.
+func (d *DB) TakeImageCopy() *recovery.ImageCopy {
+	img := recovery.TakeImageCopy(d.disk, d.log)
+	d.imgMu.Lock()
+	d.img = img
+	d.imgMu.Unlock()
+	return img
+}
+
+// recoverPage is the engine's media recoverer: restore the page from the
+// latest image copy (or from scratch when none exists) and roll it forward
+// from the stable log. The buffer pool invokes it when a page read fails
+// its checksum or hits a permanent device error; VerifyConsistency invokes
+// it from its checksum sweep.
+func (d *DB) recoverPage(id storage.PageID) error {
+	d.imgMu.Lock()
+	img := d.img
+	d.imgMu.Unlock()
+	if img == nil {
+		// No archive taken yet: replay the page's entire log history onto
+		// a zero page. Valid because the simulated log is never pruned.
+		img = &recovery.ImageCopy{Pages: map[storage.PageID][]byte{}}
+	}
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = recovery.RecoverPage(d.disk, d.log, img, id); err == nil {
+			d.stats.MediaRecoveries.Add(1)
+			return nil
+		}
+		if !errors.Is(err, storage.ErrTransientIO) {
+			break
+		}
+	}
+	return fmt.Errorf("%w: page %d: %v", ErrMediaFailure, id, err)
 }
 
 // Checkpoint takes a fuzzy checkpoint.
@@ -202,6 +270,9 @@ type secondary struct {
 func (d *DB) CreateTable(name string) (*Table, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.downed {
+		return nil, ErrCrashed
+	}
 	if _, dup := d.tables[name]; dup {
 		return nil, fmt.Errorf("db: table %q exists", name)
 	}
@@ -258,6 +329,9 @@ func (t *Table) AddSecondaryIndex(name string, extract func(value []byte) []byte
 	d := t.db
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.downed {
+		return ErrCrashed
+	}
 	tx := d.tm.Begin()
 	id := d.cat.NextIndexID
 	ix, err := d.im.CreateIndex(tx, d.indexConfig(id, false))
@@ -524,16 +598,13 @@ func (d *DB) Crash() {
 	d.downed = true
 }
 
-// Restart rebuilds the volatile state, reopens the catalog, and runs the
-// three-pass ARIES restart. Secondary index extractors must be re-bound
-// afterwards via OpenSecondaryIndex.
-func (d *DB) Restart() (*recovery.Report, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// reopenLocked rebuilds the volatile state and reopens the catalog and
+// table handles; the caller holds d.mu and then runs restart recovery.
+func (d *DB) reopenLocked() error {
 	d.buildVolatile()
 	if meta := d.disk.ReadMeta(); len(meta) > 0 {
 		if err := json.Unmarshal(meta, &d.cat); err != nil {
-			return nil, fmt.Errorf("db: catalog corrupt: %w", err)
+			return fmt.Errorf("db: catalog corrupt: %w", err)
 		}
 	}
 	for _, ct := range d.cat.Tables {
@@ -550,14 +621,89 @@ func (d *DB) Restart() (*recovery.Report, error) {
 		}
 		d.tables[ct.Name] = t
 	}
+	return nil
+}
+
+// Restart rebuilds the volatile state, reopens the catalog, and runs the
+// three-pass ARIES restart. Secondary index extractors must be re-bound
+// afterwards via OpenSecondaryIndex.
+func (d *DB) Restart() (*recovery.Report, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.reopenLocked(); err != nil {
+		return nil, err
+	}
 	return recovery.Restart(d.log, d.pool, d.tm, d.locks, d.stats)
 }
 
-// VerifyConsistency cross-checks every table on a quiesced engine: the
-// tree invariants hold, and the primary index and record heap are exact
-// mirrors (every live record indexed once under its own RID, and vice
-// versa). Secondary indexes are checked against the extractor when bound.
+// RestartInterrupted runs restart recovery with an undo-step budget,
+// simulating a crash during restart: after maxUndoSteps undo steps the
+// recovery "dies", the half-rebuilt volatile state is discarded, and the
+// engine is left crashed (interrupted=true) for a subsequent Restart.
+//
+// forceTail picks the fate of the log records the interrupted restart
+// itself wrote (CLRs, end records): true forces them to stable storage
+// before the simulated re-crash, so the rerun must skip the compensated
+// work via the CLRs' UndoNxtLSN chains — the ARIES repeated-restart
+// guarantee; false loses the unforced tail, so the rerun repeats the undo
+// from scratch. Both fates are legal outcomes of a real crash; the
+// crash-point sweep exercises both.
+func (d *DB) RestartInterrupted(maxUndoSteps int, forceTail bool) (interrupted bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.reopenLocked(); err != nil {
+		return false, err
+	}
+	_, err = recovery.RestartWith(d.log, d.pool, d.tm, d.locks, d.stats,
+		recovery.RestartOpts{MaxUndoSteps: maxUndoSteps})
+	if errors.Is(err, recovery.ErrRestartInterrupted) {
+		if forceTail {
+			d.log.ForceAll()
+		}
+		d.log.Crash()
+		d.pool.Crash()
+		d.downed = true
+		return true, nil
+	}
+	return false, err
+}
+
+// Fork clones the engine's stable state — disk pages, catalog meta, and
+// the log — into an independent crashed engine, as if a copy of the
+// machine lost power at this instant. The fork must be Restarted before
+// use; the original is untouched. Crash-point sweeps fork once per
+// truncation point instead of mutating the engine under test.
+func (d *DB) Fork() *DB {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stats := &trace.Stats{}
+	opts := d.opts
+	opts.Stats = stats
+	nd := &DB{
+		opts:  opts,
+		stats: stats,
+		disk:  d.disk.Clone(),
+		log:   d.log.Clone(stats),
+		cat:   catalog{NextTableID: 1, NextIndexID: 1},
+	}
+	nd.buildVolatile()
+	nd.downed = true // stable state only; Restart brings it up
+	d.imgMu.Lock()
+	nd.img = d.img // image pages are immutable; safe to share
+	d.imgMu.Unlock()
+	return nd
+}
+
+// VerifyConsistency cross-checks every table on a quiesced engine: every
+// on-disk page passes its checksum (corrupt pages are self-healed via
+// media recovery), the tree invariants hold, and the primary index and
+// record heap are exact mirrors (every live record indexed once under its
+// own RID, and vice versa). Secondary indexes are checked against the
+// extractor when bound.
 func (d *DB) VerifyConsistency() error {
+	if err := d.checksumSweep(); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	tables := make([]*Table, 0, len(d.tables))
 	for _, t := range d.tables {
@@ -606,6 +752,38 @@ func (d *DB) VerifyConsistency() error {
 			if len(skeys) != len(records) {
 				return fmt.Errorf("table %q secondary %q: %d keys vs %d records", t.name, s.name, len(skeys), len(records))
 			}
+		}
+	}
+	return nil
+}
+
+// checksumSweep reads every written disk page, verifying its checksum and
+// repairing corrupt or permanently unreadable pages in place via media
+// recovery. Transient read errors are retried.
+func (d *DB) checksumSweep() error {
+	buf := make([]byte, d.disk.PageSize())
+	for _, id := range d.disk.PageIDs() {
+		// Repair then re-verify: recovery's rebuild write goes through the
+		// same faulty device and may itself be torn, so loop a few rounds
+		// (an injector that caps consecutive faults guarantees progress).
+		var err error
+		for round := 0; round < 8; round++ {
+			for attempt := 0; attempt < 8; attempt++ {
+				if err = d.disk.Read(id, buf); err == nil || !errors.Is(err, storage.ErrTransientIO) {
+					break
+				}
+				d.stats.IORetries.Add(1)
+			}
+			if err == nil || (!errors.Is(err, storage.ErrChecksum) && !errors.Is(err, storage.ErrPermanentIO)) {
+				break
+			}
+			d.stats.CorruptPages.Add(1)
+			if rerr := d.recoverPage(id); rerr != nil {
+				return fmt.Errorf("db: checksum sweep: page %d: %w", id, rerr)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("db: checksum sweep: page %d: %w", id, err)
 		}
 	}
 	return nil

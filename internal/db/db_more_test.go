@@ -13,7 +13,7 @@ import (
 func TestScanPrefix(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for _, key := range []string{"eu/de/berlin", "eu/de/munich", "eu/fr/paris", "us/ny/nyc"} {
 		if err := tbl.Insert(tx, []byte(key), []byte("city")); err != nil {
 			t.Fatal(err)
@@ -21,7 +21,7 @@ func TestScanPrefix(t *testing.T) {
 	}
 	_ = tx.Commit()
 
-	r := d.Begin()
+	r := d.MustBegin()
 	var got []string
 	if err := tbl.ScanPrefix(r, []byte("eu/de/"), func(row Row) (bool, error) {
 		got = append(got, string(row.Key))
@@ -46,16 +46,16 @@ func TestScanPrefix(t *testing.T) {
 func TestGetCSDoesNotBlockWriters(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	_ = tbl.Insert(tx, k(1), v(1))
 	_ = tx.Commit()
 
-	reader := d.Begin()
+	reader := d.MustBegin()
 	if got, err := tbl.GetCS(reader, k(1)); err != nil || string(got) != string(v(1)) {
 		t.Fatalf("GetCS = %q, %v", got, err)
 	}
 	// Reader still open, but a writer can delete the row immediately.
-	writer := d.Begin()
+	writer := d.MustBegin()
 	done := make(chan error, 1)
 	go func() { done <- tbl.Delete(writer, k(1)) }()
 	select {
@@ -73,10 +73,10 @@ func TestGetCSDoesNotBlockWriters(t *testing.T) {
 func TestGetCSStillSeesOnlyCommitted(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	w := d.Begin()
+	w := d.MustBegin()
 	_ = tbl.Insert(w, k(9), v(9))
 	// w uncommitted: a CS reader must wait, then see it after commit.
-	r := d.Begin()
+	r := d.MustBegin()
 	done := make(chan error, 1)
 	go func() {
 		_, err := tbl.GetCS(r, k(9))
@@ -99,7 +99,7 @@ func TestMultiTableCrashRestart(t *testing.T) {
 	a, _ := d.CreateTable("alpha")
 	bt, _ := d.CreateTable("beta")
 	_ = bt
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 30; i++ {
 		if err := a.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -122,7 +122,7 @@ func TestMultiTableCrashRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 		rows := 0
-		r := d.Begin()
+		r := d.MustBegin()
 		_ = tbl.Scan(r, []byte(""), nil, func(Row) (bool, error) { rows++; return true, nil })
 		_ = r.Commit()
 		if rows != 30 {
@@ -139,7 +139,7 @@ func TestScanUnderConcurrentSplits(t *testing.T) {
 	// exactly once, in order) while writers split the scanned leaves.
 	d := Open(Options{PageSize: 512, PoolSize: 1024})
 	tbl, _ := d.CreateTable("t")
-	setup := d.Begin()
+	setup := d.MustBegin()
 	const rows = 400
 	for i := 0; i < rows; i++ {
 		if err := tbl.Insert(setup, k(i*10), v(i)); err != nil {
@@ -163,7 +163,7 @@ func TestScanUnderConcurrentSplits(t *testing.T) {
 			// Writers insert between scanned keys, far enough ahead of the
 			// scan front that next-key locks rarely collide; collisions
 			// just block briefly and retry on deadlock.
-			tx := d.Begin()
+			tx := d.MustBegin()
 			n := rng.Intn(rows*10) + 5_000_000
 			if err := tbl.Insert(tx, k(n), []byte("concurrent")); err != nil {
 				_ = tx.Rollback()
@@ -174,7 +174,7 @@ func TestScanUnderConcurrentSplits(t *testing.T) {
 		}
 	}()
 
-	scan := d.Begin()
+	scan := d.MustBegin()
 	var seen []string
 	err := tbl.Scan(scan, k(0), k(rows*10-1), func(r Row) (bool, error) {
 		seen = append(seen, string(r.Key))
@@ -209,7 +209,7 @@ func TestRepeatedCrashTortureSmallPool(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for round := 0; round < 6; round++ {
 		for batch := 0; batch < 10; batch++ {
-			tx := d.Begin()
+			tx := d.MustBegin()
 			staged := map[string]*string{}
 			for op := 0; op < 5; op++ {
 				n := rng.Intn(150)
@@ -253,7 +253,7 @@ func TestRepeatedCrashTortureSmallPool(t *testing.T) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		got := map[string]string{}
-		r := d.Begin()
+		r := d.MustBegin()
 		_ = tbl.Scan(r, []byte(""), nil, func(row Row) (bool, error) {
 			got[string(row.Key)] = string(row.Value)
 			return true, nil
@@ -277,13 +277,13 @@ func TestRepeatedCrashTortureSmallPool(t *testing.T) {
 func TestDeadlockSurfacesToCaller(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	_ = tbl.Insert(tx, k(1), v(1))
 	_ = tbl.Insert(tx, k(2), v(2))
 	_ = tx.Commit()
 
-	t1 := d.Begin()
-	t2 := d.Begin()
+	t1 := d.MustBegin()
+	t2 := d.MustBegin()
 	if _, err := tbl.Get(t1, k(1)); err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func TestInsertGetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := d.Begin()
+	tx := d.MustBegin()
 	if err := tbl.Insert(tx, k(1), v(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestInsertGetRoundTrip(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tbl.Get(d.Begin(), k(2)); !errors.Is(err, ErrNotFound) {
+	if _, err := tbl.Get(d.MustBegin(), k(2)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing key: %v", err)
 	}
 	if err := d.VerifyConsistency(); err != nil {
@@ -48,7 +48,7 @@ func TestInsertGetRoundTrip(t *testing.T) {
 func TestPrimaryKeyUniqueness(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	if err := tbl.Insert(tx, k(1), v(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestPrimaryKeyUniqueness(t *testing.T) {
 	if err := d.VerifyConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	got, err := tbl.Get(rtx, k(1))
 	if err != nil || string(got) != string(v(1)) {
 		t.Fatalf("row after duplicate attempt: %q, %v", got, err)
@@ -74,7 +74,7 @@ func TestPrimaryKeyUniqueness(t *testing.T) {
 func TestDeleteAndUpdate(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 20; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -87,7 +87,7 @@ func TestDeleteAndUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = tx.Commit()
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	if _, err := tbl.Get(rtx, k(5)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted row: %v", err)
 	}
@@ -103,14 +103,14 @@ func TestDeleteAndUpdate(t *testing.T) {
 func TestScanRange(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 50; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	_ = tx.Commit()
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	var got []string
 	err := tbl.Scan(rtx, k(10), k(19), func(r Row) (bool, error) {
 		got = append(got, string(r.Key))
@@ -139,7 +139,7 @@ func TestSecondaryIndex(t *testing.T) {
 	if err := tbl.AddSecondaryIndex("by_customer", byCustomer); err != nil {
 		t.Fatal(err)
 	}
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 30; i++ {
 		val := []byte(fmt.Sprintf("c%03d|order-%d", i%3, i))
 		if err := tbl.Insert(tx, k(i), val); err != nil {
@@ -147,7 +147,7 @@ func TestSecondaryIndex(t *testing.T) {
 		}
 	}
 	_ = tx.Commit()
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	n := 0
 	err := tbl.ScanSecondary(rtx, "by_customer", []byte("c001"), []byte("c001"), func(sk []byte, r Row) (bool, error) {
 		if string(sk) != "c001" {
@@ -164,7 +164,7 @@ func TestSecondaryIndex(t *testing.T) {
 	}
 	_ = rtx.Commit()
 	// Delete maintains the secondary.
-	dtx := d.Begin()
+	dtx := d.MustBegin()
 	if err := tbl.Delete(dtx, k(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -177,13 +177,13 @@ func TestSecondaryIndex(t *testing.T) {
 func TestRollbackRestoresEverything(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	setup := d.Begin()
+	setup := d.MustBegin()
 	for i := 0; i < 30; i++ {
 		_ = tbl.Insert(setup, k(i), v(i))
 	}
 	_ = setup.Commit()
 
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 30; i < 50; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -200,7 +200,7 @@ func TestRollbackRestoresEverything(t *testing.T) {
 	if err := d.VerifyConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	for i := 0; i < 30; i++ {
 		if _, err := tbl.Get(rtx, k(i)); err != nil {
 			t.Fatalf("row %d lost by rollback: %v", i, err)
@@ -217,7 +217,7 @@ func TestRollbackRestoresEverything(t *testing.T) {
 func TestCrashRestartCycle(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	committed := d.Begin()
+	committed := d.MustBegin()
 	for i := 0; i < 100; i++ {
 		if err := tbl.Insert(committed, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -226,7 +226,7 @@ func TestCrashRestartCycle(t *testing.T) {
 	if err := committed.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	inflight := d.Begin()
+	inflight := d.MustBegin()
 	for i := 100; i < 130; i++ {
 		if err := tbl.Insert(inflight, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -254,7 +254,7 @@ func TestCrashRestartCycle(t *testing.T) {
 	if err := d.VerifyConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	for i := 0; i < 100; i++ {
 		if _, err := tbl.Get(rtx, k(i)); err != nil {
 			t.Fatalf("committed row %d lost: %v", i, err)
@@ -273,7 +273,7 @@ func TestRestartReopensSecondary(t *testing.T) {
 	tbl, _ := d.CreateTable("t")
 	ext := func(value []byte) []byte { return value[:2] }
 	_ = tbl.AddSecondaryIndex("s", ext)
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 20; i++ {
 		_ = tbl.Insert(tx, k(i), []byte(fmt.Sprintf("%02d-rest", i%4)))
 	}
@@ -286,7 +286,7 @@ func TestRestartReopensSecondary(t *testing.T) {
 	if err := tbl.OpenSecondaryIndex("s", ext); err != nil {
 		t.Fatal(err)
 	}
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	n := 0
 	if err := tbl.ScanSecondary(rtx, "s", []byte("01"), []byte("01"), func([]byte, Row) (bool, error) {
 		n++
@@ -306,19 +306,19 @@ func TestRestartReopensSecondary(t *testing.T) {
 func TestPhantomProtectionAcrossTables(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	setup := d.Begin()
+	setup := d.MustBegin()
 	_ = tbl.Insert(setup, k(10), v(10))
 	_ = tbl.Insert(setup, k(20), v(20))
 	_ = setup.Commit()
 
 	// T1 scans [10,20]; T2 inserting 15 must block until T1 ends.
-	t1 := d.Begin()
+	t1 := d.MustBegin()
 	count := 0
 	_ = tbl.Scan(t1, k(10), k(20), func(Row) (bool, error) { count++; return true, nil })
 	if count != 2 {
 		t.Fatalf("scan saw %d", count)
 	}
-	t2 := d.Begin()
+	t2 := d.MustBegin()
 	done := make(chan error, 1)
 	go func() { done <- tbl.Insert(t2, k(15), v(15)) }()
 	select {
@@ -346,7 +346,7 @@ func TestConcurrentBankTransfers(t *testing.T) {
 	tbl, _ := d.CreateTable("accounts")
 	const accounts = 20
 	const initial = 1000
-	setup := d.Begin()
+	setup := d.MustBegin()
 	for i := 0; i < accounts; i++ {
 		if err := tbl.Insert(setup, k(i), []byte(fmt.Sprintf("%06d", initial))); err != nil {
 			t.Fatal(err)
@@ -373,7 +373,7 @@ func TestConcurrentBankTransfers(t *testing.T) {
 					continue
 				}
 				amt := rng.Intn(50)
-				tx := d.Begin()
+				tx := d.MustBegin()
 				ok := func() bool {
 					fb, err := tbl.Get(tx, k(from))
 					if err != nil {
@@ -417,7 +417,7 @@ func TestConcurrentBankTransfers(t *testing.T) {
 	}
 	// Invariant: total conserved.
 	total := 0
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	_ = tbl.Scan(rtx, k(0), nil, func(r Row) (bool, error) {
 		total += parse(r.Value)
 		return true, nil
@@ -439,7 +439,7 @@ func TestEngineWithBaselineProtocols(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tx := d.Begin()
+			tx := d.MustBegin()
 			for i := 0; i < 60; i++ {
 				if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 					t.Fatal(err)
@@ -463,7 +463,7 @@ func TestEngineWithBaselineProtocols(t *testing.T) {
 func TestPageGranularityEngine(t *testing.T) {
 	d := Open(Options{PageSize: 512, PoolSize: 128, Granularity: lock.GranPage})
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 40; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)

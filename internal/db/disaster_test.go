@@ -16,7 +16,7 @@ import (
 func TestFullDisasterRecovery(t *testing.T) {
 	d := openSmall(t)
 	tbl, _ := d.CreateTable("t")
-	tx := d.Begin()
+	tx := d.MustBegin()
 	for i := 0; i < 120; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -29,7 +29,7 @@ func TestFullDisasterRecovery(t *testing.T) {
 	img := recovery.TakeImageCopy(d.Disk(), d.Log())
 
 	// Post-dump committed work, then archive the log.
-	tx2 := d.Begin()
+	tx2 := d.MustBegin()
 	for i := 120; i < 160; i++ {
 		if err := tbl.Insert(tx2, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -86,7 +86,7 @@ func TestFullDisasterRecovery(t *testing.T) {
 	if err := d.VerifyConsistency(); err != nil {
 		t.Fatal(err)
 	}
-	rtx := d.Begin()
+	rtx := d.MustBegin()
 	rows := 0
 	if err := tbl.Scan(rtx, []byte(""), nil, func(Row) (bool, error) { rows++; return true, nil }); err != nil {
 		t.Fatal(err)

@@ -20,7 +20,7 @@ func TestLogShippingStandby(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := primary.Begin()
+	tx := primary.MustBegin()
 	for i := 0; i < 300; i++ {
 		if err := tbl.Insert(tx, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -29,7 +29,7 @@ func TestLogShippingStandby(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	tx2 := primary.Begin()
+	tx2 := primary.MustBegin()
 	for i := 50; i < 120; i++ {
 		if err := tbl.Delete(tx2, k(i)); err != nil {
 			t.Fatal(err)
@@ -39,7 +39,7 @@ func TestLogShippingStandby(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One in-flight transaction at ship time: the standby must not show it.
-	loser := primary.Begin()
+	loser := primary.MustBegin()
 	for i := 500; i < 520; i++ {
 		if err := tbl.Insert(loser, k(i), v(i)); err != nil {
 			t.Fatal(err)
@@ -90,7 +90,7 @@ func TestLogShippingStandby(t *testing.T) {
 	// The standby's visible state equals the primary's committed state.
 	collect := func(d *DB, tb *Table) map[string]string {
 		out := map[string]string{}
-		r := d.Begin()
+		r := d.MustBegin()
 		_ = tb.Scan(r, []byte(""), nil, func(row Row) (bool, error) {
 			out[string(row.Key)] = string(row.Value)
 			return true, nil
@@ -113,7 +113,7 @@ func TestLogShippingStandby(t *testing.T) {
 		}
 	}
 	// The standby is a fully writable promotion target.
-	w := standby.Begin()
+	w := standby.MustBegin()
 	if err := stbl.Insert(w, []byte("zz-after-promotion"), []byte("new-primary")); err != nil {
 		t.Fatal(err)
 	}

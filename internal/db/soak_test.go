@@ -59,7 +59,7 @@ func soak(t *testing.T, opts Options, rounds, workers, opsPerWorker int) {
 				})
 				rng := rand.New(rand.NewSource(int64(round*31 + w)))
 				for i := 0; i < opsPerWorker; {
-					tx := d.Begin()
+					tx := d.MustBegin()
 					staged := map[string]*string{}
 					aborted := false
 					for j := 0; j < rng.Intn(5)+1 && !aborted; j++ {
@@ -156,7 +156,7 @@ func soak(t *testing.T, opts Options, rounds, workers, opsPerWorker int) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		rows := map[string]string{}
-		r := d.Begin()
+		r := d.MustBegin()
 		_ = tbl.Scan(r, []byte(""), nil, func(row Row) (bool, error) {
 			rows[string(row.Key)] = string(row.Value)
 			return true, nil

@@ -1,0 +1,264 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ariesim/internal/recovery"
+	"ariesim/internal/wal"
+)
+
+// SweepOpts configures a crash-point sweep. The zero value is a small but
+// SMO-heavy configuration; every field has a default.
+type SweepOpts struct {
+	// Seed drives the workload and the per-point recovery perturbations;
+	// the whole sweep is deterministic in it.
+	Seed int64
+	// Txns is the number of workload transactions (default 50).
+	Txns int
+	// OpsPerTxn is the number of row operations per transaction (default 4).
+	OpsPerTxn int
+	// PageSize for the swept engine (default 512 — small pages force page
+	// splits and deletes, so the log is dense with nested top actions).
+	PageSize int
+	// PoolSize in frames (default 256; large enough that no page is
+	// evicted, which keeps every log prefix a legal crash state).
+	PoolSize int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o SweepOpts) withDefaults() SweepOpts {
+	if o.Txns == 0 {
+		o.Txns = 50
+	}
+	if o.OpsPerTxn == 0 {
+		o.OpsPerTxn = 4
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 512
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 256
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// SweepResult summarizes a crash-point sweep.
+type SweepResult struct {
+	// Points is the number of crash points exercised: one per log record
+	// boundary after setup.
+	Points int
+	// Records is the total number of log records the workload produced.
+	Records int
+	// Commits and Rollbacks count workload transactions by outcome.
+	Commits   int
+	Rollbacks int
+	// DoubleRecoveries counts the points whose first restart was genuinely
+	// interrupted mid-undo (losers existed and the undo-step budget hit),
+	// forcing the second restart to recover from a half-done recovery.
+	// Every point runs two restarts regardless.
+	DoubleRecoveries int
+}
+
+// committedState is the exact table contents after the commit that wrote
+// commitLSN; a crash at any boundary L with commitLSN ≤ L < nextCommitLSN
+// must recover to exactly rows.
+type committedState struct {
+	commitLSN wal.LSN
+	rows      map[string]string
+}
+
+// CrashSweep is the tentpole robustness harness: it runs a scripted
+// multi-transaction workload dense with page splits/deletes (SMOs as
+// nested top actions), commits, rollbacks, a fuzzy checkpoint and a
+// trailing in-flight loser — then, for EVERY log record boundary the
+// workload produced, forks the stable state, truncates the log there
+// (simulating a crash whose last force reached exactly that record),
+// restarts, re-crashes the engine mid-restart (an undo-step budget kills
+// recovery partway through loser rollback, alternating whether the
+// interrupted restart's own CLRs survive), restarts again, and verifies
+// that the recovered table equals, byte for byte, the latest committed
+// snapshot covered by the truncation point — under full structural and
+// checksum consistency verification.
+//
+// This is the ARIES idempotence-of-restart guarantee (repeat history +
+// CLRs bound undo work) checked exhaustively rather than at hand-picked
+// crash points.
+func CrashSweep(opts SweepOpts) (*SweepResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &SweepResult{}
+
+	d := Open(Options{PageSize: opts.PageSize, PoolSize: opts.PoolSize})
+	tbl, err := d.CreateTable("sweep")
+	if err != nil {
+		return nil, err
+	}
+	// Catalog and root-page setup is not crash-swept: catalog persistence
+	// is via non-logged meta writes, so boundaries start after it.
+	setupLSN := d.Log().MaxLSN()
+
+	const keySpace = 200
+	key := func(i int) string { return fmt.Sprintf("k%04d", i) }
+	val := func() string {
+		return fmt.Sprintf("v%0*d", 20+rng.Intn(60), rng.Intn(1_000_000))
+	}
+
+	model := map[string]string{}
+	history := []committedState{{commitLSN: setupLSN, rows: map[string]string{}}}
+	for t := 0; t < opts.Txns; t++ {
+		overlay := make(map[string]string, len(model))
+		for k, v := range model {
+			overlay[k] = v
+		}
+		willRollback := rng.Float64() < 0.15
+		tx := d.MustBegin()
+		for op := 0; op < opts.OpsPerTxn; op++ {
+			k := key(rng.Intn(keySpace))
+			if old, ok := overlay[k]; ok {
+				if rng.Intn(2) == 0 || old == "" {
+					v := val()
+					if err := tbl.Update(tx, []byte(k), []byte(v)); err != nil {
+						return nil, fmt.Errorf("txn %d update %s: %w", t, k, err)
+					}
+					overlay[k] = v
+				} else {
+					if err := tbl.Delete(tx, []byte(k)); err != nil {
+						return nil, fmt.Errorf("txn %d delete %s: %w", t, k, err)
+					}
+					delete(overlay, k)
+				}
+			} else {
+				v := val()
+				if err := tbl.Insert(tx, []byte(k), []byte(v)); err != nil {
+					return nil, fmt.Errorf("txn %d insert %s: %w", t, k, err)
+				}
+				overlay[k] = v
+			}
+		}
+		if willRollback {
+			if err := tx.Rollback(); err != nil {
+				return nil, fmt.Errorf("txn %d rollback: %w", t, err)
+			}
+			res.Rollbacks++
+		} else {
+			before := d.Log().MaxLSN()
+			if err := tx.Commit(); err != nil {
+				return nil, fmt.Errorf("txn %d commit: %w", t, err)
+			}
+			commitLSN := wal.NilLSN
+			for _, r := range d.Log().Records(before + 1) {
+				if r.Type == wal.RecCommit && r.TxID == tx.ID {
+					commitLSN = r.LSN
+					break
+				}
+			}
+			if commitLSN == wal.NilLSN {
+				return nil, fmt.Errorf("txn %d: commit record not found", t)
+			}
+			model = overlay
+			snap := make(map[string]string, len(model))
+			for k, v := range model {
+				snap[k] = v
+			}
+			history = append(history, committedState{commitLSN: commitLSN, rows: snap})
+			res.Commits++
+		}
+		if t == opts.Txns/2 {
+			d.Checkpoint() // boundaries inside the fuzzy checkpoint too
+		}
+	}
+
+	// A trailing in-flight loser: boundaries in this tail force restart to
+	// undo a transaction whose records are the newest thing on the log.
+	loser := d.MustBegin()
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("zloser%02d", i)
+		if err := tbl.Insert(loser, []byte(k), []byte("never-committed")); err != nil {
+			return nil, fmt.Errorf("loser insert %s: %w", k, err)
+		}
+	}
+	d.Log().ForceAll() // make every record a truncation candidate
+
+	boundaries := recovery.Boundaries(d.Log(), setupLSN)
+	res.Records = len(boundaries)
+	opts.Logf("sweep: %d txns (%d committed, %d rolled back), %d crash points",
+		opts.Txns, res.Commits, res.Rollbacks, len(boundaries))
+
+	for i, L := range boundaries {
+		fork := d.Fork()
+		fork.Log().TruncateTo(L)
+
+		// First restart dies mid-undo after a seed-dependent number of undo
+		// steps; on alternate points its CLRs are forced (survive) vs lost.
+		interrupted, err := fork.RestartInterrupted(1+i%4, i%2 == 0)
+		if err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): interrupted restart: %w", i, L, err)
+		}
+		if interrupted {
+			res.DoubleRecoveries++
+		} else {
+			fork.Crash() // completed on the first try: crash it again anyway
+		}
+		if _, err := fork.Restart(); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): final restart: %w", i, L, err)
+		}
+
+		want := stateAt(history, L)
+		if err := verifyState(fork, want); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): %w", i, L, err)
+		}
+		if err := fork.VerifyConsistency(); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): consistency: %w", i, L, err)
+		}
+		res.Points++
+		if (i+1)%100 == 0 {
+			opts.Logf("sweep: %d/%d points verified (%d double recoveries)",
+				i+1, len(boundaries), res.DoubleRecoveries)
+		}
+	}
+	return res, nil
+}
+
+// stateAt returns the committed rows a crash at boundary L must recover:
+// the snapshot of the latest commit whose commit record is ≤ L.
+func stateAt(history []committedState, L wal.LSN) map[string]string {
+	i := sort.Search(len(history), func(i int) bool {
+		return history[i].commitLSN > L
+	})
+	return history[i-1].rows
+}
+
+func verifyState(fork *DB, want map[string]string) error {
+	tbl, err := fork.Table("sweep")
+	if err != nil {
+		return err
+	}
+	tx, err := fork.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Commit()
+	got := map[string]string{}
+	err = tbl.Scan(tx, nil, nil, func(r Row) (bool, error) {
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("recovered %d rows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return fmt.Errorf("row %q: recovered %q, want %q", k, got[k], v)
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -60,11 +61,32 @@ type Report struct {
 	LocksRestored int
 }
 
+// ErrRestartInterrupted reports that a restart stopped early because its
+// undo-step budget ran out — the crash-during-restart case. The engine is
+// NOT open: volatile state must be discarded and restart run again. ARIES
+// guarantees the rerun is correct because the CLRs written so far make the
+// partial undo repeatable without re-undoing compensated work.
+var ErrRestartInterrupted = errors.New("recovery: restart interrupted mid-undo")
+
+// RestartOpts tunes a restart run.
+type RestartOpts struct {
+	// MaxUndoSteps, when positive, crashes the restart after that many undo
+	// steps (each step writes one CLR or closes one loser) by returning
+	// ErrRestartInterrupted. Zero or negative means run to completion.
+	// Used by the crash-point sweep to exercise repeated restarts.
+	MaxUndoSteps int
+}
+
 // Restart runs the three recovery passes. The caller supplies the freshly
 // constructed (post-crash) managers: an empty lock manager, a transaction
 // manager with its undoer wired to the reopened index/record managers, and
 // a buffer pool over the surviving disk. stats may be nil.
 func Restart(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manager, stats *trace.Stats) (*Report, error) {
+	return RestartWith(log, pool, tm, locks, stats, RestartOpts{})
+}
+
+// RestartWith is Restart with options; see RestartOpts.
+func RestartWith(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manager, stats *trace.Stats, opts RestartOpts) (*Report, error) {
 	rep := &Report{}
 	txTable, dpt, maxTx, err := analyze(log, rep)
 	if err != nil {
@@ -77,8 +99,8 @@ func Restart(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manag
 	if err := reacquireLocks(log, tm, txTable, rep); err != nil {
 		return nil, err
 	}
-	if err := undoLosers(tm, txTable, rep); err != nil {
-		return nil, err
+	if err := undoLosers(tm, txTable, rep, opts.MaxUndoSteps); err != nil {
+		return rep, err
 	}
 	// Post-restart checkpoint bounds the next restart's analysis pass.
 	tm.Checkpoint(pool)
@@ -93,7 +115,6 @@ func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[sto
 
 	start := wal.NilLSN + 1
 	if master := log.Master(); master != wal.NilLSN {
-		start = master
 		// Prime the tables from the checkpoint's end record.
 		var primed bool
 		log.Scan(master, func(r *wal.Record) bool {
@@ -116,7 +137,17 @@ func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[sto
 			}
 			return true
 		})
-		_ = primed
+		if primed {
+			start = master
+		}
+		// Not primed: the crash tore the fuzzy checkpoint apart — the
+		// begin-ckpt the master record points at is stable but its
+		// end-ckpt (carrying the tx table and DPT) was lost with the
+		// unforced tail. The checkpoint is unusable; analyze from the
+		// start of the log as if it never happened. (SetMaster runs only
+		// after the end record is forced, so this state needs the stable
+		// mark itself to rewind — a torn log tail or a crash-point
+		// truncation landing between the two checkpoint records.)
 	}
 	rep.AnalyzedFrom = start
 
@@ -260,8 +291,10 @@ func reacquireLocks(log *wal.Log, tm *txn.Manager, txTable map[wal.TxID]*wal.TxT
 }
 
 // undoLosers rolls back every in-flight transaction in one global
-// reverse-LSN sweep, exactly as the ARIES undo pass prescribes.
-func undoLosers(tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Report) error {
+// reverse-LSN sweep, exactly as the ARIES undo pass prescribes. A positive
+// maxSteps budget interrupts the pass after that many steps (simulating a
+// crash during restart); the CLRs already written keep the rerun correct.
+func undoLosers(tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Report, maxSteps int) error {
 	losers := map[wal.TxID]*txn.Tx{}
 	for _, e := range txTable {
 		if e.State == wal.TxActive || e.State == wal.TxRollingBack {
@@ -269,6 +302,7 @@ func undoLosers(tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Re
 		}
 	}
 	rep.LosersUndone = len(losers)
+	steps := 0
 	for len(losers) > 0 {
 		// Pick the loser with the maximum UndoNxtLSN.
 		var victim *txn.Tx
@@ -285,9 +319,13 @@ func undoLosers(tm *txn.Manager, txTable map[wal.TxID]*wal.TxTableEntry, rep *Re
 		if victim == nil {
 			break
 		}
+		if maxSteps > 0 && steps >= maxSteps {
+			return ErrRestartInterrupted
+		}
 		if err := victim.UndoStep(); err != nil {
 			return err
 		}
+		steps++
 		if victim.UndoNxtLSN() == wal.NilLSN {
 			victim.EndLoser()
 			delete(losers, victim.ID)
@@ -304,22 +342,41 @@ type ImageCopy struct {
 	DumpLSN wal.LSN
 }
 
-// TakeImageCopy snapshots the disk for media recovery.
+// TakeImageCopy snapshots the disk for media recovery. Pages whose stored
+// checksum no longer matches (a torn write or bit flip that happened to be
+// on disk at dump time) are left out of the image: including them would
+// poison recovery, because their mixed content can carry a high page_LSN
+// that makes roll-forward skip the very records needed to fix them. An
+// omitted page is simply rebuilt from scratch by replaying its full log
+// history.
 func TakeImageCopy(disk *storage.Disk, log *wal.Log) *ImageCopy {
-	return &ImageCopy{Pages: disk.Snapshot(), DumpLSN: log.StableLSN()}
+	pages := disk.Snapshot()
+	for id, b := range pages {
+		if !storage.PageFromBytes(b).VerifyChecksum() {
+			delete(pages, id)
+		}
+	}
+	return &ImageCopy{Pages: pages, DumpLSN: log.StableLSN()}
 }
 
 // RecoverPage rebuilds a single damaged page from the image copy plus one
 // forward pass of the log — the paper's §5 page-oriented media recovery:
 // no tree traversal, no other pages, index pages handled exactly like data
-// pages.
+// pages. Only records on the stable log are applied: writing a page whose
+// page_LSN exceeded the stable LSN would violate the WAL protocol (the
+// disk may never be ahead of the log), and is also unnecessary — every
+// disk version the page ever had was forced-covered before it was written.
 func RecoverPage(disk *storage.Disk, log *wal.Log, img *ImageCopy, pid storage.PageID) error {
 	page := storage.NewPage(disk.PageSize())
 	if b, ok := img.Pages[pid]; ok {
 		copy(page.Bytes(), b)
 	}
+	stable := log.StableLSN()
 	var applyErr error
 	log.Scan(wal.NilLSN+1, func(r *wal.Record) bool {
+		if r.LSN > stable {
+			return false
+		}
 		if r.Page != pid || !r.Redoable() {
 			return true
 		}
@@ -337,4 +394,19 @@ func RecoverPage(disk *storage.Disk, log *wal.Log, img *ImageCopy, pid storage.P
 		return applyErr
 	}
 	return disk.Write(pid, page.Bytes())
+}
+
+// Boundaries returns the LSN of every log record strictly after `after`:
+// the full set of crash points a sweep must exercise. Truncating the log
+// at boundary L simulates a crash whose last successful force covered
+// exactly the records up to and including L.
+func Boundaries(log *wal.Log, after wal.LSN) []wal.LSN {
+	var out []wal.LSN
+	log.Scan(after+1, func(r *wal.Record) bool {
+		if r.LSN > after {
+			out = append(out, r.LSN)
+		}
+		return true
+	})
+	return out
 }

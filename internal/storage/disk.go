@@ -12,18 +12,26 @@ import (
 // prefix persist.
 //
 // Semantics modeled on real disks:
-//   - whole-page writes are atomic (no torn pages; ARIES assumes a page is
-//     either fully written or not at all, detectable otherwise via CRCs),
+//   - every stored page carries a CRC32-C stamped at write time and verified
+//     at read time, so torn writes and bit flips are detected (ErrChecksum)
+//     rather than served as valid data,
 //   - reading a never-written page returns zeroes (a freshly extended file),
-//   - a page can be deliberately corrupted to exercise media recovery.
+//   - a page can be deliberately corrupted to exercise media recovery,
+//   - an optional FaultInjector can fail reads/writes (transient or
+//     permanent), tear a write (prefix of new + suffix of old bytes), or
+//     flip a bit — all under a seeded deterministic schedule.
 type Disk struct {
 	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 	meta     []byte
+	inj      FaultInjector
 
-	reads  atomic.Uint64
-	writes atomic.Uint64
+	reads       atomic.Uint64
+	writes      atomic.Uint64
+	readErrors  atomic.Uint64
+	writeErrors atomic.Uint64
+	checksumErr atomic.Uint64
 }
 
 // NewDisk creates an empty disk with the given page size.
@@ -37,26 +45,57 @@ func NewDisk(pageSize int) *Disk {
 // PageSize returns the disk's page size.
 func (d *Disk) PageSize() int { return d.pageSize }
 
+// SetInjector installs (or, with nil, removes) a fault injector. Faults
+// apply only to page reads and writes, not to meta or snapshot access.
+func (d *Disk) SetInjector(inj FaultInjector) {
+	d.mu.Lock()
+	d.inj = inj
+	d.mu.Unlock()
+}
+
+func (d *Disk) injector() FaultInjector {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.inj
+}
+
 // Read copies page id into buf (which must be pageSize long). A page that
-// was never written reads as zeroes.
+// was never written reads as zeroes. Reads verify the page checksum and
+// fail with ErrChecksum on a mismatch; an installed injector may also fail
+// the read with ErrTransientIO or ErrPermanentIO.
 func (d *Disk) Read(id PageID, buf []byte) error {
 	if len(buf) != d.pageSize {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.pageSize)
 	}
 	d.reads.Add(1)
+	if inj := d.injector(); inj != nil {
+		if err := inj.ReadFault(id); err != nil {
+			d.readErrors.Add(1)
+			return fmt.Errorf("%w (page %d)", err, id)
+		}
+	}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if src, ok := d.pages[id]; ok {
+	src, ok := d.pages[id]
+	if ok {
 		copy(buf, src)
 	} else {
 		for i := range buf {
 			buf[i] = 0
 		}
 	}
+	d.mu.RUnlock()
+	if ok && !PageFromBytes(buf).VerifyChecksum() {
+		d.checksumErr.Add(1)
+		return fmt.Errorf("%w (page %d)", ErrChecksum, id)
+	}
 	return nil
 }
 
-// Write atomically replaces page id with data.
+// Write atomically replaces page id with data, stamping the page checksum
+// on the stored copy. An installed injector may fail the write cleanly
+// (ErrTransientIO; nothing stored), tear it (a mix of new and old bytes is
+// stored, with the new checksum — success is reported but the next read
+// fails its CRC), or flip a bit (likewise silent).
 func (d *Disk) Write(id PageID, data []byte) error {
 	if len(data) != d.pageSize {
 		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), d.pageSize)
@@ -64,6 +103,31 @@ func (d *Disk) Write(id PageID, data []byte) error {
 	d.writes.Add(1)
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	PageFromBytes(cp).UpdateChecksum()
+	if inj := d.injector(); inj != nil {
+		dec := inj.WriteFault(id, d.pageSize)
+		switch dec.Fate {
+		case WriteFail:
+			d.writeErrors.Add(1)
+			return fmt.Errorf("%w (page %d)", ErrTransientIO, id)
+		case WriteTorn:
+			d.mu.Lock()
+			if old, ok := d.pages[id]; ok && dec.Offset > 0 && dec.Offset < d.pageSize {
+				copy(cp[dec.Offset:], old[dec.Offset:])
+			}
+			d.pages[id] = cp
+			d.mu.Unlock()
+			return nil
+		case WriteBitFlip:
+			if off := dec.Offset; off >= 0 && off < d.pageSize*8 {
+				cp[off/8] ^= 1 << (off % 8)
+			}
+			d.mu.Lock()
+			d.pages[id] = cp
+			d.mu.Unlock()
+			return nil
+		}
+	}
 	d.mu.Lock()
 	d.pages[id] = cp
 	d.mu.Unlock()
@@ -86,6 +150,17 @@ func (d *Disk) Corrupt(id PageID) {
 	d.mu.Unlock()
 }
 
+// CorruptBits XORs mask into a stored byte of page id without restamping
+// the checksum, planting silent corruption that the next read detects.
+// It is a no-op for pages that were never written.
+func (d *Disk) CorruptBits(id PageID, off int, mask byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b, ok := d.pages[id]; ok && off >= 0 && off < len(b) {
+		b[off] ^= mask
+	}
+}
+
 // Snapshot deep-copies every written page: the mechanism behind fuzzy
 // image copies (archive dumps) for media recovery.
 func (d *Disk) Snapshot() map[PageID][]byte {
@@ -100,11 +175,34 @@ func (d *Disk) Snapshot() map[PageID][]byte {
 	return out
 }
 
+// Clone deep-copies the disk (pages and meta, not the injector or
+// counters). Used to fork an engine's stable state for crash-point sweeps.
+func (d *Disk) Clone() *Disk {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := NewDisk(d.pageSize)
+	for id, b := range d.pages {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out.pages[id] = cp
+	}
+	out.meta = make([]byte, len(d.meta))
+	copy(out.meta, d.meta)
+	return out
+}
+
 // Restore writes back a single page from a snapshot (media recovery step 1;
-// step 2 is rolling the page forward from the log).
+// step 2 is rolling the page forward from the log). The snapshot bytes are
+// stored verbatim — they already carry the checksum stamped when they were
+// first written, so a corrupt snapshot page stays detectable. The restore
+// bypasses the fault injector: it models rewriting a remapped sector.
 func (d *Disk) Restore(id PageID, snapshot map[PageID][]byte) {
 	if b, ok := snapshot[id]; ok {
-		_ = d.Write(id, b)
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		d.mu.Lock()
+		d.pages[id] = cp
+		d.mu.Unlock()
 	} else {
 		d.Corrupt(id) // page did not exist at dump time
 	}
@@ -153,3 +251,12 @@ func (d *Disk) ReadCount() uint64 { return d.reads.Load() }
 
 // WriteCount reports total page writes.
 func (d *Disk) WriteCount() uint64 { return d.writes.Load() }
+
+// ReadErrorCount reports reads failed by the fault injector.
+func (d *Disk) ReadErrorCount() uint64 { return d.readErrors.Load() }
+
+// WriteErrorCount reports writes failed by the fault injector.
+func (d *Disk) WriteErrorCount() uint64 { return d.writeErrors.Load() }
+
+// ChecksumErrorCount reports reads that failed page-checksum verification.
+func (d *Disk) ChecksumErrorCount() uint64 { return d.checksumErr.Load() }

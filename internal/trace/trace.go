@@ -57,6 +57,12 @@ type Stats struct {
 	LogBytes   atomic.Uint64
 	LogForces  atomic.Uint64 // synchronous force operations
 
+	// Fault handling (injected I/O errors and media corruption).
+	IORetries           atomic.Uint64 // transient I/O errors retried by the buffer pool
+	CorruptPages        atomic.Uint64 // checksum/permanent-error page reads detected
+	MediaRecoveries     atomic.Uint64 // pages rebuilt via media recovery
+	TornTailTruncations atomic.Uint64 // crash sweeps that cut a bad-CRC log tail
+
 	// Index manager.
 	Traversals        atomic.Uint64 // root-to-leaf tree traversals
 	LeafReposition    atomic.Uint64 // fetch-next repositionings after LSN change
@@ -184,6 +190,8 @@ type Snapshot struct {
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
 	LogRecords, LogBytes, LogForces                           uint64
+	IORetries, CorruptPages                                   uint64
+	MediaRecoveries, TornTailTruncations                      uint64
 	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
 	UndoPageOriented, UndoLogical, RedoApplied, RedoSkipped   uint64
 	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
@@ -217,6 +225,10 @@ func (s *Stats) Snap() Snapshot {
 	out.LogRecords = s.LogRecords.Load()
 	out.LogBytes = s.LogBytes.Load()
 	out.LogForces = s.LogForces.Load()
+	out.IORetries = s.IORetries.Load()
+	out.CorruptPages = s.CorruptPages.Load()
+	out.MediaRecoveries = s.MediaRecoveries.Load()
+	out.TornTailTruncations = s.TornTailTruncations.Load()
 	out.Traversals = s.Traversals.Load()
 	out.LeafReposition = s.LeafReposition.Load()
 	out.SMOs = s.SMOs.Load()
@@ -257,6 +269,10 @@ func Diff(before, after Snapshot) Snapshot {
 	d.LogRecords = after.LogRecords - before.LogRecords
 	d.LogBytes = after.LogBytes - before.LogBytes
 	d.LogForces = after.LogForces - before.LogForces
+	d.IORetries = after.IORetries - before.IORetries
+	d.CorruptPages = after.CorruptPages - before.CorruptPages
+	d.MediaRecoveries = after.MediaRecoveries - before.MediaRecoveries
+	d.TornTailTruncations = after.TornTailTruncations - before.TornTailTruncations
 	d.Traversals = after.Traversals - before.Traversals
 	d.LeafReposition = after.LeafReposition - before.LeafReposition
 	d.SMOs = after.SMOs - before.SMOs

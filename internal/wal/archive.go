@@ -50,6 +50,11 @@ func (l *Log) Archive(w io.Writer) (int, error) {
 // ReadArchive reconstructs a Log from an archive stream. The returned log
 // is fully stable (everything in an archive was forced by definition) and
 // ready for recovery replay.
+//
+// A torn or corrupted archive tail is tolerated the same way a torn log
+// tail is: the stream is read record by record and truncated at the first
+// record that is incomplete or fails its CRC — the intact prefix is still
+// usable for media recovery or standby construction.
 func ReadArchive(r io.Reader) (*Log, error) {
 	br := bufio.NewReader(r)
 	var hdr [20]byte
@@ -66,25 +71,25 @@ func ReadArchive(r io.Reader) (*Log, error) {
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("wal: archive record length: %w", err)
+			break // EOF or torn mid-length: end of usable archive
 		}
 		total := binary.LittleEndian.Uint32(lenBuf[:])
 		if total < recHeaderSize {
-			return nil, fmt.Errorf("wal: archive record length %d invalid", total)
+			break // garbage length: treat as torn tail
 		}
 		buf := make([]byte, total)
 		copy(buf, lenBuf[:])
 		if _, err := io.ReadFull(br, buf[4:]); err != nil {
-			return nil, fmt.Errorf("wal: archive record body: %w", err)
+			break // record body truncated
 		}
 		rec, _, err := DecodeRecord(buf)
 		if err != nil {
-			return nil, err
+			break // bad CRC: stop at the intact prefix
 		}
 		l.Append(rec)
+	}
+	if max := l.MaxLSN(); stable > max {
+		stable = max // archive tail was lost; clamp the stable mark
 	}
 	l.Force(stable)
 	if master != NilLSN && master <= stable {

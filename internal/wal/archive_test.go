@@ -59,17 +59,27 @@ func TestReadArchiveRejectsGarbage(t *testing.T) {
 	if _, err := ReadArchive(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty stream accepted")
 	}
-	// Truncated record body.
+	// A truncated record body is a torn archive tail: the intact prefix
+	// survives and the torn record is dropped.
 	l := NewLog(nil)
-	lsn := l.Append(upd(1, 0, 1, "x"))
-	l.Force(lsn)
+	first := l.Append(upd(1, 0, 1, "intact"))
+	last := l.Append(upd(2, 0, 1, "torn"))
+	l.Force(last)
 	var buf bytes.Buffer
 	if _, err := l.Archive(&buf); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-3]
-	if _, err := ReadArchive(bytes.NewReader(trunc)); err == nil {
-		t.Fatal("truncated archive accepted")
+	got, err := ReadArchive(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatalf("torn archive tail rejected entirely: %v", err)
+	}
+	if got.NumRecords() != 1 || got.MaxLSN() != first {
+		t.Fatalf("want intact prefix of 1 record at LSN %d, got %d records max LSN %d",
+			first, got.NumRecords(), got.MaxLSN())
+	}
+	if got.StableLSN() != first {
+		t.Fatalf("stable mark not clamped to surviving tail: %d", got.StableLSN())
 	}
 }
 

@@ -27,12 +27,25 @@ type Log struct {
 	master  LSN       // "master record": LSN of the last end-checkpoint, forced separately
 	bytes   uint64
 
+	// damage records byte-level corruption planted in the stored image of
+	// individual records (torn log writes, media rot). It is consulted by
+	// the CRC sweep that every crash performs: the surviving log is the
+	// prefix up to the first record that no longer decodes.
+	damage    map[LSN][]damageSpot
+	truncates uint64 // torn-tail truncations performed by crash sweeps
+
 	stats *trace.Stats
+}
+
+// damageSpot is one corrupted byte in a record's stored image.
+type damageSpot struct {
+	off int // byte offset within the encoded record
+	xor byte
 }
 
 // NewLog creates an empty log reporting into stats (which may be nil).
 func NewLog(stats *trace.Stats) *Log {
-	return &Log{stats: stats}
+	return &Log{stats: stats, damage: make(map[LSN][]damageSpot)}
 }
 
 // Append assigns the next LSN to r and adds it to the log buffer. The
@@ -175,19 +188,137 @@ func (l *Log) Records(from LSN) []*Record {
 // Crash simulates loss of volatile state: every record after the stable
 // LSN disappears, exactly as an unforced log buffer would. The master
 // record survives only because SetMaster requires a prior force.
+//
+// Every crash also performs the CRC sweep a restart would run over the
+// stable log: if any surviving record was corrupted (CorruptStored, or a
+// torn tail from CrashWithTornTail), the log is truncated at the first
+// record that fails its CRC — everything from there on is lost.
 func (l *Log) Crash() {
+	l.crash(0, false)
+}
+
+// CrashWithTornTail crashes the log but lets up to extra unforced records
+// reach stable storage — a real log device writes sequentially, so records
+// past the last explicit force may survive a power cut — with the last
+// survivor torn mid-record. The crash sweep detects the torn record by its
+// CRC and truncates there, so the surviving log is the forced prefix plus
+// extra-1 intact unforced records.
+func (l *Log) CrashWithTornTail(extra int) {
+	l.crash(extra, true)
+}
+
+func (l *Log) crash(extra int, tear bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] > l.stable })
-	l.recs = l.recs[:i]
-	l.offs = l.offs[:i]
-	if i > 0 {
-		last := l.recs[i-1]
+	keep := i + extra
+	if keep > len(l.recs) {
+		keep = len(l.recs)
+	}
+	if tear && keep > i && keep > 0 {
+		// Tear the last survivor: its trailing half never hit the platter.
+		last := l.recs[keep-1]
+		l.damage[last.LSN] = append(l.damage[last.LSN],
+			damageSpot{off: last.EncodedSize() / 2, xor: 0xA5})
+	}
+	l.recs = l.recs[:keep]
+	l.offs = l.offs[:keep]
+	l.sweepLocked()
+	if n := len(l.recs); n > 0 {
+		last := l.recs[n-1]
 		l.nextOff = last.LSN - 1 + LSN(last.EncodedSize())
+		l.stable = last.LSN
 	} else {
 		l.nextOff = 0
+		l.stable = NilLSN
 	}
 	l.bytes = uint64(l.nextOff)
+	if l.master > l.stable {
+		l.master = NilLSN
+	}
+}
+
+// sweepLocked re-reads every damaged surviving record the way a restart
+// reads the stable log — encoded bytes, with planted corruption applied —
+// and truncates the log at the first record that fails to decode.
+func (l *Log) sweepLocked() {
+	if len(l.damage) == 0 {
+		return
+	}
+	cut := -1
+	for i, r := range l.recs {
+		spots, ok := l.damage[r.LSN]
+		if !ok {
+			continue
+		}
+		b := r.Encode()
+		for _, s := range spots {
+			if s.off >= 0 && s.off < len(b) {
+				b[s.off] ^= s.xor
+			}
+		}
+		if _, _, err := DecodeRecord(b); err != nil {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return
+	}
+	for _, r := range l.recs[cut:] {
+		delete(l.damage, r.LSN)
+	}
+	l.recs = l.recs[:cut]
+	l.offs = l.offs[:cut]
+	l.truncates++
+	if l.stats != nil {
+		l.stats.TornTailTruncations.Add(1)
+	}
+}
+
+// CorruptStored plants byte-level corruption (XOR of mask at byte off) in
+// the stored image of the record at lsn. The corruption takes effect at
+// the next crash, when the CRC sweep re-reads the stable log: the log is
+// truncated at the first record that no longer decodes.
+func (l *Log) CorruptStored(lsn LSN, off int, mask byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.idxOf(lsn); !ok {
+		return fmt.Errorf("wal: no record at LSN %d", lsn)
+	}
+	l.damage[lsn] = append(l.damage[lsn], damageSpot{off: off, xor: mask})
+	return nil
+}
+
+// TornTailTruncations reports how many crash sweeps found a bad-CRC record
+// and truncated the log there.
+func (l *Log) TornTailTruncations() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncates
+}
+
+// Clone deep-copies the log's stable state into a new Log reporting into
+// stats. Records are shared (they are immutable once appended); slices,
+// marks, and planted damage are copied. Used to fork an engine for
+// crash-point sweeps without disturbing the original.
+func (l *Log) Clone(stats *trace.Stats) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := &Log{
+		recs:    append([]*Record(nil), l.recs...),
+		offs:    append([]LSN(nil), l.offs...),
+		nextOff: l.nextOff,
+		stable:  l.stable,
+		master:  l.master,
+		bytes:   l.bytes,
+		damage:  make(map[LSN][]damageSpot, len(l.damage)),
+		stats:   stats,
+	}
+	for lsn, spots := range l.damage {
+		out.damage[lsn] = append([]damageSpot(nil), spots...)
+	}
+	return out
 }
 
 // TruncateTo is a failure-injection hook for crash-point testing: it

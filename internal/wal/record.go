@@ -14,7 +14,9 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"ariesim/internal/storage"
 )
@@ -169,7 +171,16 @@ func (r *Record) Undoable() bool {
 	return r.Type == RecUpdate && !r.RedoOnly && r.Op != OpNone
 }
 
-const recHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 4 + 2
+// On-log record layout: length u32 | CRC32-C u32 | body. The CRC covers
+// everything after itself (body and payload), so a torn log tail — a
+// record only partially on stable storage when the machine died — is
+// detected at restart and the log truncated there, rather than replaying
+// garbage (ARIES' partial-record assumption, made checkable).
+const recHeaderSize = 4 + 4 + 1 + 1 + 4 + 8 + 8 + 4 + 2
+
+// ErrBadRecordCRC reports a log record whose stored CRC does not match its
+// bytes: a torn or corrupted log tail.
+var ErrBadRecordCRC = errors.New("wal: log record CRC mismatch")
 
 // EncodedSize returns the on-log size of the record.
 func (r *Record) EncodedSize() int { return recHeaderSize + len(r.Payload) }
@@ -178,21 +189,24 @@ func (r *Record) EncodedSize() int { return recHeaderSize + len(r.Payload) }
 func (r *Record) Encode() []byte {
 	b := make([]byte, r.EncodedSize())
 	binary.LittleEndian.PutUint32(b[0:4], uint32(len(b)))
-	b[4] = uint8(r.Type)
+	b[8] = uint8(r.Type)
 	if r.RedoOnly {
-		b[5] = 1
+		b[9] = 1
 	}
-	binary.LittleEndian.PutUint32(b[6:10], uint32(r.TxID))
-	binary.LittleEndian.PutUint64(b[10:18], uint64(r.PrevLSN))
-	binary.LittleEndian.PutUint64(b[18:26], uint64(r.UndoNxtLSN))
-	binary.LittleEndian.PutUint32(b[26:30], uint32(r.Page))
-	binary.LittleEndian.PutUint16(b[30:32], uint16(r.Op))
+	binary.LittleEndian.PutUint32(b[10:14], uint32(r.TxID))
+	binary.LittleEndian.PutUint64(b[14:22], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(b[22:30], uint64(r.UndoNxtLSN))
+	binary.LittleEndian.PutUint32(b[30:34], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[34:36], uint16(r.Op))
 	copy(b[recHeaderSize:], r.Payload)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[8:], recCRCTable))
 	return b
 }
 
+var recCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
 // DecodeRecord parses one record from the head of b, returning it and the
-// number of bytes consumed.
+// number of bytes consumed. A CRC mismatch returns ErrBadRecordCRC.
 func DecodeRecord(b []byte) (*Record, int, error) {
 	if len(b) < recHeaderSize {
 		return nil, 0, fmt.Errorf("wal: record header truncated (%d bytes)", len(b))
@@ -201,14 +215,17 @@ func DecodeRecord(b []byte) (*Record, int, error) {
 	if total < recHeaderSize || total > len(b) {
 		return nil, 0, fmt.Errorf("wal: record length %d invalid (have %d)", total, len(b))
 	}
+	if crc := binary.LittleEndian.Uint32(b[4:8]); crc != crc32.Checksum(b[8:total], recCRCTable) {
+		return nil, 0, ErrBadRecordCRC
+	}
 	r := &Record{
-		Type:       RecType(b[4]),
-		RedoOnly:   b[5] == 1,
-		TxID:       TxID(binary.LittleEndian.Uint32(b[6:10])),
-		PrevLSN:    LSN(binary.LittleEndian.Uint64(b[10:18])),
-		UndoNxtLSN: LSN(binary.LittleEndian.Uint64(b[18:26])),
-		Page:       storage.PageID(binary.LittleEndian.Uint32(b[26:30])),
-		Op:         OpCode(binary.LittleEndian.Uint16(b[30:32])),
+		Type:       RecType(b[8]),
+		RedoOnly:   b[9] == 1,
+		TxID:       TxID(binary.LittleEndian.Uint32(b[10:14])),
+		PrevLSN:    LSN(binary.LittleEndian.Uint64(b[14:22])),
+		UndoNxtLSN: LSN(binary.LittleEndian.Uint64(b[22:30])),
+		Page:       storage.PageID(binary.LittleEndian.Uint32(b[30:34])),
+		Op:         OpCode(binary.LittleEndian.Uint16(b[34:36])),
 	}
 	if total > recHeaderSize {
 		r.Payload = make([]byte, total-recHeaderSize)
