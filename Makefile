@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke sweep bench ci
+.PHONY: all build vet test race smoke sweep chaos bench ci
 
 all: build vet test
 
@@ -25,7 +25,13 @@ smoke:
 sweep:
 	$(GO) run ./cmd/ariesim-crash -sweep
 
+# Crash-under-load chaos sweep: concurrent workers through RunTxn, injected
+# faults, crashes at random points under live traffic, exact verification
+# after every restart. Deterministic seed so CI failures reproduce.
+chaos:
+	$(GO) run ./cmd/ariesim-crash -chaos -workers 8 -crashes 20 -seed 1 -faults
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet race smoke
+ci: build vet race smoke chaos

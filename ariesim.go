@@ -92,8 +92,11 @@ var (
 	// a lock making the violation repeatable (§2.4).
 	ErrDuplicate = db.ErrDuplicate
 	// ErrDeadlock reports that the transaction was chosen as a deadlock
-	// victim; roll it back and retry.
+	// victim; roll it back and retry (DB.RunTxn does both automatically).
 	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout reports a lock wait that exceeded the configured
+	// bound; like a deadlock abort it is repaired by rollback + retry.
+	ErrLockTimeout = lock.ErrLockTimeout
 	// ErrCrashed reports that the engine is down (after Crash) and must be
 	// Restarted before it accepts new transactions.
 	ErrCrashed = db.ErrCrashed
@@ -101,6 +104,10 @@ var (
 	// rebuild from the image copy and log.
 	ErrMediaFailure = db.ErrMediaFailure
 )
+
+// RunTxnOpts tunes DB.RunTxnWith's automatic retry loop (attempt bound,
+// backoff shape, jitter seed, commit-ack callback).
+type RunTxnOpts = db.RunTxnOpts
 
 // Open creates a fresh engine on a new simulated disk.
 func Open(opts Options) *DB { return db.Open(opts) }

@@ -12,9 +12,16 @@
 // errors are retried, checksum-detected corruption is healed by media
 // recovery, and a torn log is truncated at the first bad-CRC record.
 //
+// The -chaos mode runs the concurrent adversarial sweep instead: N
+// goroutines drive the workload through db.RunTxn — deadlock victims,
+// lock-wait timeouts, and crashes are repaired by automatic retry — while
+// the harness injects faults and crashes the engine at random points under
+// live traffic, verifying exact committed state after every restart.
+//
 //	ariesim-crash -rounds 20 -workers 4 -ops 300 -seed 1
 //	ariesim-crash -rounds 10 -faults -torn -bitflip
 //	ariesim-crash -sweep               # every-boundary crash-point sweep
+//	ariesim-crash -chaos -workers 8 -crashes 20 -faults
 package main
 
 import (
@@ -42,10 +49,16 @@ func main() {
 	torn := flag.Bool("torn", false, "tear the log tail at each crash")
 	bitflip := flag.Bool("bitflip", false, "plant silent corruption on a random disk page each round")
 	sweep := flag.Bool("sweep", false, "run the every-log-boundary crash-point sweep instead of torture rounds")
+	chaos := flag.Bool("chaos", false, "run the concurrent crash-under-load chaos sweep instead of torture rounds")
+	crashes := flag.Int("crashes", 20, "chaos mode: crash/restart points")
 	flag.Parse()
 
 	if *sweep {
 		runSweep(*seed)
+		return
+	}
+	if *chaos {
+		runChaos(*seed, *workers, *crashes, *faults)
 		return
 	}
 
@@ -89,7 +102,10 @@ func main() {
 				for i := 0; i < *ops; {
 					// One transaction of 1..6 operations.
 					n := rng.Intn(6) + 1
-					tx := d.MustBegin()
+					tx, err := d.Begin()
+					if err != nil {
+						fail("begin: %v", err)
+					}
 					local := map[string]*string{} // staged changes
 					ok := true
 					for j := 0; j < n && ok; j++ {
@@ -156,7 +172,10 @@ func main() {
 		// Pre-crash verification: distinguishes concurrency bugs (visible
 		// now) from recovery bugs (appearing only after restart).
 		preRows := map[string]bool{}
-		pre := d.MustBegin()
+		pre, err := d.Begin()
+		if err != nil {
+			fail("pre-crash begin: %v", err)
+		}
 		if err := tbl.Scan(pre, []byte(""), nil, func(r db.Row) (bool, error) {
 			preRows[string(r.Key)] = true
 			return true, nil
@@ -212,7 +231,10 @@ func main() {
 		}
 		// Exact-state check against the committed model.
 		rows := map[string]string{}
-		tx := d.MustBegin()
+		tx, err := d.Begin()
+		if err != nil {
+			fail("post-restart begin: %v", err)
+		}
 		if err := tbl.Scan(tx, []byte(""), nil, func(r db.Row) (bool, error) {
 			rows[string(r.Key)] = string(r.Value)
 			return true, nil
@@ -273,6 +295,37 @@ func runSweep(seed int64) {
 	}
 	fmt.Printf("\nPASS: %d/%d crash points verified (%d with interrupted restarts), %d commits, %d rollbacks\n",
 		res.Points, res.Records, res.DoubleRecoveries, res.Commits, res.Rollbacks)
+}
+
+// runChaos drives the concurrent crash-under-load sweep: workers hammer
+// the engine through db.RunTxn while the driver injects faults and
+// crashes it at random points, verifying the acked-commit model exactly
+// after every restart.
+func runChaos(seed int64, workers, crashes int, faults bool) {
+	res, err := db.RunChaosSweep(db.ChaosOpts{
+		Seed:    seed,
+		Workers: workers,
+		Crashes: crashes,
+		Faults:  faults,
+		Logf:    func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fail("chaos: %v", err)
+	}
+	fmt.Printf("\nPASS: %d crashes survived under live traffic, %d commits verified (%d gave up)\n",
+		res.Crashes, res.Commits, res.GaveUp)
+	fmt.Printf("contention: %d deadlocks (%d victims), %d lock timeouts\n",
+		res.Deadlocks, res.DeadlockVictims, res.LockTimeouts)
+	fmt.Printf("retry layer: %d retries (%d deadlock, %d timeout, %d crash-wait), %d retried txns committed\n",
+		res.TxnRetries, res.DeadlockRetries, res.TimeoutRetries, res.CrashWaits, res.RetrySuccesses)
+	fmt.Printf("recovery: %d redos, %d undo steps across restarts\n", res.RestartRedos, res.RestartUndos)
+	if faults {
+		fmt.Printf("fault handling: %d corrupt pages healed by %d media recoveries\n",
+			res.CorruptPages, res.MediaRecoveries)
+		c := res.FaultsInjected
+		fmt.Printf("faults injected: %d read errors, %d write errors, %d torn writes, %d bit flips\n",
+			c.ReadFaults, c.WriteFaults, c.TornWrites, c.BitFlips)
+	}
 }
 
 func fail(format string, args ...any) {

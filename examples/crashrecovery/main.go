@@ -26,31 +26,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Committed work.
-	tx, err := db.Begin()
-	if err != nil {
+	// Committed work, run through the retrying wrapper.
+	if err := db.RunTxn(func(tx *ariesim.Tx) error {
+		for i := 0; i < 500; i++ {
+			if err := tbl.Insert(tx, key(i), []byte("committed")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < 500; i++ {
-		if err := tbl.Insert(tx, key(i), []byte("committed")); err != nil {
-			log.Fatal(err)
+	if err := db.RunTxn(func(tx *ariesim.Tx) error {
+		for i := 100; i < 150; i++ {
+			if err := tbl.Delete(tx, key(i)); err != nil {
+				return err
+			}
 		}
-	}
-	if err := tx.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	tx2 := db.MustBegin()
-	for i := 100; i < 150; i++ {
-		if err := tbl.Delete(tx2, key(i)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := tx2.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 
-	// In-flight work, stable on the log but uncommitted.
-	loser := db.MustBegin()
+	// In-flight work, stable on the log but uncommitted. This transaction
+	// is deliberately left open across the crash, so it needs a raw handle:
+	// Begin, never Commit.
+	loser, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 500; i < 560; i++ {
 		_ = tbl.Insert(loser, key(i), []byte("in-flight"))
 	}
@@ -74,21 +78,25 @@ func main() {
 		report.RecordsSeen, report.RedosApplied, report.RedosSkipped, report.LosersUndone)
 
 	tbl, _ = db.Table("data")
-	check := db.MustBegin()
 	survivors, ghosts := 0, 0
-	for i := 0; i < 560; i++ {
-		_, err := tbl.Get(check, key(i))
-		committedRow := (i < 100 || (i >= 150 && i < 500))
-		switch {
-		case err == nil && committedRow:
-			survivors++
-		case err != nil && !committedRow:
-			ghosts++
-		default:
-			log.Fatalf("row %d: wrong recovery outcome (err=%v)", i, err)
+	if err := db.RunTxn(func(check *ariesim.Tx) error {
+		survivors, ghosts = 0, 0
+		for i := 0; i < 560; i++ {
+			_, err := tbl.Get(check, key(i))
+			committedRow := (i < 100 || (i >= 150 && i < 500))
+			switch {
+			case err == nil && committedRow:
+				survivors++
+			case err != nil && !committedRow:
+				ghosts++
+			default:
+				return fmt.Errorf("row %d: wrong recovery outcome (err=%v)", i, err)
+			}
 		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	_ = check.Commit()
 	fmt.Printf("recovered: %d committed rows survive, %d deleted/uncommitted rows gone\n", survivors, ghosts)
 	if err := db.VerifyConsistency(); err != nil {
 		log.Fatal(err)
@@ -100,13 +108,14 @@ func main() {
 		log.Fatal(err)
 	}
 	img := db.TakeImageCopy()
-	post := db.MustBegin()
-	for i := 600; i < 650; i++ {
-		if err := tbl.Insert(post, key(i), []byte("post-dump")); err != nil {
-			log.Fatal(err)
+	if err := db.RunTxn(func(post *ariesim.Tx) error {
+		for i := 600; i < 650; i++ {
+			if err := tbl.Insert(post, key(i), []byte("post-dump")); err != nil {
+				return err
+			}
 		}
-	}
-	if err := post.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := db.Pool().FlushAll(); err != nil {
@@ -131,14 +140,17 @@ func main() {
 	}
 	fmt.Printf("rebuilt %d pages from the image copy + one log pass (no tree traversals)\n", len(damaged))
 
-	verify := db.MustBegin()
-	if _, err := tbl.Get(verify, key(620)); err != nil {
-		log.Fatalf("post-dump row lost by media recovery: %v", err)
+	if err := db.RunTxn(func(verify *ariesim.Tx) error {
+		if _, err := tbl.Get(verify, key(620)); err != nil {
+			return fmt.Errorf("post-dump row lost by media recovery: %w", err)
+		}
+		if _, err := tbl.Get(verify, key(42)); err != nil {
+			return fmt.Errorf("pre-dump row lost by media recovery: %w", err)
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	if _, err := tbl.Get(verify, key(42)); err != nil {
-		log.Fatalf("pre-dump row lost by media recovery: %v", err)
-	}
-	_ = verify.Commit()
 	if err := db.VerifyConsistency(); err != nil {
 		log.Fatal(err)
 	}

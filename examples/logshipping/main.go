@@ -24,27 +24,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tx := primary.MustBegin()
-	for i := 0; i < 400; i++ {
-		if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
-			log.Fatal(err)
+	if err := primary.RunTxn(func(tx *ariesim.Tx) error {
+		for i := 0; i < 400; i++ {
+			if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
+				return err
+			}
 		}
-	}
-	if err := tx.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
-	tx2 := primary.MustBegin()
-	for i := 100; i < 150; i++ {
-		if err := events.Delete(tx2, key(i)); err != nil {
-			log.Fatal(err)
+	if err := primary.RunTxn(func(tx *ariesim.Tx) error {
+		for i := 100; i < 150; i++ {
+			if err := events.Delete(tx, key(i)); err != nil {
+				return err
+			}
 		}
-	}
-	if err := tx2.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 	// An in-flight transaction at ship time: it must NOT appear on the
-	// standby (its commit record is not in the shipped log).
-	inflight := primary.MustBegin()
+	// standby (its commit record is not in the shipped log), so it needs a
+	// raw handle that is never committed.
+	inflight, err := primary.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	_ = events.Insert(inflight, []byte("zz-uncommitted"), []byte("ghost"))
 	primary.Log().ForceAll()
 
@@ -75,25 +81,27 @@ func main() {
 		log.Fatal(err)
 	}
 	count := 0
-	r := standby.MustBegin()
-	if err := stbl.Scan(r, key(0), nil, func(ariesim.Row) (bool, error) {
-		count++
-		return true, nil
+	if err := standby.RunTxn(func(r *ariesim.Tx) error {
+		count = 0
+		if err := stbl.Scan(r, key(0), nil, func(ariesim.Row) (bool, error) {
+			count++
+			return true, nil
+		}); err != nil {
+			return err
+		}
+		if _, err := stbl.Get(r, []byte("zz-uncommitted")); err == nil {
+			return fmt.Errorf("uncommitted primary work visible on standby")
+		}
+		return nil
 	}); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := stbl.Get(r, []byte("zz-uncommitted")); err == nil {
-		log.Fatal("uncommitted primary work visible on standby")
-	}
-	_ = r.Commit()
 	fmt.Printf("standby holds %d rows (expected 350); uncommitted work absent ✓\n", count)
 
 	// Promotion: the standby is immediately writable.
-	w := standby.MustBegin()
-	if err := stbl.Insert(w, []byte("written-on-standby"), []byte("promoted")); err != nil {
-		log.Fatal(err)
-	}
-	if err := w.Commit(); err != nil {
+	if err := standby.RunTxn(func(w *ariesim.Tx) error {
+		return stbl.Insert(w, []byte("written-on-standby"), []byte("promoted"))
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := standby.VerifyConsistency(); err != nil {

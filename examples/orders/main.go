@@ -36,21 +36,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	seed := db.MustBegin()
 	customers := []string{"acme", "globex", "initech"}
 	items := []string{"widget", "sprocket", "gear", "flange"}
-	for i := 0; i < 80; i += 2 { // even order ids only; odd ids arrive later
-		c, it := customers[i%len(customers)], items[i%len(items)]
-		if err := orders.Insert(seed, orderKey(i), orderVal(c, it)); err != nil {
-			log.Fatal(err)
+	if err := db.RunTxn(func(seed *ariesim.Tx) error {
+		for i := 0; i < 80; i += 2 { // even order ids only; odd ids arrive later
+			c, it := customers[i%len(customers)], items[i%len(items)]
+			if err := orders.Insert(seed, orderKey(i), orderVal(c, it)); err != nil {
+				return err
+			}
 		}
-	}
-	if err := seed.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Primary range scan.
-	tx := db.MustBegin()
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("orders 10..14 by id:")
 	_ = orders.Scan(tx, orderKey(10), orderKey(14), func(r ariesim.Row) (bool, error) {
 		fmt.Printf("  %s -> %s\n", r.Key, r.Value)
@@ -73,8 +77,12 @@ func main() {
 
 	// Phantom protection, live: a scanner counts orders 20..29; a writer
 	// tries to insert order 25 mid-scan and is held until the scanner
-	// commits.
-	scanner := db.MustBegin()
+	// commits. Both sides need raw handles — the point is observing the
+	// block, so the writer must NOT sit inside a retry loop.
+	scanner, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	count := 0
 	_ = orders.Scan(scanner, orderKey(20), orderKey(29), func(ariesim.Row) (bool, error) {
 		count++
@@ -85,7 +93,11 @@ func main() {
 	writerDone := make(chan error, 1)
 	start := time.Now()
 	go func() {
-		w := db.MustBegin()
+		w, err := db.Begin()
+		if err != nil {
+			writerDone <- err
+			return
+		}
 		if err := orders.Insert(w, orderKey(25), orderVal("acme", "phantom")); err != nil {
 			writerDone <- err
 			return
@@ -116,13 +128,16 @@ func main() {
 	fmt.Printf("writer completed after %v (released by the scanner's commit)\n",
 		time.Since(start).Round(time.Millisecond))
 
-	final := db.MustBegin()
 	total := 0
-	_ = orders.Scan(final, orderKey(20), orderKey(29), func(ariesim.Row) (bool, error) {
-		total++
-		return true, nil
-	})
-	_ = final.Commit()
+	if err := db.RunTxn(func(final *ariesim.Tx) error {
+		total = 0
+		return orders.Scan(final, orderKey(20), orderKey(29), func(ariesim.Row) (bool, error) {
+			total++
+			return true, nil
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("a later transaction sees %d orders in [20,29] (the phantom is now real)\n", total)
 
 	if err := db.VerifyConsistency(); err != nil {

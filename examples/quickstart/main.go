@@ -19,24 +19,28 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A committed transaction. Begin reports ErrCrashed when the engine is
-	// down; MustBegin is the panic-on-error shorthand used below.
-	tx, err := db.Begin()
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, name := range []string{"alice", "bob", "carol", "dave"} {
-		if err := users.Insert(tx, []byte(name), []byte(fmt.Sprintf("user #%d", i+1))); err != nil {
-			log.Fatal(err)
+	// A committed transaction. RunTxn runs the body, commits, and retries
+	// automatically if the transaction loses a deadlock or times out on a
+	// lock — the recommended way to run transactions.
+	if err := db.RunTxn(func(tx *ariesim.Tx) error {
+		for i, name := range []string{"alice", "bob", "carol", "dave"} {
+			if err := users.Insert(tx, []byte(name), []byte(fmt.Sprintf("user #%d", i+1))); err != nil {
+				return err
+			}
 		}
-	}
-	if err := tx.Commit(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("committed 4 users")
 
-	// A rolled-back transaction: its work vanishes atomically.
-	tx = db.MustBegin()
+	// A rolled-back transaction: its work vanishes atomically. Explicit
+	// Begin/Rollback gives manual control; Begin reports ErrCrashed when
+	// the engine is down.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	_ = users.Insert(tx, []byte("mallory"), []byte("intruder"))
 	_ = users.Delete(tx, []byte("alice"))
 	if err := tx.Rollback(); err != nil {
@@ -45,17 +49,22 @@ func main() {
 	fmt.Println("rolled back mallory's transaction")
 
 	// Range scan at repeatable-read isolation.
-	tx = db.MustBegin()
-	fmt.Println("scan a..d:")
-	_ = users.Scan(tx, []byte("a"), []byte("d"), func(r ariesim.Row) (bool, error) {
-		fmt.Printf("  %s = %s\n", r.Key, r.Value)
-		return true, nil
-	})
-	_ = tx.Commit()
+	if err := db.RunTxn(func(tx *ariesim.Tx) error {
+		fmt.Println("scan a..d:")
+		return users.Scan(tx, []byte("a"), []byte("d"), func(r ariesim.Row) (bool, error) {
+			fmt.Printf("  %s = %s\n", r.Key, r.Value)
+			return true, nil
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Crash with an in-flight transaction; restart recovers committed
 	// state and rolls the in-flight transaction back.
-	inflight := db.MustBegin()
+	inflight, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
 	_ = users.Insert(inflight, []byte("eve"), []byte("uncommitted"))
 	db.Log().ForceAll() // the update records are stable, the commit is not
 	db.Crash()
@@ -74,14 +83,17 @@ func main() {
 		report.RecordsSeen, report.RedosApplied, report.LosersUndone)
 
 	users, _ = db.Table("users")
-	tx = db.MustBegin()
-	if _, err := users.Get(tx, []byte("alice")); err != nil {
-		log.Fatalf("alice lost: %v", err)
+	if err := db.RunTxn(func(tx *ariesim.Tx) error {
+		if _, err := users.Get(tx, []byte("alice")); err != nil {
+			return fmt.Errorf("alice lost: %w", err)
+		}
+		if _, err := users.Get(tx, []byte("eve")); err == nil {
+			return fmt.Errorf("uncommitted eve survived the crash")
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	if _, err := users.Get(tx, []byte("eve")); err == nil {
-		log.Fatal("uncommitted eve survived the crash")
-	}
-	_ = tx.Commit()
 	fmt.Println("after crash+restart: alice survives, eve (uncommitted) is gone")
 
 	if err := db.VerifyConsistency(); err != nil {

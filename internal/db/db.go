@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"ariesim/internal/buffer"
 	"ariesim/internal/core"
@@ -56,6 +57,10 @@ type Options struct {
 	Protocol core.Protocol
 	// UseTreeLock enables the §5 concurrent-SMO extension.
 	UseTreeLock bool
+	// LockWaitTimeout bounds every unconditional lock wait; a request
+	// still queued after it fails with lock.ErrLockTimeout. Zero keeps
+	// waits unbounded (deadlock detection alone resolves cycles).
+	LockWaitTimeout time.Duration
 	// Stats receives instrumentation; one is created when nil.
 	Stats *trace.Stats
 }
@@ -112,6 +117,9 @@ type DB struct {
 	cat    catalog
 	tables map[string]*Table
 	downed bool
+	// upCh is closed while the engine is up; Crash replaces it with an
+	// open channel and Restart closes that one. AwaitUp blocks on it.
+	upCh chan struct{}
 
 	// img is the latest image copy, the restore base for automatic media
 	// recovery. Nil means recovery replays each page's full log history
@@ -131,32 +139,47 @@ func Open(opts Options) *DB {
 		cat:   catalog{NextTableID: 1, NextIndexID: 1},
 	}
 	lock.RegisterTraceNames()
+	d.upCh = make(chan struct{})
+	close(d.upCh)
 	d.buildVolatile()
 	return d
 }
 
 func (d *DB) buildVolatile() {
+	// Capture this epoch's stable handles: the pool's media recoverer must
+	// keep healing against the disk and log the pool itself writes to, even
+	// after a later Crash swaps d.disk/d.log to their successors — a
+	// straggler from the old epoch must never touch the new one.
+	disk, log := d.disk, d.log
 	d.locks = lock.NewManager(d.stats)
-	d.tm = txn.NewManager(d.log, d.locks)
-	d.pool = buffer.NewPool(d.disk, d.log, d.opts.PoolSize, d.stats)
+	d.locks.SetWaitTimeout(d.opts.LockWaitTimeout)
+	d.tm = txn.NewManager(log, d.locks)
+	d.pool = buffer.NewPool(disk, log, d.opts.PoolSize, d.stats)
 	d.im = core.NewManager(d.pool, d.stats)
 	d.dm = data.NewManager(d.pool, d.opts.Granularity, d.stats)
-	d.tm.SetUndoer(&undoRouter{db: d})
-	d.pool.SetMediaRecoverer(d.recoverPage)
+	d.tm.SetUndoer(&undoRouter{im: d.im, dm: d.dm})
+	d.pool.SetMediaRecoverer(func(id storage.PageID) error {
+		return d.recoverPageOn(disk, log, id)
+	})
 	d.tables = make(map[string]*Table)
 	d.downed = false
 }
 
-// undoRouter dispatches rollback work to the owning resource manager.
-type undoRouter struct{ db *DB }
+// undoRouter dispatches rollback work to the owning resource manager. It
+// holds the managers of its own epoch (not the DB) so a transaction rolling
+// back across a Crash keeps undoing against the world it modified.
+type undoRouter struct {
+	im *core.Manager
+	dm *data.Manager
+}
 
 func (r *undoRouter) Undo(tx *txn.Tx, rec *wal.Record) error {
 	switch {
 	case rec.Op >= wal.OpIdxInsertKey && rec.Op <= wal.OpIdxUnfreePage,
 		rec.Op == wal.OpFSMAlloc, rec.Op == wal.OpFSMFree:
-		return r.db.im.Undo(tx, rec)
+		return r.im.Undo(tx, rec)
 	case rec.Op >= wal.OpDataFormat && rec.Op <= wal.OpDataFree:
-		return r.db.dm.Undo(tx, rec)
+		return r.dm.Undo(tx, rec)
 	default:
 		return fmt.Errorf("db: no undo route for op %s", rec.Op)
 	}
@@ -165,14 +188,28 @@ func (r *undoRouter) Undo(tx *txn.Tx, rec *wal.Record) error {
 // Stats returns the engine's instrumentation sink.
 func (d *DB) Stats() *trace.Stats { return d.stats }
 
-// Log exposes the write-ahead log (benches, verification).
-func (d *DB) Log() *wal.Log { return d.log }
+// Log exposes the write-ahead log (benches, verification). Crash installs
+// a successor log, so don't cache the result across a crash.
+func (d *DB) Log() *wal.Log {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log
+}
 
 // Disk exposes the simulated disk (image copies, media-failure injection).
-func (d *DB) Disk() *storage.Disk { return d.disk }
+// Crash installs a successor disk, so don't cache the result across a crash.
+func (d *DB) Disk() *storage.Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.disk
+}
 
 // Pool exposes the buffer pool (checkpoint flushes in tests).
-func (d *DB) Pool() *buffer.Pool { return d.pool }
+func (d *DB) Pool() *buffer.Pool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pool
+}
 
 // Begin starts a transaction. After a Crash (and before Restart) it fails
 // with ErrCrashed so callers can degrade gracefully instead of dying.
@@ -200,7 +237,10 @@ func (d *DB) MustBegin() *txn.Tx {
 // automatic media recovery, and returns it. Corrupt on-disk pages are
 // excluded from the image — they are rebuilt from the log instead.
 func (d *DB) TakeImageCopy() *recovery.ImageCopy {
-	img := recovery.TakeImageCopy(d.disk, d.log)
+	d.mu.Lock()
+	disk, log := d.disk, d.log
+	d.mu.Unlock()
+	img := recovery.TakeImageCopy(disk, log)
 	d.imgMu.Lock()
 	d.img = img
 	d.imgMu.Unlock()
@@ -212,7 +252,7 @@ func (d *DB) TakeImageCopy() *recovery.ImageCopy {
 // from the stable log. The buffer pool invokes it when a page read fails
 // its checksum or hits a permanent device error; VerifyConsistency invokes
 // it from its checksum sweep.
-func (d *DB) recoverPage(id storage.PageID) error {
+func (d *DB) recoverPageOn(disk *storage.Disk, log *wal.Log, id storage.PageID) error {
 	d.imgMu.Lock()
 	img := d.img
 	d.imgMu.Unlock()
@@ -223,7 +263,7 @@ func (d *DB) recoverPage(id storage.PageID) error {
 	}
 	var err error
 	for attempt := 0; attempt < 4; attempt++ {
-		if err = recovery.RecoverPage(d.disk, d.log, img, id); err == nil {
+		if err = recovery.RecoverPage(disk, log, img, id); err == nil {
 			d.stats.MediaRecoveries.Add(1)
 			return nil
 		}
@@ -234,8 +274,15 @@ func (d *DB) recoverPage(id storage.PageID) error {
 	return fmt.Errorf("%w: page %d: %v", ErrMediaFailure, id, err)
 }
 
-// Checkpoint takes a fuzzy checkpoint.
-func (d *DB) Checkpoint() { d.tm.Checkpoint(d.pool) }
+// Checkpoint takes a fuzzy checkpoint (a no-op while the engine is down).
+func (d *DB) Checkpoint() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.downed {
+		return
+	}
+	d.tm.Checkpoint(d.pool)
+}
 
 // saveCatalog persists the schema to the disk meta area.
 func (d *DB) saveCatalog() {
@@ -315,6 +362,24 @@ func (d *DB) indexConfig(id uint32, unique bool) core.Config {
 func (d *DB) Table(name string) (*Table, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableFor returns the table handle belonging to tx's epoch, or ErrCrashed
+// when the engine has crashed under tx. Retry loops that cache nothing
+// across restarts (db.RunTxn bodies) fetch their handles through this so a
+// new-epoch transaction never operates through a pre-crash handle — the
+// handle's pool and disk would be the orphaned ones — and vice versa.
+func (d *DB) TableFor(tx *txn.Tx, name string) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.downed || !d.tm.Owns(tx) {
+		return nil, ErrCrashed
+	}
 	t, ok := d.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("db: no table %q", name)
@@ -588,20 +653,78 @@ func (t *Table) PrimaryIndex() *core.Index { return t.primary }
 func (t *Table) DataTable() *data.Table { return t.data }
 
 // Crash discards every volatile structure: the unforced log tail, the
-// buffer pool, the lock table, and the transaction table. Stable storage
-// survives. The engine refuses work until Restart.
+// buffer pool contents, the lock table, and the transaction table. Stable
+// storage survives. The engine refuses work until Restart.
+//
+// Crash is safe under live traffic. Goroutines still inside the engine
+// ("zombies" of the crashed epoch) are fenced off rather than waited for:
+// the disk and log are cloned at the crash instant and the engine continues
+// on the clones, so everything a zombie writes afterwards lands on the
+// orphaned originals — exactly the in-flight I/O a real power cut loses.
+// The lock manager is shut down so zombies blocked in lock waits wake with
+// lock.ErrShutdown and unwind; commits racing the crash are serialized by
+// d.mu (see commitAcked), so a commit either acks before the crash instant
+// and is durable, or observes the crash and fails with ErrCrashed.
+//
+// The disk is cloned before the log: WAL discipline forces the log before
+// any page write, so every page present in the cloned disk is covered by
+// the cloned log's stable prefix (the reverse order could capture a stolen
+// page whose undo information misses the log snapshot).
 func (d *DB) Crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.downed {
+		return
+	}
+	oldDisk := d.disk
+	d.disk = oldDisk.Clone()
+	if inj := oldDisk.Injector(); inj != nil {
+		d.disk.SetInjector(inj) // the hardware stays hostile across the crash
+	}
+	d.log = d.log.Clone(d.stats)
 	d.log.Crash()
-	d.pool.Crash()
+	d.locks.Shutdown()
 	d.downed = true
+	d.upCh = make(chan struct{})
+}
+
+// AwaitUp blocks until the engine is up (i.e. not crashed). It returns
+// immediately on a running engine; after a Crash it waits for the Restart.
+func (d *DB) AwaitUp() {
+	d.mu.Lock()
+	ch := d.upCh
+	d.mu.Unlock()
+	<-ch
+}
+
+// markUpLocked declares the engine up, releasing AwaitUp callers.
+func (d *DB) markUpLocked() {
+	if d.upCh == nil { // DB built by hand (tests); treat as freshly up
+		ch := make(chan struct{})
+		close(ch)
+		d.upCh = ch
+		return
+	}
+	select {
+	case <-d.upCh:
+		// already closed
+	default:
+		close(d.upCh)
+	}
 }
 
 // reopenLocked rebuilds the volatile state and reopens the catalog and
 // table handles; the caller holds d.mu and then runs restart recovery.
 func (d *DB) reopenLocked() error {
+	var prevNextID wal.TxID
+	if d.tm != nil {
+		prevNextID = d.tm.NextID()
+	}
 	d.buildVolatile()
+	// Transaction IDs double as lock owner IDs; carrying the counter across
+	// the restart keeps a pre-crash zombie and a post-restart transaction
+	// from ever sharing one. (Restart analysis may push it higher still.)
+	d.tm.SetNextID(prevNextID)
 	if meta := d.disk.ReadMeta(); len(meta) > 0 {
 		if err := json.Unmarshal(meta, &d.cat); err != nil {
 			return fmt.Errorf("db: catalog corrupt: %w", err)
@@ -633,7 +756,11 @@ func (d *DB) Restart() (*recovery.Report, error) {
 	if err := d.reopenLocked(); err != nil {
 		return nil, err
 	}
-	return recovery.Restart(d.log, d.pool, d.tm, d.locks, d.stats)
+	rep, err := recovery.Restart(d.log, d.pool, d.tm, d.locks, d.stats)
+	if err == nil {
+		d.markUpLocked()
+	}
+	return rep, err
 }
 
 // RestartInterrupted runs restart recovery with an undo-step budget,
@@ -660,10 +787,23 @@ func (d *DB) RestartInterrupted(maxUndoSteps int, forceTail bool) (interrupted b
 		if forceTail {
 			d.log.ForceAll()
 		}
+		// The interrupted restart ran single-threaded under d.mu, so there
+		// are no zombies of this epoch: crashing the log and pool in place
+		// is safe and leaves the engine down for the next Restart.
 		d.log.Crash()
 		d.pool.Crash()
 		d.downed = true
+		select {
+		case <-d.upCh:
+			// Was up when called; re-open so AwaitUp blocks again. An upCh
+			// that is already open keeps its waiters.
+			d.upCh = make(chan struct{})
+		default:
+		}
 		return true, nil
+	}
+	if err == nil {
+		d.markUpLocked()
 	}
 	return false, err
 }
@@ -686,6 +826,7 @@ func (d *DB) Fork() *DB {
 		log:   d.log.Clone(stats),
 		cat:   catalog{NextTableID: 1, NextIndexID: 1},
 	}
+	nd.upCh = make(chan struct{})
 	nd.buildVolatile()
 	nd.downed = true // stable state only; Restart brings it up
 	d.imgMu.Lock()
@@ -761,15 +902,18 @@ func (d *DB) VerifyConsistency() error {
 // repairing corrupt or permanently unreadable pages in place via media
 // recovery. Transient read errors are retried.
 func (d *DB) checksumSweep() error {
-	buf := make([]byte, d.disk.PageSize())
-	for _, id := range d.disk.PageIDs() {
+	d.mu.Lock()
+	disk, log := d.disk, d.log
+	d.mu.Unlock()
+	buf := make([]byte, disk.PageSize())
+	for _, id := range disk.PageIDs() {
 		// Repair then re-verify: recovery's rebuild write goes through the
 		// same faulty device and may itself be torn, so loop a few rounds
 		// (an injector that caps consecutive faults guarantees progress).
 		var err error
 		for round := 0; round < 8; round++ {
 			for attempt := 0; attempt < 8; attempt++ {
-				if err = d.disk.Read(id, buf); err == nil || !errors.Is(err, storage.ErrTransientIO) {
+				if err = disk.Read(id, buf); err == nil || !errors.Is(err, storage.ErrTransientIO) {
 					break
 				}
 				d.stats.IORetries.Add(1)
@@ -778,7 +922,7 @@ func (d *DB) checksumSweep() error {
 				break
 			}
 			d.stats.CorruptPages.Add(1)
-			if rerr := d.recoverPage(id); rerr != nil {
+			if rerr := d.recoverPageOn(disk, log, id); rerr != nil {
 				return fmt.Errorf("db: checksum sweep: page %d: %w", id, rerr)
 			}
 		}
@@ -846,7 +990,7 @@ func (t *Table) ScanPrefix(tx *txn.Tx, prefix []byte, fn func(Row) (bool, error)
 // ArchiveLog streams the stable log prefix to w (offline log archiving,
 // the prerequisite for §5 media recovery beyond the online log). It
 // returns the number of records archived.
-func (d *DB) ArchiveLog(w io.Writer) (int, error) { return d.log.Archive(w) }
+func (d *DB) ArchiveLog(w io.Writer) (int, error) { return d.Log().Archive(w) }
 
 // OpenStandby builds an engine on a FRESH disk from a shipped log (see
 // wal.ReadArchive) plus the primary's catalog blob, and runs ARIES restart
@@ -864,6 +1008,7 @@ func OpenStandby(opts Options, shipped *wal.Log, catalogMeta []byte) (*DB, *reco
 		cat:   catalog{NextTableID: 1, NextIndexID: 1},
 	}
 	lock.RegisterTraceNames()
+	d.upCh = make(chan struct{})
 	d.disk.WriteMeta(catalogMeta)
 	d.buildVolatile()
 	rep, err := d.Restart()

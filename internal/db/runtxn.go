@@ -1,0 +1,209 @@
+// RunTxn: the retry-safe transaction execution wrapper. Contention aborts
+// (deadlock victim, lock-wait timeout) and engine crashes are repaired
+// automatically — rollback, backoff, re-execute — so callers write the
+// transaction body once and only see errors that genuinely need a human:
+// logic errors and unrecoverable media failures. The approach follows the
+// transaction-repair view of conflict aborts (Veldhuizen 2014): an abort
+// chosen by the system is the system's to retry.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ariesim/internal/lock"
+	"ariesim/internal/txn"
+)
+
+// RetryClass partitions the errors a transaction body can return by what
+// RunTxn does about them.
+type RetryClass int
+
+const (
+	// ClassFatal errors surface to the caller: logic errors (ErrNotFound,
+	// ErrDuplicate reaching the top, application errors) and
+	// ErrMediaFailure. Retrying cannot help.
+	ClassFatal RetryClass = iota
+	// ClassContention errors (deadlock victim, lock-wait timeout) are
+	// repaired by rolling back and retrying after a randomized backoff.
+	ClassContention
+	// ClassCrash errors (engine crashed mid-body, or the lock manager was
+	// shut down under the transaction) are repaired by waiting for the
+	// restart and re-executing on the new epoch.
+	ClassCrash
+)
+
+// ClassifyErr maps an error from a transaction body to its retry class.
+func ClassifyErr(err error) RetryClass {
+	switch {
+	case errors.Is(err, lock.ErrDeadlock), errors.Is(err, lock.ErrLockTimeout):
+		return ClassContention
+	case errors.Is(err, ErrCrashed), errors.Is(err, lock.ErrShutdown):
+		return ClassCrash
+	default:
+		return ClassFatal
+	}
+}
+
+// RunTxnOpts tunes RunTxn's retry loop. The zero value is usable.
+type RunTxnOpts struct {
+	// MaxAttempts bounds full executions of the body (default 16).
+	MaxAttempts int
+	// BaseBackoff is the first contention backoff (default 200µs); each
+	// further contention retry doubles it up to MaxBackoff (default 20ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the backoff jitter deterministically. Concurrent callers
+	// should use distinct seeds or their retries stampede in lockstep.
+	Seed int64
+	// OnCommit, when set, runs atomically with the commit acknowledgement:
+	// at the instant it runs the commit record is durable and no crash has
+	// intervened. Harnesses use it to maintain an exact model of acked
+	// state. It must not call back into the engine.
+	OnCommit func()
+}
+
+func (o RunTxnOpts) withDefaults() RunTxnOpts {
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 16
+	}
+	if o.BaseBackoff == 0 {
+		o.BaseBackoff = 200 * time.Microsecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 20 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RunTxn executes fn inside a transaction and commits it, automatically
+// repairing contention aborts (rollback + capped exponential backoff +
+// retry) and engine crashes (wait for restart + retry on the new epoch).
+// Fatal errors abort the transaction and surface unchanged. fn may run
+// several times and must therefore be idempotent apart from its effects
+// through the passed transaction.
+func (d *DB) RunTxn(fn func(*txn.Tx) error) error {
+	return d.RunTxnWith(RunTxnOpts{}, fn)
+}
+
+// RunTxnWith is RunTxn with explicit retry options.
+func (d *DB) RunTxnWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	backoff := opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		d.AwaitUp()
+		tx, err := d.Begin()
+		if err != nil {
+			if errors.Is(err, ErrCrashed) {
+				// Raced a fresh crash; wait out the restart and try again.
+				continue
+			}
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = d.commitAcked(tx, opts.OnCommit)
+			if err == nil {
+				if attempt > 0 {
+					d.stats.TxnRetrySuccesses.Add(1)
+				}
+				return nil
+			}
+		}
+		lastErr = err
+		switch ClassifyErr(err) {
+		case ClassContention:
+			if rbErr := tx.Rollback(); rbErr != nil && !errors.Is(rbErr, txn.ErrTxDone) &&
+				ClassifyErr(rbErr) == ClassFatal {
+				return fmt.Errorf("db: rollback after %v: %w", err, rbErr)
+			}
+			d.stats.TxnRetries.Add(1)
+			if errors.Is(err, lock.ErrDeadlock) {
+				d.stats.TxnDeadlockRetries.Add(1)
+			} else {
+				d.stats.TxnTimeoutRetries.Add(1)
+			}
+			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff)+1)))
+			if backoff *= 2; backoff > opts.MaxBackoff {
+				backoff = opts.MaxBackoff
+			}
+		case ClassCrash:
+			// The transaction belongs to the crashed epoch; unwind it
+			// best-effort against the orphaned structures (equivalent to
+			// work lost at the power cut) and re-execute after restart.
+			_ = tx.Rollback()
+			d.stats.TxnRetries.Add(1)
+			d.stats.TxnCrashWaits.Add(1)
+		default:
+			if rbErr := tx.Rollback(); rbErr != nil && !errors.Is(rbErr, txn.ErrTxDone) &&
+				ClassifyErr(rbErr) == ClassFatal {
+				return fmt.Errorf("db: rollback after %v: %w", err, rbErr)
+			}
+			return err
+		}
+	}
+	return fmt.Errorf("db: transaction gave up after %d attempts: %w", opts.MaxAttempts, lastErr)
+}
+
+// maxStepAttempts bounds savepoint-scoped retries of one step before
+// RunTxnSteps escalates to a full-transaction retry.
+const maxStepAttempts = 3
+
+// RunTxnSteps executes a multi-statement body as a sequence of steps with
+// savepoint-based partial retry: a step failing on contention is rolled
+// back to its own savepoint — releasing only the locks that step took —
+// and re-executed in place, preserving the work of completed steps. A step
+// that keeps losing escalates to RunTxnWith's full rollback-and-retry.
+func (d *DB) RunTxnSteps(opts RunTxnOpts, steps ...func(*txn.Tx) error) error {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	return d.RunTxnWith(opts, func(tx *txn.Tx) error {
+		for _, step := range steps {
+			save := tx.Savepoint()
+			for stepAttempt := 0; ; stepAttempt++ {
+				err := step(tx)
+				if err == nil {
+					break
+				}
+				if ClassifyErr(err) != ClassContention || stepAttempt+1 >= maxStepAttempts {
+					return err
+				}
+				if rbErr := tx.RollbackTo(save); rbErr != nil {
+					return fmt.Errorf("db: partial rollback after %v: %w", err, rbErr)
+				}
+				d.stats.TxnStepRetries.Add(1)
+				time.Sleep(time.Duration(rng.Int63n(int64(opts.BaseBackoff)) + 1))
+			}
+		}
+		return nil
+	})
+}
+
+// commitAcked commits tx and acknowledges it atomically with respect to
+// Crash: under d.mu either the engine is up and tx belongs to the current
+// epoch — then the commit record is forced and onCommit observes a durable
+// commit — or the commit is refused with ErrCrashed. This closes the race
+// where a crash lands between the commit force and the acknowledgement,
+// which would make the caller's model of committed state diverge from the
+// log's.
+func (d *DB) commitAcked(tx *txn.Tx, onCommit func()) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.downed || !d.tm.Owns(tx) {
+		return ErrCrashed
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	if onCommit != nil {
+		onCommit()
+	}
+	return nil
+}

@@ -117,7 +117,10 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 			overlay[k] = v
 		}
 		willRollback := rng.Float64() < 0.15
-		tx := d.MustBegin()
+		tx, err := d.Begin()
+		if err != nil {
+			return nil, fmt.Errorf("txn %d begin: %w", t, err)
+		}
 		for op := 0; op < opts.OpsPerTxn; op++ {
 			k := key(rng.Intn(keySpace))
 			if old, ok := overlay[k]; ok {
@@ -176,7 +179,10 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 
 	// A trailing in-flight loser: boundaries in this tail force restart to
 	// undo a transaction whose records are the newest thing on the log.
-	loser := d.MustBegin()
+	loser, err := d.Begin()
+	if err != nil {
+		return nil, fmt.Errorf("loser begin: %w", err)
+	}
 	for i := 0; i < 3; i++ {
 		k := fmt.Sprintf("zloser%02d", i)
 		if err := tbl.Insert(loser, []byte(k), []byte("never-committed")); err != nil {

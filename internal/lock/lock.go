@@ -10,15 +10,24 @@
 //   - a lock requested conditionally while latches are held is never
 //     waited for: the caller releases its latches, requests the lock
 //     unconditionally, and revalidates (paper §2.2);
-//   - a deadlock is resolved by denying the requester (ErrDeadlock), which
-//     combined with ARIES/IM's latch protocol means rolling-back
-//     transactions never deadlock (paper §4).
+//   - a deadlock is resolved by aborting exactly one waiter in the cycle
+//     (ErrDeadlock), which combined with ARIES/IM's latch protocol means
+//     rolling-back transactions never deadlock (paper §4).
+//
+// Deadlock victims are chosen by cost, not blindly: among the blocked
+// transactions forming the cycle the manager prefers the one holding the
+// fewest locks (least rollback work), breaking ties toward the youngest
+// (highest owner ID). Unconditional waits are additionally bounded by an
+// optional lock-wait timeout (ErrLockTimeout). Both errors identify the
+// transaction that must roll back; db.RunTxn turns them into automatic
+// rollback-and-retry.
 package lock
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ariesim/internal/trace"
 )
@@ -194,15 +203,47 @@ var (
 	// ErrNotGranted reports a conditional request that could not be
 	// granted immediately.
 	ErrNotGranted = errors.New("lock: not granted")
-	// ErrDeadlock reports that granting would close a waits-for cycle;
-	// the requester is chosen as the victim.
-	ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
+	// ErrDeadlock reports that the receiving transaction was chosen as the
+	// victim of a waits-for cycle and must roll back.
+	ErrDeadlock = errors.New("lock: deadlock detected, chosen as victim")
+	// ErrLockTimeout reports an unconditional wait abandoned at the
+	// lock-wait timeout; the requester should roll back and retry.
+	ErrLockTimeout = errors.New("lock: wait timed out")
+	// ErrShutdown reports that the lock manager was shut down (engine
+	// crash) while the request was queued or before it was made.
+	ErrShutdown = errors.New("lock: manager shut down by crash")
 )
+
+// modeStep records one mode upgrade of a holding: at manager sequence seq
+// the holding's mode stopped being prev. The history lets ReleaseSince
+// revert a holding to the mode it had at an earlier savepoint.
+type modeStep struct {
+	seq  uint64
+	prev Mode
+}
 
 type holding struct {
 	owner Owner
 	mode  Mode
 	count int
+	seq   uint64     // manager sequence at first grant
+	hist  []modeStep // mode upgrades since, oldest first
+}
+
+// modeAt returns the mode this holding had at sequence tok (ModeNone if it
+// did not exist yet).
+func (g *holding) modeAt(tok uint64) Mode {
+	if g.seq > tok {
+		return ModeNone
+	}
+	mode := g.mode
+	for i := len(g.hist) - 1; i >= 0; i-- {
+		if g.hist[i].seq <= tok {
+			break
+		}
+		mode = g.hist[i].prev
+	}
+	return mode
 }
 
 type request struct {
@@ -221,11 +262,14 @@ type head struct {
 // Manager is the lock manager. All state is volatile: a crash empties the
 // lock table (restart reacquires locks only for prepared transactions).
 type Manager struct {
-	mu    sync.Mutex
-	table map[Name]*head
-	held  map[Owner]map[Name]*holding // secondary index for release-all
-	waits map[Owner]*request          // one blocked request per owner
-	stats *trace.Stats
+	mu      sync.Mutex
+	table   map[Name]*head
+	held    map[Owner]map[Name]*holding // secondary index for release-all
+	waits   map[Owner]*request          // one blocked request per owner
+	seq     uint64                      // grant sequence, for savepoint tokens
+	timeout time.Duration               // default unconditional wait bound (0 = none)
+	down    bool                        // shut down by crash; all requests fail
+	stats   *trace.Stats
 }
 
 // NewManager creates an empty lock manager reporting into stats (may be nil).
@@ -236,6 +280,14 @@ func NewManager(stats *trace.Stats) *Manager {
 		waits: make(map[Owner]*request),
 		stats: stats,
 	}
+}
+
+// SetWaitTimeout bounds every unconditional wait: a request still queued
+// after d fails with ErrLockTimeout. Zero restores unbounded waits.
+func (m *Manager) SetWaitTimeout(d time.Duration) {
+	m.mu.Lock()
+	m.timeout = d
+	m.mu.Unlock()
 }
 
 func (m *Manager) headOf(n Name) *head {
@@ -269,14 +321,28 @@ func (h *head) holdingOf(owner Owner) *holding {
 
 // Request asks for a lock. Conditional requests never block: they return
 // ErrNotGranted when the lock is not immediately available. Unconditional
-// requests block until granted or until deadlock detection picks the
-// requester as victim. Instant-duration locks are released as soon as they
+// requests block until granted, until deadlock victim selection aborts
+// them (ErrDeadlock), or until the manager's lock-wait timeout expires
+// (ErrLockTimeout). Instant-duration locks are released as soon as they
 // are granted; their purpose is purely to observe grantability.
 func (m *Manager) Request(owner Owner, name Name, mode Mode, dur Duration, conditional bool) error {
+	return m.RequestWith(owner, name, mode, dur, conditional, 0)
+}
+
+// RequestWith is Request with a per-request wait bound: timeout 0 uses the
+// manager default (SetWaitTimeout), negative waits without bound.
+func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, conditional bool, timeout time.Duration) error {
 	if m.stats != nil {
 		m.stats.CountLock(int(name.Space), int(mode), int(dur))
 	}
 	m.mu.Lock()
+	if m.down {
+		m.mu.Unlock()
+		return ErrShutdown
+	}
+	if timeout == 0 {
+		timeout = m.timeout
+	}
 	h := m.headOf(name)
 	mine := h.holdingOf(owner)
 
@@ -329,23 +395,69 @@ func (m *Manager) Request(owner Owner, name Name, mode Mode, dur Duration, condi
 	}
 	m.waits[owner] = req
 
-	if m.deadlockLocked(owner) {
-		m.removeRequestLocked(h, req)
-		delete(m.waits, owner)
-		// Removing the victim may unblock requests queued behind it.
-		m.processQueueLocked(name, h)
-		m.mu.Unlock()
+	// Deadlock detection with cost-based victim selection: abort the
+	// cheapest blocked member of each cycle the new edge closes — the one
+	// holding the fewest locks, ties toward the youngest — rather than
+	// blindly the requester. Aborting another waiter may leave further
+	// cycles (or grant this request), so loop until the graph is clean.
+	for {
+		cycle := m.findCycleLocked(owner)
+		if cycle == nil {
+			break
+		}
 		if m.stats != nil {
 			m.stats.Deadlocks.Add(1)
+			m.stats.DeadlockVictims.Add(1)
 		}
-		return ErrDeadlock
+		victim := m.chooseVictimLocked(cycle)
+		if victim == owner {
+			m.removeRequestLocked(h, req)
+			delete(m.waits, owner)
+			// Removing the victim may unblock requests queued behind it.
+			m.processQueueLocked(name, h)
+			m.mu.Unlock()
+			return ErrDeadlock
+		}
+		if m.stats != nil {
+			m.stats.VictimsOther.Add(1)
+		}
+		m.abortWaiterLocked(victim, ErrDeadlock)
 	}
 	m.mu.Unlock()
 	if m.stats != nil {
 		m.stats.LockWaits.Add(1)
 	}
 
-	err := <-req.granted
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	var err error
+	select {
+	case err = <-req.granted:
+	case <-timeoutC:
+		m.mu.Lock()
+		select {
+		case err = <-req.granted:
+			// Resolved between the timer firing and us reacquiring the
+			// manager lock; honor the resolution.
+			m.mu.Unlock()
+		default:
+			if h := m.table[name]; h != nil {
+				m.removeRequestLocked(h, req)
+				// Waking grantable requests queued behind the abandoned one.
+				m.processQueueLocked(name, h)
+			}
+			delete(m.waits, owner)
+			m.mu.Unlock()
+			if m.stats != nil {
+				m.stats.LockTimeouts.Add(1)
+			}
+			return ErrLockTimeout
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -358,14 +470,124 @@ func (m *Manager) Request(owner Owner, name Name, mode Mode, dur Duration, condi
 	return nil
 }
 
-// grantLocked installs or upgrades owner's holding.
+// Token returns an opaque marker of the current grant sequence. Locks
+// granted or upgraded after the token was taken can be rolled back with
+// ReleaseSince — the lock half of a transaction savepoint.
+func (m *Manager) Token() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// ReleaseSince releases every lock owner first acquired after tok and
+// reverts holdings upgraded after tok to the mode they had at tok, waking
+// newly grantable waiters. Partial rollback (txn.RollbackTo) uses this so
+// a rolled-back transaction fragment does not keep the locks that made it
+// a deadlock victim. Returns the number of holdings released or reverted.
+func (m *Manager) ReleaseSince(owner Owner, tok uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byOwner := m.held[owner]
+	var drop, revert []Name
+	for n, g := range byOwner {
+		switch was := g.modeAt(tok); {
+		case was == ModeNone:
+			drop = append(drop, n)
+		case was != g.mode:
+			revert = append(revert, n)
+		}
+	}
+	for _, n := range drop {
+		m.releaseLocked(n, owner)
+	}
+	for _, n := range revert {
+		g := byOwner[n]
+		mode := g.modeAt(tok)
+		for len(g.hist) > 0 && g.hist[len(g.hist)-1].seq > tok {
+			g.hist = g.hist[:len(g.hist)-1]
+		}
+		g.mode = mode
+		if h := m.table[n]; h != nil {
+			// The weaker mode may admit waiters.
+			m.processQueueLocked(n, h)
+		}
+	}
+	changed := len(drop) + len(revert)
+	if changed > 0 && m.stats != nil {
+		m.stats.SavepointLockReleases.Add(uint64(changed))
+	}
+	return changed
+}
+
+// Shutdown fails the manager: every queued waiter is woken with
+// ErrShutdown and every future request fails immediately with it. The
+// engine calls this at Crash so goroutines blocked in lock waits unwind
+// instead of sleeping forever on an orphaned lock table; Restart builds a
+// fresh manager. Release and ReleaseAll stay usable so rolling-back
+// stragglers unwind cleanly.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	m.down = true
+	waiting := make([]*request, 0, len(m.waits))
+	for o, req := range m.waits {
+		delete(m.waits, o)
+		if h := m.table[req.name]; h != nil {
+			m.removeRequestLocked(h, req)
+			if len(h.granted) == 0 && len(h.queue) == 0 {
+				delete(m.table, req.name)
+			}
+		}
+		waiting = append(waiting, req)
+	}
+	m.mu.Unlock()
+	for _, req := range waiting {
+		req.granted <- ErrShutdown
+	}
+}
+
+// abortWaiterLocked removes owner's blocked request and resolves it with
+// err, waking every request queued behind it that became grantable.
+func (m *Manager) abortWaiterLocked(owner Owner, err error) {
+	req := m.waits[owner]
+	if req == nil {
+		return
+	}
+	delete(m.waits, owner)
+	if h := m.table[req.name]; h != nil {
+		m.removeRequestLocked(h, req)
+		m.processQueueLocked(req.name, h)
+	}
+	req.granted <- err
+}
+
+// chooseVictimLocked picks the cheapest member of a waits-for cycle to
+// abort: the owner holding the fewest locks (least rollback and
+// reacquisition work), ties broken toward the youngest (highest owner ID —
+// IDs are assigned in begin order).
+func (m *Manager) chooseVictimLocked(cycle []Owner) Owner {
+	victim := cycle[0]
+	for _, o := range cycle[1:] {
+		co, cv := len(m.held[o]), len(m.held[victim])
+		if co < cv || (co == cv && o > victim) {
+			victim = o
+		}
+	}
+	return victim
+}
+
+// grantLocked installs or upgrades owner's holding, stamping the grant
+// sequence consumed by savepoint tokens (Token/ReleaseSince).
 func (m *Manager) grantLocked(h *head, owner Owner, name Name, mode Mode, mine *holding) {
+	m.seq++
 	if mine != nil {
-		mine.mode = mode
+		if mine.mode != mode {
+			mine.hist = append(mine.hist, modeStep{seq: m.seq, prev: mine.mode})
+			mine.mode = mode
+		}
 		mine.count++
 		return
 	}
-	g := &holding{owner: owner, mode: mode, count: 1}
+	g := &holding{owner: owner, mode: mode, count: 1, seq: m.seq}
 	h.granted = append(h.granted, g)
 	byOwner := m.held[owner]
 	if byOwner == nil {
@@ -486,22 +708,27 @@ func (m *Manager) NumLocks() int {
 	return n
 }
 
-// deadlockLocked reports whether start's blocked request closes a cycle in
-// the waits-for graph. Edges: a blocked owner waits for (1) every granted
-// holder incompatible with its target mode and (2) every request queued
-// ahead of it.
-func (m *Manager) deadlockLocked(start Owner) bool {
+// findCycleLocked returns the owners of one waits-for cycle through start
+// (in chain order), or nil when start's blocked request closes no cycle.
+// Edges: a blocked owner waits for (1) every granted holder incompatible
+// with its target mode and (2) every request queued ahead of it. Every
+// member of a cycle has an outgoing edge and is therefore itself blocked,
+// which is what makes any member abortable via its wait channel.
+func (m *Manager) findCycleLocked(start Owner) []Owner {
 	visited := map[Owner]bool{}
-	var dfs func(o Owner) bool
-	dfs = func(o Owner) bool {
+	var path []Owner
+	var dfs func(o Owner) []Owner
+	dfs = func(o Owner) []Owner {
 		req := m.waits[o]
 		if req == nil {
-			return false
+			return nil
 		}
 		h := m.table[req.name]
 		if h == nil {
-			return false
+			return nil
 		}
+		path = append(path, o)
+		defer func() { path = path[:len(path)-1] }()
 		var successors []Owner
 		for _, g := range h.granted {
 			if g.owner != o && !Compatible(g.mode, req.mode) {
@@ -518,16 +745,16 @@ func (m *Manager) deadlockLocked(start Owner) bool {
 		}
 		for _, s := range successors {
 			if s == start {
-				return true
+				return append([]Owner(nil), path...)
 			}
 			if !visited[s] {
 				visited[s] = true
-				if dfs(s) {
-					return true
+				if cyc := dfs(s); cyc != nil {
+					return cyc
 				}
 			}
 		}
-		return false
+		return nil
 	}
 	return dfs(start)
 }

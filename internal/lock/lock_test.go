@@ -388,6 +388,197 @@ func TestStressMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestVictimFewestLocks: the victim of a deadlock is the owner holding the
+// fewest locks — NOT blindly the requester that closed the cycle. Owner 1
+// holds four locks, owner 2 holds one; when owner 1's request completes the
+// cycle, owner 2 (cheapest rollback) is aborted and owner 1 survives.
+func TestVictimFewestLocks(t *testing.T) {
+	st := &trace.Stats{}
+	m := NewManager(st)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 1, rec(10, 1), X, Commit)
+	mustGrant(t, m, 1, rec(10, 2), X, Commit)
+	mustGrant(t, m, 1, rec(10, 3), X, Commit)
+	mustGrant(t, m, 2, rec(2, 2), X, Commit)
+
+	victim := make(chan error, 1)
+	go func() { victim <- m.Request(2, rec(1, 1), X, Commit, false) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// Owner 1 closes the cycle. It holds 4 locks vs owner 2's 1, so
+	// owner 2 is aborted and owner 1 keeps waiting for rec(2,2).
+	survivor := make(chan error, 1)
+	go func() { survivor <- m.Request(1, rec(2, 2), X, Commit, false) }()
+
+	select {
+	case err := <-victim:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("victim never aborted")
+	}
+	m.ReleaseAll(2) // victim rolls back, releasing rec(2,2)
+	select {
+	case err := <-survivor:
+		if err != nil {
+			t.Fatalf("survivor (more locks) was aborted: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("survivor never granted")
+	}
+	if st.DeadlockVictims.Load() != 1 || st.VictimsOther.Load() != 1 {
+		t.Errorf("victims = %d (other = %d), want 1/1",
+			st.DeadlockVictims.Load(), st.VictimsOther.Load())
+	}
+	m.ReleaseAll(1)
+}
+
+// TestVictimTieBreakYoungest: equal lock counts break the tie toward the
+// youngest owner (highest ID — later transactions have done less work).
+func TestVictimTieBreakYoungest(t *testing.T) {
+	m := NewManager(&trace.Stats{})
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	mustGrant(t, m, 5, rec(2, 2), X, Commit)
+	victim := make(chan error, 1)
+	go func() { victim <- m.Request(5, rec(1, 1), X, Commit, false) }()
+	time.Sleep(20 * time.Millisecond)
+	// Both hold exactly one lock; owner 5 is younger and must lose even
+	// though owner 1 is the requester that completes the cycle.
+	survivor := make(chan error, 1)
+	go func() { survivor <- m.Request(1, rec(2, 2), X, Commit, false) }()
+	select {
+	case err := <-victim:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("younger owner got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("younger owner never aborted")
+	}
+	m.ReleaseAll(5)
+	if err := <-survivor; err != nil {
+		t.Fatalf("older owner aborted: %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+// TestLockWaitTimeout: a wait bounded by the manager default returns
+// ErrLockTimeout, leaves no residue in the queue, and counts in stats.
+func TestLockWaitTimeout(t *testing.T) {
+	st := &trace.Stats{}
+	m := NewManager(st)
+	m.SetWaitTimeout(25 * time.Millisecond)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	start := time.Now()
+	err := m.Request(2, rec(1, 1), S, Commit, false)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("want ErrLockTimeout, got %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("timed out after %v, before the deadline", d)
+	}
+	if st.LockTimeouts.Load() != 1 {
+		t.Errorf("LockTimeouts = %d, want 1", st.LockTimeouts.Load())
+	}
+	// The timed-out request must be fully dequeued: release and re-grant.
+	m.ReleaseAll(1)
+	if err := m.Request(3, rec(1, 1), X, Commit, true); err != nil {
+		t.Fatalf("stale queue entry blocks grant: %v", err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestPerRequestTimeoutOverride: RequestWith's timeout overrides the
+// manager default in both directions (tighter, and unbounded via negative).
+func TestPerRequestTimeoutOverride(t *testing.T) {
+	m := NewManager(nil)
+	m.SetWaitTimeout(10 * time.Second) // default: effectively unbounded here
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	err := m.RequestWith(2, rec(1, 1), S, Commit, false, 20*time.Millisecond)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("per-request timeout ignored: %v", err)
+	}
+	// Negative = wait forever: must still be waiting when we release.
+	got := make(chan error, 1)
+	go func() { got <- m.RequestWith(3, rec(1, 1), S, Commit, false, -1) }()
+	select {
+	case err := <-got:
+		t.Fatalf("unbounded wait returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestShutdownWakesWaiters: Shutdown (crash fencing) must wake every
+// blocked waiter with ErrShutdown and refuse new requests.
+func TestShutdownWakesWaiters(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), X, Commit)
+	errs := make(chan error, 3)
+	for o := Owner(2); o <= 4; o++ {
+		go func(o Owner) { errs <- m.Request(o, rec(1, 1), S, Commit, false) }(o)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.Shutdown()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrShutdown) {
+				t.Fatalf("waiter got %v, want ErrShutdown", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not woken by shutdown")
+		}
+	}
+	if err := m.Request(5, rec(9, 9), S, Commit, false); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-shutdown request got %v, want ErrShutdown", err)
+	}
+}
+
+// TestTimeoutRemovalWakesGrantable: when a queued X request times out,
+// compatible requests queued BEHIND it (blocked only by FIFO order) must be
+// granted immediately — the removal path must reprocess the queue.
+func TestTimeoutRemovalWakesGrantable(t *testing.T) {
+	m := NewManager(nil)
+	mustGrant(t, m, 1, rec(1, 1), S, Commit)
+	// Owner 2 queues X (conflicts with the held S), bounded wait.
+	xgot := make(chan error, 1)
+	go func() { xgot <- m.RequestWith(2, rec(1, 1), X, Commit, false, 50*time.Millisecond) }()
+	time.Sleep(15 * time.Millisecond)
+	// Owners 3 and 4 queue S behind the X: compatible with owner 1, but
+	// FIFO keeps them waiting while the X sits ahead.
+	sgot := make(chan error, 2)
+	for o := Owner(3); o <= 4; o++ {
+		go func(o Owner) { sgot <- m.Request(o, rec(1, 1), S, Commit, false) }(o)
+	}
+	select {
+	case err := <-sgot:
+		t.Fatalf("S granted past a queued X: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := <-xgot; !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("X waiter got %v, want ErrLockTimeout", err)
+	}
+	// The X's removal must wake both S requests without any release.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-sgot:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("S waiter not woken after X timed out")
+		}
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(3)
+	m.ReleaseAll(4)
+}
+
 func TestStringers(t *testing.T) {
 	if X.String() != "X" || SIX.String() != "SIX" || Instant.String() != "instant" {
 		t.Fatal("stringers broken")

@@ -1,8 +1,12 @@
 package lock
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // Algebraic properties of the mode lattice, checked exhaustively and via
@@ -83,6 +87,117 @@ func TestQuickInstantLocksLeaveTableEmpty(t *testing.T) {
 		return m.NumLocks() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimeoutRemovalWakesAllGrantable is the release-path property
+// behind both victim abort and wait timeout: removing a queued waiter must
+// wake every queued request that thereby became grantable, each exactly
+// once. A bounded X request sits at the head of the queue over a held S;
+// a random crowd of compatible (S/IS) requests queues behind it, blocked
+// only by FIFO order. When the X times out, every one of them must be
+// granted — with no release ever happening.
+func TestQuickTimeoutRemovalWakesAllGrantable(t *testing.T) {
+	name := Name{Space: SpaceRecord, A: 1}
+	f := func(n, modeBits uint8) bool {
+		waiters := int(n%5) + 1
+		m := NewManager(nil)
+		if err := m.Request(1, name, S, Commit, false); err != nil {
+			return false
+		}
+		xdone := make(chan error, 1)
+		go func() { xdone <- m.RequestWith(2, name, X, Commit, false, 25*time.Millisecond) }()
+		time.Sleep(5 * time.Millisecond) // let the X reach the queue head
+		granted := make(chan Owner, waiters)
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			o := Owner(3 + i)
+			mode := S
+			if modeBits&(1<<uint(i)) != 0 {
+				mode = IS
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := m.Request(o, name, mode, Commit, false); err == nil {
+					granted <- o
+				}
+			}()
+		}
+		if err := <-xdone; !errors.Is(err, ErrLockTimeout) {
+			return false // the X can never be granted here; it must time out
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return false // lost wakeup: a grantable waiter was not woken
+		}
+		// Exactly once: every waiter granted, each a distinct owner, and
+		// the table holds precisely the original S plus the crowd.
+		if len(granted) != waiters {
+			return false
+		}
+		seen := map[Owner]bool{}
+		for i := 0; i < waiters; i++ {
+			o := <-granted
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return m.NumLocks() == 1+waiters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimeoutInterleavedSchedule drives a random schedule of bounded
+// conflicting waits, so timeouts expire while other waits are still in
+// flight (removal interleaved with enqueueing and granting). Whatever the
+// interleaving: no hang, every failure is a typed timeout/deadlock, and
+// the table drains to empty after all owners release.
+func TestQuickTimeoutInterleavedSchedule(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 16 {
+			ops = ops[:16]
+		}
+		m := NewManager(nil)
+		var bad atomic.Bool
+		var wg sync.WaitGroup
+		for i, op := range ops {
+			owner := Owner(i + 1) // one owner per request: cycles impossible
+			name := Name{Space: SpaceRecord, A: uint64(op % 3)}
+			mode := S
+			if op%2 == 0 {
+				mode = X
+			}
+			timeout := time.Duration(op%8+1) * 3 * time.Millisecond
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := m.RequestWith(owner, name, mode, Commit, false, timeout)
+				if err != nil && !errors.Is(err, ErrLockTimeout) {
+					bad.Store(true) // single-lock owners can only time out
+				}
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return false // a bounded wait failed to terminate
+		}
+		for i := range ops {
+			m.ReleaseAll(Owner(i + 1))
+		}
+		return !bad.Load() && m.NumLocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -59,6 +59,11 @@ func (d *Disk) injector() FaultInjector {
 	return d.inj
 }
 
+// Injector returns the installed fault injector (nil when none). The
+// engine uses it to carry the fault schedule onto the successor disk when
+// a crash orphans the current one.
+func (d *Disk) Injector() FaultInjector { return d.injector() }
+
 // Read copies page id into buf (which must be pageSize long). A page that
 // was never written reads as zeroes. Reads verify the page checksum and
 // fail with ErrChecksum on a mismatch; an installed injector may also fail

@@ -34,10 +34,22 @@ const (
 // instrumented unconditionally.
 type Stats struct {
 	// Lock manager.
-	lockCalls   [MaxSpaces][MaxModes][MaxDurations]atomic.Uint64
-	LockWaits   atomic.Uint64 // requests that could not be granted immediately
-	LockDenials atomic.Uint64 // conditional requests denied
-	Deadlocks   atomic.Uint64
+	lockCalls       [MaxSpaces][MaxModes][MaxDurations]atomic.Uint64
+	LockWaits       atomic.Uint64 // requests that could not be granted immediately
+	LockDenials     atomic.Uint64 // conditional requests denied
+	Deadlocks       atomic.Uint64 // waits-for cycles detected
+	DeadlockVictims atomic.Uint64 // waiters aborted to break a cycle (requester or other)
+	VictimsOther    atomic.Uint64 // victims that were NOT the requester (cost-based choice)
+	LockTimeouts    atomic.Uint64 // waits abandoned at the lock-wait timeout
+	SavepointLockReleases atomic.Uint64 // locks released early by partial rollback
+
+	// Transaction retry layer (db.RunTxn).
+	TxnRetries         atomic.Uint64 // transaction bodies re-executed after rollback
+	TxnDeadlockRetries atomic.Uint64 // ...because the txn was a deadlock victim
+	TxnTimeoutRetries  atomic.Uint64 // ...because a lock wait timed out
+	TxnCrashWaits      atomic.Uint64 // RunTxn attempts parked waiting for Restart
+	TxnStepRetries     atomic.Uint64 // savepoint-scoped partial retries (RunTxnSteps)
+	TxnRetrySuccesses  atomic.Uint64 // transactions that committed after >=1 retry
 
 	// Latches.
 	LatchAcquires     atomic.Uint64
@@ -186,6 +198,10 @@ type Snapshot struct {
 	LockCalls [MaxSpaces][MaxModes][MaxDurations]uint64
 
 	LockWaits, LockDenials, Deadlocks                         uint64
+	DeadlockVictims, VictimsOther, LockTimeouts               uint64
+	SavepointLockReleases                                     uint64
+	TxnRetries, TxnDeadlockRetries, TxnTimeoutRetries         uint64
+	TxnCrashWaits, TxnStepRetries, TxnRetrySuccesses          uint64
 	LatchAcquires, LatchWaits, LatchTryFailures               uint64
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
@@ -213,6 +229,16 @@ func (s *Stats) Snap() Snapshot {
 	out.LockWaits = s.LockWaits.Load()
 	out.LockDenials = s.LockDenials.Load()
 	out.Deadlocks = s.Deadlocks.Load()
+	out.DeadlockVictims = s.DeadlockVictims.Load()
+	out.VictimsOther = s.VictimsOther.Load()
+	out.LockTimeouts = s.LockTimeouts.Load()
+	out.SavepointLockReleases = s.SavepointLockReleases.Load()
+	out.TxnRetries = s.TxnRetries.Load()
+	out.TxnDeadlockRetries = s.TxnDeadlockRetries.Load()
+	out.TxnTimeoutRetries = s.TxnTimeoutRetries.Load()
+	out.TxnCrashWaits = s.TxnCrashWaits.Load()
+	out.TxnStepRetries = s.TxnStepRetries.Load()
+	out.TxnRetrySuccesses = s.TxnRetrySuccesses.Load()
 	out.LatchAcquires = s.LatchAcquires.Load()
 	out.LatchWaits = s.LatchWaits.Load()
 	out.LatchTryFailures = s.LatchTryFailures.Load()
@@ -257,6 +283,16 @@ func Diff(before, after Snapshot) Snapshot {
 	d.LockWaits = after.LockWaits - before.LockWaits
 	d.LockDenials = after.LockDenials - before.LockDenials
 	d.Deadlocks = after.Deadlocks - before.Deadlocks
+	d.DeadlockVictims = after.DeadlockVictims - before.DeadlockVictims
+	d.VictimsOther = after.VictimsOther - before.VictimsOther
+	d.LockTimeouts = after.LockTimeouts - before.LockTimeouts
+	d.SavepointLockReleases = after.SavepointLockReleases - before.SavepointLockReleases
+	d.TxnRetries = after.TxnRetries - before.TxnRetries
+	d.TxnDeadlockRetries = after.TxnDeadlockRetries - before.TxnDeadlockRetries
+	d.TxnTimeoutRetries = after.TxnTimeoutRetries - before.TxnTimeoutRetries
+	d.TxnCrashWaits = after.TxnCrashWaits - before.TxnCrashWaits
+	d.TxnStepRetries = after.TxnStepRetries - before.TxnStepRetries
+	d.TxnRetrySuccesses = after.TxnRetrySuccesses - before.TxnRetrySuccesses
 	d.LatchAcquires = after.LatchAcquires - before.LatchAcquires
 	d.LatchWaits = after.LatchWaits - before.LatchWaits
 	d.LatchTryFailures = after.LatchTryFailures - before.LatchTryFailures

@@ -45,8 +45,17 @@ type Tx struct {
 	lastLSN     wal.LSN
 	undoNxtLSN  wal.LSN
 	rollingBack bool
+	saves       []savepoint // Savepoint history, oldest first
 
 	mgr *Manager
+}
+
+// savepoint pairs the log position of a savepoint with the lock manager's
+// grant sequence at the same moment, so RollbackTo can release the locks
+// the rolled-back fragment acquired.
+type savepoint struct {
+	lsn     wal.LSN
+	lockTok uint64
 }
 
 // State returns the transaction's current state.
@@ -106,6 +115,21 @@ func (m *Manager) SetNextID(id wal.TxID) {
 		m.nextID = id
 	}
 }
+
+// NextID returns the next transaction ID this manager would assign. The
+// engine carries it across a crash/restart (the lock and transaction tables
+// are rebuilt, but in-process ID uniqueness must span epochs so a pre-crash
+// zombie and a post-restart transaction never share a lock owner ID).
+func (m *Manager) NextID() wal.TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
+// Owns reports whether t was begun by (or adopted into) this manager.
+// db.RunTxn uses it as an epoch check: a transaction from a pre-crash
+// manager must not be committed against the restarted engine.
+func (m *Manager) Owns(t *Tx) bool { return t.mgr == m }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Tx {
@@ -254,8 +278,16 @@ func (t *Tx) EndNTA(tok NTAToken) wal.LSN {
 	return t.Log(&wal.Record{Type: wal.RecDummyCLR, UndoNxtLSN: tok.resume})
 }
 
-// Savepoint returns a token for partial rollback to the current point.
-func (t *Tx) Savepoint() wal.LSN { return t.LastLSN() }
+// Savepoint returns a token for partial rollback to the current point. It
+// also records the lock manager's grant sequence, so RollbackTo can release
+// the locks acquired after this point.
+func (t *Tx) Savepoint() wal.LSN {
+	tok := t.mgr.locks.Token()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.saves = append(t.saves, savepoint{lsn: t.lastLSN, lockTok: tok})
+	return t.lastLSN
+}
 
 // Commit terminates the transaction: commit record, synchronous log force,
 // lock release, end record.
@@ -315,8 +347,14 @@ func (t *Tx) Rollback() error {
 }
 
 // RollbackTo partially rolls back to a savepoint; the transaction remains
-// active and keeps its locks (ARIES does not release locks on partial
-// rollback).
+// active. Locks acquired after the savepoint are released (and upgrades
+// reverted) once the undo completes, so a partially-rolled-back transaction
+// does not keep starving the waiters that made it a deadlock victim. ARIES
+// permits either policy on partial rollback; releasing is safe here because
+// the undo is complete before any lock is dropped, and it is what makes
+// savepoint-scoped retry (db.RunTxnSteps) effective under contention. Locks
+// held at the savepoint are kept. A save LSN without a matching Savepoint
+// call (e.g. a raw LastLSN) conservatively releases nothing.
 func (t *Tx) RollbackTo(save wal.LSN) error {
 	t.mu.Lock()
 	if t.state != wal.TxActive {
@@ -324,11 +362,24 @@ func (t *Tx) RollbackTo(save wal.LSN) error {
 		return ErrTxDone
 	}
 	t.rollingBack = true
+	// Find the most recent Savepoint record at this LSN, dropping the
+	// history of later savepoints (they are being rolled over).
+	var sp *savepoint
+	for i := len(t.saves) - 1; i >= 0; i-- {
+		if t.saves[i].lsn == save {
+			sp = &t.saves[i]
+			t.saves = t.saves[:i+1]
+			break
+		}
+	}
 	t.mu.Unlock()
 	err := t.undoTo(save)
 	t.mu.Lock()
 	t.rollingBack = false
 	t.mu.Unlock()
+	if err == nil && sp != nil {
+		t.mgr.locks.ReleaseSince(lock.Owner(t.ID), sp.lockTok)
+	}
 	return err
 }
 

@@ -3,6 +3,7 @@ package txn
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"ariesim/internal/buffer"
 	"ariesim/internal/lock"
@@ -143,10 +144,13 @@ func TestRedoOnlyRecordsSkippedInUndo(t *testing.T) {
 func TestPartialRollbackToSavepoint(t *testing.T) {
 	m, _, locks, u := newEnv()
 	tx := m.Begin()
+	kept := lock.Name{Space: lock.SpaceRecord, A: 5}
+	_ = tx.Lock(kept, lock.X, lock.Commit, false)
 	l1 := tx.LogUpdate(5, wal.OpIdxInsertKey, []byte("a"), false)
 	_ = l1
 	save := tx.Savepoint()
-	_ = tx.Lock(lock.Name{Space: lock.SpaceRecord, A: 9}, lock.X, lock.Commit, false)
+	dropped := lock.Name{Space: lock.SpaceRecord, A: 9}
+	_ = tx.Lock(dropped, lock.X, lock.Commit, false)
 	l2 := tx.LogUpdate(6, wal.OpIdxInsertKey, []byte("b"), false)
 	l3 := tx.LogUpdate(7, wal.OpIdxInsertKey, []byte("c"), false)
 	if err := tx.RollbackTo(save); err != nil {
@@ -155,9 +159,13 @@ func TestPartialRollbackToSavepoint(t *testing.T) {
 	if len(u.undone) != 2 || u.undone[0] != l3 || u.undone[1] != l2 {
 		t.Fatalf("undone = %v, want [%d %d]", u.undone, l3, l2)
 	}
-	// Locks are retained on partial rollback; tx still active.
-	if locks.NumLocks() == 0 {
-		t.Fatal("partial rollback released locks")
+	// Locks held at the savepoint are retained; locks acquired after it are
+	// released. The transaction stays active.
+	if !locks.HoldsAtLeast(lock.Owner(tx.ID), kept, lock.X) {
+		t.Fatal("partial rollback dropped a pre-savepoint lock")
+	}
+	if locks.HoldsAtLeast(lock.Owner(tx.ID), dropped, lock.IS) {
+		t.Fatal("partial rollback kept a post-savepoint lock")
 	}
 	if tx.State() != wal.TxActive {
 		t.Fatalf("state = %v", tx.State())
@@ -171,6 +179,65 @@ func TestPartialRollbackToSavepoint(t *testing.T) {
 	}
 	if len(u.undone) != 2 || u.undone[0] != l4 || u.undone[1] != l1 {
 		t.Fatalf("full rollback after partial: undone %v, want [%d %d]", u.undone, l4, l1)
+	}
+}
+
+// TestSavepointReleaseUnblocksContender is the contention story behind
+// savepoint lock release: transaction 1 grabs a hot lock after a savepoint,
+// transaction 2 blocks on it, and RollbackTo — not commit, not full abort —
+// is what hands the lock over. Tx 2 then re-executes the contended work
+// successfully while tx 1 is still active and later commits.
+func TestSavepointReleaseUnblocksContender(t *testing.T) {
+	m, _, locks, _ := newEnv()
+	hot := lock.Name{Space: lock.SpaceRecord, A: 42}
+
+	tx1 := m.Begin()
+	pre := lock.Name{Space: lock.SpaceRecord, A: 1}
+	if err := tx1.Lock(pre, lock.X, lock.Commit, false); err != nil {
+		t.Fatal(err)
+	}
+	tx1.LogUpdate(5, wal.OpIdxInsertKey, []byte("pre"), false)
+	save := tx1.Savepoint()
+	if err := tx1.Lock(hot, lock.X, lock.Commit, false); err != nil {
+		t.Fatal(err)
+	}
+	tx1.LogUpdate(6, wal.OpIdxInsertKey, []byte("hot"), false)
+
+	// Tx 2 blocks on the hot lock; only the partial rollback can free it.
+	tx2 := m.Begin()
+	tx2got := make(chan error, 1)
+	go func() { tx2got <- tx2.Lock(hot, lock.X, lock.Commit, false) }()
+	select {
+	case err := <-tx2got:
+		t.Fatalf("tx2 acquired a held lock: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if err := tx1.RollbackTo(save); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-tx2got:
+		if err != nil {
+			t.Fatalf("tx2 lock after partial rollback: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("partial rollback did not wake the contender")
+	}
+	// Tx 2 re-executes the contended work and commits.
+	tx2.LogUpdate(6, wal.OpIdxInsertKey, []byte("hot2"), false)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Tx 1 is still active, still holds its pre-savepoint lock, and commits.
+	if !locks.HoldsAtLeast(lock.Owner(tx1.ID), pre, lock.X) {
+		t.Fatal("pre-savepoint lock lost")
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if locks.NumLocks() != 0 {
+		t.Fatalf("locks leaked: %d", locks.NumLocks())
 	}
 }
 

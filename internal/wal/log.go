@@ -306,14 +306,15 @@ func (l *Log) Clone(stats *trace.Stats) *Log {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := &Log{
-		recs:    append([]*Record(nil), l.recs...),
-		offs:    append([]LSN(nil), l.offs...),
-		nextOff: l.nextOff,
-		stable:  l.stable,
-		master:  l.master,
-		bytes:   l.bytes,
-		damage:  make(map[LSN][]damageSpot, len(l.damage)),
-		stats:   stats,
+		recs:      append([]*Record(nil), l.recs...),
+		offs:      append([]LSN(nil), l.offs...),
+		nextOff:   l.nextOff,
+		stable:    l.stable,
+		master:    l.master,
+		bytes:     l.bytes,
+		truncates: l.truncates,
+		damage:    make(map[LSN][]damageSpot, len(l.damage)),
+		stats:     stats,
 	}
 	for lsn, spots := range l.damage {
 		out.damage[lsn] = append([]damageSpot(nil), spots...)
