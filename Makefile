@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke sweep chaos bench ci
+.PHONY: all build vet test race smoke sweep chaos microbench bench bench-smoke ci
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # Crash-torture smoke under injected disk faults, torn log tails, and
 # planted silent corruption: every fault class must be absorbed.
@@ -31,7 +31,22 @@ sweep:
 chaos:
 	$(GO) run ./cmd/ariesim-crash -chaos -workers 8 -crashes 20 -seed 1 -faults
 
-bench:
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet race smoke chaos
+# Concurrency benchmark: old (serial commit, single lock shard) vs new
+# (group commit + early lock release, sharded locks) across workloads and
+# worker counts. Writes BENCH_concurrency.json and fails if the hot-key
+# write speedup at 16 workers is below 2x or the JSON is malformed.
+bench:
+	$(GO) run ./cmd/ariesim-perf -out BENCH_concurrency.json -minspeedup 2
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+
+# Reduced run for CI: fewer transactions, same shape checks, and the
+# committed BENCH_concurrency.json must exist and parse.
+bench-smoke:
+	$(GO) run ./cmd/ariesim-perf -smoke -out /tmp/ariesim_bench_smoke.json -minspeedup 2
+	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+
+ci: build vet race smoke chaos bench-smoke

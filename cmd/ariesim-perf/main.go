@@ -1,0 +1,417 @@
+// Command ariesim-perf is the concurrency benchmark: N workers drive
+// transactions through db.RunTxn against a costed log device (simulated
+// force latency), comparing the pre-PR configuration (single lock-manager
+// shard, no group commit) with the current one (sharded lock table, group
+// commit). It writes machine-readable results to a JSON file and prints a
+// human summary, anchoring the perf trajectory the roadmap tracks.
+//
+//	ariesim-perf                         # full matrix -> BENCH_concurrency.json
+//	ariesim-perf -smoke                  # reduced matrix (CI)
+//	ariesim-perf -verify FILE            # validate an existing results file
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ariesim/internal/db"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/workload"
+)
+
+var workerCounts = []int{1, 2, 4, 8, 16}
+
+// Cell is one benchmark measurement: a (workload, configuration, worker
+// count) point.
+type Cell struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Workers  int    `json:"workers"`
+	Txns     int    `json:"txns"`
+	Ops      int    `json:"ops"`
+
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+
+	LogForces        uint64  `json:"log_forces"`
+	GroupCommits     uint64  `json:"group_commits"`
+	ForceWaiters     uint64  `json:"force_waiters"`
+	GroupCommitRatio float64 `json:"group_commit_ratio"`
+	Deadlocks        uint64  `json:"deadlocks"`
+	TxnRetries       uint64  `json:"txn_retries"`
+}
+
+// Summary is the headline comparison the acceptance gate reads.
+type Summary struct {
+	// HotkeySpeedup16 is new/old transactions-per-second on the hot-key
+	// write workload at 16 workers.
+	HotkeySpeedup16 float64 `json:"hotkey_write_speedup_16w"`
+	// NewGroupCommitRatio is the hot-key 16-worker group-commit ratio under
+	// the new configuration: grouped / (grouped + physical forces).
+	NewGroupCommitRatio float64 `json:"new_group_commit_ratio_16w"`
+}
+
+// Result is the BENCH_concurrency.json schema.
+type Result struct {
+	Meta struct {
+		ForceDelayUS int    `json:"force_delay_us"`
+		TxnsPerCell  int    `json:"txns_per_cell"`
+		OpsPerTxn    int    `json:"ops_per_txn"`
+		Smoke        bool   `json:"smoke"`
+		Generated    string `json:"generated"`
+	} `json:"meta"`
+	Cells   []Cell  `json:"cells"`
+	Summary Summary `json:"summary"`
+}
+
+// config is one engine configuration under test.
+type config struct {
+	name string
+	opts func(stats *trace.Stats, delay time.Duration) db.Options
+}
+
+var configs = []config{
+	{"old", func(stats *trace.Stats, delay time.Duration) db.Options {
+		// The pre-PR engine: one lock-manager shard (a global mutex) and
+		// serial per-caller log flushes.
+		return db.Options{Stats: stats, LogForceDelay: delay, LockShards: 1, NoGroupCommit: true}
+	}},
+	{"new", func(stats *trace.Stats, delay time.Duration) db.Options {
+		return db.Options{Stats: stats, LogForceDelay: delay}
+	}},
+}
+
+// bench describes one workload: how to prefill the table and what one
+// operation does.
+type bench struct {
+	name    string
+	keys    int
+	prefill int
+	// ops overrides the global ops-per-txn when nonzero (hot-key runs one
+	// op per txn so commit cost, not lock thrash, is what's measured).
+	ops  int
+	body func(tb *db.Table, tx *txn.Tx, op workload.Op) error
+	spec func(worker int) workload.Spec
+}
+
+// applyOp tolerates the races a concurrent mixed workload creates: an
+// insert landing on a live key becomes an update; reads and deletes of a
+// missing key are no-ops. Everything else is a real error.
+func applyOp(tb *db.Table, tx *txn.Tx, op workload.Op) error {
+	switch op.Kind {
+	case workload.Read, workload.ScanShort:
+		if _, err := tb.Get(tx, op.Key); err != nil && !errors.Is(err, db.ErrNotFound) {
+			return err
+		}
+	case workload.Insert:
+		if err := tb.Insert(tx, op.Key, op.Value); err != nil {
+			if !errors.Is(err, db.ErrDuplicate) {
+				return err
+			}
+			return tb.Update(tx, op.Key, op.Value)
+		}
+	case workload.Delete:
+		if err := tb.Delete(tx, op.Key); err != nil && !errors.Is(err, db.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+var benches = []bench{
+	{
+		name: "read-heavy", keys: 4096, prefill: 4096,
+		body: applyOp,
+		spec: func(w int) workload.Spec {
+			return workload.Spec{Keys: 4096, ReadFrac: 0.9, InsertFrac: 0.1, Seed: int64(w + 1)}
+		},
+	},
+	{
+		name: "write-heavy", keys: 4096, prefill: 2048,
+		body: applyOp,
+		spec: func(w int) workload.Spec {
+			return workload.Spec{Keys: 4096, ReadFrac: 0.2, InsertFrac: 0.5, DeleteFrac: 0.3, Seed: int64(w + 1)}
+		},
+	},
+	{
+		name: "hotkey-write", keys: 2048, prefill: 2048, ops: 1,
+		// Updates on a zipfian hot set: the contention + commit-force
+		// workload group commit and lock sharding exist for.
+		body: func(tb *db.Table, tx *txn.Tx, op workload.Op) error {
+			return tb.Update(tx, op.Key, []byte("hot-update-value"))
+		},
+		spec: func(w int) workload.Spec {
+			return workload.Spec{Keys: 2048, Dist: workload.Zipf, InsertFrac: 1, Seed: int64(w + 1)}
+		},
+	},
+	{
+		name: "smo-heavy", keys: 1 << 20, prefill: 0,
+		// Sequential fresh-key inserts keep splitting the right edge of the
+		// tree (nested-top-action SMOs dominate).
+		body: func(tb *db.Table, tx *txn.Tx, op workload.Op) error {
+			return tb.Insert(tx, op.Key, op.Value)
+		},
+		spec: func(w int) workload.Spec {
+			// Distinct sequential ranges per worker via the seed; keys are
+			// made worker-unique in the run loop instead.
+			return workload.Spec{Keys: 1 << 20, Dist: workload.Sequential, InsertFrac: 1, Seed: int64(w + 1)}
+		},
+	},
+}
+
+// runCell measures one (workload, config, workers) point.
+func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, delay time.Duration) (Cell, error) {
+	stats := &trace.Stats{}
+	d := db.Open(cfg.opts(stats, delay))
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return Cell{}, err
+	}
+	for lo := 0; lo < b.prefill; lo += 256 {
+		hi := lo + 256
+		if hi > b.prefill {
+			hi = b.prefill
+		}
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tbl.Insert(tx, workload.KeyFor(i), []byte("prefill-value")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("prefill: %w", err)
+		}
+	}
+
+	perWorker := txnsTotal / workers
+	before := stats.Snap()
+	durations := make([][]time.Duration, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := workload.New(b.spec(w))
+			durations[w] = make([]time.Duration, 0, perWorker)
+			seq := 0
+			for i := 0; i < perWorker; i++ {
+				ops := make([]workload.Op, opsPerTxn)
+				for j := range ops {
+					ops[j] = g.Next()
+					if b.name == "smo-heavy" {
+						// Worker-unique fresh keys: never collide, always append.
+						ops[j].Key = workload.KeyFor(w<<24 | seq)
+						ops[j].Value = []byte("smo-value")
+						seq++
+					}
+					if ops[j].Value == nil {
+						ops[j].Value = []byte("bench-value")
+					}
+				}
+				t0 := time.Now()
+				// Tight retry backoff: a deadlock victim re-runs quickly, so
+				// measured throughput reflects engine capacity, not sleeps.
+				err := d.RunTxnWith(db.RunTxnOpts{
+					Seed:        int64(w*1000 + i + 1),
+					BaseBackoff: 100 * time.Microsecond,
+					MaxBackoff:  2 * time.Millisecond,
+				}, func(tx *txn.Tx) error {
+					tb, err := d.TableFor(tx, "bench")
+					if err != nil {
+						return err
+					}
+					for _, op := range ops {
+						if err := b.body(tb, tx, op); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("%s/%s w=%d: %w", b.name, cfg.name, workers, err)
+					return
+				}
+				durations[w] = append(durations[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Cell{}, err
+	default:
+	}
+	diff := trace.Diff(before, stats.Snap())
+
+	var all []time.Duration
+	for _, ds := range durations {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Microsecond)
+	}
+	txns := len(all)
+	cell := Cell{
+		Workload: b.name, Config: cfg.name, Workers: workers,
+		Txns: txns, Ops: txns * opsPerTxn,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		TxnsPerSec: float64(txns) / elapsed.Seconds(),
+		OpsPerSec:  float64(txns*opsPerTxn) / elapsed.Seconds(),
+		P50Micros:  pct(0.50), P99Micros: pct(0.99),
+		LogForces: diff.LogForces, GroupCommits: diff.GroupCommits,
+		ForceWaiters: diff.ForceWaiters,
+		Deadlocks:    diff.Deadlocks, TxnRetries: diff.TxnRetries,
+	}
+	if n := diff.GroupCommits + diff.LogForces; n > 0 {
+		cell.GroupCommitRatio = float64(diff.GroupCommits) / float64(n)
+	}
+	return cell, nil
+}
+
+// validate checks a results file's shape; it is the -verify mode and the
+// CI gate against a missing or malformed BENCH_concurrency.json.
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return fmt.Errorf("%s: malformed JSON: %w", path, err)
+	}
+	if len(res.Cells) == 0 {
+		return fmt.Errorf("%s: no benchmark cells", path)
+	}
+	seen := map[string]bool{}
+	for i, c := range res.Cells {
+		if c.Workload == "" || c.Config == "" || c.Workers <= 0 {
+			return fmt.Errorf("%s: cell %d incomplete: %+v", path, i, c)
+		}
+		if c.TxnsPerSec <= 0 || c.OpsPerSec <= 0 || c.Txns <= 0 {
+			return fmt.Errorf("%s: cell %d has non-positive throughput: %+v", path, i, c)
+		}
+		seen[c.Workload+"/"+c.Config] = true
+	}
+	for _, b := range benches {
+		for _, cfg := range configs {
+			if !seen[b.name+"/"+cfg.name] {
+				return fmt.Errorf("%s: missing cells for %s/%s", path, b.name, cfg.name)
+			}
+		}
+	}
+	if res.Summary.HotkeySpeedup16 <= 0 {
+		return fmt.Errorf("%s: summary missing hot-key speedup", path)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_concurrency.json", "results file")
+	txnsPerCell := flag.Int("txns", 800, "transactions per benchmark cell")
+	opsPerTxn := flag.Int("ops", 4, "operations per transaction")
+	delay := flag.Duration("delay", 200*time.Microsecond, "simulated log force latency")
+	smoke := flag.Bool("smoke", false, "reduced matrix for CI (fewer txns per cell)")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail unless hot-key 16-worker speedup >= this")
+	verify := flag.String("verify", "", "validate an existing results file and exit")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := validate(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid\n", *verify)
+		return
+	}
+
+	if *smoke {
+		*txnsPerCell = 160
+	}
+
+	var res Result
+	res.Meta.ForceDelayUS = int(*delay / time.Microsecond)
+	res.Meta.TxnsPerCell = *txnsPerCell
+	res.Meta.OpsPerTxn = *opsPerTxn
+	res.Meta.Smoke = *smoke
+	res.Meta.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	fmt.Printf("%-12s %-5s %3s  %10s %10s %9s %9s %7s %7s %6s\n",
+		"workload", "cfg", "w", "txn/s", "ops/s", "p50(us)", "p99(us)", "forces", "grouped", "dlock")
+	for _, b := range benches {
+		for _, cfg := range configs {
+			for _, workers := range workerCounts {
+				ops := *opsPerTxn
+				if b.ops > 0 {
+					ops = b.ops
+				}
+				cell, err := runCell(b, cfg, workers, *txnsPerCell, ops, *delay)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				res.Cells = append(res.Cells, cell)
+				fmt.Printf("%-12s %-5s %3d  %10.0f %10.0f %9.0f %9.0f %7d %7d %6d\n",
+					cell.Workload, cell.Config, cell.Workers, cell.TxnsPerSec, cell.OpsPerSec,
+					cell.P50Micros, cell.P99Micros, cell.LogForces, cell.GroupCommits, cell.Deadlocks)
+			}
+		}
+	}
+
+	find := func(workload, cfg string, workers int) *Cell {
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			if c.Workload == workload && c.Config == cfg && c.Workers == workers {
+				return c
+			}
+		}
+		return nil
+	}
+	oldHot, newHot := find("hotkey-write", "old", 16), find("hotkey-write", "new", 16)
+	if oldHot != nil && newHot != nil && oldHot.TxnsPerSec > 0 {
+		res.Summary.HotkeySpeedup16 = newHot.TxnsPerSec / oldHot.TxnsPerSec
+		res.Summary.NewGroupCommitRatio = newHot.GroupCommitRatio
+	}
+
+	blob, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nhot-key write @16 workers: old %.0f txn/s -> new %.0f txn/s (%.2fx), group-commit ratio %.2f\n",
+		oldHot.TxnsPerSec, newHot.TxnsPerSec, res.Summary.HotkeySpeedup16, res.Summary.NewGroupCommitRatio)
+	fmt.Printf("results written to %s\n", *out)
+	if err := validate(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "self-verify:", err)
+		os.Exit(1)
+	}
+	if *minSpeedup > 0 && res.Summary.HotkeySpeedup16 < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "hot-key speedup %.2fx below required %.2fx\n",
+			res.Summary.HotkeySpeedup16, *minSpeedup)
+		os.Exit(1)
+	}
+}

@@ -242,7 +242,9 @@ func (p *Pool) evictLocked() error {
 	}
 	if victim.dirty {
 		// Steal: WAL demands the log be stable up to the page's LSN
-		// before the page replaces its disk version.
+		// before the page replaces its disk version. This goes through the
+		// group-commit path, so an eviction storm coalesces with in-flight
+		// commit forces instead of each paying a separate device flush.
 		p.log.Force(wal.LSN(victim.Page.LSN()))
 		if err := p.writePage(victim.id, victim.Page.Bytes()); err != nil {
 			// The frame stays resident, dirty, and in the DPT: nothing is

@@ -143,17 +143,31 @@ func probeAfter(k storage.Key) storage.Key {
 // re-descending), and report found / not-found / EOF. The returned cursor
 // supports FetchNext range scans.
 func (ix *Index) Fetch(tx *txn.Tx, val []byte, op SearchOp) (FetchResult, *Cursor, error) {
-	return ix.fetchFrom(tx, probeFor(val, op), func(k storage.Key) bool {
+	return ix.fetchFrom(tx, probeFor(val, op), lock.S, acceptFor(val, op))
+}
+
+// FetchForUpdate is Fetch with the located key locked X for commit
+// duration up front: the positioning half of a delete or update. Taking X
+// directly — instead of fetching S and upgrading during the delete —
+// avoids the classic conversion deadlock where two updaters of the same
+// key both hold S and each waits for the other to release it.
+func (ix *Index) FetchForUpdate(tx *txn.Tx, val []byte, op SearchOp) (FetchResult, *Cursor, error) {
+	return ix.fetchFrom(tx, probeFor(val, op), lock.X, acceptFor(val, op))
+}
+
+// acceptFor decides whether a located key satisfies (val, op).
+func acceptFor(val []byte, op SearchOp) func(storage.Key) bool {
+	return func(k storage.Key) bool {
 		if op != EQ {
 			return true
 		}
 		return string(k.Val) == string(val)
-	})
+	}
 }
 
-// fetchFrom positions at the first key >= probe and locks the outcome.
-// accept decides whether the located key counts as "found".
-func (ix *Index) fetchFrom(tx *txn.Tx, probe storage.Key, accept func(storage.Key) bool) (FetchResult, *Cursor, error) {
+// fetchFrom positions at the first key >= probe and locks the outcome in
+// mode. accept decides whether the located key counts as "found".
+func (ix *Index) fetchFrom(tx *txn.Tx, probe storage.Key, mode lock.Mode, accept func(storage.Key) bool) (FetchResult, *Cursor, error) {
 	for attempt := 0; attempt < maxRestarts; attempt++ {
 		leaf, err := ix.traverse(tx, probe, false)
 		if err != nil {
@@ -163,7 +177,7 @@ func (ix *Index) fetchFrom(tx *txn.Tx, probe storage.Key, accept func(storage.Ke
 		if err != nil {
 			return FetchResult{}, nil, err
 		}
-		res, cur, done, err := ix.lockPositioned(tx, fnd, accept)
+		res, cur, done, err := ix.lockPositioned(tx, fnd, mode, accept)
 		if err != nil {
 			return FetchResult{}, nil, err
 		}
@@ -177,14 +191,14 @@ func (ix *Index) fetchFrom(tx *txn.Tx, probe storage.Key, accept func(storage.Ke
 // lockPositioned runs the conditional-then-unconditional lock protocol on
 // a positioning outcome. done=false means the latch was dropped for an
 // unconditional wait and the caller must reposition.
-func (ix *Index) lockPositioned(tx *txn.Tx, fnd found, accept func(storage.Key) bool) (FetchResult, *Cursor, bool, error) {
+func (ix *Index) lockPositioned(tx *txn.Tx, fnd found, mode lock.Mode, accept func(storage.Key) bool) (FetchResult, *Cursor, bool, error) {
 	names := []lock.Name{ix.lockNameForFound(fnd)}
 	if ix.cfg.Protocol == SystemR && !fnd.eof {
 		// System R readers also lock the index page to commit.
 		names = append(names, ix.pageLockName(fnd.frame.ID()))
 	}
 	for i, name := range names {
-		if err := tx.Lock(name, lock.S, lock.Commit, true); err == nil {
+		if err := tx.Lock(name, mode, lock.Commit, true); err == nil {
 			continue
 		}
 		// Denied while latched: release every latch, wait unconditionally,
@@ -194,7 +208,7 @@ func (ix *Index) lockPositioned(tx *txn.Tx, fnd found, accept func(storage.Key) 
 		if !fnd.eof {
 			ix.unfixLatched(fnd.frame, latch.S)
 		}
-		if err := tx.Lock(name, lock.S, lock.Commit, false); err != nil {
+		if err := tx.Lock(name, mode, lock.Commit, false); err != nil {
 			return FetchResult{}, nil, false, err
 		}
 		return FetchResult{}, nil, false, nil
@@ -251,7 +265,7 @@ func (ix *Index) FetchNext(tx *txn.Tx, c *Cursor) (FetchResult, error) {
 		if err != nil {
 			return FetchResult{}, err
 		}
-		res, ncur, done, err := ix.lockPositioned(tx, fnd, func(storage.Key) bool { return true })
+		res, ncur, done, err := ix.lockPositioned(tx, fnd, lock.S, func(storage.Key) bool { return true })
 		if err != nil {
 			return FetchResult{}, err
 		}
@@ -268,7 +282,7 @@ func (ix *Index) FetchNext(tx *txn.Tx, c *Cursor) (FetchResult, error) {
 // when such a key exists; otherwise the next higher key (or EOF) is locked
 // exactly as in Fetch, so the absence is repeatable.
 func (ix *Index) FetchPrefix(tx *txn.Tx, prefix []byte) (FetchResult, *Cursor, error) {
-	return ix.fetchFrom(tx, storage.MinKeyFor(prefix), func(k storage.Key) bool {
+	return ix.fetchFrom(tx, storage.MinKeyFor(prefix), lock.S, func(k storage.Key) bool {
 		return len(k.Val) >= len(prefix) && string(k.Val[:len(prefix)]) == string(prefix)
 	})
 }

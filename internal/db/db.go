@@ -61,6 +61,18 @@ type Options struct {
 	// still queued after it fails with lock.ErrLockTimeout. Zero keeps
 	// waits unbounded (deadlock detection alone resolves cycles).
 	LockWaitTimeout time.Duration
+	// LogForceDelay simulates the latency of one physical log flush.
+	// Zero (the default) keeps forces instantaneous, preserving historical
+	// behavior; a realistic value (50–500µs) makes group commit measurable.
+	LogForceDelay time.Duration
+	// NoGroupCommit disables log-force coalescing: every committer whose
+	// record is not yet stable pays a full serial flush. The concurrency
+	// benchmark's baseline configuration.
+	NoGroupCommit bool
+	// LockShards sets the lock-manager shard count (rounded up to a power
+	// of two). Zero uses lock.DefaultShards; one reproduces the historical
+	// single-mutex lock manager (the benchmark baseline).
+	LockShards int
 	// Stats receives instrumentation; one is created when nil.
 	Stats *trace.Stats
 }
@@ -71,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolSize == 0 {
 		o.PoolSize = 256
+	}
+	if o.LockShards == 0 {
+		o.LockShards = lock.DefaultShards
 	}
 	if o.Stats == nil {
 		o.Stats = &trace.Stats{}
@@ -108,6 +123,15 @@ type DB struct {
 	disk  *storage.Disk
 	log   *wal.Log
 
+	// epochMu serializes Crash (exclusive) against in-flight commit
+	// acknowledgements (shared). Commits hold it in read mode across the
+	// epoch check, the commit force, and the acknowledgement, so a crash
+	// can never land inside that window — yet commits run concurrently
+	// with each other, which is what lets group commit batch their log
+	// forces. Lock order: epochMu before mu; nothing acquires them in the
+	// reverse order.
+	epochMu sync.RWMutex
+
 	mu     sync.Mutex
 	locks  *lock.Manager
 	tm     *txn.Manager
@@ -138,6 +162,8 @@ func Open(opts Options) *DB {
 		log:   wal.NewLog(opts.Stats),
 		cat:   catalog{NextTableID: 1, NextIndexID: 1},
 	}
+	d.log.SetForceDelay(opts.LogForceDelay)
+	d.log.SetGroupCommit(!opts.NoGroupCommit)
 	lock.RegisterTraceNames()
 	d.upCh = make(chan struct{})
 	close(d.upCh)
@@ -151,7 +177,7 @@ func (d *DB) buildVolatile() {
 	// after a later Crash swaps d.disk/d.log to their successors — a
 	// straggler from the old epoch must never touch the new one.
 	disk, log := d.disk, d.log
-	d.locks = lock.NewManager(d.stats)
+	d.locks = lock.NewManagerSharded(d.stats, d.opts.LockShards)
 	d.locks.SetWaitTimeout(d.opts.LockWaitTimeout)
 	d.tm = txn.NewManager(log, d.locks)
 	d.pool = buffer.NewPool(disk, log, d.opts.PoolSize, d.stats)
@@ -516,10 +542,13 @@ func (t *Table) Get(tx *txn.Tx, key []byte) ([]byte, error) {
 	return value, nil
 }
 
-// Delete removes a row by primary key.
+// Delete removes a row by primary key. The positioning fetch locks the
+// key X up front (fetch-for-update): fetching S and upgrading during the
+// delete would let two deleters of the same key each hold S and wait for
+// the other's X — a guaranteed conversion deadlock under contention.
 func (t *Table) Delete(tx *txn.Tx, key []byte) error {
 	save := tx.Savepoint()
-	res, _, err := t.primary.Fetch(tx, key, core.EQ)
+	res, _, err := t.primary.FetchForUpdate(tx, key, core.EQ)
 	if err != nil {
 		return err
 	}
@@ -535,7 +564,7 @@ func (t *Table) Delete(tx *txn.Tx, key []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := t.data.Delete(tx, rid, false); err != nil { // upgrades S→X
+	if err := t.data.Delete(tx, rid, false); err != nil { // X already held by the fetch
 		return err
 	}
 	fail := func(err error) error {
@@ -662,15 +691,20 @@ func (t *Table) DataTable() *data.Table { return t.data }
 // on the clones, so everything a zombie writes afterwards lands on the
 // orphaned originals — exactly the in-flight I/O a real power cut loses.
 // The lock manager is shut down so zombies blocked in lock waits wake with
-// lock.ErrShutdown and unwind; commits racing the crash are serialized by
-// d.mu (see commitAcked), so a commit either acks before the crash instant
-// and is durable, or observes the crash and fails with ErrCrashed.
+// lock.ErrShutdown and unwind; commits racing the crash are fenced by
+// epochMu (see commitAcked), so a commit either acks before the crash
+// instant and is durable, or observes the crash and fails with ErrCrashed.
 //
 // The disk is cloned before the log: WAL discipline forces the log before
 // any page write, so every page present in the cloned disk is covered by
 // the cloned log's stable prefix (the reverse order could capture a stolen
 // page whose undo information misses the log snapshot).
 func (d *DB) Crash() {
+	// Exclusive epoch lock: wait out commits already past their epoch check
+	// (each holds the read side for at most one log force) and block new
+	// ones, so no commit acks against a log this crash is about to discard.
+	d.epochMu.Lock()
+	defer d.epochMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.downed {

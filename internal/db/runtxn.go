@@ -187,16 +187,24 @@ func (d *DB) RunTxnSteps(opts RunTxnOpts, steps ...func(*txn.Tx) error) error {
 }
 
 // commitAcked commits tx and acknowledges it atomically with respect to
-// Crash: under d.mu either the engine is up and tx belongs to the current
-// epoch — then the commit record is forced and onCommit observes a durable
-// commit — or the commit is refused with ErrCrashed. This closes the race
-// where a crash lands between the commit force and the acknowledgement,
-// which would make the caller's model of committed state diverge from the
-// log's.
+// Crash: under the shared side of epochMu either the engine is up and tx
+// belongs to the current epoch — then the commit record is forced and
+// onCommit observes a durable commit — or the commit is refused with
+// ErrCrashed. This closes the race where a crash lands between the commit
+// force and the acknowledgement, which would make the caller's model of
+// committed state diverge from the log's.
+//
+// Crash takes epochMu exclusively, so it cannot interleave with the
+// check→force→ack window; but concurrent committers all hold the read
+// side, so their log forces overlap and group commit batches them. d.mu is
+// taken only for the epoch check (lock order: epochMu before mu).
 func (d *DB) commitAcked(tx *txn.Tx, onCommit func()) error {
+	d.epochMu.RLock()
+	defer d.epochMu.RUnlock()
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.downed || !d.tm.Owns(tx) {
+	crashed := d.downed || !d.tm.Owns(tx)
+	d.mu.Unlock()
+	if crashed {
 		return ErrCrashed
 	}
 	if err := tx.Commit(); err != nil {

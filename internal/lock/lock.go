@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ariesim/internal/trace"
@@ -259,42 +260,113 @@ type head struct {
 	queue   []*request
 }
 
+// DefaultShards is the shard count NewManager uses: enough to spread a
+// 16-worker benchmark's uncontended requests across independent mutexes
+// without bloating single-threaded engines.
+const DefaultShards = 16
+
+// deadlockProbeAfter is how long an unconditional wait lasts before its
+// first deadlock probe; deadlockProbeMax caps the probe backoff. Probing
+// lazily keeps the detector's global all-shard pause off the fast path —
+// a wait that resolves inside the grace period costs nothing.
+const (
+	deadlockProbeAfter = 500 * time.Microsecond
+	deadlockProbeMax   = 8 * time.Millisecond
+)
+
+// shard is one partition of the lock table. A name's head, its holders'
+// per-owner index entries, and any blocked request on it all live in the
+// shard the name hashes to, so every single-name operation touches exactly
+// one shard mutex.
+type shard struct {
+	mu    sync.Mutex
+	table map[Name]*head
+	held  map[Owner]map[Name]*holding // per-owner index for release-all
+	waits map[Owner]*request          // one blocked request per owner
+}
+
 // Manager is the lock manager. All state is volatile: a crash empties the
 // lock table (restart reacquires locks only for prepared transactions).
+//
+// The table is hash-sharded: grants, releases, and queue processing lock
+// only the shard owning the name, so disjoint transactions scale across
+// cores instead of convoying on one global mutex. Cross-shard state is
+// kept correct by construction: the grant sequence is a single atomic
+// (savepoint tokens stay globally ordered), an owner has at most one
+// blocked request (living in its name's shard), and the deadlock detector
+// pauses every shard — lockAll in ascending index order — to examine a
+// consistent waits-for graph before choosing a victim.
 type Manager struct {
-	mu      sync.Mutex
-	table   map[Name]*head
-	held    map[Owner]map[Name]*holding // secondary index for release-all
-	waits   map[Owner]*request          // one blocked request per owner
-	seq     uint64                      // grant sequence, for savepoint tokens
-	timeout time.Duration               // default unconditional wait bound (0 = none)
-	down    bool                        // shut down by crash; all requests fail
+	shards  []shard
+	mask    uint64
+	seq     atomic.Uint64 // grant sequence, for savepoint tokens
+	timeout atomic.Int64  // default unconditional wait bound in ns (0 = none)
+	down    atomic.Bool   // shut down by crash; all requests fail
 	stats   *trace.Stats
 }
 
-// NewManager creates an empty lock manager reporting into stats (may be nil).
+// NewManager creates an empty lock manager reporting into stats (may be
+// nil) with DefaultShards shards.
 func NewManager(stats *trace.Stats) *Manager {
-	return &Manager{
-		table: make(map[Name]*head),
-		held:  make(map[Owner]map[Name]*holding),
-		waits: make(map[Owner]*request),
-		stats: stats,
+	return NewManagerSharded(stats, DefaultShards)
+}
+
+// NewManagerSharded creates a lock manager with the given shard count,
+// rounded up to a power of two. One shard reproduces the historical
+// global-mutex behavior (the benchmark baseline).
+func NewManagerSharded(stats *trace.Stats, shards int) *Manager {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Manager{shards: make([]shard, n), mask: uint64(n - 1), stats: stats}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.table = make(map[Name]*head)
+		s.held = make(map[Owner]map[Name]*holding)
+		s.waits = make(map[Owner]*request)
+	}
+	return m
+}
+
+// NumShards returns the shard count (power of two).
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// shardOf returns the shard owning name. Fibonacci-style multiplicative
+// mixing keeps related names (same space, adjacent pages/slots) spread.
+func (m *Manager) shardOf(n Name) *shard {
+	h := n.A*0x9E3779B97F4A7C15 ^ n.B*0xC2B2AE3D27D4EB4F ^ uint64(n.Space)*0x165667B19E3779F9
+	h ^= h >> 29
+	return &m.shards[h&m.mask]
+}
+
+// lockAll acquires every shard mutex in ascending index order: the global
+// pause the deadlock detector and Shutdown use. Single-shard paths never
+// hold one shard's mutex while acquiring another's, so the ordered sweep
+// cannot deadlock against them.
+func (m *Manager) lockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for i := range m.shards {
+		m.shards[i].mu.Unlock()
 	}
 }
 
 // SetWaitTimeout bounds every unconditional wait: a request still queued
 // after d fails with ErrLockTimeout. Zero restores unbounded waits.
 func (m *Manager) SetWaitTimeout(d time.Duration) {
-	m.mu.Lock()
-	m.timeout = d
-	m.mu.Unlock()
+	m.timeout.Store(int64(d))
 }
 
-func (m *Manager) headOf(n Name) *head {
-	h := m.table[n]
+func (s *shard) headOf(n Name) *head {
+	h := s.table[n]
 	if h == nil {
 		h = &head{}
-		m.table[n] = h
+		s.table[n] = h
 	}
 	return h
 }
@@ -335,15 +407,16 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 	if m.stats != nil {
 		m.stats.CountLock(int(name.Space), int(mode), int(dur))
 	}
-	m.mu.Lock()
-	if m.down {
-		m.mu.Unlock()
+	if timeout == 0 {
+		timeout = time.Duration(m.timeout.Load())
+	}
+	s := m.shardOf(name)
+	s.mu.Lock()
+	if m.down.Load() {
+		s.mu.Unlock()
 		return ErrShutdown
 	}
-	if timeout == 0 {
-		timeout = m.timeout
-	}
-	h := m.headOf(name)
+	h := s.headOf(name)
 	mine := h.holdingOf(owner)
 
 	if mine != nil && Supremum(mine.mode, mode) == mine.mode {
@@ -351,7 +424,7 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 		if dur != Instant {
 			mine.count++
 		}
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
 
@@ -364,16 +437,16 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 	canGrant := h.compatibleWithGranted(owner, target) &&
 		(convert || len(h.queue) == 0) // new requests honor FIFO; conversions may pass the queue
 	if canGrant {
-		m.grantLocked(h, owner, name, target, mine)
+		m.grantLocked(h, owner, name, target, mine, s)
 		if dur == Instant && mine == nil {
-			m.releaseLocked(name, owner)
+			m.releaseLocked(s, name, owner)
 		}
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
 
 	if conditional {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		if m.stats != nil {
 			m.stats.LockDenials.Add(1)
 		}
@@ -393,37 +466,9 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 	} else {
 		h.queue = append(h.queue, req)
 	}
-	m.waits[owner] = req
+	s.waits[owner] = req
+	s.mu.Unlock()
 
-	// Deadlock detection with cost-based victim selection: abort the
-	// cheapest blocked member of each cycle the new edge closes — the one
-	// holding the fewest locks, ties toward the youngest — rather than
-	// blindly the requester. Aborting another waiter may leave further
-	// cycles (or grant this request), so loop until the graph is clean.
-	for {
-		cycle := m.findCycleLocked(owner)
-		if cycle == nil {
-			break
-		}
-		if m.stats != nil {
-			m.stats.Deadlocks.Add(1)
-			m.stats.DeadlockVictims.Add(1)
-		}
-		victim := m.chooseVictimLocked(cycle)
-		if victim == owner {
-			m.removeRequestLocked(h, req)
-			delete(m.waits, owner)
-			// Removing the victim may unblock requests queued behind it.
-			m.processQueueLocked(name, h)
-			m.mu.Unlock()
-			return ErrDeadlock
-		}
-		if m.stats != nil {
-			m.stats.VictimsOther.Add(1)
-		}
-		m.abortWaiterLocked(victim, ErrDeadlock)
-	}
-	m.mu.Unlock()
 	if m.stats != nil {
 		m.stats.LockWaits.Add(1)
 	}
@@ -434,28 +479,51 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
+	// Lazy deadlock detection: the detector needs a global all-shard pause,
+	// so it must stay off the fast path. Most waits (commit-duration locks
+	// held across one log force) resolve well inside the grace period and
+	// never pay for a cycle search; only a wait that outlives the probe
+	// timer triggers detection, with geometric backoff while it lasts. A
+	// probe that finds the request already granted sees no wait edge for
+	// owner and reports no cycle, which is exactly right.
+	probeIval := deadlockProbeAfter
+	probe := time.NewTimer(probeIval)
+	defer probe.Stop()
 	var err error
-	select {
-	case err = <-req.granted:
-	case <-timeoutC:
-		m.mu.Lock()
+waitLoop:
+	for {
 		select {
 		case err = <-req.granted:
-			// Resolved between the timer firing and us reacquiring the
-			// manager lock; honor the resolution.
-			m.mu.Unlock()
-		default:
-			if h := m.table[name]; h != nil {
-				m.removeRequestLocked(h, req)
-				// Waking grantable requests queued behind the abandoned one.
-				m.processQueueLocked(name, h)
+			break waitLoop
+		case <-probe.C:
+			if derr := m.resolveDeadlocks(owner, name, req); derr != nil {
+				return derr
 			}
-			delete(m.waits, owner)
-			m.mu.Unlock()
-			if m.stats != nil {
-				m.stats.LockTimeouts.Add(1)
+			if probeIval *= 2; probeIval > deadlockProbeMax {
+				probeIval = deadlockProbeMax
 			}
-			return ErrLockTimeout
+			probe.Reset(probeIval)
+		case <-timeoutC:
+			s.mu.Lock()
+			select {
+			case err = <-req.granted:
+				// Resolved between the timer firing and us reacquiring the
+				// shard lock; honor the resolution.
+				s.mu.Unlock()
+				break waitLoop
+			default:
+				if h := s.table[name]; h != nil {
+					m.removeRequestLocked(h, req)
+					// Waking grantable requests queued behind the abandoned one.
+					m.processQueueLocked(s, name, h)
+				}
+				delete(s.waits, owner)
+				s.mu.Unlock()
+				if m.stats != nil {
+					m.stats.LockTimeouts.Add(1)
+				}
+				return ErrLockTimeout
+			}
 		}
 	}
 	if err != nil {
@@ -470,13 +538,49 @@ func (m *Manager) RequestWith(owner Owner, name Name, mode Mode, dur Duration, c
 	return nil
 }
 
+// resolveDeadlocks pauses every shard and breaks each waits-for cycle the
+// new edge (owner blocked on name via req) closed: abort the cheapest
+// blocked member of each cycle — the one holding the fewest locks, ties
+// toward the youngest — rather than blindly the requester. Aborting
+// another waiter may leave further cycles (or grant this request), so it
+// loops until the graph is clean. Returns ErrDeadlock if owner itself was
+// chosen as a victim.
+func (m *Manager) resolveDeadlocks(owner Owner, name Name, req *request) error {
+	m.lockAll()
+	defer m.unlockAll()
+	for {
+		cycle := m.findCycleAllLocked(owner)
+		if cycle == nil {
+			return nil
+		}
+		if m.stats != nil {
+			m.stats.Deadlocks.Add(1)
+			m.stats.DeadlockVictims.Add(1)
+		}
+		victim := m.chooseVictimAllLocked(cycle)
+		if victim == owner {
+			s := m.shardOf(name)
+			if h := s.table[name]; h != nil {
+				m.removeRequestLocked(h, req)
+				// Removing the victim may unblock requests queued behind it.
+				m.processQueueLocked(s, name, h)
+			}
+			delete(s.waits, owner)
+			return ErrDeadlock
+		}
+		if m.stats != nil {
+			m.stats.VictimsOther.Add(1)
+		}
+		m.abortWaiterAllLocked(victim, ErrDeadlock)
+	}
+}
+
 // Token returns an opaque marker of the current grant sequence. Locks
 // granted or upgraded after the token was taken can be rolled back with
-// ReleaseSince — the lock half of a transaction savepoint.
+// ReleaseSince — the lock half of a transaction savepoint. The sequence
+// is a single atomic across every shard, so tokens order globally.
 func (m *Manager) Token() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.seq
+	return m.seq.Load()
 }
 
 // ReleaseSince releases every lock owner first acquired after tok and
@@ -484,115 +588,155 @@ func (m *Manager) Token() uint64 {
 // newly grantable waiters. Partial rollback (txn.RollbackTo) uses this so
 // a rolled-back transaction fragment does not keep the locks that made it
 // a deadlock victim. Returns the number of holdings released or reverted.
+//
+// The sweep visits shards one at a time; that is sound because an owner's
+// locks are only granted or upgraded by its own goroutine (or while it is
+// blocked, in which case it is not calling ReleaseSince).
 func (m *Manager) ReleaseSince(owner Owner, tok uint64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byOwner := m.held[owner]
-	var drop, revert []Name
-	for n, g := range byOwner {
-		switch was := g.modeAt(tok); {
-		case was == ModeNone:
-			drop = append(drop, n)
-		case was != g.mode:
-			revert = append(revert, n)
+	changed := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		byOwner := s.held[owner]
+		var drop, revert []Name
+		for n, g := range byOwner {
+			switch was := g.modeAt(tok); {
+			case was == ModeNone:
+				drop = append(drop, n)
+			case was != g.mode:
+				revert = append(revert, n)
+			}
 		}
-	}
-	for _, n := range drop {
-		m.releaseLocked(n, owner)
-	}
-	for _, n := range revert {
-		g := byOwner[n]
-		mode := g.modeAt(tok)
-		for len(g.hist) > 0 && g.hist[len(g.hist)-1].seq > tok {
-			g.hist = g.hist[:len(g.hist)-1]
+		for _, n := range drop {
+			m.releaseLocked(s, n, owner)
 		}
-		g.mode = mode
-		if h := m.table[n]; h != nil {
-			// The weaker mode may admit waiters.
-			m.processQueueLocked(n, h)
+		for _, n := range revert {
+			g := byOwner[n]
+			mode := g.modeAt(tok)
+			for len(g.hist) > 0 && g.hist[len(g.hist)-1].seq > tok {
+				g.hist = g.hist[:len(g.hist)-1]
+			}
+			g.mode = mode
+			if h := s.table[n]; h != nil {
+				// The weaker mode may admit waiters.
+				m.processQueueLocked(s, n, h)
+			}
 		}
+		changed += len(drop) + len(revert)
+		s.mu.Unlock()
 	}
-	changed := len(drop) + len(revert)
 	if changed > 0 && m.stats != nil {
 		m.stats.SavepointLockReleases.Add(uint64(changed))
 	}
 	return changed
 }
 
-// Shutdown fails the manager: every queued waiter is woken with
-// ErrShutdown and every future request fails immediately with it. The
-// engine calls this at Crash so goroutines blocked in lock waits unwind
-// instead of sleeping forever on an orphaned lock table; Restart builds a
-// fresh manager. Release and ReleaseAll stay usable so rolling-back
-// stragglers unwind cleanly.
+// Shutdown fails the manager: every queued waiter on every shard is woken
+// with ErrShutdown and every future request fails immediately with it.
+// The engine calls this at Crash so goroutines blocked in lock waits
+// unwind instead of sleeping forever on an orphaned lock table; Restart
+// builds a fresh manager. Release and ReleaseAll stay usable so rolling-
+// back stragglers unwind cleanly.
+//
+// The down flag is published before any shard is drained: a requester
+// checks it under its shard mutex in the same critical section that would
+// enqueue, so it either enqueues before the drain sweeps that shard (and
+// is woken) or observes down and fails fast — no waiter can slip through.
 func (m *Manager) Shutdown() {
-	m.mu.Lock()
-	m.down = true
-	waiting := make([]*request, 0, len(m.waits))
-	for o, req := range m.waits {
-		delete(m.waits, o)
-		if h := m.table[req.name]; h != nil {
-			m.removeRequestLocked(h, req)
-			if len(h.granted) == 0 && len(h.queue) == 0 {
-				delete(m.table, req.name)
+	m.down.Store(true)
+	var waiting []*request
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for o, req := range s.waits {
+			delete(s.waits, o)
+			if h := s.table[req.name]; h != nil {
+				m.removeRequestLocked(h, req)
+				if len(h.granted) == 0 && len(h.queue) == 0 {
+					delete(s.table, req.name)
+				}
 			}
+			waiting = append(waiting, req)
 		}
-		waiting = append(waiting, req)
+		s.mu.Unlock()
 	}
-	m.mu.Unlock()
 	for _, req := range waiting {
 		req.granted <- ErrShutdown
 	}
 }
 
-// abortWaiterLocked removes owner's blocked request and resolves it with
-// err, waking every request queued behind it that became grantable.
-func (m *Manager) abortWaiterLocked(owner Owner, err error) {
-	req := m.waits[owner]
+// waitOfAllLocked finds owner's blocked request (caller holds all shards).
+func (m *Manager) waitOfAllLocked(owner Owner) (*shard, *request) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		if req := s.waits[owner]; req != nil {
+			return s, req
+		}
+	}
+	return nil, nil
+}
+
+// abortWaiterAllLocked removes owner's blocked request and resolves it
+// with err, waking every request queued behind it that became grantable.
+// Caller holds every shard mutex.
+func (m *Manager) abortWaiterAllLocked(owner Owner, err error) {
+	s, req := m.waitOfAllLocked(owner)
 	if req == nil {
 		return
 	}
-	delete(m.waits, owner)
-	if h := m.table[req.name]; h != nil {
+	delete(s.waits, owner)
+	if h := s.table[req.name]; h != nil {
 		m.removeRequestLocked(h, req)
-		m.processQueueLocked(req.name, h)
+		m.processQueueLocked(s, req.name, h)
 	}
 	req.granted <- err
 }
 
-// chooseVictimLocked picks the cheapest member of a waits-for cycle to
+// heldCountAllLocked sums owner's holdings across shards (caller holds
+// all shard mutexes).
+func (m *Manager) heldCountAllLocked(o Owner) int {
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].held[o])
+	}
+	return n
+}
+
+// chooseVictimAllLocked picks the cheapest member of a waits-for cycle to
 // abort: the owner holding the fewest locks (least rollback and
 // reacquisition work), ties broken toward the youngest (highest owner ID —
-// IDs are assigned in begin order).
-func (m *Manager) chooseVictimLocked(cycle []Owner) Owner {
+// IDs are assigned in begin order). Caller holds every shard mutex.
+func (m *Manager) chooseVictimAllLocked(cycle []Owner) Owner {
 	victim := cycle[0]
+	cv := m.heldCountAllLocked(victim)
 	for _, o := range cycle[1:] {
-		co, cv := len(m.held[o]), len(m.held[victim])
+		co := m.heldCountAllLocked(o)
 		if co < cv || (co == cv && o > victim) {
-			victim = o
+			victim, cv = o, co
 		}
 	}
 	return victim
 }
 
 // grantLocked installs or upgrades owner's holding, stamping the grant
-// sequence consumed by savepoint tokens (Token/ReleaseSince).
-func (m *Manager) grantLocked(h *head, owner Owner, name Name, mode Mode, mine *holding) {
-	m.seq++
+// sequence consumed by savepoint tokens (Token/ReleaseSince). Caller
+// holds s.mu, the shard owning name.
+func (m *Manager) grantLocked(h *head, owner Owner, name Name, mode Mode, mine *holding, s *shard) {
+	seq := m.seq.Add(1)
 	if mine != nil {
 		if mine.mode != mode {
-			mine.hist = append(mine.hist, modeStep{seq: m.seq, prev: mine.mode})
+			mine.hist = append(mine.hist, modeStep{seq: seq, prev: mine.mode})
 			mine.mode = mode
 		}
 		mine.count++
 		return
 	}
-	g := &holding{owner: owner, mode: mode, count: 1, seq: m.seq}
+	g := &holding{owner: owner, mode: mode, count: 1, seq: seq}
 	h.granted = append(h.granted, g)
-	byOwner := m.held[owner]
+	byOwner := s.held[owner]
 	if byOwner == nil {
 		byOwner = make(map[Name]*holding)
-		m.held[owner] = byOwner
+		s.held[owner] = byOwner
 	}
 	byOwner[name] = g
 }
@@ -607,8 +751,9 @@ func (m *Manager) removeRequestLocked(h *head, req *request) {
 }
 
 // releaseLocked removes owner's holding on name and processes the queue.
-func (m *Manager) releaseLocked(name Name, owner Owner) {
-	h := m.table[name]
+// Caller holds s.mu, the shard owning name.
+func (m *Manager) releaseLocked(s *shard, name Name, owner Owner) {
+	h := s.table[name]
 	if h == nil {
 		return
 	}
@@ -618,19 +763,20 @@ func (m *Manager) releaseLocked(name Name, owner Owner) {
 			break
 		}
 	}
-	if byOwner := m.held[owner]; byOwner != nil {
+	if byOwner := s.held[owner]; byOwner != nil {
 		delete(byOwner, name)
 		if len(byOwner) == 0 {
-			delete(m.held, owner)
+			delete(s.held, owner)
 		}
 	}
-	m.processQueueLocked(name, h)
+	m.processQueueLocked(s, name, h)
 }
 
 // processQueueLocked grants queued requests in order; it stops at the
 // first non-grantable request to preserve FIFO fairness (conversions sit
-// at the front of the queue and so are considered first).
-func (m *Manager) processQueueLocked(name Name, h *head) {
+// at the front of the queue and so are considered first). Caller holds
+// s.mu, the shard owning name.
+func (m *Manager) processQueueLocked(s *shard, name Name, h *head) {
 	for len(h.queue) > 0 {
 		req := h.queue[0]
 		mine := h.holdingOf(req.owner)
@@ -638,41 +784,48 @@ func (m *Manager) processQueueLocked(name Name, h *head) {
 			return
 		}
 		h.queue = h.queue[1:]
-		m.grantLocked(h, req.owner, name, req.mode, mine)
-		delete(m.waits, req.owner)
+		m.grantLocked(h, req.owner, name, req.mode, mine, s)
+		delete(s.waits, req.owner)
 		req.granted <- nil
 	}
 	if len(h.granted) == 0 && len(h.queue) == 0 {
-		delete(m.table, name)
+		delete(s.table, name)
 	}
 }
 
 // Release drops owner's holding on name (manual-duration unlock).
 func (m *Manager) Release(owner Owner, name Name) {
-	m.mu.Lock()
-	m.releaseLocked(name, owner)
-	m.mu.Unlock()
+	s := m.shardOf(name)
+	s.mu.Lock()
+	m.releaseLocked(s, name, owner)
+	s.mu.Unlock()
 }
 
 // ReleaseAll drops every lock owner holds: commit or rollback completion.
+// Shards are swept one at a time; new locks are never granted to owner
+// concurrently (the owner is the one releasing), so the sweep is complete.
 func (m *Manager) ReleaseAll(owner Owner) {
-	m.mu.Lock()
-	names := make([]Name, 0, len(m.held[owner]))
-	for n := range m.held[owner] {
-		names = append(names, n)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		names := make([]Name, 0, len(s.held[owner]))
+		for n := range s.held[owner] {
+			names = append(names, n)
+		}
+		for _, n := range names {
+			m.releaseLocked(s, n, owner)
+		}
+		s.mu.Unlock()
 	}
-	for _, n := range names {
-		m.releaseLocked(n, owner)
-	}
-	m.mu.Unlock()
 }
 
 // HoldsAtLeast reports whether owner currently holds name in mode or
 // stronger (verification and debugging).
 func (m *Manager) HoldsAtLeast(owner Owner, name Name, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if byOwner := m.held[owner]; byOwner != nil {
+	s := m.shardOf(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if byOwner := s.held[owner]; byOwner != nil {
 		if g, ok := byOwner[name]; ok {
 			return Supremum(g.mode, mode) == g.mode
 		}
@@ -688,42 +841,49 @@ type Held struct {
 
 // LocksOf returns the locks owner currently holds.
 func (m *Manager) LocksOf(owner Owner) []Held {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Held, 0, len(m.held[owner]))
-	for n, g := range m.held[owner] {
-		out = append(out, Held{Name: n, Mode: g.mode})
+	var out []Held
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for n, g := range s.held[owner] {
+			out = append(out, Held{Name: n, Mode: g.mode})
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // NumLocks returns the number of distinct (name, owner) holdings.
 func (m *Manager) NumLocks() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, byOwner := range m.held {
-		n += len(byOwner)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, byOwner := range s.held {
+			n += len(byOwner)
+		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// findCycleLocked returns the owners of one waits-for cycle through start
-// (in chain order), or nil when start's blocked request closes no cycle.
-// Edges: a blocked owner waits for (1) every granted holder incompatible
-// with its target mode and (2) every request queued ahead of it. Every
-// member of a cycle has an outgoing edge and is therefore itself blocked,
-// which is what makes any member abortable via its wait channel.
-func (m *Manager) findCycleLocked(start Owner) []Owner {
+// findCycleAllLocked returns the owners of one waits-for cycle through
+// start (in chain order), or nil when start's blocked request closes no
+// cycle. Caller holds every shard mutex, so the graph spanning all shards
+// is consistent. Edges: a blocked owner waits for (1) every granted holder
+// incompatible with its target mode and (2) every request queued ahead of
+// it. Every member of a cycle has an outgoing edge and is therefore itself
+// blocked, which is what makes any member abortable via its wait channel.
+func (m *Manager) findCycleAllLocked(start Owner) []Owner {
 	visited := map[Owner]bool{}
 	var path []Owner
 	var dfs func(o Owner) []Owner
 	dfs = func(o Owner) []Owner {
-		req := m.waits[o]
+		_, req := m.waitOfAllLocked(o)
 		if req == nil {
 			return nil
 		}
-		h := m.table[req.name]
+		h := m.shardOf(req.name).table[req.name]
 		if h == nil {
 			return nil
 		}

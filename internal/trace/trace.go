@@ -65,9 +65,11 @@ type Stats struct {
 	PageEvicted atomic.Uint64
 
 	// Log.
-	LogRecords atomic.Uint64
-	LogBytes   atomic.Uint64
-	LogForces  atomic.Uint64 // synchronous force operations
+	LogRecords   atomic.Uint64
+	LogBytes     atomic.Uint64
+	LogForces    atomic.Uint64 // physical flushes that advanced the stable LSN
+	ForceWaiters atomic.Uint64 // Force callers that blocked behind an in-flight flush
+	GroupCommits atomic.Uint64 // Force callers hardened by a flush they did not perform
 
 	// Fault handling (injected I/O errors and media corruption).
 	IORetries           atomic.Uint64 // transient I/O errors retried by the buffer pool
@@ -206,6 +208,7 @@ type Snapshot struct {
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
 	LogRecords, LogBytes, LogForces                           uint64
+	ForceWaiters, GroupCommits                                uint64
 	IORetries, CorruptPages                                   uint64
 	MediaRecoveries, TornTailTruncations                      uint64
 	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
@@ -251,6 +254,8 @@ func (s *Stats) Snap() Snapshot {
 	out.LogRecords = s.LogRecords.Load()
 	out.LogBytes = s.LogBytes.Load()
 	out.LogForces = s.LogForces.Load()
+	out.ForceWaiters = s.ForceWaiters.Load()
+	out.GroupCommits = s.GroupCommits.Load()
 	out.IORetries = s.IORetries.Load()
 	out.CorruptPages = s.CorruptPages.Load()
 	out.MediaRecoveries = s.MediaRecoveries.Load()
@@ -305,6 +310,8 @@ func Diff(before, after Snapshot) Snapshot {
 	d.LogRecords = after.LogRecords - before.LogRecords
 	d.LogBytes = after.LogBytes - before.LogBytes
 	d.LogForces = after.LogForces - before.LogForces
+	d.ForceWaiters = after.ForceWaiters - before.ForceWaiters
+	d.GroupCommits = after.GroupCommits - before.GroupCommits
 	d.IORetries = after.IORetries - before.IORetries
 	d.CorruptPages = after.CorruptPages - before.CorruptPages
 	d.MediaRecoveries = after.MediaRecoveries - before.MediaRecoveries

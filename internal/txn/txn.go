@@ -218,11 +218,23 @@ func (t *Tx) HoldsLock(name lock.Name) bool {
 // Log appends a record stamped with this transaction's ID and PrevLSN
 // chain, updating LastLSN and UndoNxtLSN per ARIES rules.
 func (t *Tx) Log(rec *wal.Record) wal.LSN {
+	return t.logVia(t.mgr.log.Append, rec)
+}
+
+// logForced is Log through wal.AppendForce: the record is durable when it
+// returns. Commit-scope records (commit, prepare) go through this so their
+// force takes the group-commit path — or, with group commit disabled, the
+// serial append-latch flush the benchmark baselines against.
+func (t *Tx) logForced(rec *wal.Record) wal.LSN {
+	return t.logVia(t.mgr.log.AppendForce, rec)
+}
+
+func (t *Tx) logVia(append func(*wal.Record) wal.LSN, rec *wal.Record) wal.LSN {
 	t.mu.Lock()
 	rec.TxID = t.ID
 	rec.PrevLSN = t.lastLSN
 	t.mu.Unlock()
-	lsn := t.mgr.log.Append(rec)
+	lsn := append(rec)
 	t.mu.Lock()
 	t.lastLSN = lsn
 	switch {
@@ -290,7 +302,10 @@ func (t *Tx) Savepoint() wal.LSN {
 }
 
 // Commit terminates the transaction: commit record, synchronous log force,
-// lock release, end record.
+// lock release, end record. The force is the group-commit path: concurrent
+// committers coalesce onto one in-flight flush (wal.Log.AppendForce), and Commit
+// returns only once the commit record's LSN is covered by the stable LSN —
+// a transaction is never acknowledged while its commit record is volatile.
 func (t *Tx) Commit() error {
 	t.mu.Lock()
 	if t.state != wal.TxActive && t.state != wal.TxPrepared {
@@ -299,9 +314,23 @@ func (t *Tx) Commit() error {
 	}
 	t.state = wal.TxCommitted
 	t.mu.Unlock()
-	lsn := t.Log(&wal.Record{Type: wal.RecCommit})
-	t.mgr.log.Force(lsn)
-	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	if t.mgr.log.GroupCommit() {
+		// Early lock release: append the commit record, drop locks, then
+		// wait for the force. Safe because a dependent transaction's
+		// commit record necessarily lands at a higher LSN, so any force
+		// that makes it stable makes ours stable first — no transaction
+		// can be acknowledged having read state that later rolls back.
+		// Releasing before the device wait keeps hot locks held only for
+		// the in-memory work, not the flush latency.
+		lsn := t.Log(&wal.Record{Type: wal.RecCommit})
+		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+		t.mgr.log.Force(lsn)
+	} else {
+		// Serial baseline: the commit record is appended and flushed as
+		// one latched operation, locks held across the device write.
+		t.logForced(&wal.Record{Type: wal.RecCommit})
+		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
+	}
 	t.Log(&wal.Record{Type: wal.RecEnd})
 	t.mgr.finish(t)
 	return nil
@@ -321,8 +350,7 @@ func (t *Tx) Prepare() error {
 	for _, h := range t.mgr.locks.LocksOf(lock.Owner(t.ID)) {
 		specs = append(specs, wal.LockSpec{Space: uint8(h.Name.Space), Mode: uint8(h.Mode), A: h.Name.A, B: h.Name.B})
 	}
-	lsn := t.Log(&wal.Record{Type: wal.RecPrepare, Payload: wal.EncodeLocks(specs)})
-	t.mgr.log.Force(lsn)
+	t.logForced(&wal.Record{Type: wal.RecPrepare, Payload: wal.EncodeLocks(specs)})
 	return nil
 }
 

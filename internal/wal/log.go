@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ariesim/internal/trace"
 )
@@ -27,6 +28,22 @@ type Log struct {
 	master  LSN       // "master record": LSN of the last end-checkpoint, forced separately
 	bytes   uint64
 
+	// Costed log device + group commit. forceDelay simulates the latency of
+	// one physical flush (zero: instantaneous, the historical model).
+	// While a flush is in flight (flushing == true, only possible with a
+	// nonzero delay) the device is busy; concurrent Force callers park on
+	// flushCond. With group commit enabled, a flush hardens up to flushWant
+	// — the max LSN requested by every caller that arrived before the flush
+	// started — so parked callers usually wake already satisfied. With it
+	// disabled, a flush hardens only its leader's own LSN and each waiter
+	// re-flushes for itself: the serial force pipeline the old code modeled.
+	forceDelay time.Duration
+	groupOff   bool // group commit disabled (serial per-caller flushes)
+	flushing   bool
+	flushWant  LSN
+	flushGen   uint64 // bumped by crash so an in-flight flush dies with its epoch
+	flushCond  *sync.Cond
+
 	// damage records byte-level corruption planted in the stored image of
 	// individual records (torn log writes, media rot). It is consulted by
 	// the CRC sweep that every crash performs: the surviving log is the
@@ -45,20 +62,58 @@ type damageSpot struct {
 
 // NewLog creates an empty log reporting into stats (which may be nil).
 func NewLog(stats *trace.Stats) *Log {
-	return &Log{stats: stats, damage: make(map[LSN][]damageSpot)}
+	l := &Log{stats: stats, damage: make(map[LSN][]damageSpot)}
+	l.flushCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// SetForceDelay configures the simulated latency of one physical log
+// flush. Zero (the default) keeps forces instantaneous, so existing tests
+// and single-threaded callers see no change.
+func (l *Log) SetForceDelay(d time.Duration) {
+	l.mu.Lock()
+	l.forceDelay = d
+	l.mu.Unlock()
+}
+
+// SetGroupCommit enables (default) or disables force coalescing. Disabled,
+// every Force caller whose LSN is not yet stable performs its own serial
+// flush — the baseline configuration the concurrency benchmark compares
+// against.
+func (l *Log) SetGroupCommit(enabled bool) {
+	l.mu.Lock()
+	l.groupOff = !enabled
+	l.mu.Unlock()
+}
+
+// GroupCommit reports whether force coalescing is enabled.
+func (l *Log) GroupCommit() bool {
+	l.mu.Lock()
+	on := !l.groupOff
+	l.mu.Unlock()
+	return on
 }
 
 // Append assigns the next LSN to r and adds it to the log buffer. The
 // record is volatile until a Force covers it. Append returns the LSN.
+// The stats counters are updated under the log mutex so an observer can
+// never see the record list advanced while LogRecords/LogBytes lag.
 func (l *Log) Append(r *Record) LSN {
 	enc := len(r.Encode()) // realistic byte accounting
 	l.mu.Lock()
+	lsn := l.appendLocked(r, enc)
+	l.mu.Unlock()
+	return lsn
+}
+
+// appendLocked is Append's body; the caller holds l.mu and passes the
+// record's encoded size (computed outside the lock).
+func (l *Log) appendLocked(r *Record, enc int) LSN {
 	r.LSN = l.nextOff + 1
 	l.recs = append(l.recs, r)
 	l.offs = append(l.offs, r.LSN)
 	l.nextOff += LSN(enc)
 	l.bytes += uint64(enc)
-	l.mu.Unlock()
 	if l.stats != nil {
 		l.stats.LogRecords.Add(1)
 		l.stats.LogBytes.Add(uint64(enc))
@@ -66,32 +121,134 @@ func (l *Log) Append(r *Record) LSN {
 	return r.LSN
 }
 
-// Force hardens the log up to and including lsn (a no-op if already
-// stable). This is the synchronous log I/O that commit and the
-// steal policy pay for.
-func (l *Log) Force(lsn LSN) {
+// AppendForce appends r and hardens it — the commit-path combination.
+//
+// With group commit enabled it is an append followed by a coalescing
+// force: the flush sleeps outside the log latch, so concurrent committers
+// overlap their device waits and share flushes.
+//
+// Disabled, it models the classic serial commit path: the log latch is
+// held from the append through the device flush, so each committer pays
+// the full flush latency alone and every other append stalls behind it.
+// (A mere stable-LSN check before flushing would let commits ride flushes
+// they never asked for — implicit batching — which is exactly the effect
+// the no-group-commit baseline must not get for free.)
+func (l *Log) AppendForce(r *Record) LSN {
+	enc := len(r.Encode())
 	l.mu.Lock()
-	forced := false
+	lsn := l.appendLocked(r, enc)
+	if !l.groupOff {
+		l.forceLocked(lsn)
+		l.mu.Unlock()
+		return lsn
+	}
+	if l.forceDelay > 0 {
+		gen := l.flushGen
+		time.Sleep(l.forceDelay) // latch held across the device write
+		if gen != l.flushGen {   // crashed under us: the record died with its epoch
+			l.mu.Unlock()
+			return lsn
+		}
+	}
 	if lsn > l.stable {
 		l.stable = lsn
-		forced = true
+		if l.stats != nil {
+			l.stats.LogForces.Add(1)
+		}
 	}
 	l.mu.Unlock()
-	if forced && l.stats != nil {
-		l.stats.LogForces.Add(1)
-	}
+	return lsn
 }
 
-// ForceAll hardens the entire log.
+// Force hardens the log up to and including lsn (a no-op if already
+// stable). This is the synchronous log I/O that commit and the steal
+// policy pay for. Concurrent callers group-commit: while one flush is in
+// flight, later arrivals register the LSN they need and park; the next
+// flush hardens up to the maximum registered LSN, so one device write
+// satisfies every parked caller at once. (A caller's record is always
+// already in the buffer when it forces, and LSNs are assigned in append
+// order, so a flush that started with high-water mark W covers every
+// record with LSN <= W.)
+func (l *Log) Force(lsn LSN) {
+	l.mu.Lock()
+	l.forceLocked(lsn)
+	l.mu.Unlock()
+}
+
+// ForceAll hardens the entire log. The last-LSN read and the force happen
+// under one lock acquisition, so every record appended before the call is
+// covered — there is no window for a concurrent append to slip a record
+// between the snapshot and the flush start.
 func (l *Log) ForceAll() {
 	l.mu.Lock()
-	var last LSN
 	if n := len(l.recs); n > 0 {
-		last = l.recs[n-1].LSN
+		l.forceLocked(l.recs[n-1].LSN)
 	}
 	l.mu.Unlock()
-	if last != NilLSN {
-		l.Force(last)
+}
+
+// forceLocked hardens the log up to lsn. Caller holds l.mu; the lock is
+// released only while a simulated flush is sleeping. The stable-LSN
+// advance and the LogForces bump happen under the same critical section,
+// keeping the counters consistent with the log state at every instant.
+func (l *Log) forceLocked(lsn LSN) {
+	entryGen := l.flushGen
+	if lsn > l.flushWant {
+		l.flushWant = lsn
+	}
+	waited, flushed := false, false
+	for lsn > l.stable {
+		if l.flushGen != entryGen {
+			// The log was crashed while this force was parked or flushing:
+			// the records it covered are gone with the epoch. Unwind; the
+			// caller is a zombie and its commit will be refused upstream.
+			return
+		}
+		if l.flushing {
+			// Device busy: park until the in-flight flush completes.
+			if !waited {
+				waited = true
+				if l.stats != nil {
+					l.stats.ForceWaiters.Add(1)
+				}
+			}
+			l.flushCond.Wait()
+			continue
+		}
+		want := l.flushWant
+		if l.groupOff {
+			want = lsn // serial baseline: flush only what this caller needs
+		}
+		if l.forceDelay <= 0 {
+			// Instantaneous device: no in-flight window to coalesce into.
+			l.stable = want
+			if l.stats != nil {
+				l.stats.LogForces.Add(1)
+			}
+			flushed = true
+			continue
+		}
+		l.flushing = true
+		gen := l.flushGen
+		delay := l.forceDelay
+		l.mu.Unlock()
+		time.Sleep(delay)
+		l.mu.Lock()
+		l.flushing = false
+		if gen == l.flushGen { // a crash during the flush discards it
+			if want > l.stable {
+				l.stable = want
+				if l.stats != nil {
+					l.stats.LogForces.Add(1)
+				}
+				flushed = true
+			}
+		}
+		l.flushCond.Broadcast()
+	}
+	if waited && !flushed && l.stats != nil {
+		// Hardened entirely by someone else's flush: a group commit.
+		l.stats.GroupCommits.Add(1)
 	}
 }
 
@@ -236,6 +393,13 @@ func (l *Log) crash(extra int, tear bool) {
 	if l.master > l.stable {
 		l.master = NilLSN
 	}
+	// Fence any in-flight or parked force: its epoch is gone. Parked
+	// waiters wake, observe the generation change, and unwind.
+	l.flushGen++
+	l.flushWant = l.stable
+	if l.flushCond != nil {
+		l.flushCond.Broadcast()
+	}
 }
 
 // sweepLocked re-reads every damaged surviving record the way a restart
@@ -306,16 +470,19 @@ func (l *Log) Clone(stats *trace.Stats) *Log {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := &Log{
-		recs:      append([]*Record(nil), l.recs...),
-		offs:      append([]LSN(nil), l.offs...),
-		nextOff:   l.nextOff,
-		stable:    l.stable,
-		master:    l.master,
-		bytes:     l.bytes,
-		truncates: l.truncates,
-		damage:    make(map[LSN][]damageSpot, len(l.damage)),
-		stats:     stats,
+		recs:       append([]*Record(nil), l.recs...),
+		offs:       append([]LSN(nil), l.offs...),
+		nextOff:    l.nextOff,
+		stable:     l.stable,
+		master:     l.master,
+		bytes:      l.bytes,
+		truncates:  l.truncates,
+		damage:     make(map[LSN][]damageSpot, len(l.damage)),
+		forceDelay: l.forceDelay,
+		groupOff:   l.groupOff,
+		stats:      stats,
 	}
+	out.flushCond = sync.NewCond(&out.mu)
 	for lsn, spots := range l.damage {
 		out.damage[lsn] = append([]damageSpot(nil), spots...)
 	}
