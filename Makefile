@@ -38,15 +38,24 @@ microbench:
 # (group commit + early lock release, sharded locks) across workloads and
 # worker counts. Writes BENCH_concurrency.json and fails if the hot-key
 # write speedup at 16 workers is below 2x or the JSON is malformed.
+# The buffer benchmark does the same for the pool: old (single-mutex,
+# serial I/O) vs new (sharded, clock sweep, I/O outside the lock) vs
+# new-cleaner, gated on the 16-worker read speedup and the cleaner's
+# dirty-eviction drop, with counter-consistency self-verification.
 bench:
 	$(GO) run ./cmd/ariesim-perf -out BENCH_concurrency.json -minspeedup 2
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+	$(GO) run ./cmd/ariesim-perf -workload buffer -out BENCH_buffer.json -minspeedup 3 -mincleanerdrop 5
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json
 
 # Reduced run for CI: fewer transactions, same shape checks, and the
-# committed BENCH_concurrency.json must exist and parse.
+# committed BENCH_*.json files must exist and parse.
 bench-smoke:
 	$(GO) run ./cmd/ariesim-perf -smoke -out /tmp/ariesim_bench_smoke.json -minspeedup 2
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+	$(GO) run ./cmd/ariesim-perf -workload buffer -smoke -out /tmp/ariesim_bench_buffer_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_buffer_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json
 
 ci: build vet race smoke chaos bench-smoke

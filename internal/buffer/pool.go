@@ -11,6 +11,25 @@
 // Frames carry the per-page latch (physical consistency) and the dirty
 // page table entry (recLSN) that restart analysis/redo consume. Crash()
 // discards every frame, modeling loss of volatile state.
+//
+// The frame table is hash-sharded (Fibonacci multiplicative mixing, the
+// same idiom as the lock manager) with per-shard clock-sweep replacement,
+// so concurrent fixes of different pages touch independent mutexes. Three
+// properties keep I/O out of every shard lock:
+//
+//   - miss reads run on a frame inserted in "loading" state: the reading
+//     fixer holds only a pin, concurrent fixers of the same page park on
+//     the frame's ready channel (exactly one disk read per miss storm),
+//     and fixers of other pages proceed through the shard untouched;
+//   - steal writebacks pin the victim and write outside the shard lock;
+//     a fixer arriving mid-writeback simply re-pins the (still resident)
+//     frame and the eviction is abandoned;
+//   - Unfix and MarkDirty never take a shard lock at all: pin counts are
+//     atomic and the dirty/recLSN pair sits under a per-frame mutex.
+//
+// An optional background page cleaner (cleaner.go) flushes dirty frames
+// just ahead of the clock hand so foreground evictions almost always find
+// clean victims and checkpoint DPT snapshots stay small.
 package buffer
 
 import (
@@ -18,6 +37,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ariesim/internal/latch"
@@ -26,14 +46,40 @@ import (
 	"ariesim/internal/wal"
 )
 
-// ErrPoolExhausted reports that every frame is pinned; the pool cannot
-// honor a new Fix. Engines size pools to their working set, so hitting
-// this indicates a pin leak or a deliberately tiny test pool.
+// ErrPoolExhausted reports that every candidate frame stayed pinned across
+// the bounded eviction retries; the pool cannot honor a new Fix. Engines
+// size pools to their working set, so hitting this indicates a pin leak or
+// a deliberately tiny test pool. Transient full-pin episodes are absorbed
+// by Fix's wait-and-retry (counted as EvictionStalls) before this surfaces.
 var ErrPoolExhausted = errors.New("buffer: all frames pinned")
 
+// maxStallRetries caps the wait-and-retry rounds a Fix spends on a shard
+// whose every frame is transiently pinned (concurrent traversals plus a
+// cleaner batch can pin a small shard wall-to-wall for a few I/O times).
+// The budget is deliberately larger than the I/O retry budget: with capped
+// backoff it rides out several milliseconds of full-pin before surfacing
+// ErrPoolExhausted, which then almost certainly means a pin leak or a pool
+// far too small for the traversal footprint.
+const maxStallRetries = 20
+
+// maxStallBackoff caps the per-round stall wait.
+const maxStallBackoff = 400 * time.Microsecond
+
 // maxIORetries caps how many times a transient disk error is retried
-// before the pool gives up and surfaces it.
+// before the pool gives up and surfaces it. The same bound caps the
+// full-pin eviction retries in Fix.
 const maxIORetries = 6
+
+// DefaultShards is the frame-table shard count NewPool uses: enough to
+// spread a 16-worker benchmark's fixes across independent mutexes without
+// bloating single-threaded engines. The effective count is clamped so
+// every shard owns at least one frame.
+const DefaultShards = 8
+
+// minFramesPerShard is the smallest per-shard frame budget the default
+// shard count will accept; tiny pools degrade toward a single shard so a
+// burst of simultaneous pins cannot exhaust a sliver of the pool.
+const minFramesPerShard = 8
 
 // MediaRecoverer rebuilds a page on stable storage after its disk copy was
 // found corrupt (checksum mismatch) or permanently unreadable. The engine
@@ -49,42 +95,171 @@ type Frame struct {
 	Page  *storage.Page
 	Latch *latch.Latch
 
-	id      storage.PageID
-	pins    int
-	dirty   bool
-	recLSN  wal.LSN
-	lastUse uint64
+	id   storage.PageID
+	slot int // index into the owning shard's slot array
+
+	// pins is the pin count. Increments happen only under the owning
+	// shard's mutex (so an evictor that observes zero under that mutex
+	// knows no pin can appear); decrements are lock-free.
+	pins atomic.Int64
+	// ref is the clock-sweep reference bit, set on every Unfix.
+	ref atomic.Bool
+
+	// ready is closed when the frame's contents are valid (immediately for
+	// hits; after the miss read for loaders). Fixers that arrive while the
+	// read is in flight park here. loadErr is set before ready is closed
+	// and is non-nil when the read failed (the frame was withdrawn).
+	ready   chan struct{}
+	loadErr error
+
+	// mu guards dirty and recLSN, so MarkDirty and DPT snapshots never
+	// touch a shard lock.
+	mu     sync.Mutex
+	dirty  bool
+	recLSN wal.LSN
 }
 
 // ID returns the buffered page's ID.
 func (f *Frame) ID() storage.PageID { return f.id }
 
-// Pool is the buffer pool.
-type Pool struct {
-	mu       sync.Mutex
-	disk     *storage.Disk
-	log      *wal.Log
-	frames   map[storage.PageID]*Frame
-	capacity int
-	tick     uint64
-	recover  MediaRecoverer
-	stats    *trace.Stats
+// markClean transitions dirty→clean. Called under the frame's S latch
+// right after a successful writeback, so no X-latch holder can interleave
+// a MarkDirty between the write and the transition.
+func (f *Frame) markClean() {
+	f.mu.Lock()
+	f.dirty = false
+	f.recLSN = wal.NilLSN
+	f.mu.Unlock()
 }
 
-// NewPool creates a pool of at most capacity frames over disk, forcing log
-// as the WAL protocol requires on steal.
-func NewPool(disk *storage.Disk, log *wal.Log, capacity int, stats *trace.Stats) *Pool {
-	if capacity < 1 {
-		panic(fmt.Sprintf("buffer: capacity %d", capacity))
+func (f *Frame) isDirty() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dirty
+}
+
+// poolShard is one partition of the frame table: a page→frame map plus a
+// fixed slot array the clock hand sweeps.
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[storage.PageID]*Frame
+	slots  []*Frame // len == shard capacity; nil entries are free
+	free   []int    // free slot indices
+	hand   int      // clock hand position in slots
+}
+
+// removeLocked withdraws f from the shard. Identity-checked so a zombie
+// loader unwinding after Crash rebuilt the shard can never evict a
+// successor frame that reuses its page ID or slot.
+func (s *poolShard) removeLocked(f *Frame) {
+	if cur, ok := s.frames[f.id]; ok && cur == f {
+		delete(s.frames, f.id)
 	}
-	return &Pool{
-		disk:     disk,
-		log:      log,
-		frames:   make(map[storage.PageID]*Frame),
-		capacity: capacity,
-		stats:    stats,
+	if f.slot >= 0 && f.slot < len(s.slots) && s.slots[f.slot] == f {
+		s.slots[f.slot] = nil
+		s.free = append(s.free, f.slot)
 	}
 }
+
+// Config configures a pool beyond the defaults.
+type Config struct {
+	// Capacity is the total frame budget across all shards (required).
+	Capacity int
+	// Shards is the frame-table shard count, rounded up to a power of two
+	// and clamped so each shard holds at least one frame. Zero uses
+	// DefaultShards; one reproduces a single-mutex pool.
+	Shards int
+	// SerialIO makes miss reads and eviction writebacks run while holding
+	// the shard lock, and routes Unfix/MarkDirty through it — the
+	// historical single-global-mutex pool, kept as an honest benchmark
+	// baseline (pair it with Shards: 1).
+	SerialIO bool
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	disk     *storage.Disk
+	log      *wal.Log
+	stats    *trace.Stats
+	capacity int
+	serialIO bool
+
+	shards []poolShard
+	mask   uint64
+
+	recoverMu sync.RWMutex
+	recover   MediaRecoverer
+
+	// Background page cleaner (see cleaner.go).
+	cleanMu   sync.Mutex
+	cleanStop chan struct{}
+	cleanDone chan struct{}
+}
+
+// NewPool creates a pool of at most capacity frames over disk with
+// DefaultShards shards, forcing log as the WAL protocol requires on steal.
+func NewPool(disk *storage.Disk, log *wal.Log, capacity int, stats *trace.Stats) *Pool {
+	return NewPoolWith(disk, log, Config{Capacity: capacity}, stats)
+}
+
+// NewPoolWith creates a pool with explicit sharding configuration.
+func NewPoolWith(disk *storage.Disk, log *wal.Log, cfg Config, stats *trace.Stats) *Pool {
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d", cfg.Capacity))
+	}
+	n := 1
+	if cfg.Shards > 0 {
+		for n < cfg.Shards {
+			n <<= 1
+		}
+		for n > cfg.Capacity {
+			n >>= 1
+		}
+	} else {
+		// Default sharding backs off on small pools: a shard with fewer
+		// than minFramesPerShard frames can be exhausted by one
+		// traversal's simultaneous pins, which a shared pool absorbs.
+		n = DefaultShards
+		for n > 1 && cfg.Capacity < n*minFramesPerShard {
+			n >>= 1
+		}
+	}
+	p := &Pool{
+		disk:     disk,
+		log:      log,
+		stats:    stats,
+		capacity: cfg.Capacity,
+		serialIO: cfg.SerialIO,
+		shards:   make([]poolShard, n),
+		mask:     uint64(n - 1),
+	}
+	base, extra := cfg.Capacity/n, cfg.Capacity%n
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		s := &p.shards[i]
+		s.frames = make(map[storage.PageID]*Frame, c)
+		s.slots = make([]*Frame, c)
+		s.free = make([]int, c)
+		for j := range s.free {
+			s.free[j] = j
+		}
+	}
+	return p
+}
+
+// shardOf returns the shard owning page id (Fibonacci multiplicative
+// mixing, as in the lock manager, so adjacent page IDs spread).
+func (p *Pool) shardOf(id storage.PageID) *poolShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return &p.shards[h&p.mask]
+}
+
+// NumShards returns the effective shard count (power of two, ≤ capacity).
+func (p *Pool) NumShards() int { return len(p.shards) }
 
 // PageSize returns the underlying disk's page size.
 func (p *Pool) PageSize() int { return p.disk.PageSize() }
@@ -92,9 +267,15 @@ func (p *Pool) PageSize() int { return p.disk.PageSize() }
 // SetMediaRecoverer installs the self-healing hook invoked when a page
 // read fails its checksum or hits a permanent device error.
 func (p *Pool) SetMediaRecoverer(r MediaRecoverer) {
-	p.mu.Lock()
+	p.recoverMu.Lock()
 	p.recover = r
-	p.mu.Unlock()
+	p.recoverMu.Unlock()
+}
+
+func (p *Pool) mediaRecoverer() MediaRecoverer {
+	p.recoverMu.RLock()
+	defer p.recoverMu.RUnlock()
+	return p.recover
 }
 
 // backoff is the capped linear retry delay for transient I/O errors. Real
@@ -131,11 +312,12 @@ func (p *Pool) readPage(id storage.PageID, buf []byte) error {
 			// Recovery's own rebuild write may be torn or flipped by the
 			// same faulty device, so allow a few rounds; a fault injector
 			// that caps consecutive faults guarantees convergence.
-			if p.recover == nil || recoveries >= maxIORetries {
+			recover := p.mediaRecoverer()
+			if recover == nil || recoveries >= maxIORetries {
 				return err
 			}
 			recoveries++
-			if rerr := p.recover(id); rerr != nil {
+			if rerr := recover(id); rerr != nil {
 				return fmt.Errorf("buffer: media recovery of page %d failed: %w", id, rerr)
 			}
 		default:
@@ -165,99 +347,248 @@ func (p *Pool) writePage(id storage.PageID, buf []byte) error {
 // Fix pins page id in the pool, reading it from disk on a miss (a page
 // never written reads as zeroes, which the caller will Format). The caller
 // must Unfix the frame, and must latch Frame.Latch before touching bytes.
+//
+// Only the shard owning id is locked, and never across I/O: a miss read
+// runs with the shard free, so fixers of other pages in the same shard
+// proceed, and concurrent fixers of the same page park on the frame and
+// share the single read.
 func (p *Pool) Fix(id storage.PageID) (*Frame, error) {
 	if id == storage.InvalidPageID {
 		return nil, errors.New("buffer: fix of invalid page 0")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.stats != nil {
 		p.stats.PageFixes.Add(1)
 	}
-	p.tick++
-	if f, ok := p.frames[id]; ok {
-		f.pins++
-		f.lastUse = p.tick
-		return f, nil
-	}
-	if p.stats != nil {
-		p.stats.PageMisses.Add(1)
-	}
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
-			return nil, err
+	s := p.shardOf(id)
+	stalls := 0
+	var f *Frame
+	for {
+		s.mu.Lock()
+		if hit, ok := s.frames[id]; ok {
+			hit.pins.Add(1)
+			hit.ref.Store(true)
+			s.mu.Unlock()
+			// Park until the frame's read (if any) completes. Closed
+			// channels make the hit path a single atomic load.
+			select {
+			case <-hit.ready:
+			default:
+				if p.stats != nil {
+					p.stats.FixParks.Add(1)
+				}
+				<-hit.ready
+			}
+			if hit.loadErr != nil {
+				// The loader withdrew the frame; surface its error.
+				hit.pins.Add(-1)
+				return nil, hit.loadErr
+			}
+			return hit, nil
 		}
-	}
-	pg := storage.NewPage(p.disk.PageSize())
-	if err := p.readPage(id, pg.Bytes()); err != nil {
+		if len(s.free) > 0 {
+			// Claim a slot while still holding the shard lock.
+			if p.stats != nil {
+				p.stats.PageMisses.Add(1)
+			}
+			f = &Frame{
+				Page:  storage.NewPage(p.disk.PageSize()),
+				Latch: latch.New(p.stats),
+				id:    id,
+				ready: make(chan struct{}),
+			}
+			f.pins.Store(1)
+			f.slot = s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+			s.slots[f.slot] = f
+			s.frames[id] = f
+			break
+		}
+		err := p.evictLocked(s)
+		s.mu.Unlock()
+		if err == nil {
+			continue // a slot was freed; re-check the map (it may have changed)
+		}
+		if errors.Is(err, ErrPoolExhausted) && stalls < maxStallRetries {
+			// Transient full-pin: every candidate was pinned at this
+			// instant. Wait out the pin holders and retry instead of
+			// failing the caller.
+			if p.stats != nil {
+				p.stats.EvictionStalls.Add(1)
+			}
+			wait := backoff(stalls)
+			if wait > maxStallBackoff {
+				wait = maxStallBackoff
+			}
+			time.Sleep(wait)
+			stalls++
+			continue
+		}
 		return nil, err
 	}
-	f := &Frame{
-		Page:    pg,
-		Latch:   latch.New(p.stats),
-		id:      id,
-		pins:    1,
-		lastUse: p.tick,
+
+	if p.serialIO {
+		// Baseline mode: the read happens under the shard lock, exactly as
+		// the historical single-mutex pool did.
+		err := p.readPage(id, f.Page.Bytes())
+		if err != nil {
+			s.removeLocked(f)
+		}
+		close(f.ready)
+		s.mu.Unlock()
+		if err != nil {
+			f.pins.Add(-1)
+			f.loadErr = err
+			return nil, err
+		}
+		return f, nil
 	}
-	p.frames[id] = f
+
+	s.mu.Unlock()
+	if err := p.readPage(id, f.Page.Bytes()); err != nil {
+		// Withdraw the frame so parked fixers fail fast and a later Fix
+		// retries the read from scratch.
+		f.loadErr = err
+		s.mu.Lock()
+		s.removeLocked(f)
+		s.mu.Unlock()
+		close(f.ready)
+		f.pins.Add(-1)
+		return nil, err
+	}
+	close(f.ready)
 	return f, nil
 }
 
-// Unfix releases one pin on the frame.
+// Unfix releases one pin on the frame and grants it a clock second chance.
+// Lock-free: it must never contend with other pages' fixes.
 func (p *Pool) Unfix(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f.pins <= 0 {
+	if p.serialIO {
+		s := p.shardOf(f.id)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	if f.pins.Add(-1) < 0 {
 		panic(fmt.Sprintf("buffer: unfix of unpinned page %d", f.id))
 	}
-	f.pins--
+	f.ref.Store(true)
 }
 
 // MarkDirty records that the holder of the frame's X latch has applied the
 // update logged at lsn. On a clean→dirty transition the update's LSN
 // becomes the frame's recLSN (the dirty page table entry ARIES redo
-// starts from).
+// starts from). Touches only the frame's own mutex.
 func (p *Pool) MarkDirty(f *Frame, lsn wal.LSN) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.serialIO {
+		s := p.shardOf(f.id)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	f.mu.Lock()
 	if !f.dirty {
 		f.dirty = true
 		f.recLSN = lsn
 	}
+	f.mu.Unlock()
 }
 
-// evictLocked writes back and drops the least-recently-used unpinned frame.
-func (p *Pool) evictLocked() error {
-	var victim *Frame
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			continue
-		}
-		if victim == nil || f.lastUse < victim.lastUse {
-			victim = f
+// evictLocked frees one slot in s via a clock sweep. Called with s.mu
+// held; returns with it held. The sweep skips pinned frames and clears
+// reference bits (second chance), and runs in two passes: the first
+// accepts only CLEAN victims, so a dirty frame is stolen only when no
+// clean unpinned frame exists in the shard — with the page cleaner
+// running, the foreground Fix path almost never pays a steal writeback.
+// A clean victim is dropped in place; a dirty one (second pass) is pinned
+// and written back with the shard lock RELEASED, so fixes of other pages
+// in the shard proceed during the I/O. ErrPoolExhausted means every frame
+// stayed pinned across all passes.
+func (p *Pool) evictLocked(s *poolShard) error {
+	n := len(s.slots)
+	for _, allowDirty := range [2]bool{false, true} {
+		for i := 0; i < 2*n; i++ {
+			f := s.slots[s.hand]
+			s.hand = (s.hand + 1) % n
+			if f == nil {
+				return nil // a concurrent eviction already freed a slot
+			}
+			if f.pins.Load() != 0 {
+				continue
+			}
+			if f.ref.Swap(false) {
+				continue // second chance
+			}
+			if !f.isDirty() {
+				s.removeLocked(f)
+				if p.stats != nil {
+					p.stats.PageEvicted.Add(1)
+				}
+				return nil
+			}
+			if !allowDirty {
+				continue // clean-preference pass: leave the steal for later
+			}
+			// Dirty victim: pin it (under s.mu, so the zero pin count we saw
+			// cannot change concurrently) and do the steal outside the lock.
+			f.pins.Add(1)
+			if p.stats != nil {
+				p.stats.EvictionsDirty.Add(1)
+			}
+			if p.serialIO {
+				err := p.writeBack(f)
+				f.pins.Add(-1)
+				if err != nil {
+					return err
+				}
+				s.removeLocked(f)
+				if p.stats != nil {
+					p.stats.PageEvicted.Add(1)
+				}
+				return nil
+			}
+			s.mu.Unlock()
+			err := p.writeBack(f)
+			s.mu.Lock()
+			f.pins.Add(-1)
+			if err != nil {
+				// The frame stays resident, dirty, and in the DPT: nothing is
+				// lost, and a later evict or flush retries the write.
+				return err
+			}
+			if f.pins.Load() == 0 && !f.isDirty() && s.slots[f.slot] == f {
+				s.removeLocked(f)
+				if p.stats != nil {
+					p.stats.PageEvicted.Add(1)
+				}
+				return nil
+			}
+			// A fixer re-pinned (or re-dirtied) the frame mid-writeback: the
+			// eviction is abandoned — the page is hot — and the sweep goes on.
 		}
 	}
-	if victim == nil {
-		return ErrPoolExhausted
+	return ErrPoolExhausted
+}
+
+// writeBack forces the log to the frame's page_LSN and writes the page,
+// transitioning it clean — the steal path. The caller must hold a pin.
+// The S latch spans the LSN read, the write, and the clean transition, so
+// no X-latch holder can slip an update between the write and markClean.
+// A frame found already clean is a no-op.
+func (p *Pool) writeBack(f *Frame) error {
+	f.Latch.Acquire(latch.S)
+	defer f.Latch.Release(latch.S)
+	if !f.isDirty() {
+		return nil
 	}
-	if victim.dirty {
-		// Steal: WAL demands the log be stable up to the page's LSN
-		// before the page replaces its disk version. This goes through the
-		// group-commit path, so an eviction storm coalesces with in-flight
-		// commit forces instead of each paying a separate device flush.
-		p.log.Force(wal.LSN(victim.Page.LSN()))
-		if err := p.writePage(victim.id, victim.Page.Bytes()); err != nil {
-			// The frame stays resident, dirty, and in the DPT: nothing is
-			// lost, and a later evict or flush retries the write.
-			return err
-		}
-		if p.stats != nil {
-			p.stats.PageWrites.Add(1)
-		}
+	// Steal: WAL demands the log be stable up to the page's LSN before the
+	// page replaces its disk version. This goes through the group-commit
+	// path, so an eviction storm coalesces with in-flight commit forces
+	// instead of each paying a separate device flush.
+	p.log.Force(wal.LSN(f.Page.LSN()))
+	if err := p.writePage(f.id, f.Page.Bytes()); err != nil {
+		return err
 	}
-	delete(p.frames, victim.id)
+	f.markClean()
 	if p.stats != nil {
-		p.stats.PageEvicted.Add(1)
+		p.stats.PageWrites.Add(1)
 	}
 	return nil
 }
@@ -266,62 +597,64 @@ func (p *Pool) evictLocked() error {
 // and tests; ordinary commits never flush). It briefly S-latches the frame
 // for a consistent image.
 func (p *Pool) FlushPage(id storage.PageID) error {
-	p.mu.Lock()
-	f, ok := p.frames[id]
-	if !ok || !f.dirty {
-		p.mu.Unlock()
+	s := p.shardOf(id)
+	s.mu.Lock()
+	f, ok := s.frames[id]
+	if !ok {
+		s.mu.Unlock()
 		return nil
 	}
-	f.pins++ // hold the frame across the latch acquisition
-	p.mu.Unlock()
-
-	f.Latch.Acquire(latch.S)
-	p.log.Force(wal.LSN(f.Page.LSN()))
-	err := p.writePage(f.id, f.Page.Bytes())
-	f.Latch.Release(latch.S)
-
-	p.mu.Lock()
-	f.pins--
-	if err == nil {
-		f.dirty = false
-		f.recLSN = wal.NilLSN
+	f.pins.Add(1) // hold the frame across the writeback
+	s.mu.Unlock()
+	<-f.ready
+	var err error
+	if f.loadErr == nil {
+		err = p.writeBack(f)
 	}
-	p.mu.Unlock()
-	if err == nil && p.stats != nil {
-		p.stats.PageWrites.Add(1)
-	}
+	f.pins.Add(-1)
 	return err
 }
 
 // FlushAll flushes every dirty frame (quiesce points and image copies).
+// Every dirty page is attempted even after a failure; the errors are
+// joined, so one bad page no longer blocks the flush of all later pages.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	ids := make([]storage.PageID, 0, len(p.frames))
-	for id, f := range p.frames {
-		if f.dirty {
-			ids = append(ids, id)
+	var ids []storage.PageID
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.isDirty() {
+				ids = append(ids, id)
+			}
 		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var errs []error
 	for _, id := range ids {
 		if err := p.FlushPage(id); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("buffer: flush page %d: %w", id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DPT snapshots the dirty page table for a fuzzy checkpoint: every dirty
 // frame with its recLSN.
 func (p *Pool) DPT() []wal.DPTEntry {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []wal.DPTEntry
-	for id, f := range p.frames {
-		if f.dirty {
-			out = append(out, wal.DPTEntry{Page: id, RecLSN: f.recLSN})
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			f.mu.Lock()
+			if f.dirty {
+				out = append(out, wal.DPTEntry{Page: id, RecLSN: f.recLSN})
+			}
+			f.mu.Unlock()
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
 	return out
@@ -329,29 +662,50 @@ func (p *Pool) DPT() []wal.DPTEntry {
 
 // Crash discards every frame without writing anything: the volatile half
 // of the failure model. Dirty pages whose updates were not stolen to disk
-// are simply lost; restart redo brings them back from the log.
+// are simply lost; restart redo brings them back from the log. The page
+// cleaner is stopped first and waited for, so no cleaner write can land
+// after Crash returns (the crash fence); the pool itself remains usable
+// (restart recovery refills it).
 func (p *Pool) Crash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[storage.PageID]*Frame)
+	p.StopCleaner()
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.frames = make(map[storage.PageID]*Frame)
+		s.free = s.free[:0]
+		for j := range s.slots {
+			s.slots[j] = nil
+			s.free = append(s.free, j)
+		}
+		s.hand = 0
+		s.mu.Unlock()
+	}
 }
 
 // NumBuffered returns the number of resident frames.
 func (p *Pool) NumBuffered() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // PinnedPages returns IDs of currently pinned frames (leak assertions).
 func (p *Pool) PinnedPages() []storage.PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []storage.PageID
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			out = append(out, id)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.pins.Load() > 0 {
+				out = append(out, id)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

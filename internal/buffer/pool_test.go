@@ -18,6 +18,15 @@ func newEnv(capacity int) (*storage.Disk, *wal.Log, *Pool, *trace.Stats) {
 	return d, l, NewPool(d, l, capacity, st), st
 }
 
+// newEnvCfg builds a pool with an explicit shard configuration, for tests
+// whose eviction-order assertions need a single deterministic shard.
+func newEnvCfg(cfg Config) (*storage.Disk, *wal.Log, *Pool, *trace.Stats) {
+	st := &trace.Stats{}
+	d := storage.NewDisk(512)
+	l := wal.NewLog(st)
+	return d, l, NewPoolWith(d, l, cfg, st), st
+}
+
 // update simulates a logged page mutation under the proper discipline.
 func update(t *testing.T, p *Pool, l *wal.Log, f *Frame, fill byte) wal.LSN {
 	t.Helper()
@@ -111,27 +120,79 @@ func TestPinnedPagesAreNotEvicted(t *testing.T) {
 	p.Unfix(f2)
 }
 
-func TestLRUEvictionOrder(t *testing.T) {
-	_, l, p, st := newEnv(2)
+// TestClockSweepSecondChance pins down the per-shard clock replacement on
+// a single two-frame shard. Slot assignment pops the free list from the
+// back (page 10 → slot 1, page 11 → slot 0) and the hand starts at slot 0,
+// which makes every sweep below deterministic.
+func TestClockSweepSecondChance(t *testing.T) {
+	d, l, p, st := newEnvCfg(Config{Capacity: 2, Shards: 1})
 	fa, _ := p.Fix(10)
-	update(t, p, l, fa, 1)
+	lsn := update(t, p, l, fa, 1) // page 10 is dirty
 	p.Unfix(fa)
 	fb, _ := p.Fix(11)
 	p.Unfix(fb)
-	// Touch 10 so 11 is LRU.
-	fa2, _ := p.Fix(10)
-	p.Unfix(fa2)
+
+	// First eviction: both frames carry a reference bit, so the sweep
+	// clears 11 (slot 0) and 10 (slot 1), laps back, and evicts 11 — the
+	// first cleared frame the hand re-reaches. The dirty page 10 survives.
 	fc, _ := p.Fix(12)
 	p.Unfix(fc)
 	if st.PageEvicted.Load() != 1 {
-		t.Fatalf("evictions = %d", st.PageEvicted.Load())
+		t.Fatalf("evictions = %d, want 1", st.PageEvicted.Load())
 	}
-	// 10 must still be resident (hit, no new miss).
+	if st.EvictionsDirty.Load() != 0 {
+		t.Fatal("first eviction should have found the clean victim")
+	}
 	misses := st.PageMisses.Load()
+	fa2, _ := p.Fix(10)
+	p.Unfix(fa2) // hit: 10 resident, and its reference bit is set again
+	if st.PageMisses.Load() != misses {
+		t.Fatal("clock evicted page 10 instead of the clean unreferenced 11")
+	}
+
+	// Second eviction: both survivors carry reference bits again, but the
+	// sweep's clean-preference pass takes the clean 12 and leaves the dirty
+	// 10 resident, deferring the steal writeback.
+	fd, _ := p.Fix(13)
+	p.Unfix(fd)
+	if st.PageEvicted.Load() != 2 {
+		t.Fatalf("evictions = %d, want 2", st.PageEvicted.Load())
+	}
+	if st.EvictionsDirty.Load() != 0 {
+		t.Fatal("sweep stole the dirty 10 with the clean 12 available")
+	}
+	misses = st.PageMisses.Load()
 	fa3, _ := p.Fix(10)
 	p.Unfix(fa3)
 	if st.PageMisses.Load() != misses {
-		t.Fatal("LRU evicted the recently used page")
+		t.Fatal("clean-preference pass evicted the dirty 10 instead of 12")
+	}
+
+	// Third eviction: dirty 13 too, so every frame is dirty and the sweep
+	// must fall back to a steal — page 10 at the hand — which forces the
+	// WAL through the page's LSN before the write.
+	fd, _ = p.Fix(13)
+	update(t, p, l, fd, 3)
+	p.Unfix(fd)
+	fe, _ := p.Fix(14)
+	p.Unfix(fe)
+	if st.EvictionsDirty.Load() != 1 {
+		t.Fatalf("EvictionsDirty = %d, want 1", st.EvictionsDirty.Load())
+	}
+	if l.StableLSN() < lsn {
+		t.Fatalf("WAL violated: stable=%d < page LSN %d", l.StableLSN(), lsn)
+	}
+	buf := make([]byte, 512)
+	_ = d.Read(10, buf)
+	if storage.PageFromBytes(buf).LSN() != uint64(lsn) {
+		t.Fatal("dirty victim's content not written back")
+	}
+	// 13 kept its residency (its reference bit shielded it).
+	misses = st.PageMisses.Load()
+	fd2, _ := p.Fix(13)
+	p.Unfix(fd2)
+	if st.PageMisses.Load() != misses {
+		t.Fatal("page 13 lost residency despite its reference bit")
 	}
 }
 

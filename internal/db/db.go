@@ -73,6 +73,28 @@ type Options struct {
 	// of two). Zero uses lock.DefaultShards; one reproduces the historical
 	// single-mutex lock manager (the benchmark baseline).
 	LockShards int
+	// BufferShards sets the buffer-pool frame-table shard count (rounded
+	// up to a power of two, clamped so every shard owns at least one
+	// frame). Zero uses buffer.DefaultShards; one gives a single-mutex
+	// frame table.
+	BufferShards int
+	// BufferSerialIO makes the pool run miss reads and eviction writebacks
+	// while holding the frame-table lock — the seed pool's behavior, kept
+	// as the buffer benchmark's baseline. Pair with BufferShards: 1.
+	BufferSerialIO bool
+	// CleanerInterval enables the background page cleaner, which flushes
+	// dirty frames ahead of the clock hand every interval so foreground
+	// evictions find clean victims and checkpoint DPTs stay small. Zero
+	// (the default) disables it, preserving historical behavior.
+	CleanerInterval time.Duration
+	// CleanerBatch is the per-shard page budget of one cleaner pass
+	// (default buffer.DefaultCleanerBatch).
+	CleanerBatch int
+	// PageIODelay simulates the latency of one page read or write on the
+	// data device (default 0 keeps tier-1 tests instantaneous). With a
+	// realistic value the buffer benchmark measures I/O overlap, not
+	// map-lookup speed.
+	PageIODelay time.Duration
 	// Stats receives instrumentation; one is created when nil.
 	Stats *trace.Stats
 }
@@ -164,6 +186,7 @@ func Open(opts Options) *DB {
 	}
 	d.log.SetForceDelay(opts.LogForceDelay)
 	d.log.SetGroupCommit(!opts.NoGroupCommit)
+	d.disk.SetIODelay(opts.PageIODelay)
 	lock.RegisterTraceNames()
 	d.upCh = make(chan struct{})
 	close(d.upCh)
@@ -177,10 +200,22 @@ func (d *DB) buildVolatile() {
 	// after a later Crash swaps d.disk/d.log to their successors — a
 	// straggler from the old epoch must never touch the new one.
 	disk, log := d.disk, d.log
+	if d.pool != nil {
+		// A predecessor pool's cleaner must not keep writing to the
+		// orphaned epoch's disk after the engine moves on.
+		d.pool.StopCleaner()
+	}
 	d.locks = lock.NewManagerSharded(d.stats, d.opts.LockShards)
 	d.locks.SetWaitTimeout(d.opts.LockWaitTimeout)
 	d.tm = txn.NewManager(log, d.locks)
-	d.pool = buffer.NewPool(disk, log, d.opts.PoolSize, d.stats)
+	d.pool = buffer.NewPoolWith(disk, log, buffer.Config{
+		Capacity: d.opts.PoolSize,
+		Shards:   d.opts.BufferShards,
+		SerialIO: d.opts.BufferSerialIO,
+	}, d.stats)
+	if d.opts.CleanerInterval > 0 {
+		d.pool.StartCleaner(d.opts.CleanerInterval, d.opts.CleanerBatch)
+	}
 	d.im = core.NewManager(d.pool, d.stats)
 	d.dm = data.NewManager(d.pool, d.opts.Granularity, d.stats)
 	d.tm.SetUndoer(&undoRouter{im: d.im, dm: d.dm})
@@ -710,6 +745,11 @@ func (d *DB) Crash() {
 	if d.downed {
 		return
 	}
+	// Crash fence for the page cleaner: stop it and wait out its in-flight
+	// pass BEFORE cloning the disk, so the successor disk can never receive
+	// a cleaner write. (Zombie foreground I/O still lands on the orphaned
+	// original, as for any in-flight write a power cut loses.)
+	d.pool.StopCleaner()
 	oldDisk := d.disk
 	d.disk = oldDisk.Clone()
 	if inj := oldDisk.Injector(); inj != nil {

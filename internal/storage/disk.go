@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Disk simulates the stable storage a database rides on. It is the half of
@@ -32,6 +33,8 @@ type Disk struct {
 	readErrors  atomic.Uint64
 	writeErrors atomic.Uint64
 	checksumErr atomic.Uint64
+
+	ioDelay atomic.Int64 // simulated per-page device latency, ns
 }
 
 // NewDisk creates an empty disk with the given page size.
@@ -44,6 +47,22 @@ func NewDisk(pageSize int) *Disk {
 
 // PageSize returns the disk's page size.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetIODelay charges a simulated device latency on every page read and
+// write (default 0, so tier-1 tests stay instantaneous). The sleep happens
+// outside the disk's internal lock: concurrent I/Os to different pages
+// overlap, exactly like independent requests on a real device queue —
+// which is what makes serialized-I/O designs measurably slow.
+func (d *Disk) SetIODelay(delay time.Duration) { d.ioDelay.Store(int64(delay)) }
+
+// IODelay returns the configured per-page device latency.
+func (d *Disk) IODelay() time.Duration { return time.Duration(d.ioDelay.Load()) }
+
+func (d *Disk) sleepIO() {
+	if ns := d.ioDelay.Load(); ns > 0 {
+		SpinWait(time.Duration(ns))
+	}
+}
 
 // SetInjector installs (or, with nil, removes) a fault injector. Faults
 // apply only to page reads and writes, not to meta or snapshot access.
@@ -73,6 +92,7 @@ func (d *Disk) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), d.pageSize)
 	}
 	d.reads.Add(1)
+	d.sleepIO()
 	if inj := d.injector(); inj != nil {
 		if err := inj.ReadFault(id); err != nil {
 			d.readErrors.Add(1)
@@ -106,6 +126,7 @@ func (d *Disk) Write(id PageID, data []byte) error {
 		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), d.pageSize)
 	}
 	d.writes.Add(1)
+	d.sleepIO()
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	PageFromBytes(cp).UpdateChecksum()
@@ -193,6 +214,7 @@ func (d *Disk) Clone() *Disk {
 	}
 	out.meta = make([]byte, len(d.meta))
 	copy(out.meta, d.meta)
+	out.ioDelay.Store(d.ioDelay.Load()) // the hardware stays slow across a crash
 	return out
 }
 

@@ -1,0 +1,25 @@
+package storage
+
+import (
+	"runtime"
+	"time"
+)
+
+// SpinWait charges a simulated device latency by busy-waiting, yielding
+// the processor between clock checks. The simulator's latencies are tens
+// to hundreds of microseconds; time.Sleep on a coarse-timer kernel rounds
+// every nap up to a millisecond-plus tick, which destroys the scale
+// separation between a 25µs page read and a 200µs log flush and adds
+// phase-dependent jitter that can double a run's wall clock. Spinning
+// keeps sub-tick precision, and concurrent waiters overlap exactly like
+// independent requests on a real device queue. Callers charge latency
+// only when explicitly configured (benchmarks), so the burned CPU is
+// bounded by the simulated device concurrency.
+func SpinWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for t0 := time.Now(); time.Since(t0) < d; {
+		runtime.Gosched()
+	}
+}

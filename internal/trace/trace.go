@@ -59,10 +59,15 @@ type Stats struct {
 	TreeLatchWaits    atomic.Uint64
 
 	// Buffer pool.
-	PageFixes   atomic.Uint64
-	PageMisses  atomic.Uint64 // fixes that required a disk read
-	PageWrites  atomic.Uint64 // dirty pages written to disk (steal or flush)
-	PageEvicted atomic.Uint64
+	PageFixes      atomic.Uint64
+	PageMisses     atomic.Uint64 // fixes that required a disk read
+	PageWrites     atomic.Uint64 // dirty pages written to disk (steal, cleaner, or flush)
+	PageEvicted    atomic.Uint64
+	EvictionsDirty atomic.Uint64 // foreground evictions that had to write back a dirty victim
+	EvictionStalls atomic.Uint64 // Fix retries because every candidate frame was pinned
+	FixParks       atomic.Uint64 // fixers parked on another fixer's in-flight read
+	CleanerPasses  atomic.Uint64 // background cleaner passes completed
+	CleanerWrites  atomic.Uint64 // dirty frames flushed by the cleaner
 
 	// Log.
 	LogRecords   atomic.Uint64
@@ -207,6 +212,8 @@ type Snapshot struct {
 	LatchAcquires, LatchWaits, LatchTryFailures               uint64
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
+	EvictionsDirty, EvictionStalls, FixParks                  uint64
+	CleanerPasses, CleanerWrites                              uint64
 	LogRecords, LogBytes, LogForces                           uint64
 	ForceWaiters, GroupCommits                                uint64
 	IORetries, CorruptPages                                   uint64
@@ -251,6 +258,11 @@ func (s *Stats) Snap() Snapshot {
 	out.PageMisses = s.PageMisses.Load()
 	out.PageWrites = s.PageWrites.Load()
 	out.PageEvicted = s.PageEvicted.Load()
+	out.EvictionsDirty = s.EvictionsDirty.Load()
+	out.EvictionStalls = s.EvictionStalls.Load()
+	out.FixParks = s.FixParks.Load()
+	out.CleanerPasses = s.CleanerPasses.Load()
+	out.CleanerWrites = s.CleanerWrites.Load()
 	out.LogRecords = s.LogRecords.Load()
 	out.LogBytes = s.LogBytes.Load()
 	out.LogForces = s.LogForces.Load()
@@ -307,6 +319,11 @@ func Diff(before, after Snapshot) Snapshot {
 	d.PageMisses = after.PageMisses - before.PageMisses
 	d.PageWrites = after.PageWrites - before.PageWrites
 	d.PageEvicted = after.PageEvicted - before.PageEvicted
+	d.EvictionsDirty = after.EvictionsDirty - before.EvictionsDirty
+	d.EvictionStalls = after.EvictionStalls - before.EvictionStalls
+	d.FixParks = after.FixParks - before.FixParks
+	d.CleanerPasses = after.CleanerPasses - before.CleanerPasses
+	d.CleanerWrites = after.CleanerWrites - before.CleanerWrites
 	d.LogRecords = after.LogRecords - before.LogRecords
 	d.LogBytes = after.LogBytes - before.LogBytes
 	d.LogForces = after.LogForces - before.LogForces

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ariesim/internal/storage"
 	"ariesim/internal/trace"
 )
 
@@ -144,8 +145,8 @@ func (l *Log) AppendForce(r *Record) LSN {
 	}
 	if l.forceDelay > 0 {
 		gen := l.flushGen
-		time.Sleep(l.forceDelay) // latch held across the device write
-		if gen != l.flushGen {   // crashed under us: the record died with its epoch
+		storage.SpinWait(l.forceDelay) // latch held across the device write
+		if gen != l.flushGen {         // crashed under us: the record died with its epoch
 			l.mu.Unlock()
 			return lsn
 		}
@@ -232,7 +233,7 @@ func (l *Log) forceLocked(lsn LSN) {
 		gen := l.flushGen
 		delay := l.forceDelay
 		l.mu.Unlock()
-		time.Sleep(delay)
+		storage.SpinWait(delay)
 		l.mu.Lock()
 		l.flushing = false
 		if gen == l.flushGen { // a crash during the flush discards it
