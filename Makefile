@@ -42,11 +42,17 @@ microbench:
 # serial I/O) vs new (sharded, clock sweep, I/O outside the lock) vs
 # new-cleaner, gated on the 16-worker read speedup and the cleaner's
 # dirty-eviction drop, with counter-consistency self-verification.
+# The recovery benchmark crashes populated engines and measures restart
+# time and redo throughput, serial vs page-partitioned parallel redo
+# across 1-16 workers, gated on the 8-worker redo speedup and on
+# byte-exact row verification after every restart.
 bench:
 	$(GO) run ./cmd/ariesim-perf -out BENCH_concurrency.json -minspeedup 2
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
 	$(GO) run ./cmd/ariesim-perf -workload buffer -out BENCH_buffer.json -minspeedup 3 -mincleanerdrop 5
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json
+	$(GO) run ./cmd/ariesim-perf -workload recovery -out BENCH_recovery.json -minspeedup 2
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_recovery.json
 
 # Reduced run for CI: fewer transactions, same shape checks, and the
 # committed BENCH_*.json files must exist and parse.
@@ -57,5 +63,8 @@ bench-smoke:
 	$(GO) run ./cmd/ariesim-perf -workload buffer -smoke -out /tmp/ariesim_bench_buffer_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_buffer_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json
+	$(GO) run ./cmd/ariesim-perf -workload recovery -smoke -out /tmp/ariesim_bench_recovery_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_recovery_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_recovery.json
 
 ci: build vet race smoke chaos bench-smoke

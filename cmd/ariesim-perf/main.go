@@ -66,6 +66,18 @@ type Cell struct {
 	EvictionsDirty uint64  `json:"evictions_dirty,omitempty"`
 	EvictionStalls uint64  `json:"eviction_stalls,omitempty"`
 	CleanerWrites  uint64  `json:"cleaner_writes,omitempty"`
+
+	// Recovery-family measurements (omitted from the other families).
+	RestartMS       float64 `json:"restart_ms,omitempty"`
+	AnalysisMS      float64 `json:"analysis_ms,omitempty"`
+	RedoMS          float64 `json:"redo_ms,omitempty"`
+	UndoMS          float64 `json:"undo_ms,omitempty"`
+	RecordsSeen     int     `json:"records_seen,omitempty"`
+	RedoApplied     int     `json:"redo_applied,omitempty"`
+	RedoSkipped     int     `json:"redo_skipped,omitempty"`
+	PagesPrefetched int     `json:"pages_prefetched,omitempty"`
+	RedoPerSec      float64 `json:"redo_per_sec,omitempty"`
+	RowsRecovered   int     `json:"rows_recovered,omitempty"`
 }
 
 // Summary is the headline comparison the acceptance gate reads.
@@ -89,6 +101,14 @@ type Summary struct {
 	// buffer workload: how thoroughly the cleaner keeps steal writebacks
 	// off the Fix path.
 	CleanerDirtyEvictDrop float64 `json:"cleaner_dirty_evict_drop,omitempty"`
+
+	// RecoveryRedoSpeedup8 is serial redo wall time / 8-worker redo wall
+	// time on the cold-DPT long-log scenario (recovery family): the payoff
+	// of page-partitioned parallel restart redo.
+	RecoveryRedoSpeedup8 float64 `json:"recovery_redo_speedup_8w,omitempty"`
+	// RecoveryRestartSpeedup8 is the same ratio over the whole restart
+	// (analysis + redo + undo), diluted by the serial passes.
+	RecoveryRestartSpeedup8 float64 `json:"recovery_restart_speedup_8w,omitempty"`
 }
 
 // Result is the BENCH_concurrency.json / BENCH_buffer.json schema.
@@ -257,6 +277,177 @@ var bufferBenches = []bench{
 	},
 }
 
+// recoveryScenario is one crash shape the recovery family measures: how
+// much committed work sits only in the log (vs safely on disk) when the
+// engine dies.
+type recoveryScenario struct {
+	name string
+	// rows is the table size; every row is inserted, flushed to disk, then
+	// updated again so restart redo must read each page cold and reapply
+	// the update tail.
+	rows int
+	// ckptEvery, when positive, flushes the pool and takes a fuzzy
+	// checkpoint every that-many update transactions, shortening the redo
+	// tail; zero leaves the whole update phase as one long cold-DPT redo.
+	ckptEvery int
+}
+
+var recoveryScenarios = []recoveryScenario{
+	// The redo-heavy headline: every page's disk image predates the whole
+	// update phase, and no checkpoint bounds the scan.
+	{name: "recover-cold-long", rows: 1536},
+	// Same shape, quarter-length log: startup cost dominates more.
+	{name: "recover-cold-short", rows: 384},
+	// Well-checkpointed operation: only the tail after the last flush +
+	// checkpoint needs redo.
+	{name: "recover-ckpt", rows: 1536, ckptEvery: 8},
+}
+
+// recoveryPoolSize comfortably holds every page the scenarios touch, so a
+// cell measures redo I/O and apply cost, not eviction thrash.
+const recoveryPoolSize = 1024
+
+// recoveryBatch is rows per workload transaction.
+const recoveryBatch = 32
+
+// buildRecoveryBase populates an engine for one scenario and force-crashes
+// nothing yet: insert all rows, flush them to disk, force the log, then
+// update every row (the redo tail restart must replay onto cold pages),
+// leave a trailing in-flight loser, and force the log so the crash loses
+// only volatile state. Returns the engine plus the exact committed rows a
+// restart must recover.
+func buildRecoveryBase(sc recoveryScenario, ioDelay time.Duration) (*db.DB, map[string]string, error) {
+	d := db.Open(db.Options{Stats: &trace.Stats{}, PageSize: 512,
+		PoolSize: recoveryPoolSize, PageIODelay: ioDelay})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	key := func(i int) string { return fmt.Sprintf("r%05d", i) }
+	model := map[string]string{}
+	for lo := 0; lo < sc.rows; lo += recoveryBatch {
+		hi := lo + recoveryBatch
+		if hi > sc.rows {
+			hi = sc.rows
+		}
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tbl.Insert(tx, []byte(key(i)), []byte("insert-phase-value")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: insert: %w", sc.name, err)
+		}
+	}
+	// Put phase-1 images on disk: redo of the update tail below must read
+	// every page back from the costed device (the cold-DPT cost).
+	if err := d.Pool().FlushAll(); err != nil {
+		return nil, nil, err
+	}
+	d.Log().ForceAll()
+
+	txns := 0
+	for lo := 0; lo < sc.rows; lo += recoveryBatch {
+		hi := lo + recoveryBatch
+		if hi > sc.rows {
+			hi = sc.rows
+		}
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < hi; i++ {
+				v := fmt.Sprintf("update-phase-%05d-%05d", i, lo)
+				if err := tbl.Update(tx, []byte(key(i)), []byte(v)); err != nil {
+					return err
+				}
+				model[key(i)] = v
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: update: %w", sc.name, err)
+		}
+		txns++
+		if sc.ckptEvery > 0 && txns%sc.ckptEvery == 0 {
+			if err := d.Pool().FlushAll(); err != nil {
+				return nil, nil, err
+			}
+			d.Checkpoint()
+		}
+	}
+	// A trailing in-flight loser gives the undo pass real work too.
+	loser := d.MustBegin()
+	for i := 0; i < 4; i++ {
+		if err := tbl.Insert(loser, []byte(fmt.Sprintf("zloser%02d", i)), []byte("never-committed")); err != nil {
+			return nil, nil, fmt.Errorf("%s: loser: %w", sc.name, err)
+		}
+	}
+	d.Log().ForceAll()
+	return d, model, nil
+}
+
+// runRecoveryCell crashes a fork of the populated base at the end of its
+// log, restarts it with the given redo worker count, and verifies the
+// recovered table equals the committed model exactly — a benchmark cell
+// that cannot report a time for a recovery that lost data.
+func runRecoveryCell(sc recoveryScenario, base *db.DB, model map[string]string, workers int) (Cell, error) {
+	fork := base.Fork()
+	fork.SetRedoWorkers(workers)
+	start := time.Now()
+	rep, err := fork.Restart()
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s w=%d: restart: %w", sc.name, workers, err)
+	}
+	elapsed := time.Since(start)
+
+	tbl, err := fork.Table("bench")
+	if err != nil {
+		return Cell{}, err
+	}
+	tx, err := fork.Begin()
+	if err != nil {
+		return Cell{}, err
+	}
+	got := map[string]string{}
+	err = tbl.Scan(tx, nil, nil, func(r db.Row) (bool, error) {
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	if cerr := tx.Commit(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s w=%d: scan: %w", sc.name, workers, err)
+	}
+	if len(got) != len(model) {
+		return Cell{}, fmt.Errorf("%s w=%d: recovered %d rows, want %d", sc.name, workers, len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			return Cell{}, fmt.Errorf("%s w=%d: row %q recovered %q, want %q", sc.name, workers, k, got[k], v)
+		}
+	}
+
+	cfg := "parallel"
+	if workers == 1 {
+		cfg = "serial"
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	cell := Cell{
+		Workload: sc.name, Config: cfg, Workers: workers,
+		ElapsedMS: ms(elapsed),
+		RestartMS: ms(elapsed),
+		AnalysisMS: ms(rep.AnalysisWall), RedoMS: ms(rep.RedoWall), UndoMS: ms(rep.UndoWall),
+		RecordsSeen: rep.RecordsSeen, RedoApplied: rep.RedosApplied, RedoSkipped: rep.RedosSkipped,
+		PagesPrefetched: rep.PagesPrefetched, RowsRecovered: len(got),
+	}
+	if rep.RedoWall > 0 {
+		cell.RedoPerSec = float64(rep.RedosApplied) / rep.RedoWall.Seconds()
+	}
+	return cell, nil
+}
+
 // runCell measures one (workload, config, workers) point.
 func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, forceDelay, ioDelay time.Duration) (Cell, error) {
 	stats := &trace.Stats{}
@@ -403,6 +594,9 @@ func validate(path string) error {
 	if len(res.Cells) == 0 {
 		return fmt.Errorf("%s: no benchmark cells", path)
 	}
+	if res.Meta.Workload == "recovery" {
+		return validateRecovery(path, &res)
+	}
 	buffer := res.Meta.Workload == "buffer"
 	wantBenches, wantConfigs := benches, configs
 	if buffer {
@@ -464,15 +658,78 @@ func validate(path string) error {
 	return nil
 }
 
+// validateRecovery self-verifies a recovery-family results file: every
+// scenario must carry a cell per worker count, restart redo must have done
+// real work, and — the determinism invariant parallel redo rests on — the
+// applied/skipped record counts and recovered row count must be identical
+// across worker counts within a scenario.
+func validateRecovery(path string, res *Result) error {
+	byScenario := map[string]map[int]*Cell{}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		tag := fmt.Sprintf("%s: cell %s/%s/%dw", path, c.Workload, c.Config, c.Workers)
+		if c.Workload == "" || c.Config == "" || c.Workers <= 0 {
+			return fmt.Errorf("%s: cell %d incomplete: %+v", path, i, *c)
+		}
+		if want := "parallel"; c.Workers == 1 {
+			want = "serial"
+			if c.Config != want {
+				return fmt.Errorf("%s: 1-worker cell labeled %q", tag, c.Config)
+			}
+		} else if c.Config != want {
+			return fmt.Errorf("%s: %d-worker cell labeled %q", tag, c.Workers, c.Config)
+		}
+		if c.RestartMS <= 0 || c.RedoMS <= 0 {
+			return fmt.Errorf("%s: non-positive restart/redo wall time", tag)
+		}
+		if c.RedoApplied <= 0 {
+			return fmt.Errorf("%s: restart applied no redo records — the crash had nothing to recover", tag)
+		}
+		if c.RowsRecovered <= 0 {
+			return fmt.Errorf("%s: no rows recovered", tag)
+		}
+		if c.RecordsSeen <= 0 {
+			return fmt.Errorf("%s: analysis saw no records", tag)
+		}
+		if byScenario[c.Workload] == nil {
+			byScenario[c.Workload] = map[int]*Cell{}
+		}
+		byScenario[c.Workload][c.Workers] = c
+	}
+	for _, sc := range recoveryScenarios {
+		cells := byScenario[sc.name]
+		if cells == nil {
+			return fmt.Errorf("%s: missing scenario %s", path, sc.name)
+		}
+		ref := cells[1]
+		for _, w := range workerCounts {
+			c := cells[w]
+			if c == nil {
+				return fmt.Errorf("%s: missing cell %s/%dw", path, sc.name, w)
+			}
+			if ref != nil && (c.RedoApplied != ref.RedoApplied || c.RedoSkipped != ref.RedoSkipped ||
+				c.RowsRecovered != ref.RowsRecovered) {
+				return fmt.Errorf("%s: %s: %d-worker redo diverged from serial (applied %d/%d, skipped %d/%d, rows %d/%d)",
+					path, sc.name, w, c.RedoApplied, ref.RedoApplied, c.RedoSkipped, ref.RedoSkipped,
+					c.RowsRecovered, ref.RowsRecovered)
+			}
+		}
+	}
+	if res.Summary.RecoveryRedoSpeedup8 <= 0 {
+		return fmt.Errorf("%s: summary missing recovery redo speedup", path)
+	}
+	return nil
+}
+
 func main() {
-	family := flag.String("workload", "concurrency", "workload family: concurrency or buffer")
+	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, or recovery")
 	out := flag.String("out", "", "results file (default BENCH_<family>.json)")
 	txnsPerCell := flag.Int("txns", 800, "transactions per benchmark cell")
 	opsPerTxn := flag.Int("ops", 4, "operations per transaction")
 	delay := flag.Duration("delay", 200*time.Microsecond, "simulated log force latency")
 	ioDelay := flag.Duration("iodelay", 200*time.Microsecond, "simulated page I/O latency (buffer family)")
 	smoke := flag.Bool("smoke", false, "reduced matrix for CI (fewer txns per cell)")
-	minSpeedup := flag.Float64("minspeedup", 0, "fail unless the family's 16-worker speedup >= this")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail unless the family's headline speedup >= this")
 	minCleanerDrop := flag.Float64("mincleanerdrop", 0, "fail unless the cleaner's dirty-eviction drop >= this (buffer family)")
 	verify := flag.String("verify", "", "validate an existing results file and exit")
 	flag.Parse()
@@ -486,20 +743,25 @@ func main() {
 		return
 	}
 
-	buffer := false
+	buffer, recoveryFam := false, false
 	switch *family {
 	case "concurrency":
 		*ioDelay = 0 // the lock/commit bench keeps the page device free
 	case "buffer":
 		buffer = true
+	case "recovery":
+		recoveryFam = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload family %q\n", *family)
 		os.Exit(1)
 	}
 	if *out == "" {
-		if buffer {
+		switch {
+		case buffer:
 			*out = "BENCH_buffer.json"
-		} else {
+		case recoveryFam:
+			*out = "BENCH_recovery.json"
+		default:
 			*out = "BENCH_concurrency.json"
 		}
 	}
@@ -510,6 +772,9 @@ func main() {
 	if buffer {
 		activeBenches, activeConfigs = bufferBenches, bufferConfigs
 	}
+	if recoveryFam {
+		activeBenches = nil // the recovery family drives its own scenario loop
+	}
 
 	var res Result
 	if buffer {
@@ -517,13 +782,43 @@ func main() {
 		res.Meta.IODelayUS = int(*ioDelay / time.Microsecond)
 		res.Meta.PoolSize = bufferPoolSize
 	}
+	if recoveryFam {
+		res.Meta.Workload = "recovery"
+		res.Meta.IODelayUS = int(*ioDelay / time.Microsecond)
+		res.Meta.PoolSize = recoveryPoolSize
+	}
 	res.Meta.ForceDelayUS = int(*delay / time.Microsecond)
 	res.Meta.TxnsPerCell = *txnsPerCell
 	res.Meta.OpsPerTxn = *opsPerTxn
 	res.Meta.Smoke = *smoke
 	res.Meta.Generated = time.Now().UTC().Format(time.RFC3339)
 
-	if buffer {
+	if recoveryFam {
+		fmt.Printf("%-18s %-8s %3s  %9s %9s %9s %9s %8s %8s %10s\n",
+			"workload", "cfg", "w", "restart", "analysis", "redo", "undo", "applied", "prefetch", "redo/s")
+		for _, sc := range recoveryScenarios {
+			if *smoke {
+				sc.rows /= 4
+			}
+			base, model, err := buildRecoveryBase(sc, *ioDelay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			for _, workers := range workerCounts {
+				cell, err := runRecoveryCell(sc, base, model, workers)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				res.Cells = append(res.Cells, cell)
+				fmt.Printf("%-18s %-8s %3d  %8.1fms %8.1fms %8.1fms %8.1fms %8d %8d %10.0f\n",
+					cell.Workload, cell.Config, cell.Workers, cell.RestartMS,
+					cell.AnalysisMS, cell.RedoMS, cell.UndoMS,
+					cell.RedoApplied, cell.PagesPrefetched, cell.RedoPerSec)
+			}
+		}
+	} else if buffer {
 		fmt.Printf("%-12s %-11s %3s  %10s %8s %8s %8s %8s %7s\n",
 			"workload", "cfg", "w", "txn/s", "hit", "misses", "evict", "dirtyev", "cleanw")
 	} else {
@@ -567,7 +862,20 @@ func main() {
 		return nil
 	}
 	headlineSpeedup := 0.0
-	if buffer {
+	if recoveryFam {
+		serial := find("recover-cold-long", "serial", 1)
+		par8 := find("recover-cold-long", "parallel", 8)
+		if serial != nil && par8 != nil && par8.RedoMS > 0 {
+			res.Summary.RecoveryRedoSpeedup8 = serial.RedoMS / par8.RedoMS
+			res.Summary.RecoveryRestartSpeedup8 = serial.RestartMS / par8.RestartMS
+		}
+		headlineSpeedup = res.Summary.RecoveryRedoSpeedup8
+		if serial != nil && par8 != nil {
+			fmt.Printf("\ncold-DPT long-log restart: redo %.1fms serial -> %.1fms @8 workers (%.2fx); whole restart %.1fms -> %.1fms (%.2fx)\n",
+				serial.RedoMS, par8.RedoMS, res.Summary.RecoveryRedoSpeedup8,
+				serial.RestartMS, par8.RestartMS, res.Summary.RecoveryRestartSpeedup8)
+		}
+	} else if buffer {
 		oldRead16, newRead16 := find("buffer-read", "old", 16), find("buffer-read", "new", 16)
 		oldRead1, newRead1 := find("buffer-read", "old", 1), find("buffer-read", "new", 1)
 		if oldRead16 != nil && newRead16 != nil && oldRead16.TxnsPerSec > 0 {
@@ -621,7 +929,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *minSpeedup > 0 && headlineSpeedup < *minSpeedup {
-		fmt.Fprintf(os.Stderr, "16-worker speedup %.2fx below required %.2fx\n",
+		fmt.Fprintf(os.Stderr, "headline speedup %.2fx below required %.2fx\n",
 			headlineSpeedup, *minSpeedup)
 		os.Exit(1)
 	}

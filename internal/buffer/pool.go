@@ -250,12 +250,20 @@ func NewPoolWith(disk *storage.Disk, log *wal.Log, cfg Config, stats *trace.Stat
 	return p
 }
 
-// shardOf returns the shard owning page id (Fibonacci multiplicative
-// mixing, as in the lock manager, so adjacent page IDs spread).
-func (p *Pool) shardOf(id storage.PageID) *poolShard {
+// ShardHash mixes a page ID with the Fibonacci multiplicative constant
+// (the same idiom as the lock manager) so adjacent page IDs spread evenly
+// across any power-of-two or modulo partitioning. Exported so other
+// page-partitioned fan-outs — notably parallel restart redo — divide pages
+// exactly the way the pool does.
+func ShardHash(id storage.PageID) uint64 {
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	h ^= h >> 29
-	return &p.shards[h&p.mask]
+	return h
+}
+
+// shardOf returns the shard owning page id.
+func (p *Pool) shardOf(id storage.PageID) *poolShard {
+	return &p.shards[ShardHash(id)&p.mask]
 }
 
 // NumShards returns the effective shard count (power of two, ≤ capacity).
@@ -680,6 +688,51 @@ func (p *Pool) Crash() {
 		s.hand = 0
 		s.mu.Unlock()
 	}
+}
+
+// Contains reports whether page id is currently resident (possibly still
+// loading). Advisory: the answer can be stale by the time the caller acts
+// on it, which is fine for prefetch planning.
+func (p *Pool) Contains(id storage.PageID) bool {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	_, ok := s.frames[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// Prefetch fixes and immediately unfixes every non-resident page in ids,
+// issuing the miss reads concurrently so they overlap on the device queue.
+// It is purely advisory: errors are swallowed (the demand Fix will surface
+// them with full retry/recovery handling) and resident pages are skipped.
+// Returns the number of pages actually fetched. Serial-I/O baseline pools
+// do not prefetch — overlap is the whole point.
+func (p *Pool) Prefetch(ids []storage.PageID) int {
+	if p.serialIO || len(ids) == 0 {
+		return 0
+	}
+	var fetched atomic.Int64
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		if id == storage.InvalidPageID || p.Contains(id) {
+			continue
+		}
+		wg.Add(1)
+		go func(id storage.PageID) {
+			defer wg.Done()
+			f, err := p.Fix(id)
+			if err != nil {
+				return
+			}
+			p.Unfix(f)
+			fetched.Add(1)
+			if p.stats != nil {
+				p.stats.PagesPrefetched.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	return int(fetched.Load())
 }
 
 // NumBuffered returns the number of resident frames.

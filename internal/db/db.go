@@ -95,6 +95,14 @@ type Options struct {
 	// realistic value the buffer benchmark measures I/O overlap, not
 	// map-lookup speed.
 	PageIODelay time.Duration
+	// RedoWorkers sets the restart redo parallelism: zero or one runs the
+	// classic single-threaded redo pass; N > 1 partitions the dirty page
+	// table across N workers by page id (see recovery.RestartOpts).
+	RedoWorkers int
+	// RedoPrefetch sets the restart redo prefetcher's read-ahead depth in
+	// pages. Zero uses recovery.DefaultRedoPrefetch when RedoWorkers > 1;
+	// negative disables prefetching.
+	RedoPrefetch int
 	// Stats receives instrumentation; one is created when nil.
 	Stats *trace.Stats
 }
@@ -314,25 +322,32 @@ func (d *DB) TakeImageCopy() *recovery.ImageCopy {
 // its checksum or hits a permanent device error; VerifyConsistency invokes
 // it from its checksum sweep.
 func (d *DB) recoverPageOn(disk *storage.Disk, log *wal.Log, id storage.PageID) error {
+	return d.recoverPagesOn(disk, log, []storage.PageID{id})
+}
+
+// recoverPagesOn rebuilds a batch of damaged pages in one forward log scan
+// (recovery.RecoverPages), so a multi-page media failure — a dying device
+// corrupting a whole region — costs one scan instead of one per page.
+func (d *DB) recoverPagesOn(disk *storage.Disk, log *wal.Log, ids []storage.PageID) error {
 	d.imgMu.Lock()
 	img := d.img
 	d.imgMu.Unlock()
 	if img == nil {
-		// No archive taken yet: replay the page's entire log history onto
+		// No archive taken yet: replay each page's entire log history onto
 		// a zero page. Valid because the simulated log is never pruned.
 		img = &recovery.ImageCopy{Pages: map[storage.PageID][]byte{}}
 	}
 	var err error
 	for attempt := 0; attempt < 4; attempt++ {
-		if err = recovery.RecoverPage(disk, log, img, id); err == nil {
-			d.stats.MediaRecoveries.Add(1)
+		if _, err = recovery.RecoverPages(disk, log, img, ids); err == nil {
+			d.stats.MediaRecoveries.Add(uint64(len(ids)))
 			return nil
 		}
 		if !errors.Is(err, storage.ErrTransientIO) {
 			break
 		}
 	}
-	return fmt.Errorf("%w: page %d: %v", ErrMediaFailure, id, err)
+	return fmt.Errorf("%w: pages %v: %v", ErrMediaFailure, ids, err)
 }
 
 // Checkpoint takes a fuzzy checkpoint (a no-op while the engine is down).
@@ -830,11 +845,31 @@ func (d *DB) Restart() (*recovery.Report, error) {
 	if err := d.reopenLocked(); err != nil {
 		return nil, err
 	}
-	rep, err := recovery.Restart(d.log, d.pool, d.tm, d.locks, d.stats)
+	rep, err := recovery.RestartWith(d.log, d.pool, d.tm, d.locks, d.stats,
+		d.restartOptsLocked(0))
 	if err == nil {
 		d.markUpLocked()
 	}
 	return rep, err
+}
+
+// restartOptsLocked builds the recovery options from the engine's tuning.
+// Caller holds d.mu.
+func (d *DB) restartOptsLocked(maxUndoSteps int) recovery.RestartOpts {
+	return recovery.RestartOpts{
+		MaxUndoSteps: maxUndoSteps,
+		RedoWorkers:  d.opts.RedoWorkers,
+		RedoPrefetch: d.opts.RedoPrefetch,
+	}
+}
+
+// SetRedoWorkers tunes restart redo parallelism on an existing engine —
+// typically a Fork, whose options were copied from the parent before the
+// sweep chose a worker count. Takes effect on the next Restart.
+func (d *DB) SetRedoWorkers(n int) {
+	d.mu.Lock()
+	d.opts.RedoWorkers = n
+	d.mu.Unlock()
 }
 
 // RestartInterrupted runs restart recovery with an undo-step budget,
@@ -856,7 +891,7 @@ func (d *DB) RestartInterrupted(maxUndoSteps int, forceTail bool) (interrupted b
 		return false, err
 	}
 	_, err = recovery.RestartWith(d.log, d.pool, d.tm, d.locks, d.stats,
-		recovery.RestartOpts{MaxUndoSteps: maxUndoSteps})
+		d.restartOptsLocked(maxUndoSteps))
 	if errors.Is(err, recovery.ErrRestartInterrupted) {
 		if forceTail {
 			d.log.ForceAll()
@@ -980,31 +1015,41 @@ func (d *DB) checksumSweep() error {
 	disk, log := d.disk, d.log
 	d.mu.Unlock()
 	buf := make([]byte, disk.PageSize())
-	for _, id := range disk.PageIDs() {
-		// Repair then re-verify: recovery's rebuild write goes through the
-		// same faulty device and may itself be torn, so loop a few rounds
-		// (an injector that caps consecutive faults guarantees progress).
-		var err error
-		for round := 0; round < 8; round++ {
+	ids := disk.PageIDs()
+	// Repair then re-verify: recovery's rebuild write goes through the
+	// same faulty device and may itself be torn, so loop a few rounds (an
+	// injector that caps consecutive faults guarantees progress). Each
+	// round verifies the suspect set, then rebuilds every damaged page it
+	// found in ONE batched log scan — a region-wide corruption no longer
+	// pays one full scan per page.
+	for round := 0; round < 8; round++ {
+		var damaged []storage.PageID
+		for _, id := range ids {
+			var err error
 			for attempt := 0; attempt < 8; attempt++ {
 				if err = disk.Read(id, buf); err == nil || !errors.Is(err, storage.ErrTransientIO) {
 					break
 				}
 				d.stats.IORetries.Add(1)
 			}
-			if err == nil || (!errors.Is(err, storage.ErrChecksum) && !errors.Is(err, storage.ErrPermanentIO)) {
-				break
-			}
-			d.stats.CorruptPages.Add(1)
-			if rerr := d.recoverPageOn(disk, log, id); rerr != nil {
-				return fmt.Errorf("db: checksum sweep: page %d: %w", id, rerr)
+			switch {
+			case err == nil:
+			case errors.Is(err, storage.ErrChecksum) || errors.Is(err, storage.ErrPermanentIO):
+				d.stats.CorruptPages.Add(1)
+				damaged = append(damaged, id)
+			default:
+				return fmt.Errorf("db: checksum sweep: page %d: %w", id, err)
 			}
 		}
-		if err != nil {
-			return fmt.Errorf("db: checksum sweep: page %d: %w", id, err)
+		if len(damaged) == 0 {
+			return nil
 		}
+		if err := d.recoverPagesOn(disk, log, damaged); err != nil {
+			return fmt.Errorf("db: checksum sweep: %w", err)
+		}
+		ids = damaged // later rounds re-verify only the repaired pages
 	}
-	return nil
+	return fmt.Errorf("db: checksum sweep: pages still corrupt after repair rounds")
 }
 
 // GetCS fetches a row at cursor-stability (degree 2) isolation: the read

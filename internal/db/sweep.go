@@ -25,6 +25,10 @@ type SweepOpts struct {
 	// PoolSize in frames (default 256; large enough that no page is
 	// evicted, which keeps every log prefix a legal crash state).
 	PoolSize int
+	// RedoWorkers sets restart redo parallelism on every fork (0/1 =
+	// serial). The sweep's verification is identical either way — that is
+	// the point of running it with workers > 1.
+	RedoWorkers int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -198,6 +202,7 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 
 	for i, L := range boundaries {
 		fork := d.Fork()
+		fork.SetRedoWorkers(opts.RedoWorkers)
 		fork.Log().TruncateTo(L)
 
 		// First restart dies mid-undo after a seed-dependent number of undo

@@ -22,6 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ariesim/internal/buffer"
 	"ariesim/internal/core"
@@ -59,6 +62,16 @@ type Report struct {
 	LosersUndone  int
 	InDoubt       []wal.TxID
 	LocksRestored int
+
+	// Parallel-redo observability.
+	RedoWorkers        int // effective worker count (after clamping to DPT size)
+	RedoRecordsScanned int // records examined across all redo workers
+	PagesPrefetched    int // pages pulled in by the DPT-driven prefetcher
+
+	// Per-pass wall clocks.
+	AnalysisWall time.Duration
+	RedoWall     time.Duration
+	UndoWall     time.Duration
 }
 
 // ErrRestartInterrupted reports that a restart stopped early because its
@@ -68,6 +81,16 @@ type Report struct {
 // partial undo repeatable without re-undoing compensated work.
 var ErrRestartInterrupted = errors.New("recovery: restart interrupted mid-undo")
 
+// DefaultRedoPrefetch is the prefetch read-ahead depth (pages in flight
+// beyond the apply cursor) used when parallel redo is on and the caller
+// did not choose one.
+const DefaultRedoPrefetch = 32
+
+// redoPrefetchBatch is how many page reads one prefetch call issues
+// concurrently; small enough not to flood a shard with loading frames,
+// large enough to keep a costed device queue busy.
+const redoPrefetchBatch = 8
+
 // RestartOpts tunes a restart run.
 type RestartOpts struct {
 	// MaxUndoSteps, when positive, crashes the restart after that many undo
@@ -75,6 +98,17 @@ type RestartOpts struct {
 	// ErrRestartInterrupted. Zero or negative means run to completion.
 	// Used by the crash-point sweep to exercise repeated restarts.
 	MaxUndoSteps int
+
+	// RedoWorkers is the redo-pass parallelism. Zero or one runs the
+	// classic single-threaded pass (the measured baseline); N > 1
+	// partitions the dirty page table across N workers by page id. The
+	// effective count is clamped to the DPT size.
+	RedoWorkers int
+
+	// RedoPrefetch is the prefetcher's read-ahead depth in pages. Zero
+	// picks DefaultRedoPrefetch when RedoWorkers > 1 and disables
+	// prefetching for the serial baseline; negative disables it outright.
+	RedoPrefetch int
 }
 
 // Restart runs the three recovery passes. The caller supplies the freshly
@@ -88,20 +122,26 @@ func Restart(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manag
 // RestartWith is Restart with options; see RestartOpts.
 func RestartWith(log *wal.Log, pool *buffer.Pool, tm *txn.Manager, locks *lock.Manager, stats *trace.Stats, opts RestartOpts) (*Report, error) {
 	rep := &Report{}
+	t := time.Now()
 	txTable, dpt, maxTx, err := analyze(log, rep)
 	if err != nil {
 		return nil, err
 	}
+	rep.AnalysisWall = time.Since(t)
 	tm.SetNextID(maxTx + 1)
-	if err := redo(log, pool, dpt, rep, stats); err != nil {
+	t = time.Now()
+	if err := redo(log, pool, dpt, rep, stats, opts); err != nil {
 		return nil, err
 	}
+	rep.RedoWall = time.Since(t)
 	if err := reacquireLocks(log, tm, txTable, rep); err != nil {
 		return nil, err
 	}
+	t = time.Now()
 	if err := undoLosers(tm, txTable, rep, opts.MaxUndoSteps); err != nil {
 		return rep, err
 	}
+	rep.UndoWall = time.Since(t)
 	// Post-restart checkpoint bounds the next restart's analysis pass.
 	tm.Checkpoint(pool)
 	return rep, nil
@@ -120,17 +160,25 @@ func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[sto
 		log.Scan(master, func(r *wal.Record) bool {
 			if r.Type == wal.RecEndCkpt {
 				ckpt, err := wal.DecodeCheckpointData(r.Payload)
-				if err == nil {
-					for i := range ckpt.Txs {
-						e := ckpt.Txs[i]
-						txTable[e.TxID] = &e
-						if e.TxID > maxTx {
-							maxTx = e.TxID
-						}
+				if err != nil {
+					// The end-ckpt record survived but its payload does not
+					// decode (torn or corrupt on the media). Starting at the
+					// master LSN with EMPTY tables would silently drop every
+					// pre-checkpoint loser and dirty page — committed work
+					// lost, in-flight work half-applied. Treat the checkpoint
+					// as unusable and fall back to full-log analysis, which
+					// rebuilds both tables from scratch.
+					return false
+				}
+				for i := range ckpt.Txs {
+					e := ckpt.Txs[i]
+					txTable[e.TxID] = &e
+					if e.TxID > maxTx {
+						maxTx = e.TxID
 					}
-					for _, d := range ckpt.DPT {
-						dpt[d.Page] = d.RecLSN
-					}
+				}
+				for _, d := range ckpt.DPT {
+					dpt[d.Page] = d.RecLSN
 				}
 				primed = true
 				return false
@@ -143,8 +191,9 @@ func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[sto
 		// Not primed: the crash tore the fuzzy checkpoint apart — the
 		// begin-ckpt the master record points at is stable but its
 		// end-ckpt (carrying the tx table and DPT) was lost with the
-		// unforced tail. The checkpoint is unusable; analyze from the
-		// start of the log as if it never happened. (SetMaster runs only
+		// unforced tail or survived with an undecodable payload. The
+		// checkpoint is unusable; analyze from the start of the log as if
+		// it never happened. (SetMaster runs only
 		// after the end record is forced, so this state needs the stable
 		// mark itself to rewind — a torn log tail or a crash-point
 		// truncation landing between the two checkpoint records.)
@@ -199,8 +248,21 @@ func analyze(log *wal.Log, rep *Report) (map[wal.TxID]*wal.TxTableEntry, map[sto
 }
 
 // redo repeats history from the minimum recLSN.
-func redo(log *wal.Log, pool *buffer.Pool, dpt map[storage.PageID]wal.LSN, rep *Report, stats *trace.Stats) error {
+//
+// The pass is strictly page-oriented: a record's redo touches exactly one
+// page, and the only ordering ARIES requires is per-page LSN order (§1.2).
+// Partitioning the dirty page table by page id therefore needs zero
+// cross-worker synchronization — each worker replays only its own pages'
+// records, in log order, and no two workers ever fix the same page. The
+// partition function is the pool's Fibonacci shard hash, so a worker's
+// pages also spread across buffer shards. One log snapshot (SnapshotFrom)
+// is shared read-only by every worker.
+func redo(log *wal.Log, pool *buffer.Pool, dpt map[storage.PageID]wal.LSN, rep *Report, stats *trace.Stats, opts RestartOpts) error {
+	rep.RedoWorkers = 1
 	if len(dpt) == 0 {
+		// Nothing to redo. Report the analysis start rather than a bogus
+		// zero LSN so "redo began at" is never before "analysis began at".
+		rep.RedoFrom = rep.AnalyzedFrom
 		return nil
 	}
 	redoFrom := wal.LSN(^uint64(0))
@@ -210,45 +272,195 @@ func redo(log *wal.Log, pool *buffer.Pool, dpt map[storage.PageID]wal.LSN, rep *
 		}
 	}
 	rep.RedoFrom = redoFrom
-	var redoErr error
-	log.Scan(redoFrom, func(r *wal.Record) bool {
-		if !r.Redoable() {
-			return true
+	recs := log.SnapshotFrom(redoFrom)
+
+	workers := opts.RedoWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dpt) {
+		workers = len(dpt)
+	}
+	rep.RedoWorkers = workers
+
+	prefetch := opts.RedoPrefetch
+	switch {
+	case prefetch < 0:
+		prefetch = 0
+	case prefetch == 0 && workers > 1:
+		prefetch = DefaultRedoPrefetch
+	case workers == 1:
+		prefetch = 0 // the serial baseline stays honestly serial
+	}
+
+	// Partition the DPT and, when prefetching, compute each worker's pages
+	// in first-redo order — the order its apply cursor will demand them.
+	parts := make([]map[storage.PageID]wal.LSN, workers)
+	for i := range parts {
+		parts[i] = make(map[storage.PageID]wal.LSN)
+	}
+	for pid, rec := range dpt {
+		parts[int(buffer.ShardHash(pid)%uint64(workers))][pid] = rec
+	}
+	orders := make([][]storage.PageID, workers)
+	if prefetch > 0 {
+		seen := make(map[storage.PageID]bool, len(dpt))
+		for _, r := range recs {
+			if !r.Redoable() || seen[r.Page] {
+				continue
+			}
+			if rec, ok := dpt[r.Page]; !ok || r.LSN < rec {
+				continue
+			}
+			seen[r.Page] = true
+			w := int(buffer.ShardHash(r.Page) % uint64(workers))
+			orders[w] = append(orders[w], r.Page)
 		}
-		rec, ok := dpt[r.Page]
+	}
+
+	var abort atomic.Bool
+	results := make([]redoResult, workers)
+	if workers == 1 {
+		results[0] = redoPartition(pool, recs, parts[0], orders[0], prefetch, stats, &abort)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w] = redoPartition(pool, recs, parts[w], orders[w], prefetch, stats, &abort)
+			}(w)
+		}
+		wg.Wait()
+	}
+	var redoErr error
+	for _, res := range results {
+		rep.RedosApplied += res.applied
+		rep.RedosSkipped += res.skipped
+		rep.RedoRecordsScanned += res.scanned
+		rep.PagesPrefetched += res.prefetched
+		if res.err != nil && redoErr == nil {
+			redoErr = res.err
+		}
+	}
+	if stats != nil {
+		stats.RedoRecordsScanned.Add(uint64(rep.RedoRecordsScanned))
+	}
+	return redoErr
+}
+
+// redoResult is one redo worker's tally.
+type redoResult struct {
+	applied    int
+	skipped    int
+	scanned    int
+	prefetched int
+	err        error
+}
+
+// redoPartition replays, in log order, every redoable record belonging to
+// the pages in part. It is the classic serial redo loop body; parallelism
+// comes entirely from running several partitions at once over the shared
+// record snapshot. A prefetcher goroutine (when enabled) pulls the
+// partition's pages into the pool ahead of the apply cursor so miss reads
+// overlap with apply work.
+func redoPartition(pool *buffer.Pool, recs []*wal.Record, part map[storage.PageID]wal.LSN, order []storage.PageID, prefetch int, stats *trace.Stats, abort *atomic.Bool) (res redoResult) {
+	if len(part) == 0 {
+		return res
+	}
+	// cursor counts distinct pages the apply loop has reached; the
+	// prefetcher throttles itself against it.
+	var cursor atomic.Int64
+	if prefetch > 0 && len(order) > 0 {
+		stop := make(chan struct{})
+		done := make(chan int, 1)
+		go prefetchAhead(pool, order, &cursor, prefetch, stop, done)
+		defer func() {
+			close(stop)
+			res.prefetched = <-done
+		}()
+	}
+	touched := make(map[storage.PageID]bool, len(part))
+	for _, r := range recs {
+		if abort.Load() {
+			return res
+		}
+		res.scanned++
+		if !r.Redoable() {
+			continue
+		}
+		rec, ok := part[r.Page]
 		if !ok || r.LSN < rec {
-			return true
+			continue
+		}
+		if !touched[r.Page] {
+			touched[r.Page] = true
+			cursor.Add(1)
 		}
 		f, err := pool.Fix(r.Page)
 		if err != nil {
-			redoErr = err
-			return false
+			res.err = err
+			abort.Store(true)
+			return res
 		}
 		f.Latch.Acquire(latch.X)
 		if f.Page.LSN() < uint64(r.LSN) {
 			if err := routeRedo(f.Page, r); err != nil {
 				f.Latch.Release(latch.X)
 				pool.Unfix(f)
-				redoErr = fmt.Errorf("recovery: redo of %s: %w", r, err)
-				return false
+				res.err = fmt.Errorf("recovery: redo of %s: %w", r, err)
+				abort.Store(true)
+				return res
 			}
 			f.Page.SetLSN(uint64(r.LSN))
 			pool.MarkDirty(f, r.LSN)
-			rep.RedosApplied++
+			res.applied++
 			if stats != nil {
 				stats.RedoApplied.Add(1)
 			}
 		} else {
-			rep.RedosSkipped++
+			res.skipped++
 			if stats != nil {
 				stats.RedoSkipped.Add(1)
 			}
 		}
 		f.Latch.Release(latch.X)
 		pool.Unfix(f)
-		return true
-	})
-	return redoErr
+	}
+	return res
+}
+
+// prefetchAhead batches the partition's pages into the pool in first-use
+// order, staying at most depth pages beyond the apply cursor so a huge DPT
+// cannot flood (or thrash) the pool. Throttling is a bounded sleep-poll
+// rather than a handshake: the apply loop never blocks on the prefetcher,
+// and a closed stop channel ends the read-ahead immediately.
+func prefetchAhead(pool *buffer.Pool, order []storage.PageID, cursor *atomic.Int64, depth int, stop <-chan struct{}, done chan<- int) {
+	total := 0
+	for i := 0; i < len(order); {
+		for int64(i)-cursor.Load() >= int64(depth) {
+			select {
+			case <-stop:
+				done <- total
+				return
+			default:
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		end := i + redoPrefetchBatch
+		if end > len(order) {
+			end = len(order)
+		}
+		total += pool.Prefetch(order[i:end])
+		i = end
+		select {
+		case <-stop:
+			done <- total
+			return
+		default:
+		}
+	}
+	done <- total
 }
 
 // reacquireLocks restores the locks of in-doubt transactions from their
@@ -362,25 +574,53 @@ func TakeImageCopy(disk *storage.Disk, log *wal.Log) *ImageCopy {
 // RecoverPage rebuilds a single damaged page from the image copy plus one
 // forward pass of the log — the paper's §5 page-oriented media recovery:
 // no tree traversal, no other pages, index pages handled exactly like data
-// pages. Only records on the stable log are applied: writing a page whose
-// page_LSN exceeded the stable LSN would violate the WAL protocol (the
-// disk may never be ahead of the log), and is also unnecessary — every
-// disk version the page ever had was forced-covered before it was written.
+// pages. For multiple damaged pages use RecoverPages, which shares one
+// scan instead of paying one per page.
 func RecoverPage(disk *storage.Disk, log *wal.Log, img *ImageCopy, pid storage.PageID) error {
-	page := storage.NewPage(disk.PageSize())
-	if b, ok := img.Pages[pid]; ok {
-		copy(page.Bytes(), b)
+	_, err := RecoverPages(disk, log, img, []storage.PageID{pid})
+	return err
+}
+
+// RecoverPages rebuilds every page in pids from the image copy plus ONE
+// forward pass of the log, applying each record to the (at most one)
+// damaged page it names. Rebuilding N pages was previously N full log
+// scans — O(pages × records); batching makes a multi-page media failure
+// (a dying device corrupting a whole region) cost the same single scan as
+// one page. Only records on the stable log are applied: writing a page
+// whose page_LSN exceeded the stable LSN would violate the WAL protocol
+// (the disk may never be ahead of the log), and is also unnecessary —
+// every disk version the page ever had was forced-covered before it was
+// written. Returns the number of log records examined (tests assert the
+// single-scan bound with it). Pages are written back only after the whole
+// scan succeeds, in pid order.
+func RecoverPages(disk *storage.Disk, log *wal.Log, img *ImageCopy, pids []storage.PageID) (int, error) {
+	if len(pids) == 0 {
+		return 0, nil
+	}
+	pages := make(map[storage.PageID]*storage.Page, len(pids))
+	for _, pid := range pids {
+		if _, ok := pages[pid]; ok {
+			continue
+		}
+		page := storage.NewPage(disk.PageSize())
+		if b, ok := img.Pages[pid]; ok {
+			copy(page.Bytes(), b)
+		}
+		pages[pid] = page
 	}
 	stable := log.StableLSN()
+	scanned := 0
 	var applyErr error
 	log.Scan(wal.NilLSN+1, func(r *wal.Record) bool {
 		if r.LSN > stable {
 			return false
 		}
-		if r.Page != pid || !r.Redoable() {
+		scanned++
+		if !r.Redoable() {
 			return true
 		}
-		if page.LSN() >= uint64(r.LSN) {
+		page, ok := pages[r.Page]
+		if !ok || page.LSN() >= uint64(r.LSN) {
 			return true
 		}
 		if err := routeRedo(page, r); err != nil {
@@ -391,9 +631,19 @@ func RecoverPage(disk *storage.Disk, log *wal.Log, img *ImageCopy, pid storage.P
 		return true
 	})
 	if applyErr != nil {
-		return applyErr
+		return scanned, applyErr
 	}
-	return disk.Write(pid, page.Bytes())
+	ids := make([]storage.PageID, 0, len(pages))
+	for pid := range pages {
+		ids = append(ids, pid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, pid := range ids {
+		if err := disk.Write(pid, pages[pid].Bytes()); err != nil {
+			return scanned, err
+		}
+	}
+	return scanned, nil
 }
 
 // Boundaries returns the LSN of every log record strictly after `after`:

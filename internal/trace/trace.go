@@ -68,6 +68,7 @@ type Stats struct {
 	FixParks       atomic.Uint64 // fixers parked on another fixer's in-flight read
 	CleanerPasses  atomic.Uint64 // background cleaner passes completed
 	CleanerWrites  atomic.Uint64 // dirty frames flushed by the cleaner
+	PagesPrefetched atomic.Uint64 // pages pulled in ahead of demand (restart prefetcher)
 
 	// Log.
 	LogRecords   atomic.Uint64
@@ -92,6 +93,7 @@ type Stats struct {
 	UndoLogical       atomic.Uint64 // undos that retraversed the tree
 	RedoApplied       atomic.Uint64 // log records redone at restart
 	RedoSkipped       atomic.Uint64 // redo candidates already on the page
+	RedoRecordsScanned atomic.Uint64 // log records examined by restart redo (all workers)
 	AmbiguityRestarts atomic.Uint64 // Fig 4 "unwind recursion" events
 	SMBitWaits        atomic.Uint64 // operations delayed by SM_Bit
 	DeleteBitPOSCs    atomic.Uint64 // points of structural consistency forced by Delete_Bit
@@ -213,13 +215,14 @@ type Snapshot struct {
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
 	EvictionsDirty, EvictionStalls, FixParks                  uint64
-	CleanerPasses, CleanerWrites                              uint64
+	CleanerPasses, CleanerWrites, PagesPrefetched             uint64
 	LogRecords, LogBytes, LogForces                           uint64
 	ForceWaiters, GroupCommits                                uint64
 	IORetries, CorruptPages                                   uint64
 	MediaRecoveries, TornTailTruncations                      uint64
 	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
 	UndoPageOriented, UndoLogical, RedoApplied, RedoSkipped   uint64
+	RedoRecordsScanned                                        uint64
 	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
 }
 
@@ -263,6 +266,7 @@ func (s *Stats) Snap() Snapshot {
 	out.FixParks = s.FixParks.Load()
 	out.CleanerPasses = s.CleanerPasses.Load()
 	out.CleanerWrites = s.CleanerWrites.Load()
+	out.PagesPrefetched = s.PagesPrefetched.Load()
 	out.LogRecords = s.LogRecords.Load()
 	out.LogBytes = s.LogBytes.Load()
 	out.LogForces = s.LogForces.Load()
@@ -281,6 +285,7 @@ func (s *Stats) Snap() Snapshot {
 	out.UndoLogical = s.UndoLogical.Load()
 	out.RedoApplied = s.RedoApplied.Load()
 	out.RedoSkipped = s.RedoSkipped.Load()
+	out.RedoRecordsScanned = s.RedoRecordsScanned.Load()
 	out.AmbiguityRestarts = s.AmbiguityRestarts.Load()
 	out.SMBitWaits = s.SMBitWaits.Load()
 	out.DeleteBitPOSCs = s.DeleteBitPOSCs.Load()
@@ -324,6 +329,7 @@ func Diff(before, after Snapshot) Snapshot {
 	d.FixParks = after.FixParks - before.FixParks
 	d.CleanerPasses = after.CleanerPasses - before.CleanerPasses
 	d.CleanerWrites = after.CleanerWrites - before.CleanerWrites
+	d.PagesPrefetched = after.PagesPrefetched - before.PagesPrefetched
 	d.LogRecords = after.LogRecords - before.LogRecords
 	d.LogBytes = after.LogBytes - before.LogBytes
 	d.LogForces = after.LogForces - before.LogForces
@@ -342,6 +348,7 @@ func Diff(before, after Snapshot) Snapshot {
 	d.UndoLogical = after.UndoLogical - before.UndoLogical
 	d.RedoApplied = after.RedoApplied - before.RedoApplied
 	d.RedoSkipped = after.RedoSkipped - before.RedoSkipped
+	d.RedoRecordsScanned = after.RedoRecordsScanned - before.RedoRecordsScanned
 	d.AmbiguityRestarts = after.AmbiguityRestarts - before.AmbiguityRestarts
 	d.SMBitWaits = after.SMBitWaits - before.SMBitWaits
 	d.DeleteBitPOSCs = after.DeleteBitPOSCs - before.DeleteBitPOSCs

@@ -325,15 +325,24 @@ func (l *Log) Read(lsn LSN) (*Record, error) {
 // Scan invokes fn on every record with LSN >= from, in order, until fn
 // returns false. It snapshots the record list so fn may use the log.
 func (l *Log) Scan(from LSN, fn func(*Record) bool) {
-	l.mu.Lock()
-	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
-	snapshot := l.recs[i:]
-	l.mu.Unlock()
-	for _, r := range snapshot {
+	for _, r := range l.SnapshotFrom(from) {
 		if !fn(r) {
 			return
 		}
 	}
+}
+
+// SnapshotFrom returns a read-only view of every record with LSN >= from,
+// in order. The view shares the log's backing array — records are
+// immutable once appended, and later appends never mutate the viewed
+// prefix — so ONE log scan can be fanned out across many consumers
+// (restart redo workers) with zero copying. Callers must not modify the
+// returned slice or the records it holds.
+func (l *Log) SnapshotFrom(from LSN) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
+	return l.recs[i:len(l.recs):len(l.recs)]
 }
 
 // Records returns all records from LSN from onward (test/verification aid).
