@@ -22,6 +22,7 @@
 //	ariesim-crash -rounds 10 -faults -torn -bitflip
 //	ariesim-crash -sweep               # every-boundary crash-point sweep
 //	ariesim-crash -chaos -workers 8 -crashes 20 -faults
+//	ariesim-crash -chaos -online -workers 8 -crashes 20 -faults
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the every-log-boundary crash-point sweep instead of torture rounds")
 	chaos := flag.Bool("chaos", false, "run the concurrent crash-under-load chaos sweep instead of torture rounds")
 	crashes := flag.Int("crashes", 20, "chaos mode: crash/restart points")
+	online := flag.Bool("online", false, "chaos mode: recover with online restart (open after analysis; a rotating subset of points re-crashes mid-recovery)")
+	redoWorkers := flag.Int("redo", 8, "chaos -online mode: parallel redo/drain workers")
 	flag.Parse()
 
 	if *sweep {
@@ -58,7 +61,7 @@ func main() {
 		return
 	}
 	if *chaos {
-		runChaos(*seed, *workers, *crashes, *faults)
+		runChaos(*seed, *workers, *crashes, *faults, *online, *redoWorkers)
 		return
 	}
 
@@ -301,13 +304,15 @@ func runSweep(seed int64) {
 // the engine through db.RunTxn while the driver injects faults and
 // crashes it at random points, verifying the acked-commit model exactly
 // after every restart.
-func runChaos(seed int64, workers, crashes int, faults bool) {
+func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers int) {
 	res, err := db.RunChaosSweep(db.ChaosOpts{
-		Seed:    seed,
-		Workers: workers,
-		Crashes: crashes,
-		Faults:  faults,
-		Logf:    func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		Seed:          seed,
+		Workers:       workers,
+		Crashes:       crashes,
+		Faults:        faults,
+		OnlineRestart: online,
+		RedoWorkers:   redoWorkers,
+		Logf:          func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {
 		fail("chaos: %v", err)
@@ -319,6 +324,12 @@ func runChaos(seed int64, workers, crashes int, faults bool) {
 	fmt.Printf("retry layer: %d retries (%d deadlock, %d timeout, %d crash-wait), %d retried txns committed\n",
 		res.TxnRetries, res.DeadlockRetries, res.TimeoutRetries, res.CrashWaits, res.RetrySuccesses)
 	fmt.Printf("recovery: %d redos, %d undo steps across restarts\n", res.RestartRedos, res.RestartUndos)
+	if online {
+		fmt.Printf("online restart: %d online restarts, %d mid-recovery crashes, %d recovering retries\n",
+			res.OnlineRestarts, res.MidRecoveryCrashes, res.RecoveringRetries)
+		fmt.Printf("online redo: %d pages on demand at fix time, %d by background drain, %d checkpoints fenced\n",
+			res.PagesOnDemand, res.PagesDrained, res.CheckpointsSkipped)
+	}
 	if faults {
 		fmt.Printf("fault handling: %d corrupt pages healed by %d media recoveries\n",
 			res.CorruptPages, res.MediaRecoveries)

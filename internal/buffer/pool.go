@@ -87,6 +87,18 @@ const minFramesPerShard = 8
 // forward from the log.
 type MediaRecoverer func(storage.PageID) error
 
+// RecoveryHook is invoked after a miss read completes, before any parked
+// fixer is released — the single-page redo point of online restart. The
+// hook replays the page's log suffix in place and reports whether it
+// changed the page (and from which LSN), so the pool can install the
+// dirty/recLSN state itself; the hook must NOT call back into the pool
+// (the serial-I/O path runs it under the shard lock). A hook error
+// withdraws the frame exactly like a failed read: parked fixers fail fast
+// and a later Fix retries from scratch. Because the hook rides the
+// loading-frame protocol, N concurrent fixers of one page cost exactly
+// one replay.
+type RecoveryHook func(id storage.PageID, p *storage.Page) (dirty bool, recLSN wal.LSN, err error)
+
 // Frame is a buffered page: the page bytes, the page latch, and the pin /
 // dirty / recLSN bookkeeping. Callers mutate Page only while holding
 // Latch in X mode and must log the change and call MarkDirty before
@@ -190,6 +202,9 @@ type Pool struct {
 	recoverMu sync.RWMutex
 	recover   MediaRecoverer
 
+	hookMu  sync.RWMutex
+	recHook RecoveryHook
+
 	// Background page cleaner (see cleaner.go).
 	cleanMu   sync.Mutex
 	cleanStop chan struct{}
@@ -284,6 +299,46 @@ func (p *Pool) mediaRecoverer() MediaRecoverer {
 	p.recoverMu.RLock()
 	defer p.recoverMu.RUnlock()
 	return p.recover
+}
+
+// SetRecoveryHook installs (or, with nil, removes) the on-demand redo hook
+// run on every miss read. Installed before the engine opens for business
+// and removed once the background drain has emptied the recovery plan.
+func (p *Pool) SetRecoveryHook(h RecoveryHook) {
+	p.hookMu.Lock()
+	p.recHook = h
+	p.hookMu.Unlock()
+}
+
+func (p *Pool) recoveryHook() RecoveryHook {
+	p.hookMu.RLock()
+	defer p.hookMu.RUnlock()
+	return p.recHook
+}
+
+// runRecoveryHook applies the installed hook (if any) to a freshly read
+// frame, installing the resulting dirty/recLSN state directly — MarkDirty
+// would deadlock on the serial-I/O path, which calls this under the shard
+// lock. No latch is needed: the frame is still loading, so no other fixer
+// can hold it.
+func (p *Pool) runRecoveryHook(f *Frame) error {
+	hook := p.recoveryHook()
+	if hook == nil {
+		return nil
+	}
+	dirty, recLSN, err := hook(f.id, f.Page)
+	if err != nil {
+		return err
+	}
+	if dirty {
+		f.mu.Lock()
+		if !f.dirty {
+			f.dirty = true
+			f.recLSN = recLSN
+		}
+		f.mu.Unlock()
+	}
+	return nil
 }
 
 // backoff is the capped linear retry delay for transient I/O errors. Real
@@ -438,6 +493,9 @@ func (p *Pool) Fix(id storage.PageID) (*Frame, error) {
 		// Baseline mode: the read happens under the shard lock, exactly as
 		// the historical single-mutex pool did.
 		err := p.readPage(id, f.Page.Bytes())
+		if err == nil {
+			err = p.runRecoveryHook(f)
+		}
 		if err != nil {
 			s.removeLocked(f)
 		}
@@ -452,7 +510,11 @@ func (p *Pool) Fix(id storage.PageID) (*Frame, error) {
 	}
 
 	s.mu.Unlock()
-	if err := p.readPage(id, f.Page.Bytes()); err != nil {
+	err := p.readPage(id, f.Page.Bytes())
+	if err == nil {
+		err = p.runRecoveryHook(f)
+	}
+	if err != nil {
 		// Withdraw the frame so parked fixers fail fast and a later Fix
 		// retries the read from scratch.
 		f.loadErr = err
@@ -676,6 +738,7 @@ func (p *Pool) DPT() []wal.DPTEntry {
 // (restart recovery refills it).
 func (p *Pool) Crash() {
 	p.StopCleaner()
+	p.SetRecoveryHook(nil) // any pending recovery plan died with the volatile state
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()

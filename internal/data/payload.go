@@ -61,6 +61,18 @@ func decodeInsertPayload(b []byte) (insertPayload, error) {
 // image (needed to undo the ghosting and to verify redo).
 type deletePayload = insertPayload
 
+// SlotOfPayload extracts the target slot from an OpDataInsert or
+// OpDataDelete payload. Online restart uses it to derive the record lock
+// name — DataLockName(gran, record.Page, slot) — a loser transaction must
+// reacquire before the engine reopens.
+func SlotOfPayload(b []byte) (uint16, error) {
+	p, err := decodeInsertPayload(b)
+	if err != nil {
+		return 0, err
+	}
+	return p.Slot, nil
+}
+
 // purgePayload is the body of OpDataPurge (redo-only physical removal).
 type purgePayload struct {
 	Slot uint16

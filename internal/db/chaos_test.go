@@ -46,3 +46,43 @@ func TestChaosSweep(t *testing.T) {
 	}
 	t.Logf("chaos result: %+v", res)
 }
+
+// TestChaosSweepOnlineRestart reruns the chaos sweep with online restarts:
+// workers resume the instant analysis finishes (racing the background
+// drain and loser undo), and a rotating subset of crash points re-crashes
+// the engine mid-recovery. Verification is the same exact committed model.
+// This is the run `make race` puts under the race detector.
+func TestChaosSweepOnlineRestart(t *testing.T) {
+	o := ChaosOpts{
+		Seed:            3,
+		Workers:         8,
+		Crashes:         6,
+		CommitsPerPhase: 12,
+		Faults:          true,
+		OnlineRestart:   true,
+		RedoWorkers:     8,
+		Logf:            t.Logf,
+	}
+	if testing.Short() {
+		o.Workers = 4
+		o.Crashes = 3
+		o.CommitsPerPhase = 6
+	}
+	res, err := RunChaosSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != o.Crashes {
+		t.Errorf("crashes = %d, want %d", res.Crashes, o.Crashes)
+	}
+	if res.OnlineRestarts == 0 {
+		t.Error("no restart ran online")
+	}
+	if res.MidRecoveryCrashes == 0 {
+		t.Error("no crash landed mid-recovery")
+	}
+	if res.PagesOnDemand+res.PagesDrained == 0 {
+		t.Error("no pages recovered by hook or drain")
+	}
+	t.Logf("chaos result: %+v", res)
+}

@@ -50,6 +50,13 @@ type ChaosOpts struct {
 	// if commit throughput stalls for this long between crashes — the
 	// symptom of retries collapsing into livelock.
 	WatchdogPatience time.Duration
+	// OnlineRestart restarts the engine (and every verification fork)
+	// online: workers resume the moment analysis finishes, racing the
+	// background drain and loser undo, and a rotating subset of crash
+	// points re-crashes the engine while that recovery is still running.
+	OnlineRestart bool
+	// RedoWorkers sets restart redo parallelism (0/1 = serial).
+	RedoWorkers int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +109,14 @@ type ChaosResult struct {
 	RestartRedos     uint64 // redo records applied across all restarts
 	RestartUndos     uint64 // undo steps driven across all restarts
 	GaveUp           int    // transactions that exhausted their retries (no effect committed)
+
+	// Online-restart counters (zero unless ChaosOpts.OnlineRestart).
+	OnlineRestarts     uint64 // restarts that opened after analysis
+	MidRecoveryCrashes int    // crashes landed while background recovery ran
+	RecoveringRetries  uint64 // RunTxn immediate retries on ErrRecovering
+	CheckpointsSkipped uint64 // checkpoints refused while recovery was pending
+	PagesOnDemand      uint64 // pages recovered at fix time by the hook
+	PagesDrained       uint64 // pages recovered by the background drain
 }
 
 // chaosModel is the exact model of acked-committed state. Mutations happen
@@ -170,6 +185,8 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 	d := Open(Options{
 		PageSize: o.PageSize, PoolSize: o.PoolSize,
 		LockWaitTimeout: o.LockWaitTimeout,
+		OnlineRestart:   o.OnlineRestart,
+		RedoWorkers:     o.RedoWorkers,
 	})
 	const tableName = "chaos"
 	if _, err := d.CreateTable(tableName); err != nil {
@@ -400,6 +417,46 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 			wg.Wait()
 			return nil, fmt.Errorf("chaos: crash %d: restart: %v", c, err)
 		}
+
+		// Under online restart the engine is already serving the workers
+		// while its background drain and loser undo run. On a rotating
+		// subset, crash it AGAIN inside that window — the hardest crash
+		// point: live traffic, half-drained DPT, half-undone losers, no
+		// checkpoint taken since before the first crash — and verify a
+		// recovery of that instant too.
+		if o.OnlineRestart && c%3 == 2 {
+			time.Sleep(time.Duration(crashRNG.Intn(1500)+100) * time.Microsecond)
+			d.Crash()
+			snap2 := model.snapshot()
+			refork := d.Fork()
+			if _, err := refork.Restart(); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("chaos: crash %d: mid-recovery fork restart: %v", c, err)
+			}
+			if _, err := d.Restart(); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("chaos: crash %d: mid-recovery restart: %v", c, err)
+			}
+			if _, err := refork.AwaitRecovered(); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("chaos: crash %d: mid-recovery fork await: %v", c, err)
+			}
+			if err := verifyAgainst(refork, tableName, snap2); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("chaos: crash %d: mid-recovery: %v", c, err)
+			}
+			res.MidRecoveryCrashes++
+		}
+
+		if _, err := fork.AwaitRecovered(); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, fmt.Errorf("chaos: crash %d: fork await recovered: %v", c, err)
+		}
 		if err := verifyAgainst(fork, tableName, snap); err != nil {
 			close(stop)
 			wg.Wait()
@@ -416,7 +473,11 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 		return nil, err
 	}
 
-	// Final quiesced verification on the live engine itself.
+	// Final quiesced verification on the live engine itself (waiting out
+	// any still-running background recovery first).
+	if _, err := d.AwaitRecovered(); err != nil {
+		return nil, fmt.Errorf("chaos: final await recovered: %v", err)
+	}
 	if err := verifyAgainst(d, tableName, model.snapshot()); err != nil {
 		return nil, fmt.Errorf("chaos: final: %v", err)
 	}
@@ -436,6 +497,11 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 	res.MediaRecoveries = sn.MediaRecoveries
 	res.RestartRedos = sn.RedoApplied
 	res.RestartUndos = sn.UndoPageOriented + sn.UndoLogical
+	res.OnlineRestarts = sn.OnlineRestarts
+	res.RecoveringRetries = sn.TxnRecoveringRetries
+	res.CheckpointsSkipped = sn.CheckpointsSkippedRecovering
+	res.PagesOnDemand = sn.PagesRedoneOnDemand
+	res.PagesDrained = sn.PagesRedoneByDrain
 	if inj != nil {
 		res.FaultsInjected = inj.Counts()
 	}

@@ -38,6 +38,16 @@ var ErrDuplicate = core.ErrDuplicate
 // interrupted restart) and must be Restarted before accepting work.
 var ErrCrashed = errors.New("db: engine is crashed; call Restart first")
 
+// ErrRecovering reports an operation that genuinely cannot proceed while
+// online restart recovery is still running in the background — DDL and
+// whole-engine verification, which would observe loser data that the
+// background undo has not yet rolled back. It wraps ErrCrashed so generic
+// callers degrade the same way, but the engine is UP: ordinary
+// transactions proceed normally, and retry loops (db.RunTxn) distinguish
+// "down" from "degraded" via errors.Is and retry immediately instead of
+// parking on AwaitUp.
+var ErrRecovering = fmt.Errorf("db: online recovery in progress: %w", ErrCrashed)
+
 // ErrMediaFailure reports a page that could not be rebuilt by media
 // recovery — the disk copy is corrupt and the image copy + log replay
 // also failed. Data loss is possible; the error wraps the cause.
@@ -103,6 +113,13 @@ type Options struct {
 	// pages. Zero uses recovery.DefaultRedoPrefetch when RedoWorkers > 1;
 	// negative disables prefetching.
 	RedoPrefetch int
+	// OnlineRestart makes Restart open the engine right after the analysis
+	// pass: redo happens on demand at buffer-fix time (plus a background
+	// drain), and loser undo runs in the background under reinstated locks.
+	// Requires the default data-only protocol (lock reinstatement derives
+	// record locks from the log, which only ARIES/IM's "key lock IS the
+	// record lock" rule permits); other protocols restart offline.
+	OnlineRestart bool
 	// Stats receives instrumentation; one is created when nil.
 	Stats *trace.Stats
 }
@@ -171,6 +188,11 @@ type DB struct {
 	cat    catalog
 	tables map[string]*Table
 	downed bool
+	// recov is the live online-restart coordinator, non-nil from an online
+	// Restart until the next Crash/reopen. It may already be done (its
+	// Recovering() false); Crash aborts it so a zombie coordinator never
+	// checkpoints the new epoch.
+	recov *recovery.Online
 	// upCh is closed while the engine is up; Crash replaces it with an
 	// open channel and Restart closes that one. AwaitUp blocks on it.
 	upCh chan struct{}
@@ -351,13 +373,95 @@ func (d *DB) recoverPagesOn(disk *storage.Disk, log *wal.Log, ids []storage.Page
 }
 
 // Checkpoint takes a fuzzy checkpoint (a no-op while the engine is down).
+//
+// While online recovery is pending the checkpoint is skipped (and counted):
+// its DPT would omit the planned-but-not-yet-resident pages, so a re-crash
+// would analyze from it and lose their redo. The coordinator takes the
+// bounding checkpoint itself once drain and undo finish.
 func (d *DB) Checkpoint() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.downed {
 		return
 	}
+	if d.recoveringLocked() {
+		d.stats.CheckpointsSkippedRecovering.Add(1)
+		return
+	}
 	d.tm.Checkpoint(d.pool)
+}
+
+// recoveringLocked reports whether online recovery is still pending.
+// Caller holds d.mu.
+func (d *DB) recoveringLocked() bool {
+	return d.recov != nil && d.recov.Recovering()
+}
+
+// abortRecoveryLocked fences off a live online-restart coordinator: its
+// background goroutines observe the abort flag and stop without touching
+// the hook or taking the bounding checkpoint. Caller holds d.mu.
+func (d *DB) abortRecoveryLocked() {
+	if d.recov != nil {
+		d.recov.Abort()
+		d.recov = nil
+	}
+}
+
+// Recovering reports whether the engine is up but still recovering in the
+// background (online restart). Ordinary transactions run; DDL and
+// VerifyConsistency fail with ErrRecovering until AwaitRecovered.
+func (d *DB) Recovering() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.downed && d.recoveringLocked()
+}
+
+// AwaitRecovered blocks until the engine is up AND any background recovery
+// has finished, returning the completed restart report. After an offline
+// restart it returns (nil, nil) as soon as the engine is up. If a re-crash
+// aborts an online recovery mid-flight, it waits for the next restart's
+// recovery instead of reporting the aborted one.
+func (d *DB) AwaitRecovered() (*recovery.Report, error) {
+	for {
+		d.AwaitUp()
+		d.mu.Lock()
+		o := d.recov
+		d.mu.Unlock()
+		if o == nil {
+			return nil, nil
+		}
+		rep, err := o.Wait()
+		if errors.Is(err, recovery.ErrRecoveryAborted) {
+			d.mu.Lock()
+			superseded := d.recov != o
+			d.mu.Unlock()
+			if superseded {
+				continue // a crash raced us; await the successor recovery
+			}
+		}
+		return rep, err
+	}
+}
+
+// AwaitUpFor is AwaitUp with a deadline: it returns true once the engine
+// is up, or false if timeout elapses first. A non-positive timeout waits
+// forever.
+func (d *DB) AwaitUpFor(timeout time.Duration) bool {
+	d.mu.Lock()
+	ch := d.upCh
+	d.mu.Unlock()
+	if timeout <= 0 {
+		<-ch
+		return true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 // saveCatalog persists the schema to the disk meta area.
@@ -395,6 +499,11 @@ func (d *DB) CreateTable(name string) (*Table, error) {
 	defer d.mu.Unlock()
 	if d.downed {
 		return nil, ErrCrashed
+	}
+	if d.recoveringLocked() {
+		// DDL during background recovery would race the drain's page fixes
+		// and the losers' undo over the FSM and catalog; callers retry.
+		return nil, ErrRecovering
 	}
 	if _, dup := d.tables[name]; dup {
 		return nil, fmt.Errorf("db: table %q exists", name)
@@ -472,6 +581,9 @@ func (t *Table) AddSecondaryIndex(name string, extract func(value []byte) []byte
 	defer d.mu.Unlock()
 	if d.downed {
 		return ErrCrashed
+	}
+	if d.recoveringLocked() {
+		return ErrRecovering
 	}
 	tx := d.tm.Begin()
 	id := d.cat.NextIndexID
@@ -765,6 +877,11 @@ func (d *DB) Crash() {
 	// a cleaner write. (Zombie foreground I/O still lands on the orphaned
 	// original, as for any in-flight write a power cut loses.)
 	d.pool.StopCleaner()
+	// A crash mid-online-recovery kills the coordinator with everything
+	// else that is volatile: the plan, the reinstated locks, the background
+	// losers all die here, and the next restart rediscovers them from the
+	// pre-crash checkpoint (no checkpoint was taken while it was pending).
+	d.abortRecoveryLocked()
 	oldDisk := d.disk
 	d.disk = oldDisk.Clone()
 	if inj := oldDisk.Injector(); inj != nil {
@@ -805,6 +922,9 @@ func (d *DB) markUpLocked() {
 // reopenLocked rebuilds the volatile state and reopens the catalog and
 // table handles; the caller holds d.mu and then runs restart recovery.
 func (d *DB) reopenLocked() error {
+	// A restart over a still-recovering engine (legal: tests and sweeps
+	// restart without an intervening Crash) orphans the old coordinator.
+	d.abortRecoveryLocked()
 	var prevNextID wal.TxID
 	if d.tm != nil {
 		prevNextID = d.tm.NextID()
@@ -836,14 +956,34 @@ func (d *DB) reopenLocked() error {
 	return nil
 }
 
-// Restart rebuilds the volatile state, reopens the catalog, and runs the
-// three-pass ARIES restart. Secondary index extractors must be re-bound
-// afterwards via OpenSecondaryIndex.
+// Restart rebuilds the volatile state, reopens the catalog, and runs
+// restart recovery. Secondary index extractors must be re-bound afterwards
+// via OpenSecondaryIndex.
+//
+// With Options.OnlineRestart (under the default data-only protocol) the
+// engine is up the moment Restart returns — right after the analysis pass —
+// and redo/undo continue in the background: the returned report carries
+// only the open-time fields, and AwaitRecovered returns the completed one.
+// Otherwise Restart runs the classic offline three-pass recovery.
 func (d *DB) Restart() (*recovery.Report, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.reopenLocked(); err != nil {
 		return nil, err
+	}
+	if d.opts.OnlineRestart && d.opts.Protocol == core.DataOnly {
+		o, err := recovery.StartOnline(d.log, d.pool, d.tm, d.locks, d.stats,
+			recovery.OnlineOpts{
+				RestartOpts: d.restartOptsLocked(0),
+				Granularity: d.opts.Granularity,
+			})
+		if err != nil {
+			return nil, err
+		}
+		d.recov = o
+		d.stats.OnlineRestarts.Add(1)
+		d.markUpLocked()
+		return o.OpenReport(), nil
 	}
 	rep, err := recovery.RestartWith(d.log, d.pool, d.tm, d.locks, d.stats,
 		d.restartOptsLocked(0))
@@ -851,6 +991,15 @@ func (d *DB) Restart() (*recovery.Report, error) {
 		d.markUpLocked()
 	}
 	return rep, err
+}
+
+// SetOnlineRestart toggles online restart on an existing engine — typically
+// a Fork, before the sweep decides which restart mode to exercise. Takes
+// effect on the next Restart.
+func (d *DB) SetOnlineRestart(on bool) {
+	d.mu.Lock()
+	d.opts.OnlineRestart = on
+	d.mu.Unlock()
 }
 
 // restartOptsLocked builds the recovery options from the engine's tuning.
@@ -951,6 +1100,13 @@ func (d *DB) Fork() *DB {
 // own RID, and vice versa). Secondary indexes are checked against the
 // extractor when bound.
 func (d *DB) VerifyConsistency() error {
+	// The whole-engine sweep assumes a quiesced, fully recovered engine:
+	// mid-online-recovery the heap/index mirrors legitimately disagree with
+	// the committed state (loser inserts await their background undo, DPT
+	// pages await their replay). Callers AwaitRecovered first.
+	if d.Recovering() {
+		return ErrRecovering
+	}
 	if err := d.checksumSweep(); err != nil {
 		return err
 	}

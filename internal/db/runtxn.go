@@ -58,6 +58,12 @@ type RunTxnOpts struct {
 	// Seed drives the backoff jitter deterministically. Concurrent callers
 	// should use distinct seeds or their retries stampede in lockstep.
 	Seed int64
+	// RetryDeadline bounds the total time RunTxn spends retrying — in
+	// particular the AwaitUp wait for a restart, which is otherwise
+	// unbounded. When it expires at a wait point, RunTxn gives up with the
+	// last error (wrapping ErrCrashed if no attempt ever ran). Zero keeps
+	// the historical wait-forever behavior.
+	RetryDeadline time.Duration
 	// OnCommit, when set, runs atomically with the commit acknowledgement:
 	// at the instant it runs the commit record is durable and no crash has
 	// intervened. Harnesses use it to maintain an exact model of acked
@@ -97,8 +103,28 @@ func (d *DB) RunTxnWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	backoff := opts.BaseBackoff
 	var lastErr error
+	var deadline time.Time
+	if opts.RetryDeadline > 0 {
+		deadline = time.Now().Add(opts.RetryDeadline)
+	}
+	deadlineErr := func() error {
+		cause := lastErr
+		if cause == nil {
+			cause = ErrCrashed
+		}
+		return fmt.Errorf("db: retry deadline %v exceeded: %w", opts.RetryDeadline, cause)
+	}
+	awaitUp := func() bool {
+		if deadline.IsZero() {
+			d.AwaitUp()
+			return true
+		}
+		return d.AwaitUpFor(time.Until(deadline))
+	}
 	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
-		d.AwaitUp()
+		if !awaitUp() {
+			return deadlineErr()
+		}
 		tx, err := d.Begin()
 		if err != nil {
 			if errors.Is(err, ErrCrashed) {
@@ -140,7 +166,21 @@ func (d *DB) RunTxnWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
 			// work lost at the power cut) and re-execute after restart.
 			_ = tx.Rollback()
 			d.stats.TxnRetries.Add(1)
+			if errors.Is(err, ErrRecovering) {
+				// The engine is UP — only background recovery is pending,
+				// and it finishes on its own. Retry immediately; parking on
+				// a backoff here would just add latency.
+				d.stats.TxnRecoveringRetries.Add(1)
+				continue
+			}
 			d.stats.TxnCrashWaits.Add(1)
+			if !awaitUp() {
+				return deadlineErr()
+			}
+			// Jitter AFTER the restart releases the herd: every retrier
+			// wakes on the same upCh close, so without this they re-enter
+			// the fresh epoch in lockstep and collide all over again.
+			time.Sleep(time.Duration(rng.Int63n(int64(opts.BaseBackoff) + 1)))
 		default:
 			if rbErr := tx.Rollback(); rbErr != nil && !errors.Is(rbErr, txn.ErrTxDone) &&
 				ClassifyErr(rbErr) == ClassFatal {

@@ -67,6 +67,11 @@ type SweepResult struct {
 	// forcing the second restart to recover from a half-done recovery.
 	// Every point runs two restarts regardless.
 	DoubleRecoveries int
+	// OnlinePoints counts boundaries additionally recovered with online
+	// restart (every point); OnlineRecrashes counts the rotating subset
+	// whose online recovery was itself crashed mid-flight and rerun.
+	OnlinePoints    int
+	OnlineRecrashes int
 }
 
 // committedState is the exact table contents after the commit that wrote
@@ -93,6 +98,10 @@ type committedState struct {
 // This is the ARIES idempotence-of-restart guarantee (repeat history +
 // CLRs bound undo work) checked exhaustively rather than at hand-picked
 // crash points.
+//
+// Every boundary is then recovered a second way, with ONLINE restart (open
+// after analysis, drain + loser undo in the background), a rotating subset
+// re-crashing mid-online-recovery; the recovered state must be identical.
 func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -227,6 +236,36 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 		if err := fork.VerifyConsistency(); err != nil {
 			return nil, fmt.Errorf("point %d (LSN %d): consistency: %w", i, L, err)
 		}
+
+		// The same boundary again, recovered ONLINE: the engine opens after
+		// analysis and the drain/undo finish in the background. A rotating
+		// subset re-crashes mid-online-recovery — while the drain and the
+		// background loser undo are (possibly) still running — and recovers
+		// once more, exercising the no-checkpoint-while-pending crash fence.
+		ofork := d.Fork()
+		ofork.SetRedoWorkers(opts.RedoWorkers)
+		ofork.SetOnlineRestart(true)
+		ofork.Log().TruncateTo(L)
+		if _, err := ofork.Restart(); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): online restart: %w", i, L, err)
+		}
+		if i%3 == 0 {
+			ofork.Crash()
+			res.OnlineRecrashes++
+			if _, err := ofork.Restart(); err != nil {
+				return nil, fmt.Errorf("point %d (LSN %d): online re-restart: %w", i, L, err)
+			}
+		}
+		if _, err := ofork.AwaitRecovered(); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): await recovered: %w", i, L, err)
+		}
+		if err := verifyState(ofork, want); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): online: %w", i, L, err)
+		}
+		if err := ofork.VerifyConsistency(); err != nil {
+			return nil, fmt.Errorf("point %d (LSN %d): online consistency: %w", i, L, err)
+		}
+		res.OnlinePoints++
 		res.Points++
 		if (i+1)%100 == 0 {
 			opts.Logf("sweep: %d/%d points verified (%d double recoveries)",

@@ -31,6 +31,12 @@ func TestCrashSweepEveryBoundary(t *testing.T) {
 	if res.DoubleRecoveries == 0 {
 		t.Fatal("no point interrupted its first restart mid-undo; the double-recovery path went unexercised")
 	}
+	if res.OnlinePoints != res.Points {
+		t.Fatalf("online pass covered %d of %d points", res.OnlinePoints, res.Points)
+	}
+	if res.OnlineRecrashes == 0 {
+		t.Fatal("no online recovery was re-crashed mid-flight")
+	}
 	if res.Rollbacks == 0 || res.Commits == 0 {
 		t.Fatalf("workload not mixed: %d commits, %d rollbacks", res.Commits, res.Rollbacks)
 	}

@@ -793,6 +793,27 @@ func (m *Manager) processQueueLocked(s *shard, name Name, h *head) {
 	}
 }
 
+// Reinstate re-grants a loser transaction's lock at restart, before the
+// engine opens for business. The lock table is empty at that point (a
+// crash wipes it), so the conditional request must succeed; a denial means
+// the restart sequence granted a conflicting lock first, which is an
+// invariant violation, not a wait-worthy conflict — it is reported as an
+// error rather than queued. The grant is commit-duration: it is released
+// by the loser's EndLoser exactly as a live transaction's locks would be.
+func (m *Manager) Reinstate(owner Owner, name Name, mode Mode) error {
+	err := m.Request(owner, name, mode, Commit, true)
+	if err != nil {
+		if errors.Is(err, ErrShutdown) {
+			return err
+		}
+		return fmt.Errorf("lock: reinstate %v %v for owner %d: %w", name, mode, owner, err)
+	}
+	if m.stats != nil {
+		m.stats.LocksReinstated.Add(1)
+	}
+	return nil
+}
+
 // Release drops owner's holding on name (manual-duration unlock).
 func (m *Manager) Release(owner Owner, name Name) {
 	s := m.shardOf(name)

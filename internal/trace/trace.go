@@ -50,6 +50,7 @@ type Stats struct {
 	TxnCrashWaits      atomic.Uint64 // RunTxn attempts parked waiting for Restart
 	TxnStepRetries     atomic.Uint64 // savepoint-scoped partial retries (RunTxnSteps)
 	TxnRetrySuccesses  atomic.Uint64 // transactions that committed after >=1 retry
+	TxnRecoveringRetries atomic.Uint64 // immediate retries on ErrRecovering (engine up, op degraded)
 
 	// Latches.
 	LatchAcquires     atomic.Uint64
@@ -94,6 +95,14 @@ type Stats struct {
 	RedoApplied       atomic.Uint64 // log records redone at restart
 	RedoSkipped       atomic.Uint64 // redo candidates already on the page
 	RedoRecordsScanned atomic.Uint64 // log records examined by restart redo (all workers)
+
+	// Online restart.
+	OnlineRestarts               atomic.Uint64 // restarts that opened after analysis (online mode)
+	LocksReinstated              atomic.Uint64 // loser locks re-granted from the log at restart
+	PagesRedoneOnDemand          atomic.Uint64 // DPT pages recovered at fix time by a foreground caller
+	PagesRedoneByDrain           atomic.Uint64 // DPT pages recovered by the background drain workers
+	CheckpointsSkippedRecovering atomic.Uint64 // checkpoints refused while online recovery was pending
+
 	AmbiguityRestarts atomic.Uint64 // Fig 4 "unwind recursion" events
 	SMBitWaits        atomic.Uint64 // operations delayed by SM_Bit
 	DeleteBitPOSCs    atomic.Uint64 // points of structural consistency forced by Delete_Bit
@@ -211,6 +220,7 @@ type Snapshot struct {
 	SavepointLockReleases                                     uint64
 	TxnRetries, TxnDeadlockRetries, TxnTimeoutRetries         uint64
 	TxnCrashWaits, TxnStepRetries, TxnRetrySuccesses          uint64
+	TxnRecoveringRetries                                      uint64
 	LatchAcquires, LatchWaits, LatchTryFailures               uint64
 	TreeLatchAcquires, TreeLatchWaits                         uint64
 	PageFixes, PageMisses, PageWrites, PageEvicted            uint64
@@ -223,6 +233,9 @@ type Snapshot struct {
 	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
 	UndoPageOriented, UndoLogical, RedoApplied, RedoSkipped   uint64
 	RedoRecordsScanned                                        uint64
+	OnlineRestarts, LocksReinstated                           uint64
+	PagesRedoneOnDemand, PagesRedoneByDrain                   uint64
+	CheckpointsSkippedRecovering                              uint64
 	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
 }
 
@@ -252,6 +265,7 @@ func (s *Stats) Snap() Snapshot {
 	out.TxnCrashWaits = s.TxnCrashWaits.Load()
 	out.TxnStepRetries = s.TxnStepRetries.Load()
 	out.TxnRetrySuccesses = s.TxnRetrySuccesses.Load()
+	out.TxnRecoveringRetries = s.TxnRecoveringRetries.Load()
 	out.LatchAcquires = s.LatchAcquires.Load()
 	out.LatchWaits = s.LatchWaits.Load()
 	out.LatchTryFailures = s.LatchTryFailures.Load()
@@ -286,6 +300,11 @@ func (s *Stats) Snap() Snapshot {
 	out.RedoApplied = s.RedoApplied.Load()
 	out.RedoSkipped = s.RedoSkipped.Load()
 	out.RedoRecordsScanned = s.RedoRecordsScanned.Load()
+	out.OnlineRestarts = s.OnlineRestarts.Load()
+	out.LocksReinstated = s.LocksReinstated.Load()
+	out.PagesRedoneOnDemand = s.PagesRedoneOnDemand.Load()
+	out.PagesRedoneByDrain = s.PagesRedoneByDrain.Load()
+	out.CheckpointsSkippedRecovering = s.CheckpointsSkippedRecovering.Load()
 	out.AmbiguityRestarts = s.AmbiguityRestarts.Load()
 	out.SMBitWaits = s.SMBitWaits.Load()
 	out.DeleteBitPOSCs = s.DeleteBitPOSCs.Load()
@@ -315,6 +334,7 @@ func Diff(before, after Snapshot) Snapshot {
 	d.TxnCrashWaits = after.TxnCrashWaits - before.TxnCrashWaits
 	d.TxnStepRetries = after.TxnStepRetries - before.TxnStepRetries
 	d.TxnRetrySuccesses = after.TxnRetrySuccesses - before.TxnRetrySuccesses
+	d.TxnRecoveringRetries = after.TxnRecoveringRetries - before.TxnRecoveringRetries
 	d.LatchAcquires = after.LatchAcquires - before.LatchAcquires
 	d.LatchWaits = after.LatchWaits - before.LatchWaits
 	d.LatchTryFailures = after.LatchTryFailures - before.LatchTryFailures
@@ -349,6 +369,11 @@ func Diff(before, after Snapshot) Snapshot {
 	d.RedoApplied = after.RedoApplied - before.RedoApplied
 	d.RedoSkipped = after.RedoSkipped - before.RedoSkipped
 	d.RedoRecordsScanned = after.RedoRecordsScanned - before.RedoRecordsScanned
+	d.OnlineRestarts = after.OnlineRestarts - before.OnlineRestarts
+	d.LocksReinstated = after.LocksReinstated - before.LocksReinstated
+	d.PagesRedoneOnDemand = after.PagesRedoneOnDemand - before.PagesRedoneOnDemand
+	d.PagesRedoneByDrain = after.PagesRedoneByDrain - before.PagesRedoneByDrain
+	d.CheckpointsSkippedRecovering = after.CheckpointsSkippedRecovering - before.CheckpointsSkippedRecovering
 	d.AmbiguityRestarts = after.AmbiguityRestarts - before.AmbiguityRestarts
 	d.SMBitWaits = after.SMBitWaits - before.SMBitWaits
 	d.DeleteBitPOSCs = after.DeleteBitPOSCs - before.DeleteBitPOSCs

@@ -153,8 +153,18 @@ func (m *Manager) adopt(t *Tx) {
 }
 
 // AdoptLoser reconstructs an in-flight transaction from analysis output so
-// the undo pass (or in-doubt handling) can drive it.
+// the undo pass (or in-doubt handling) can drive it. Idempotent: online
+// restart adopts prepared transactions during lock reinstatement and the
+// remaining losers when phases are wired up, so an entry may be offered
+// twice — the live Tx (which may already hold reinstated locks and undo
+// progress) wins over a fresh reconstruction.
 func (m *Manager) AdoptLoser(e wal.TxTableEntry) *Tx {
+	m.mu.Lock()
+	if existing, ok := m.table[e.TxID]; ok && existing.mgr == m {
+		m.mu.Unlock()
+		return existing
+	}
+	m.mu.Unlock()
 	t := &Tx{ID: e.TxID, state: e.State, lastLSN: e.LastLSN, undoNxtLSN: e.UndoNxtLSN}
 	if e.State == wal.TxRollingBack {
 		t.rollingBack = true
