@@ -18,11 +18,21 @@
 // the harness injects faults and crashes the engine at random points under
 // live traffic, verifying exact committed state after every restart.
 //
+// The -standby mode runs the hot-standby failover sweep: a primary ships
+// WAL to a standby over a seeded lossy channel (drops, duplicates,
+// reorders, corruption, stalls) while concurrent clients commit through
+// the semi-sync gate; the primary is crashed under live traffic, the
+// standby is promoted, the zombie primary's stragglers must bounce off
+// the epoch fence, and the promoted node is verified byte-exactly against
+// the acked-commit ledger — plus one promotion fork per log record
+// boundary of the standby's received window.
+//
 //	ariesim-crash -rounds 20 -workers 4 -ops 300 -seed 1
 //	ariesim-crash -rounds 10 -faults -torn -bitflip
 //	ariesim-crash -sweep               # every-boundary crash-point sweep
 //	ariesim-crash -chaos -workers 8 -crashes 20 -faults
 //	ariesim-crash -chaos -online -workers 8 -crashes 20 -faults
+//	ariesim-crash -standby -faults     # hot-standby failover sweep
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 
 	"ariesim/internal/db"
 	"ariesim/internal/lock"
+	"ariesim/internal/repl"
 	"ariesim/internal/storage"
 	"ariesim/internal/workload"
 )
@@ -54,8 +65,14 @@ func main() {
 	crashes := flag.Int("crashes", 20, "chaos mode: crash/restart points")
 	online := flag.Bool("online", false, "chaos mode: recover with online restart (open after analysis; a rotating subset of points re-crashes mid-recovery)")
 	redoWorkers := flag.Int("redo", 8, "chaos -online mode: parallel redo/drain workers")
+	standby := flag.Bool("standby", false, "run the hot-standby failover sweep (crash the primary under live replicated traffic, promote, verify)")
+	commits := flag.Int("commits", 120, "standby mode: acked commits before the primary is crashed")
 	flag.Parse()
 
+	if *standby {
+		runStandby(*seed, *workers, *commits, *faults, *online, *redoWorkers)
+		return
+	}
 	if *sweep {
 		runSweep(*seed)
 		return
@@ -337,6 +354,40 @@ func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers
 		fmt.Printf("faults injected: %d read errors, %d write errors, %d torn writes, %d bit flips\n",
 			c.ReadFaults, c.WriteFaults, c.TornWrites, c.BitFlips)
 	}
+}
+
+// runStandby drives the hot-standby failover sweep: live replicated
+// traffic through the semi-sync gate, a primary crash, a promotion, a
+// fenced zombie, and exact + every-boundary verification on the standby.
+func runStandby(seed int64, workers, commits int, faults, online bool, redoWorkers int) {
+	f := repl.ChannelFaults{Seed: seed}
+	if faults {
+		f.DropProb, f.DupProb, f.ReorderProb = 0.15, 0.08, 0.08
+		f.CorruptProb, f.StallProb = 0.05, 0.02
+	}
+	res, err := repl.RunStandbySweep(repl.SweepOpts{
+		Seed:            seed,
+		Workers:         workers,
+		PreCrashCommits: commits,
+		Faults:          f,
+		SyncGate:        true,
+		OnlineRestart:   online,
+		RedoWorkers:     redoWorkers,
+		Logf:            func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fail("standby: %v", err)
+	}
+	fmt.Printf("\nPASS: failover verified — %d acked commits, zero acked loss, %d boundary forks\n",
+		res.CommitsAcked, res.Boundaries)
+	fmt.Printf("ambiguity: %d gate-failed commits (%d resolved present, %d resolved lost)\n",
+		res.CommitsUnacked, res.ResolvedIn, res.ResolvedOut)
+	fmt.Printf("shipping: %d segments shipped, %d resent, %d applied, %d rejected; %d naks, %d reseeds\n",
+		res.SegmentsShipped, res.SegmentsResent, res.SegmentsApplied, res.SegmentsRejected,
+		res.Naks, res.Reseeds)
+	fmt.Printf("channel faults: %+v\n", res.Channel)
+	fmt.Printf("failover: TTFC %v, zombie segments fenced %d, lag p50 %.0f / p99 %.0f log bytes\n",
+		res.FailoverTTFC, res.ZombieRejected, res.LagP50, res.LagP99)
 }
 
 func fail(format string, args ...any) {

@@ -1,0 +1,155 @@
+// Command ariesim-lint is the in-repo stand-in for staticcheck: a small
+// std-lib-only linter so `make staticcheck` can block the CI gate even on
+// machines where staticcheck itself is not installed. It checks:
+//
+//   - gofmt cleanliness (the file must equal its go/format rendering)
+//   - comparisons of a value against the literals true/false
+//   - self-assignment (x = x)
+//   - time.Now().Sub(t), which should be time.Since(t)
+//   - empty else branches (else {})
+//
+// Usage mirrors the go tool: `ariesim-lint ./...` walks the tree rooted at
+// the current directory; bare directory arguments lint just that package
+// directory. Any finding is printed as file:line: message and the exit
+// status is 1.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var files []string
+	for _, arg := range args {
+		root, recursive := arg, false
+		if strings.HasSuffix(arg, "/...") {
+			root, recursive = strings.TrimSuffix(arg, "/..."), true
+			if root == "." || root == "" {
+				root = "."
+			}
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if !recursive && path != root {
+					return fs.SkipDir
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+					return fs.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ariesim-lint: %s: %v\n", arg, err)
+			os.Exit(2)
+		}
+	}
+
+	findings := 0
+	for _, path := range files {
+		findings += lintFile(path)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ariesim-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		report(token.Position{Filename: path}, "unreadable: %v", err)
+		return 1
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		report(token.Position{Filename: path}, "parse error: %v", err)
+		return 1
+	}
+	n := 0
+	if formatted, err := format.Source(src); err == nil && string(formatted) != string(src) {
+		report(token.Position{Filename: path, Line: 1}, "file is not gofmt-formatted")
+		n++
+	}
+	ast.Inspect(f, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if id, ok := side.(*ast.Ident); ok && (id.Name == "true" || id.Name == "false") {
+						report(fset.Position(x.Pos()), "comparison with literal %s; use the value (or its negation) directly", id.Name)
+						n++
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ASSIGN && len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					if sameIdentChain(x.Lhs[i], x.Rhs[i]) {
+						report(fset.Position(x.Pos()), "self-assignment")
+						n++
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// time.Now().Sub(t) -> time.Since(t)
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" {
+				if inner, ok := sel.X.(*ast.CallExpr); ok {
+					if isel, ok := inner.Fun.(*ast.SelectorExpr); ok && isel.Sel.Name == "Now" {
+						if pkg, ok := isel.X.(*ast.Ident); ok && pkg.Name == "time" {
+							report(fset.Position(x.Pos()), "time.Now().Sub(t); use time.Since(t)")
+							n++
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if blk, ok := x.Else.(*ast.BlockStmt); ok && len(blk.List) == 0 {
+				report(fset.Position(blk.Pos()), "empty else branch")
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// sameIdentChain reports whether two expressions are the identical chain of
+// plain identifiers and selectors (x, x.y, x.y.z) — the only forms where
+// assignment to itself cannot have effects.
+func sameIdentChain(a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameIdentChain(av.X, bv.X)
+	}
+	return false
+}
+
+func report(pos token.Position, fmtStr string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", pos, fmt.Sprintf(fmtStr, args...))
+}

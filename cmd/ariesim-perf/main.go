@@ -6,15 +6,24 @@
 //   - concurrency (default): N workers drive transactions against a costed
 //     log device (simulated force latency), comparing single lock-manager
 //     shard + no group commit against the sharded lock table + group commit.
+//
 //   - buffer: a capacity-constrained pool over a costed page device
 //     (simulated per-page latency), comparing the serial-I/O single-shard
 //     pool against the sharded clock-sweep pool with I/O outside the lock,
 //     with and without the background page cleaner.
 //
-//	ariesim-perf                         # full matrix -> BENCH_concurrency.json
-//	ariesim-perf -workload buffer        # buffer matrix -> BENCH_buffer.json
-//	ariesim-perf -smoke                  # reduced matrix (CI)
-//	ariesim-perf -verify FILE            # validate an existing results file
+//   - recovery: crash/restart cost, serial vs page-partitioned parallel
+//     redo, plus online restart's time to first commit.
+//
+//   - standby: the price of hot-standby replication — solo vs async log
+//     shipping vs semi-sync gated commits — plus the failover headline:
+//     crash-promoted TTFC against an online restart of the same crash.
+//
+//     ariesim-perf                         # full matrix -> BENCH_concurrency.json
+//     ariesim-perf -workload buffer        # buffer matrix -> BENCH_buffer.json
+//     ariesim-perf -workload standby       # replication matrix -> BENCH_standby.json
+//     ariesim-perf -smoke                  # reduced matrix (CI)
+//     ariesim-perf -verify FILE            # validate an existing results file
 package main
 
 import (
@@ -22,12 +31,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"ariesim/internal/db"
+	"ariesim/internal/repl"
 	"ariesim/internal/trace"
 	"ariesim/internal/txn"
 	"ariesim/internal/workload"
@@ -85,6 +96,14 @@ type Cell struct {
 	TimeToFirstCommitMS float64 `json:"time_to_first_commit_ms,omitempty"`
 	PagesOnDemand       int     `json:"pages_on_demand,omitempty"`
 	PagesDrained        int     `json:"pages_drained,omitempty"`
+
+	// Standby-family cells only: replication lag percentiles (log bytes
+	// the primary had hardened beyond the standby's applied tail) and
+	// shipping volume.
+	LagP50Bytes     float64 `json:"lag_p50_bytes,omitempty"`
+	LagP99Bytes     float64 `json:"lag_p99_bytes,omitempty"`
+	SegmentsShipped uint64  `json:"segments_shipped,omitempty"`
+	SegmentsApplied uint64  `json:"segments_applied,omitempty"`
 }
 
 // Summary is the headline comparison the acceptance gate reads.
@@ -123,6 +142,17 @@ type Summary struct {
 	// acceptance gate bounds at 2x (plus a scheduler-noise floor).
 	OnlineTTFCMS8          float64 `json:"online_ttfc_ms_8w,omitempty"`
 	OnlineTTFCOverAnalysis float64 `json:"online_ttfc_over_analysis_8w,omitempty"`
+
+	// Standby family: commit-throughput cost of replication at 16 workers
+	// (solo / replicated, so 1.0 = free) and the failover headline — the
+	// crash-to-first-commit wall of a promoted standby, which must stay
+	// within 2x of an ONLINE RESTART of the very same crash image (the
+	// standby has been replaying continuously, so it starts warm).
+	StandbyAsyncCost16    float64 `json:"standby_async_cost_16w,omitempty"`
+	StandbySyncCost16     float64 `json:"standby_sync_cost_16w,omitempty"`
+	StandbyFailoverTTFCMS float64 `json:"standby_failover_ttfc_ms,omitempty"`
+	StandbyOnlineTTFCMS   float64 `json:"standby_online_restart_ttfc_ms,omitempty"`
+	StandbyTTFCOverOnline float64 `json:"standby_ttfc_over_online,omitempty"`
 }
 
 // Result is the BENCH_concurrency.json / BENCH_buffer.json schema.
@@ -450,8 +480,8 @@ func runRecoveryCell(sc recoveryScenario, base *db.DB, model map[string]string, 
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	cell := Cell{
 		Workload: sc.name, Config: cfg, Workers: workers,
-		ElapsedMS: ms(elapsed),
-		RestartMS: ms(elapsed),
+		ElapsedMS:  ms(elapsed),
+		RestartMS:  ms(elapsed),
 		AnalysisMS: ms(rep.AnalysisWall), RedoMS: ms(rep.RedoWall), UndoMS: ms(rep.UndoWall),
 		RecordsSeen: rep.RecordsSeen, RedoApplied: rep.RedosApplied, RedoSkipped: rep.RedosSkipped,
 		PagesPrefetched: rep.PagesPrefetched, RowsRecovered: len(got),
@@ -547,8 +577,8 @@ func runOnlineRecoveryCell(sc recoveryScenario, base *db.DB, model map[string]st
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	cell := Cell{
 		Workload: sc.name, Config: "online", Workers: workers,
-		ElapsedMS: ms(elapsed),
-		RestartMS: ms(elapsed),
+		ElapsedMS:  ms(elapsed),
+		RestartMS:  ms(elapsed),
 		AnalysisMS: ms(final.AnalysisWall), RedoMS: ms(final.RedoWall), UndoMS: ms(final.UndoWall),
 		RecordsSeen: final.RecordsSeen, RedoApplied: final.RedosApplied, RedoSkipped: final.RedosSkipped,
 		PagesPrefetched: final.PagesPrefetched, RowsRecovered: len(got),
@@ -560,6 +590,385 @@ func runOnlineRecoveryCell(sc recoveryScenario, base *db.DB, model map[string]st
 		cell.RedoPerSec = float64(final.RedosApplied) / final.RedoWall.Seconds()
 	}
 	return cell, nil
+}
+
+// standbyConfigs are the replication postures the standby family prices:
+// no replication at all, asynchronous shipping (commits don't wait), and
+// the semi-sync gate (commits ack only once standby-durable).
+var standbyConfigs = []string{"solo", "async", "sync"}
+
+// standbyKeys is the uniform update key space: wide enough that lock
+// conflicts are rare, so cells price the commit path, not lock thrash.
+const standbyKeys = 2048
+
+// standbyReplica builds a channel + standby + shipper around a primary.
+// The replica's page geometry must mirror the primary's — shipped records
+// address pages of the primary's size.
+func standbyReplica(d *db.DB, pageSize int, online bool) (*repl.Channel, *repl.Standby, *repl.Shipper) {
+	ch := repl.NewChannel(repl.ChannelFaults{}) // clean link: protocol cost only
+	sb := repl.NewStandby(ch, d.Disk().ReadMeta(), repl.StandbyOpts{
+		DBOpts: db.Options{Stats: &trace.Stats{}, PoolSize: recoveryPoolSize,
+			PageSize: pageSize, OnlineRestart: online},
+		Epoch: 1, ApplyWorkers: 2,
+	})
+	sb.Start()
+	sh := repl.NewShipper(d.Log(), ch, repl.ShipperOpts{
+		Epoch: 1, Stats: d.Stats(),
+		MetaFn: func() []byte { return d.Disk().ReadMeta() },
+	})
+	sh.Start()
+	return ch, sb, sh
+}
+
+// runStandbyCell measures commit throughput under one replication posture:
+// workers run single-update transactions against a costed log device while
+// (for async/sync) every hardened record streams to a live standby.
+func runStandbyCell(cfgName string, workers, txnsTotal int, forceDelay time.Duration) (Cell, error) {
+	stats := &trace.Stats{}
+	d := db.Open(db.Options{Stats: stats, LogForceDelay: forceDelay})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return Cell{}, err
+	}
+	for lo := 0; lo < standbyKeys; lo += 256 {
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < lo+256 && i < standbyKeys; i++ {
+				if err := tbl.Insert(tx, workload.KeyFor(i), []byte("prefill-value")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("prefill: %w", err)
+		}
+	}
+	var ch *repl.Channel
+	var sb *repl.Standby
+	var sh *repl.Shipper
+	if cfgName != "solo" {
+		ch, sb, sh = standbyReplica(d, 0, false)
+		if cfgName == "sync" {
+			d.SetCommitGate(sh.Gate(10 * time.Second))
+		}
+	}
+
+	perWorker := txnsTotal / workers
+	before := stats.Snap()
+	durations := make([][]time.Duration, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			durations[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				key := workload.KeyFor(rng.Intn(standbyKeys))
+				t0 := time.Now()
+				err := d.RunTxnWith(db.RunTxnOpts{
+					Seed:        int64(w*1000 + i + 1),
+					BaseBackoff: 100 * time.Microsecond,
+					MaxBackoff:  2 * time.Millisecond,
+				}, func(tx *txn.Tx) error {
+					tb, err := d.TableFor(tx, "bench")
+					if err != nil {
+						return err
+					}
+					return tb.Update(tx, key, []byte("standby-bench-value"))
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("standby/%s w=%d: %w", cfgName, workers, err)
+					return
+				}
+				durations[w] = append(durations[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Cell{}, err
+	default:
+	}
+
+	var lagP50, lagP99 float64
+	var shipped, applied uint64
+	if cfgName != "solo" {
+		// Even async cells must converge: the cell also certifies that the
+		// standby keeps up with this load, not just that the primary is fast.
+		if err := sh.WaitAcked(d.Log().StableLSN(), 30*time.Second); err != nil {
+			return Cell{}, fmt.Errorf("standby/%s w=%d: catch-up: %w", cfgName, workers, err)
+		}
+		if lags := sb.LagSamples(); len(lags) > 0 {
+			sort.Float64s(lags)
+			lagP50 = lags[len(lags)/2]
+			lagP99 = lags[len(lags)*99/100]
+		}
+		shipped = stats.SegmentsShipped.Load()
+		applied = sb.DB().Stats().SegmentsApplied.Load()
+		sh.Stop()
+		ch.Close()
+		sb.Wait()
+	}
+	diff := trace.Diff(before, stats.Snap())
+
+	var all []time.Duration
+	for _, ds := range durations {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
+	}
+	txns := len(all)
+	cell := Cell{
+		Workload: "standby-commit", Config: cfgName, Workers: workers,
+		Txns: txns, Ops: txns,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		TxnsPerSec: float64(txns) / elapsed.Seconds(),
+		OpsPerSec:  float64(txns) / elapsed.Seconds(),
+		P50Micros:  pct(0.50), P99Micros: pct(0.99),
+		LogForces: diff.LogForces, GroupCommits: diff.GroupCommits,
+		ForceWaiters: diff.ForceWaiters,
+		Deadlocks:    diff.Deadlocks, TxnRetries: diff.TxnRetries,
+		LagP50Bytes: lagP50, LagP99Bytes: lagP99,
+		SegmentsShipped: shipped, SegmentsApplied: applied,
+	}
+	if n := diff.GroupCommits + diff.LogForces; n > 0 {
+		cell.GroupCommitRatio = float64(diff.GroupCommits) / float64(n)
+	}
+	return cell, nil
+}
+
+// runStandbyFailover prices the failover itself. One primary is built with
+// a live standby replicating throughout (insert phase flushed to disk,
+// update tail left log-only, a trailing in-flight loser), then crashed.
+// Two recoveries of the SAME crash race: an online restart of the crash
+// image (the best a single node can do), and a promotion of the standby.
+// Both TTFCs are crash-to-first-committed-probe; the promoted node is then
+// verified row-exact. The standby replayed and flushed continuously, so
+// its promotion should land well within 2x of the online restart.
+func runStandbyFailover(rows, redoWorkers int, ioDelay time.Duration) (Cell, Cell, error) {
+	fail := func(err error) (Cell, Cell, error) { return Cell{}, Cell{}, err }
+	d := db.Open(db.Options{Stats: &trace.Stats{}, PageSize: 512,
+		PoolSize: recoveryPoolSize, PageIODelay: ioDelay})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return fail(err)
+	}
+	ch, sb, sh := standbyReplica(d, 512, true)
+	defer ch.Close()
+	d.SetCommitGate(sh.Gate(30 * time.Second))
+
+	key := func(i int) string { return fmt.Sprintf("r%05d", i) }
+	model := map[string]string{}
+	for lo := 0; lo < rows; lo += recoveryBatch {
+		hi := lo + recoveryBatch
+		if hi > rows {
+			hi = rows
+		}
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tbl.Insert(tx, []byte(key(i)), []byte("insert-phase-value")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fail(fmt.Errorf("failover insert: %w", err))
+		}
+	}
+	if err := d.Pool().FlushAll(); err != nil {
+		return fail(err)
+	}
+	d.Log().ForceAll()
+	for lo := 0; lo < rows; lo += recoveryBatch {
+		hi := lo + recoveryBatch
+		if hi > rows {
+			hi = rows
+		}
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < hi; i++ {
+				v := fmt.Sprintf("update-phase-%05d-%05d", i, lo)
+				if err := tbl.Update(tx, []byte(key(i)), []byte(v)); err != nil {
+					return err
+				}
+				model[key(i)] = v
+			}
+			return nil
+		})
+		if err != nil {
+			return fail(fmt.Errorf("failover update: %w", err))
+		}
+	}
+	loser := d.MustBegin()
+	for i := 0; i < 4; i++ {
+		if err := tbl.Insert(loser, []byte(fmt.Sprintf("zloser%02d", i)), []byte("never-committed")); err != nil {
+			return fail(fmt.Errorf("failover loser: %w", err))
+		}
+	}
+	d.Log().ForceAll()
+	if err := sh.WaitAcked(d.Log().StableLSN(), 30*time.Second); err != nil {
+		return fail(fmt.Errorf("failover catch-up: %w", err))
+	}
+
+	// Baseline: online restart of the crash image, probe = delete of a
+	// committed row (see runOnlineRecoveryCell for why not an insert).
+	bf := d.Fork()
+	bf.SetRedoWorkers(redoWorkers)
+	bf.SetOnlineRestart(true)
+	t0 := time.Now()
+	if _, err := bf.Restart(); err != nil {
+		return fail(fmt.Errorf("failover baseline restart: %w", err))
+	}
+	btbl, err := bf.Table("bench")
+	if err != nil {
+		return fail(err)
+	}
+	if err := bf.RunTxn(func(tx *txn.Tx) error {
+		return btbl.Delete(tx, []byte(key(0)))
+	}); err != nil {
+		return fail(fmt.Errorf("failover baseline probe: %w", err))
+	}
+	onlineTTFC := time.Since(t0)
+	if _, err := bf.AwaitRecovered(); err != nil {
+		return fail(fmt.Errorf("failover baseline await: %w", err))
+	}
+
+	// Failover: crash the primary, promote the standby, probe.
+	t1 := time.Now()
+	d.Crash()
+	promoted, _, err := sb.Promote()
+	if err != nil {
+		return fail(fmt.Errorf("failover promote: %w", err))
+	}
+	ptbl, err := promoted.Table("bench")
+	if err != nil {
+		return fail(err)
+	}
+	if err := promoted.RunTxn(func(tx *txn.Tx) error {
+		return ptbl.Delete(tx, []byte(key(1)))
+	}); err != nil {
+		return fail(fmt.Errorf("failover probe: %w", err))
+	}
+	failoverTTFC := time.Since(t1)
+	if _, err := promoted.AwaitRecovered(); err != nil {
+		return fail(fmt.Errorf("failover await: %w", err))
+	}
+	sh.Stop()
+
+	// The promoted node must hold exactly the committed model (minus the
+	// probe row): a fast failover that lost rows is not a result.
+	delete(model, key(1))
+	got := map[string]string{}
+	tx, err := promoted.Begin()
+	if err != nil {
+		return fail(err)
+	}
+	err = ptbl.Scan(tx, nil, nil, func(r db.Row) (bool, error) {
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	if cerr := tx.Commit(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(fmt.Errorf("failover scan: %w", err))
+	}
+	if len(got) != len(model) {
+		return fail(fmt.Errorf("failover: promoted has %d rows, want %d", len(got), len(model)))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			return fail(fmt.Errorf("failover: row %q = %q, want %q", k, got[k], v))
+		}
+	}
+	if err := promoted.VerifyConsistency(); err != nil {
+		return fail(fmt.Errorf("failover consistency: %v", err))
+	}
+
+	ms := func(dur time.Duration) float64 { return float64(dur) / float64(time.Millisecond) }
+	base := Cell{
+		Workload: "standby-failover", Config: "online-baseline", Workers: redoWorkers,
+		ElapsedMS: ms(onlineTTFC), TimeToFirstCommitMS: ms(onlineTTFC),
+		RowsRecovered: len(got),
+	}
+	fo := Cell{
+		Workload: "standby-failover", Config: "promote", Workers: redoWorkers,
+		ElapsedMS: ms(failoverTTFC), TimeToFirstCommitMS: ms(failoverTTFC),
+		RowsRecovered:   len(got),
+		SegmentsApplied: promoted.Stats().SegmentsApplied.Load(),
+	}
+	return base, fo, nil
+}
+
+// validateStandby self-verifies a standby-family results file: the
+// replication matrix must be complete with positive throughput and real
+// shipping volume, and the failover TTFC must land within 2x of the
+// online-restart baseline (plus the scheduler-noise floor).
+func validateStandby(path string, res *Result) error {
+	seen := map[string]*Cell{}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		tag := fmt.Sprintf("%s: cell %s/%s/%dw", path, c.Workload, c.Config, c.Workers)
+		if c.Workload == "" || c.Config == "" || c.Workers <= 0 {
+			return fmt.Errorf("%s: cell %d incomplete: %+v", path, i, *c)
+		}
+		switch c.Workload {
+		case "standby-commit":
+			if c.TxnsPerSec <= 0 || c.Txns <= 0 {
+				return fmt.Errorf("%s: non-positive throughput", tag)
+			}
+			if c.Config != "solo" && c.SegmentsShipped == 0 {
+				return fmt.Errorf("%s: replicated cell shipped no segments", tag)
+			}
+			if c.Config != "solo" && c.SegmentsApplied == 0 {
+				return fmt.Errorf("%s: replicated cell applied no segments", tag)
+			}
+			seen[c.Config+"/"+fmt.Sprint(c.Workers)] = c
+		case "standby-failover":
+			if c.TimeToFirstCommitMS <= 0 {
+				return fmt.Errorf("%s: no time to first commit", tag)
+			}
+			if c.RowsRecovered <= 0 {
+				return fmt.Errorf("%s: no rows verified", tag)
+			}
+			seen["failover/"+c.Config] = c
+		default:
+			return fmt.Errorf("%s: unknown workload", tag)
+		}
+	}
+	for _, cfg := range standbyConfigs {
+		for _, w := range workerCounts {
+			if seen[cfg+"/"+fmt.Sprint(w)] == nil {
+				return fmt.Errorf("%s: missing cell standby-commit/%s/%dw", path, cfg, w)
+			}
+		}
+	}
+	base := seen["failover/online-baseline"]
+	fo := seen["failover/promote"]
+	if base == nil || fo == nil {
+		return fmt.Errorf("%s: missing failover cells", path)
+	}
+	if fo.TimeToFirstCommitMS > 2*base.TimeToFirstCommitMS+ttfcNoiseFloorMS {
+		return fmt.Errorf("%s: failover TTFC %.1fms exceeds 2x online-restart TTFC %.1fms + %.0fms noise floor — the standby did not start warm",
+			path, fo.TimeToFirstCommitMS, base.TimeToFirstCommitMS, ttfcNoiseFloorMS)
+	}
+	if res.Summary.StandbySyncCost16 <= 0 || res.Summary.StandbyAsyncCost16 <= 0 {
+		return fmt.Errorf("%s: summary missing replication cost ratios", path)
+	}
+	if res.Summary.StandbyFailoverTTFCMS <= 0 || res.Summary.StandbyTTFCOverOnline <= 0 {
+		return fmt.Errorf("%s: summary missing failover TTFC", path)
+	}
+	return nil
 }
 
 // runCell measures one (workload, config, workers) point.
@@ -710,6 +1119,9 @@ func validate(path string) error {
 	}
 	if res.Meta.Workload == "recovery" {
 		return validateRecovery(path, &res)
+	}
+	if res.Meta.Workload == "standby" {
+		return validateStandby(path, &res)
 	}
 	buffer := res.Meta.Workload == "buffer"
 	wantBenches, wantConfigs := benches, configs
@@ -887,7 +1299,7 @@ func serialOrZero(c *Cell) float64 {
 }
 
 func main() {
-	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, or recovery")
+	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, recovery, or standby")
 	out := flag.String("out", "", "results file (default BENCH_<family>.json)")
 	txnsPerCell := flag.Int("txns", 800, "transactions per benchmark cell")
 	opsPerTxn := flag.Int("ops", 4, "operations per transaction")
@@ -908,7 +1320,7 @@ func main() {
 		return
 	}
 
-	buffer, recoveryFam := false, false
+	buffer, recoveryFam, standbyFam := false, false, false
 	switch *family {
 	case "concurrency":
 		*ioDelay = 0 // the lock/commit bench keeps the page device free
@@ -916,6 +1328,8 @@ func main() {
 		buffer = true
 	case "recovery":
 		recoveryFam = true
+	case "standby":
+		standbyFam = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload family %q\n", *family)
 		os.Exit(1)
@@ -926,6 +1340,8 @@ func main() {
 			*out = "BENCH_buffer.json"
 		case recoveryFam:
 			*out = "BENCH_recovery.json"
+		case standbyFam:
+			*out = "BENCH_standby.json"
 		default:
 			*out = "BENCH_concurrency.json"
 		}
@@ -937,8 +1353,8 @@ func main() {
 	if buffer {
 		activeBenches, activeConfigs = bufferBenches, bufferConfigs
 	}
-	if recoveryFam {
-		activeBenches = nil // the recovery family drives its own scenario loop
+	if recoveryFam || standbyFam {
+		activeBenches = nil // these families drive their own loops
 	}
 
 	var res Result
@@ -951,6 +1367,10 @@ func main() {
 		res.Meta.Workload = "recovery"
 		res.Meta.IODelayUS = int(*ioDelay / time.Microsecond)
 		res.Meta.PoolSize = recoveryPoolSize
+	}
+	if standbyFam {
+		res.Meta.Workload = "standby"
+		res.Meta.IODelayUS = int(*ioDelay / time.Microsecond)
 	}
 	res.Meta.ForceDelayUS = int(*delay / time.Microsecond)
 	res.Meta.TxnsPerCell = *txnsPerCell
@@ -994,6 +1414,37 @@ func main() {
 				cell.RedoApplied, cell.PagesPrefetched, cell.RedoPerSec,
 				cell.TimeToFirstCommitMS, cell.PagesOnDemand, cell.PagesDrained)
 		}
+	} else if standbyFam {
+		fmt.Printf("%-15s %-8s %3s  %10s %9s %9s %8s %8s %10s %10s\n",
+			"workload", "cfg", "w", "txn/s", "p50(us)", "p99(us)", "shipped", "applied", "lag-p50", "lag-p99")
+		for _, cfg := range standbyConfigs {
+			for _, workers := range workerCounts {
+				cell, err := runStandbyCell(cfg, workers, *txnsPerCell, *delay)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				res.Cells = append(res.Cells, cell)
+				fmt.Printf("%-15s %-8s %3d  %10.0f %9.0f %9.0f %8d %8d %10.0f %10.0f\n",
+					cell.Workload, cell.Config, cell.Workers, cell.TxnsPerSec,
+					cell.P50Micros, cell.P99Micros, cell.SegmentsShipped,
+					cell.SegmentsApplied, cell.LagP50Bytes, cell.LagP99Bytes)
+			}
+		}
+		rows := 1536
+		if *smoke {
+			rows = 384
+		}
+		base, fo, err := runStandbyFailover(rows, onlineWorkers, *ioDelay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		res.Cells = append(res.Cells, base, fo)
+		fmt.Printf("%-15s %-16s %3d  first commit %8.1fms (%d rows verified)\n",
+			base.Workload, base.Config, base.Workers, base.TimeToFirstCommitMS, base.RowsRecovered)
+		fmt.Printf("%-15s %-16s %3d  first commit %8.1fms (%d rows verified)\n",
+			fo.Workload, fo.Config, fo.Workers, fo.TimeToFirstCommitMS, fo.RowsRecovered)
 	} else if buffer {
 		fmt.Printf("%-12s %-11s %3s  %10s %8s %8s %8s %8s %7s\n",
 			"workload", "cfg", "w", "txn/s", "hit", "misses", "evict", "dirtyev", "cleanw")
@@ -1060,6 +1511,28 @@ func main() {
 				online.TimeToFirstCommitMS, online.AnalysisMS,
 				res.Summary.OnlineTTFCOverAnalysis, serialOrZero(serial))
 		}
+	} else if standbyFam {
+		solo16 := find("standby-commit", "solo", 16)
+		async16 := find("standby-commit", "async", 16)
+		sync16 := find("standby-commit", "sync", 16)
+		if solo16 != nil && async16 != nil && async16.TxnsPerSec > 0 {
+			res.Summary.StandbyAsyncCost16 = solo16.TxnsPerSec / async16.TxnsPerSec
+		}
+		if solo16 != nil && sync16 != nil && sync16.TxnsPerSec > 0 {
+			res.Summary.StandbySyncCost16 = solo16.TxnsPerSec / sync16.TxnsPerSec
+		}
+		base := find("standby-failover", "online-baseline", onlineWorkers)
+		fo := find("standby-failover", "promote", onlineWorkers)
+		if base != nil && fo != nil && base.TimeToFirstCommitMS > 0 {
+			res.Summary.StandbyFailoverTTFCMS = fo.TimeToFirstCommitMS
+			res.Summary.StandbyOnlineTTFCMS = base.TimeToFirstCommitMS
+			res.Summary.StandbyTTFCOverOnline = fo.TimeToFirstCommitMS / base.TimeToFirstCommitMS
+		}
+		fmt.Printf("\nreplication cost @16 workers: async %.2fx, semi-sync %.2fx of solo throughput\n",
+			res.Summary.StandbyAsyncCost16, res.Summary.StandbySyncCost16)
+		fmt.Printf("failover: promoted standby first commit %.1fms vs %.1fms online restart (%.2fx, gate 2x + %.0fms)\n",
+			res.Summary.StandbyFailoverTTFCMS, res.Summary.StandbyOnlineTTFCMS,
+			res.Summary.StandbyTTFCOverOnline, ttfcNoiseFloorMS)
 	} else if buffer {
 		oldRead16, newRead16 := find("buffer-read", "old", 16), find("buffer-read", "new", 16)
 		oldRead1, newRead1 := find("buffer-read", "old", 1), find("buffer-read", "new", 1)

@@ -1,40 +1,78 @@
 // Command logshipping demonstrates what strictly page-oriented redo (§3)
-// enables beyond crash restart: a warm standby. The primary runs
-// transactions and ships its archived write-ahead log; the standby — an
-// empty disk that never executed a transaction — replays the log with the
-// shared page-oriented appliers and becomes an exact, writable copy of
-// the primary's committed state.
+// enables beyond crash restart: a hot standby. The primary streams its
+// write-ahead log continuously as records harden — over a deliberately
+// lossy channel — while the standby runs a restart that never ends:
+// append, force, replay, acknowledge, forever. When the primary crashes
+// mid-traffic, Promote finishes the pending restart (undoing whatever was
+// in flight) and the standby becomes the serving primary; stragglers from
+// the dead primary bounce off the epoch fence.
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"time"
 
-	"ariesim"
-	"ariesim/internal/wal"
+	"ariesim/internal/db"
+	"ariesim/internal/repl"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
 )
 
 func key(i int) []byte { return []byte(fmt.Sprintf("event%05d", i)) }
 
 func main() {
-	primary := ariesim.Open(ariesim.Options{PageSize: 1024})
-	events, err := primary.CreateTable("events")
-	if err != nil {
+	primary := db.Open(db.Options{PageSize: 1024, Stats: &trace.Stats{}})
+	if _, err := primary.CreateTable("events"); err != nil {
 		log.Fatal(err)
 	}
 
-	if err := primary.RunTxn(func(tx *ariesim.Tx) error {
-		for i := 0; i < 400; i++ {
-			if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
+	// The wire: drops, duplicates, reordering, corruption — the protocol
+	// (CRC frames, NAK/retransmit, bounded-retry re-seed) absorbs all of it.
+	ch := repl.NewChannel(repl.ChannelFaults{
+		Seed: 42, DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.05, CorruptProb: 0.03,
+	})
+	standbyStats := &trace.Stats{}
+	standby := repl.NewStandby(ch, primary.Disk().ReadMeta(), repl.StandbyOpts{
+		DBOpts: db.Options{PageSize: 1024, RedoWorkers: 2, Stats: standbyStats},
+		Epoch:  1, ApplyWorkers: 2,
+	})
+	standby.Start()
+	shipper := repl.NewShipper(primary.Log(), ch, repl.ShipperOpts{
+		Epoch:  1,
+		MetaFn: func() []byte { return primary.Disk().ReadMeta() },
+		Stats:  primary.Stats(),
+	})
+	shipper.Start()
+
+	// Semi-synchronous commit: RunTxn does not return until the standby
+	// has appended, forced, and replayed the commit record.
+	primary.SetCommitGate(shipper.Gate(5 * time.Second))
+
+	// Live traffic: every one of these commits crosses the lossy wire and
+	// comes back acknowledged before the next batch starts.
+	for lo := 0; lo < 400; lo += 50 {
+		lo := lo
+		if err := primary.RunTxn(func(tx *txn.Tx) error {
+			events, err := primary.TableFor(tx, "events")
+			if err != nil {
 				return err
 			}
+			for i := lo; i < lo+50; i++ {
+				if err := events.Insert(tx, key(i), []byte("payload")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			log.Fatal(err)
 		}
-		return nil
-	}); err != nil {
-		log.Fatal(err)
 	}
-	if err := primary.RunTxn(func(tx *ariesim.Tx) error {
+	if err := primary.RunTxn(func(tx *txn.Tx) error {
+		events, err := primary.TableFor(tx, "events")
+		if err != nil {
+			return err
+		}
 		for i := 100; i < 150; i++ {
 			if err := events.Delete(tx, key(i)); err != nil {
 				return err
@@ -44,68 +82,88 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	// An in-flight transaction at ship time: it must NOT appear on the
-	// standby (its commit record is not in the shipped log), so it needs a
-	// raw handle that is never committed.
-	inflight, err := primary.Begin()
+
+	// An in-flight transaction at crash time: its insert record ships (the
+	// log force hardens it) but its commit never happens, so it must NOT
+	// survive promotion.
+	inflight := primary.MustBegin()
+	etbl, err := primary.TableFor(inflight, "events")
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = events.Insert(inflight, []byte("zz-uncommitted"), []byte("ghost"))
+	if err := etbl.Insert(inflight, []byte("zz-uncommitted"), []byte("ghost")); err != nil {
+		log.Fatal(err)
+	}
 	primary.Log().ForceAll()
+	if err := shipper.WaitAcked(primary.Log().StableLSN(), 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	cnt := primary.Stats().Snap()
+	fmt.Printf("primary streamed %d segments (%d resent over %d channel faults), standby applied %d\n",
+		cnt.SegmentsShipped, cnt.SegmentsResent,
+		ch.Counts().Dropped+ch.Counts().Corrupted+ch.Counts().Reordered,
+		standbyStats.SegmentsApplied.Load())
 
-	// "Ship" the log over the wire.
-	var wire bytes.Buffer
-	n, err := primary.ArchiveLog(&wire)
+	// The primary dies; the standby finishes its perpetual restart and
+	// takes over. Undo of the in-flight transaction happens here.
+	primary.Crash()
+	promoted, report, err := standby.Promote()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("primary shipped %d log records (%d KiB)\n", n, wire.Len()/1024)
-
-	// The standby restores the log stream and runs a standard ARIES
-	// restart against an empty disk: analysis, page-oriented redo of
-	// everything, undo of the in-flight transaction.
-	shipped, err := wal.ReadArchive(bytes.NewReader(wire.Bytes()))
-	if err != nil {
-		log.Fatal(err)
-	}
-	standby, report, err := ariesim.OpenStandby(ariesim.Options{PageSize: 1024}, shipped, primary.Disk().ReadMeta())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("standby replayed: %d records analyzed, %d redone, %d in-flight rolled back\n",
+	fmt.Printf("standby promoted: %d records analyzed, %d redone, %d in-flight rolled back\n",
 		report.RecordsSeen, report.RedosApplied, report.LosersUndone)
 
-	stbl, err := standby.Table("events")
-	if err != nil {
-		log.Fatal(err)
+	// A zombie gasp from the dead primary's shipper: the promoted node is
+	// on a new epoch, so the frame is rejected, not applied.
+	rejBefore := standbyStats.SegmentsRejected.Load()
+	for deadline := time.Now().Add(2 * time.Second); standbyStats.SegmentsRejected.Load() == rejBefore; {
+		if time.Now().After(deadline) {
+			log.Fatal("zombie segment was never fenced")
+		}
+		shipper.ShipNow()
+		time.Sleep(time.Millisecond)
 	}
+	fmt.Println("zombie segment from the dead primary fenced by epoch check")
+
 	count := 0
-	if err := standby.RunTxn(func(r *ariesim.Tx) error {
+	if err := promoted.RunTxn(func(r *txn.Tx) error {
+		events, err := promoted.TableFor(r, "events")
+		if err != nil {
+			return err
+		}
 		count = 0
-		if err := stbl.Scan(r, key(0), nil, func(ariesim.Row) (bool, error) {
+		if err := events.Scan(r, key(0), nil, func(db.Row) (bool, error) {
 			count++
 			return true, nil
 		}); err != nil {
 			return err
 		}
-		if _, err := stbl.Get(r, []byte("zz-uncommitted")); err == nil {
-			return fmt.Errorf("uncommitted primary work visible on standby")
+		if _, err := events.Get(r, []byte("zz-uncommitted")); err == nil {
+			return fmt.Errorf("uncommitted primary work visible after promotion")
 		}
 		return nil
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("standby holds %d rows (expected 350); uncommitted work absent ✓\n", count)
+	fmt.Printf("promoted node holds %d rows (expected 350); uncommitted work absent ✓\n", count)
 
-	// Promotion: the standby is immediately writable.
-	if err := standby.RunTxn(func(w *ariesim.Tx) error {
-		return stbl.Insert(w, []byte("written-on-standby"), []byte("promoted"))
+	// The promoted node is immediately a serving primary.
+	if err := promoted.RunTxn(func(w *txn.Tx) error {
+		events, err := promoted.TableFor(w, "events")
+		if err != nil {
+			return err
+		}
+		return events.Insert(w, []byte("written-after-failover"), []byte("promoted"))
 	}); err != nil {
 		log.Fatal(err)
 	}
-	if err := standby.VerifyConsistency(); err != nil {
+	if err := promoted.VerifyConsistency(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("standby promoted and verified")
+	fmt.Println("failover complete: promoted node serving and verified")
+
+	shipper.Stop()
+	ch.Close()
+	standby.Wait()
 }

@@ -95,20 +95,20 @@ type ChaosResult struct {
 	Commits int // transactions acked committed
 
 	// Contention-repair counters (from trace.Stats at the end of the run).
-	Deadlocks        uint64 // waits-for cycles detected
-	DeadlockVictims  uint64 // victims aborted out of those cycles
-	LockTimeouts     uint64 // waits abandoned at the timeout
-	TxnRetries       uint64 // automatic full-transaction retries
-	DeadlockRetries  uint64 // ... due to being a deadlock victim
-	TimeoutRetries   uint64 // ... due to a lock-wait timeout
-	CrashWaits       uint64 // retries that waited out a restart
-	RetrySuccesses   uint64 // transactions that committed after >=1 retry
-	CorruptPages     uint64 // checksum failures detected
-	MediaRecoveries  uint64 // pages healed from image copy + log
-	FaultsInjected   storage.FaultCounts
-	RestartRedos     uint64 // redo records applied across all restarts
-	RestartUndos     uint64 // undo steps driven across all restarts
-	GaveUp           int    // transactions that exhausted their retries (no effect committed)
+	Deadlocks       uint64 // waits-for cycles detected
+	DeadlockVictims uint64 // victims aborted out of those cycles
+	LockTimeouts    uint64 // waits abandoned at the timeout
+	TxnRetries      uint64 // automatic full-transaction retries
+	DeadlockRetries uint64 // ... due to being a deadlock victim
+	TimeoutRetries  uint64 // ... due to a lock-wait timeout
+	CrashWaits      uint64 // retries that waited out a restart
+	RetrySuccesses  uint64 // transactions that committed after >=1 retry
+	CorruptPages    uint64 // checksum failures detected
+	MediaRecoveries uint64 // pages healed from image copy + log
+	FaultsInjected  storage.FaultCounts
+	RestartRedos    uint64 // redo records applied across all restarts
+	RestartUndos    uint64 // undo steps driven across all restarts
+	GaveUp          int    // transactions that exhausted their retries (no effect committed)
 
 	// Online-restart counters (zero unless ChaosOpts.OnlineRestart).
 	OnlineRestarts     uint64 // restarts that opened after analysis

@@ -188,6 +188,16 @@ type DB struct {
 	cat    catalog
 	tables map[string]*Table
 	downed bool
+	// replica marks an unpromoted standby (see replica.go): closed to
+	// transactions like a crashed engine, opened by Promote.
+	replica bool
+	// commitGate, when set, must confirm each commit LSN against the
+	// standby before the commit is acknowledged (semi-sync replication).
+	commitGate func(wal.LSN) error
+	// ackedCommits/ackedMax are the loss-accounting ledger: commits this
+	// engine acknowledged to clients (see AckedCommits).
+	ackedCommits uint64
+	ackedMax     wal.LSN
 	// recov is the live online-restart coordinator, non-nil from an online
 	// Restart until the next Crash/reopen. It may already be done (its
 	// Recovering() false); Crash aborts it so a zombie coordinator never

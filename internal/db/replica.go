@@ -1,0 +1,123 @@
+// Replica role and failover. A hot standby is an engine that never opened:
+// it owns a fresh disk, an (initially empty) log that replication appends
+// shipped records into, and a buffer pool that perpetual redo
+// (recovery.ApplyRecords) keeps warm. It accepts no transactions — Begin
+// fails with ErrCrashed exactly as on a crashed engine — until Promote
+// runs restart recovery over the shipped log and opens it as the new
+// primary. The replication machinery itself (shipper, channel, standby
+// apply loop) lives in internal/repl; this file is the engine-side surface
+// it drives.
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesim/internal/recovery"
+	"ariesim/internal/wal"
+)
+
+// ErrNotReplica reports Promote on an engine that is not a replica.
+var ErrNotReplica = errors.New("db: not a replica")
+
+// ErrCommitUnacked reports a commit whose record is durable in the local
+// log but was not acknowledged by the standby within the commit gate's
+// bound. The outcome is AMBIGUOUS by construction: if the primary now
+// dies and the standby is promoted, the commit survives exactly when its
+// record reached the standby. It is deliberately NOT retryable through
+// RunTxn (re-executing could double-apply a commit that did ship); callers
+// needing certainty must reconcile against the promoted node.
+var ErrCommitUnacked = errors.New("db: commit not acknowledged by standby")
+
+// OpenReplica builds a standby engine: fresh disk (seeded with the
+// primary's catalog blob), empty log, warm-ready pool — and leaves it
+// closed to transactions. Replication appends shipped records to Log()
+// (reproducing the primary's LSNs, since an LSN is 1 + the record's byte
+// offset), forces them, and replays them into Pool() via
+// recovery.ApplyRecords. Promote opens it.
+func OpenReplica(opts Options, catalogMeta []byte) *DB {
+	d := Open(opts)
+	d.mu.Lock()
+	d.replica = true
+	d.downed = true // no transactions until Promote
+	d.upCh = make(chan struct{})
+	d.disk.WriteMeta(catalogMeta)
+	d.mu.Unlock()
+	return d
+}
+
+// Replica reports whether the engine is an unpromoted standby.
+func (d *DB) Replica() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replica
+}
+
+// Promote turns the standby into a serving primary: flush every replayed
+// page (legal — the standby never crashed, and its log discipline forces
+// records before applying them, so the WAL rule holds), then run the
+// normal restart path over the shipped log. Redo is mostly page_LSN skips
+// (continuous apply already did the work); undo rolls back whatever the
+// old primary had in flight at its death — shipped-but-uncommitted losers.
+// With Options.OnlineRestart the promoted node opens after analysis and
+// finishes recovering in the background, minimizing failover
+// time-to-first-commit.
+//
+// Epoch fencing against the dead primary's late segments is the
+// replication layer's job (repl.Standby.Promote bumps the epoch before
+// calling here); this method is engine-side only.
+func (d *DB) Promote() (*recovery.Report, error) {
+	d.mu.Lock()
+	if !d.replica {
+		d.mu.Unlock()
+		return nil, ErrNotReplica
+	}
+	d.replica = false
+	pool := d.pool
+	d.mu.Unlock()
+	if err := pool.FlushAll(); err != nil {
+		return nil, fmt.Errorf("db: promote flush: %w", err)
+	}
+	rep, err := d.Restart()
+	if err != nil {
+		return nil, err
+	}
+	d.stats.Promotions.Add(1)
+	return rep, nil
+}
+
+// SetCommitGate installs the semi-synchronous replication gate: after a
+// transaction's commit record is locally durable, commitAcked calls
+// gate(commitLSN) and acknowledges the client only if it returns nil —
+// i.e. the standby confirmed the record. A failing gate surfaces as
+// ErrCommitUnacked (see its ambiguity contract). Nil removes the gate
+// (asynchronous shipping: commits ack on local durability alone, and the
+// loss window on failover is the shipping lag).
+//
+// The gate runs while the committer holds the shared epoch lock, so it
+// must not call back into the engine and must bound its own wait.
+func (d *DB) SetCommitGate(gate func(wal.LSN) error) {
+	d.mu.Lock()
+	d.commitGate = gate
+	d.mu.Unlock()
+}
+
+// noteAcked records one acknowledged commit in the loss-accounting ledger.
+func (d *DB) noteAcked(lsn wal.LSN) {
+	d.mu.Lock()
+	d.ackedCommits++
+	if lsn > d.ackedMax {
+		d.ackedMax = lsn
+	}
+	d.mu.Unlock()
+}
+
+// AckedCommits returns the loss-accounting ledger: how many commits this
+// engine acknowledged to clients and the highest commit-record LSN among
+// them. After a failover, the promoted standby must contain every one of
+// them — "bounded data loss" means exactly: nothing acked is ever lost.
+func (d *DB) AckedCommits() (n uint64, max wal.LSN) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ackedCommits, d.ackedMax
+}

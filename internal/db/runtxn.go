@@ -15,6 +15,7 @@ import (
 
 	"ariesim/internal/lock"
 	"ariesim/internal/txn"
+	"ariesim/internal/wal"
 )
 
 // RetryClass partitions the errors a transaction body can return by what
@@ -69,6 +70,14 @@ type RunTxnOpts struct {
 	// intervened. Harnesses use it to maintain an exact model of acked
 	// state. It must not call back into the engine.
 	OnCommit func()
+	// OnCommitted, when set, runs the moment the commit record is durable
+	// in the LOCAL log — before the replication commit gate (if any) has
+	// confirmed it, so before the commit is acknowledged. Harnesses use it
+	// to register a pending commit keyed by its commit-record LSN: if the
+	// gate then fails (ErrCommitUnacked) the outcome is ambiguous, and the
+	// pending entry is resolved by the commit record's presence in the
+	// surviving log. It must not call back into the engine.
+	OnCommitted func(wal.LSN)
 }
 
 func (o RunTxnOpts) withDefaults() RunTxnOpts {
@@ -135,7 +144,7 @@ func (d *DB) RunTxnWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
 		}
 		err = fn(tx)
 		if err == nil {
-			err = d.commitAcked(tx, opts.OnCommit)
+			err = d.commitAcked(tx, opts.OnCommitted, opts.OnCommit)
 			if err == nil {
 				if attempt > 0 {
 					d.stats.TxnRetrySuccesses.Add(1)
@@ -238,11 +247,18 @@ func (d *DB) RunTxnSteps(opts RunTxnOpts, steps ...func(*txn.Tx) error) error {
 // check→force→ack window; but concurrent committers all hold the read
 // side, so their log forces overlap and group commit batches them. d.mu is
 // taken only for the epoch check (lock order: epochMu before mu).
-func (d *DB) commitAcked(tx *txn.Tx, onCommit func()) error {
+// When a commit gate is installed (semi-sync replication, SetCommitGate),
+// it runs between local durability and the acknowledgement: OnCommitted
+// fires first (locally durable, outcome still ambiguous), then the gate
+// must confirm the standby has the record, and only then does the commit
+// ack — OnCommit fires and the acked-commit ledger advances. A failing
+// gate surfaces ErrCommitUnacked without acking.
+func (d *DB) commitAcked(tx *txn.Tx, onCommitted func(wal.LSN), onCommit func()) error {
 	d.epochMu.RLock()
 	defer d.epochMu.RUnlock()
 	d.mu.Lock()
 	crashed := d.downed || !d.tm.Owns(tx)
+	gate := d.commitGate
 	d.mu.Unlock()
 	if crashed {
 		return ErrCrashed
@@ -250,6 +266,16 @@ func (d *DB) commitAcked(tx *txn.Tx, onCommit func()) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	lsn := tx.CommitLSN()
+	if onCommitted != nil {
+		onCommitted(lsn)
+	}
+	if gate != nil {
+		if err := gate(lsn); err != nil {
+			return fmt.Errorf("%w: commit LSN %d: %v", ErrCommitUnacked, lsn, err)
+		}
+	}
+	d.noteAcked(lsn)
 	if onCommit != nil {
 		onCommit()
 	}

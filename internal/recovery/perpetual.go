@@ -1,0 +1,97 @@
+package recovery
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ariesim/internal/buffer"
+	"ariesim/internal/storage"
+	"ariesim/internal/trace"
+	"ariesim/internal/wal"
+)
+
+// Perpetual redo: the standby's apply engine. A hot standby is a restart
+// whose redo pass never ends — each shipped log slice is one more batch of
+// the same strictly page-oriented replay that crash restart runs, using
+// the same page_LSN guard and the same page-partitioned parallelism as the
+// restart redo pass. There is no analysis and no DPT on a standby: the
+// batch itself tells us which pages it touches, and the page_LSN guard
+// makes re-application of an already-applied record a no-op, so duplicate
+// delivery is harmless.
+
+// BatchStats tallies one ApplyRecords call.
+type BatchStats struct {
+	Applied int // redoable records applied (page_LSN advanced)
+	Skipped int // redoable records skipped by the page_LSN guard
+	Scanned int // total records scanned (including non-redoable)
+}
+
+// ApplyRecords replays recs — a contiguous, LSN-ordered log slice — onto
+// pool with up to workers parallel partitions. Partitioning is by
+// buffer.ShardHash(page), identical to the restart redo pass: per-page LSN
+// order is the only ordering redo needs (paper §3), so workers never
+// synchronize. Safe to call repeatedly with overlapping slices; the
+// page_LSN guard skips anything already applied.
+func ApplyRecords(pool *buffer.Pool, recs []*wal.Record, workers int, stats *trace.Stats) (BatchStats, error) {
+	var bs BatchStats
+	if len(recs) == 0 {
+		return bs, nil
+	}
+	// The batch's own "DPT": first (minimum) LSN per touched page. Records
+	// below this threshold don't exist in the batch, so redoPartition's
+	// rec-LSN filter is a no-op gate — exactly what we want.
+	pages := make(map[storage.PageID]wal.LSN)
+	for _, r := range recs {
+		if !r.Redoable() {
+			continue
+		}
+		if _, ok := pages[r.Page]; !ok {
+			pages[r.Page] = r.LSN
+		}
+	}
+	if len(pages) == 0 {
+		bs.Scanned = len(recs)
+		return bs, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	parts := make([]map[storage.PageID]wal.LSN, workers)
+	for i := range parts {
+		parts[i] = make(map[storage.PageID]wal.LSN)
+	}
+	for pid, lsn := range pages {
+		parts[int(buffer.ShardHash(pid)%uint64(workers))][pid] = lsn
+	}
+
+	var abort atomic.Bool
+	results := make([]redoResult, workers)
+	if workers == 1 {
+		results[0] = redoPartition(pool, recs, parts[0], nil, 0, stats, &abort)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w] = redoPartition(pool, recs, parts[w], nil, 0, stats, &abort)
+			}(w)
+		}
+		wg.Wait()
+	}
+	var err error
+	for _, res := range results {
+		bs.Applied += res.applied
+		bs.Skipped += res.skipped
+		if res.scanned > bs.Scanned {
+			bs.Scanned = res.scanned // every worker scans the whole batch
+		}
+		if res.err != nil && err == nil {
+			err = res.err
+		}
+	}
+	return bs, err
+}

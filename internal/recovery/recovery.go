@@ -78,12 +78,12 @@ type Report struct {
 	// analysis plus lock reinstatement plus the pre-open stabilization undo.
 	// The remaining fields are written by the background phases and are safe
 	// to read only after Online.Wait returns.
-	Online            bool
-	OpenWall          time.Duration
-	PagesOnDemand     int // DPT pages recovered at fix time by foreground callers
-	PagesDrained      int // DPT pages recovered by the background drain
-	LosersStabilized  int // losers undone before open (structural/delete undo)
-	LosersBackground  int // insert-only losers undone after open, under reinstated locks
+	Online           bool
+	OpenWall         time.Duration
+	PagesOnDemand    int // DPT pages recovered at fix time by foreground callers
+	PagesDrained     int // DPT pages recovered by the background drain
+	LosersStabilized int // losers undone before open (structural/delete undo)
+	LosersBackground int // insert-only losers undone after open, under reinstated locks
 }
 
 // ErrRestartInterrupted reports that a restart stopped early because its

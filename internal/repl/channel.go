@@ -1,0 +1,252 @@
+// Package repl implements hot-standby replication: a primary-side shipper
+// that streams WAL records as they harden, an in-process lossy channel
+// with seeded fault injection, and a standby that applies segments
+// continuously with the page-partitioned parallel redo — "a restart that
+// never ends" — until Promote turns it into the serving primary.
+//
+// Wire model. Data frames (wal.Segment encodings and re-seed archives)
+// travel over the lossy path: each send may be dropped, duplicated,
+// reordered, corrupted, or stalled by the injector, mirroring
+// storage.FaultInjector's philosophy (seeded, reproducible, with a
+// consecutive-fault cap so progress is guaranteed). Control messages
+// (ACK / NAK / RESEED, standby → primary) travel over a reliable in-order
+// path, the moral equivalent of the TCP connection a real system would
+// keep for its feedback channel; the bulk data path is where loss hurts
+// and where the protocol must defend itself.
+package repl
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// frameData and frameReseed tag the two payload kinds on the data path.
+const (
+	frameData   = byte(0)
+	frameReseed = byte(1)
+)
+
+// ControlKind enumerates the standby→primary feedback messages.
+type ControlKind int
+
+const (
+	// CtlAck acknowledges that every record with LSN <= Control.LSN is
+	// appended, forced, and applied on the standby.
+	CtlAck ControlKind = iota
+	// CtlNak reports a gap: the standby needs shipping to resume from
+	// Control.LSN (its next expected record).
+	CtlNak
+	// CtlReseed asks for a full log archive: the standby has given up on
+	// closing a gap incrementally (bounded NAK retries exhausted).
+	CtlReseed
+)
+
+// Control is one feedback message.
+type Control struct {
+	Kind ControlKind
+	LSN  uint64 // CtlAck: applied watermark; CtlNak: next expected LSN
+}
+
+// ChannelFaults configures the data-path fault injector. Probabilities
+// are per-send and independent; the zero value is a perfect channel.
+type ChannelFaults struct {
+	// Seed drives the deterministic fault sequence (0 means 1).
+	Seed int64
+	// DropProb loses the frame entirely.
+	DropProb float64
+	// DupProb delivers the frame twice.
+	DupProb float64
+	// ReorderProb holds the frame back and delivers it after the next one.
+	ReorderProb float64
+	// CorruptProb flips one byte of the frame before delivery.
+	CorruptProb float64
+	// StallProb delays the delivery by StallDelay (default 1ms).
+	StallProb  float64
+	StallDelay time.Duration
+	// MaxConsecutive caps the run of consecutively faulted sends (default
+	// 2): after that many in a row the next send is delivered clean. The
+	// cap is what makes every test terminate — some frame always gets
+	// through, exactly like the storage injector's guarantee.
+	MaxConsecutive int
+}
+
+func (c ChannelFaults) withDefaults() ChannelFaults {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxConsecutive == 0 {
+		c.MaxConsecutive = 2
+	}
+	if c.StallDelay == 0 {
+		c.StallDelay = time.Millisecond
+	}
+	return c
+}
+
+// Channel is the in-process replication link: a lossy data path
+// (primary → standby) and a reliable control path (standby → primary).
+// Both ends close down together via Close.
+type Channel struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    ChannelFaults
+	consec int    // consecutive faulted sends, for the cap
+	held   []byte // frame held back by a reorder fault
+	counts ChannelCounts
+	closed bool
+
+	frames chan []byte  // data path (fault-injected)
+	ctrl   chan Control // control path (reliable)
+}
+
+// ChannelCounts tallies injected faults for reporting.
+type ChannelCounts struct {
+	Sent, Dropped, Duplicated, Reordered, Corrupted, Stalled int
+}
+
+// NewChannel creates a channel with the given fault profile.
+func NewChannel(cfg ChannelFaults) *Channel {
+	cfg = cfg.withDefaults()
+	return &Channel{
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		frames: make(chan []byte, 256),
+		ctrl:   make(chan Control, 256),
+	}
+}
+
+// Counts returns the fault tally so far.
+func (c *Channel) Counts() ChannelCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// Close tears the link down; pending frames are discarded by receivers
+// observing the closed channel.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.frames)
+	close(c.ctrl)
+}
+
+// deliver enqueues one frame, dropping it if the receiver is hopelessly
+// behind (a full buffer is backpressure; the shipper's retransmit timer
+// recovers, so blocking the sender would only hide liveness bugs).
+func (c *Channel) deliver(frame []byte) {
+	select {
+	case c.frames <- frame:
+	default:
+		c.counts.Dropped++
+	}
+}
+
+// Send pushes one data frame through the fault injector. The caller's
+// slice is not retained (corruption mutates a copy).
+func (c *Channel) Send(frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.counts.Sent++
+	var stall time.Duration
+	faulted := true
+	switch {
+	case c.consec >= c.cfg.MaxConsecutive:
+		faulted = false
+	case c.rng.Float64() < c.cfg.DropProb:
+		c.counts.Dropped++
+		c.consec++
+		return
+	case c.rng.Float64() < c.cfg.DupProb:
+		c.counts.Duplicated++
+		c.deliver(frame)
+		c.deliver(frame)
+	case c.rng.Float64() < c.cfg.ReorderProb:
+		// Hold this frame; it goes out after the NEXT send's frame.
+		c.counts.Reordered++
+		if c.held != nil {
+			c.deliver(c.held)
+		}
+		c.held = frame
+	case c.rng.Float64() < c.cfg.CorruptProb:
+		c.counts.Corrupted++
+		bad := append([]byte(nil), frame...)
+		if len(bad) > 0 {
+			bad[c.rng.Intn(len(bad))] ^= 1 << uint(c.rng.Intn(8))
+		}
+		c.deliver(bad)
+	case c.rng.Float64() < c.cfg.StallProb:
+		c.counts.Stalled++
+		stall = c.cfg.StallDelay
+		c.deliver(frame)
+	default:
+		faulted = false
+	}
+	if faulted {
+		c.consec++
+	} else {
+		c.consec = 0
+		c.deliver(frame)
+		if c.held != nil { // flush a pending reorder behind the clean frame
+			c.deliver(c.held)
+			c.held = nil
+		}
+	}
+	if stall > 0 {
+		c.mu.Unlock()
+		time.Sleep(stall)
+		c.mu.Lock()
+	}
+}
+
+// SendReliable bypasses the injector: used for re-seed payloads, which
+// model an out-of-band bulk copy (scp of a base backup) rather than the
+// streaming path.
+func (c *Channel) SendReliable(frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.counts.Sent++
+	select {
+	case c.frames <- frame:
+	default:
+		// The buffer is full of lossy traffic; a real bulk copy would
+		// block, and so do we — briefly, outside the lock.
+		c.mu.Unlock()
+		c.frames <- frame
+		c.mu.Lock()
+	}
+}
+
+// Recv returns the next data frame, or nil after Close.
+func (c *Channel) Recv() []byte { return <-c.frames }
+
+// RecvCh exposes the data path for select loops.
+func (c *Channel) RecvCh() <-chan []byte { return c.frames }
+
+// SendControl enqueues one reliable control message.
+func (c *Channel) SendControl(m Control) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	// Control is reliable AND non-lossy: block if full (it never is in
+	// practice; the shipper drains eagerly).
+	defer func() { recover() }() // racing Close is a benign shutdown
+	c.ctrl <- m
+}
+
+// ControlCh exposes the control path for select loops.
+func (c *Channel) ControlCh() <-chan Control { return c.ctrl }

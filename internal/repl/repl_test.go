@@ -1,0 +1,503 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ariesim/internal/db"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+func testDBOpts() db.Options {
+	return db.Options{PoolSize: 64, RedoWorkers: 2, Stats: &trace.Stats{}}
+}
+
+// pair wires a primary, a channel with the given faults, a standby, and a
+// started shipper, all on epoch 1.
+func pair(t *testing.T, faults ChannelFaults) (*db.DB, *Channel, *Standby, *Shipper) {
+	t.Helper()
+	primary := db.Open(testDBOpts())
+	if _, err := primary.CreateTable(sweepTable); err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+	ch := NewChannel(faults)
+	standby := NewStandby(ch, primary.Disk().ReadMeta(), StandbyOpts{
+		DBOpts: testDBOpts(), Epoch: 1, ApplyWorkers: 2,
+	})
+	standby.Start()
+	shipper := NewShipper(primary.Log(), ch, ShipperOpts{
+		Epoch:      1,
+		Retransmit: 2 * time.Millisecond,
+		MetaFn:     func() []byte { return primary.Disk().ReadMeta() },
+		Stats:      primary.Stats(),
+	})
+	shipper.Start()
+	return primary, ch, standby, shipper
+}
+
+func put(t *testing.T, d *db.DB, k, v string) {
+	t.Helper()
+	if err := d.RunTxn(func(tx *txn.Tx) error {
+		tbl, err := d.TableFor(tx, sweepTable)
+		if err != nil {
+			return err
+		}
+		return upsert(tbl, tx, sweepOp{key: k, val: v})
+	}); err != nil {
+		t.Fatalf("put %s=%s: %v", k, v, err)
+	}
+}
+
+// TestShipApplyPromote covers the clean-channel round trip: commits
+// stream to the standby as they harden, an in-flight transaction's
+// records ship too, and promotion undoes the in-flight work — its row
+// must not appear on the promoted node.
+func TestShipApplyPromote(t *testing.T) {
+	primary, ch, standby, shipper := pair(t, ChannelFaults{})
+	defer ch.Close()
+
+	want := map[string]string{}
+	for i := 0; i < 20; i++ {
+		k := "k" + strconv.Itoa(i%7)
+		v := "v" + strconv.Itoa(i)
+		put(t, primary, k, v)
+		want[k] = v
+	}
+
+	// An in-flight transaction: its update record ships (a later commit
+	// forces the log past it) but it never commits — ARIES/IM's headline
+	// assertion is that promotion's undo erases it.
+	tx := primary.MustBegin()
+	tbl, err := primary.TableFor(tx, sweepTable)
+	if err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	if err := tbl.Insert(tx, []byte("zz-uncommitted"), []byte("ghost")); err != nil {
+		t.Fatalf("in-flight insert: %v", err)
+	}
+	put(t, primary, "k-final", "done") // forces the log past the ghost record
+	want["k-final"] = "done"
+
+	if err := shipper.WaitAcked(primary.Log().StableLSN(), 5*time.Second); err != nil {
+		t.Fatalf("standby never caught up: %v", err)
+	}
+	if got, stable := standby.AppliedLSN(), primary.Log().StableLSN(); got != stable {
+		t.Fatalf("applied %d, primary stable %d", got, stable)
+	}
+
+	promoted, rep, err := standby.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if rep == nil {
+		t.Fatalf("promote returned no recovery report")
+	}
+	shipper.Stop()
+	if err := verifyRows(promoted, sweepTable, want); err != nil {
+		t.Fatalf("promoted state: %v", err)
+	}
+	if err := promoted.VerifyConsistency(); err != nil {
+		t.Fatalf("promoted consistency: %v", err)
+	}
+	if n, _ := promoted.AckedCommits(); n != 0 {
+		// Sanity: the promoted node starts a fresh acked ledger.
+		t.Fatalf("promoted node born with %d acked commits", n)
+	}
+}
+
+// TestLossyChannelCatchUp runs every fault class at once under the
+// semi-sync gate: each commit must still ack (retransmit + NAK repair the
+// stream), and the standby must converge to the primary's exact state.
+func TestLossyChannelCatchUp(t *testing.T) {
+	faults := ChannelFaults{
+		Seed:        42,
+		DropProb:    0.20,
+		DupProb:     0.10,
+		ReorderProb: 0.10,
+		CorruptProb: 0.08,
+		StallProb:   0.05,
+	}
+	primary, ch, standby, shipper := pair(t, faults)
+	defer ch.Close()
+	primary.SetCommitGate(shipper.Gate(5 * time.Second))
+
+	want := map[string]string{}
+	n := 60
+	if testing.Short() {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		k := "k" + strconv.Itoa(i%9)
+		v := "v" + strconv.Itoa(i)
+		put(t, primary, k, v) // gated: returns only once standby-durable
+		want[k] = v
+	}
+	counts := ch.Counts()
+	if counts.Dropped+counts.Duplicated+counts.Reordered+counts.Corrupted == 0 {
+		t.Fatalf("fault injector never fired: %+v", counts)
+	}
+	if got := standby.AppliedLSN(); got < primary.Log().StableLSN() {
+		t.Fatalf("gated commits acked but applied %d < stable %d", got, primary.Log().StableLSN())
+	}
+
+	promoted, _, err := standby.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	shipper.Stop()
+	if err := verifyRows(promoted, sweepTable, want); err != nil {
+		t.Fatalf("promoted state after lossy stream: %v", err)
+	}
+	t.Logf("channel: %+v; naks=%d resent=%d applied=%d rejected=%d",
+		counts, promoted.Stats().ReplNaks.Load(), primary.Stats().SegmentsResent.Load(),
+		promoted.Stats().SegmentsApplied.Load(), promoted.Stats().SegmentsRejected.Load())
+}
+
+// TestReseedPath drives the standby's gap escalation by hand: a segment
+// starting beyond its tail is NAKed with backoff exactly maxNakRetries
+// times, the next repeat escalates to CtlReseed, and a full archive frame
+// then heals the standby completely.
+func TestReseedPath(t *testing.T) {
+	primary := db.Open(testDBOpts())
+	if _, err := primary.CreateTable(sweepTable); err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 12; i++ {
+		k := "k" + strconv.Itoa(i%5)
+		v := "v" + strconv.Itoa(i)
+		put(t, primary, k, v)
+		want[k] = v
+	}
+
+	ch := NewChannel(ChannelFaults{})
+	defer ch.Close()
+	standby := NewStandby(ch, primary.Disk().ReadMeta(), StandbyOpts{
+		DBOpts: testDBOpts(), Epoch: 1, ApplyWorkers: 2,
+		NakBackoff: 50 * time.Microsecond,
+	})
+	standby.Start()
+
+	// Ship only a mid-log suffix: the standby (at LSN 1) sees a gap.
+	recs := primary.Log().Records(1)
+	if len(recs) < 4 {
+		t.Fatalf("need a few records, have %d", len(recs))
+	}
+	from := recs[len(recs)/2].LSN
+	var seq uint64
+	gapped := func() []byte {
+		seq++
+		seg := primary.Log().ShipFrom(from, 1, seq, from-1)
+		return append([]byte{frameData}, seg.Encode()...)
+	}
+	for i := 0; i < maxNakRetries+1; i++ {
+		ch.Send(gapped())
+	}
+
+	// The control stream must carry exactly maxNakRetries NAKs (all for
+	// the standby's unmoved tail) and then the escalation.
+	naks := 0
+	deadline := time.After(10 * time.Second)
+	for {
+		var m Control
+		select {
+		case m = <-ch.ControlCh():
+		case <-deadline:
+			t.Fatalf("no reseed after %d naks", naks)
+		}
+		if m.Kind == CtlNak {
+			naks++
+			continue
+		}
+		if m.Kind == CtlReseed {
+			break
+		}
+	}
+	if naks != maxNakRetries {
+		t.Fatalf("got %d naks before reseed, want %d", naks, maxNakRetries)
+	}
+
+	// Answer the reseed the way the shipper would: catalog blob + the full
+	// stable archive over the reliable path.
+	meta := primary.Disk().ReadMeta()
+	var buf bytes.Buffer
+	buf.WriteByte(frameReseed)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(meta)))
+	buf.Write(hdr[:])
+	buf.Write(meta)
+	if _, err := primary.Log().Archive(&buf); err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	ch.SendReliable(buf.Bytes())
+
+	stable := primary.Log().StableLSN()
+	for wait := time.Now().Add(10 * time.Second); standby.AppliedLSN() < stable; {
+		if time.Now().After(wait) {
+			t.Fatalf("reseed never applied: at %d, want %d", standby.AppliedLSN(), stable)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := standby.DB().Stats().ReplNaks.Load(); got != uint64(maxNakRetries) {
+		t.Fatalf("standby counted %d naks, want %d", got, maxNakRetries)
+	}
+	promoted, _, err := standby.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if err := verifyRows(promoted, sweepTable, want); err != nil {
+		t.Fatalf("post-reseed state: %v", err)
+	}
+}
+
+// TestZombieFencing: segments from the dead epoch bounce off a promoted
+// standby, and a standby joined at the wrong epoch never applies anything.
+func TestZombieFencing(t *testing.T) {
+	primary, ch, standby, shipper := pair(t, ChannelFaults{})
+	defer ch.Close()
+	put(t, primary, "a", "1")
+	if err := shipper.WaitAcked(primary.Log().StableLSN(), 5*time.Second); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	promoted, _, err := standby.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	rejBefore := promoted.Stats().SegmentsRejected.Load()
+	put(t, primary, "b", "2") // zombie keeps writing and shipping
+	shipper.ShipNow()
+	for wait := time.Now().Add(5 * time.Second); promoted.Stats().SegmentsRejected.Load() == rejBefore; {
+		if time.Now().After(wait) {
+			t.Fatalf("zombie segment never rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shipper.Stop()
+	// The zombie's post-promotion write must not exist on the new primary.
+	if err := verifyRows(promoted, sweepTable, map[string]string{"a": "1"}); err != nil {
+		t.Fatalf("promoted state: %v", err)
+	}
+}
+
+// TestPromotionRacesRetryLoop is the exactly-once test: clients hammer a
+// single counter through the crash and the promotion, retrying
+// crash-class errors against whichever node currently serves. Every
+// increment acknowledged to a client must appear on the promoted node
+// exactly once — the final counter value equals the number of commit
+// records that survived, and every ACKED gen-1 commit is among them.
+func TestPromotionRacesRetryLoop(t *testing.T) {
+	primary, ch, standby, shipper := pair(t, ChannelFaults{
+		Seed: 9, DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.05,
+	})
+	defer ch.Close()
+	primary.SetCommitGate(shipper.Gate(2 * time.Second))
+
+	const key = "ctr"
+	preTarget, postTarget := 25, 10
+	if testing.Short() {
+		preTarget, postTarget = 12, 5
+	}
+
+	var curDB atomic.Pointer[db.DB]
+	var curGen atomic.Int64
+	curDB.Store(primary)
+	curGen.Store(1)
+	promoteCh := make(chan struct{})
+	stopCh := make(chan struct{})
+
+	// pend[gen] maps commit LSN → acked?, exactly the sweep's ledger but
+	// for a single counter: the op is always "+1".
+	var ledMu sync.Mutex
+	pend := map[int]map[wal.LSN]bool{1: {}, 2: {}}
+	var ackedGen1, ackedGen2 atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				d := curDB.Load()
+				gen := int(curGen.Load())
+				var lsn wal.LSN
+				err := d.RunTxnWith(db.RunTxnOpts{
+					Seed:          int64(w*1000+i) + 1,
+					RetryDeadline: 200 * time.Millisecond,
+					OnCommitted: func(l wal.LSN) {
+						lsn = l
+						ledMu.Lock()
+						pend[gen][l] = false
+						ledMu.Unlock()
+					},
+					OnCommit: func() {
+						ledMu.Lock()
+						pend[gen][lsn] = true
+						ledMu.Unlock()
+						if gen == 1 {
+							ackedGen1.Add(1)
+						} else {
+							ackedGen2.Add(1)
+						}
+					},
+				}, func(tx *txn.Tx) error {
+					tbl, err := d.TableFor(tx, sweepTable)
+					if err != nil {
+						return err
+					}
+					n := 0
+					cur, err := tbl.Get(tx, []byte(key))
+					switch {
+					case err == nil:
+						n, _ = strconv.Atoi(string(cur))
+						n++
+						return tbl.Update(tx, []byte(key), []byte(strconv.Itoa(n)))
+					case errors.Is(err, db.ErrNotFound):
+						return tbl.Insert(tx, []byte(key), []byte("1"))
+					default:
+						return err
+					}
+				})
+				switch {
+				case err == nil:
+				case errors.Is(err, db.ErrCommitUnacked):
+					// Ambiguous — the pend entry resolves it; do NOT retry,
+					// a blind retry is exactly the double-apply this test
+					// exists to catch.
+				case db.ClassifyErr(err) == db.ClassCrash:
+					// The retry loop under test: crash-class errors park the
+					// client until failover completes, then it retries
+					// against the promoted node.
+					select {
+					case <-promoteCh:
+					case <-stopCh:
+						return
+					}
+				default:
+					t.Errorf("worker %d: unexpected error: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	waitCount := func(c *atomic.Int64, n int, what string) {
+		t.Helper()
+		for wait := time.Now().Add(60 * time.Second); c.Load() < int64(n); {
+			if t.Failed() || time.Now().After(wait) {
+				close(stopCh)
+				wg.Wait()
+				t.Fatalf("stalled waiting for %s (%d/%d)", what, c.Load(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitCount(&ackedGen1, preTarget, "pre-crash increments")
+	primary.Crash()
+	standby.Fence()
+	preLog := standby.DB().Log().Clone(&trace.Stats{})
+	promoted, _, err := standby.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	curDB.Store(promoted)
+	curGen.Store(2)
+	close(promoteCh)
+	waitCount(&ackedGen2, postTarget, "post-promote increments")
+	close(stopCh)
+	wg.Wait()
+	shipper.Stop()
+
+	// Resolve the ledger: a gen-1 increment took effect iff its commit
+	// record is in the promoted base; gen-2 iff in the promoted log.
+	preCommits := commitSet(preLog)
+	postCommits := commitSet(promoted.Log())
+	ledMu.Lock()
+	expect := 0
+	for l, acked := range pend[1] {
+		if preCommits[l] {
+			expect++
+		} else if acked {
+			t.Errorf("ACKED gen-1 increment LSN %d lost in failover", l)
+		}
+	}
+	for l := range pend[2] {
+		if !postCommits[l] {
+			t.Errorf("gen-2 increment LSN %d missing from promoted log", l)
+		}
+		expect++
+	}
+	ledMu.Unlock()
+
+	got := -1
+	if err := promoted.RunTxn(func(tx *txn.Tx) error {
+		tbl, err := promoted.TableFor(tx, sweepTable)
+		if err != nil {
+			return err
+		}
+		v, err := tbl.Get(tx, []byte(key))
+		if err != nil {
+			return err
+		}
+		got, err = strconv.Atoi(string(v))
+		return err
+	}); err != nil {
+		t.Fatalf("read counter: %v", err)
+	}
+	if got != expect {
+		t.Fatalf("counter = %d, want %d (double- or under-applied retries)", got, expect)
+	}
+	t.Logf("counter %d: gen1 acked %d, gen2 acked %d, pend1 %d, pend2 %d",
+		got, ackedGen1.Load(), ackedGen2.Load(), len(pend[1]), len(pend[2]))
+}
+
+// TestStandbySweepMini runs the full crash-promote sweep at race-friendly
+// scale: lossy channel, semi-sync gate, boundary forks, zombie fencing.
+func TestStandbySweepMini(t *testing.T) {
+	o := SweepOpts{
+		Seed:               7,
+		Workers:            2,
+		PreCrashCommits:    35,
+		PostPromoteCommits: 8,
+		Keys:               16,
+		Faults: ChannelFaults{
+			Seed: 7, DropProb: 0.15, DupProb: 0.08,
+			ReorderProb: 0.08, CorruptProb: 0.05, StallProb: 0.02,
+		},
+		SyncGate:       true,
+		RedoWorkers:    2,
+		BoundaryStride: 3,
+		Logf:           t.Logf,
+	}
+	if testing.Short() {
+		o.PreCrashCommits, o.PostPromoteCommits, o.BoundaryStride = 20, 5, 6
+	}
+	res, err := RunStandbySweep(o)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.CommitsAcked < o.PreCrashCommits+o.PostPromoteCommits {
+		t.Fatalf("only %d acked commits", res.CommitsAcked)
+	}
+	if res.Boundaries == 0 {
+		t.Fatalf("no boundary forks verified")
+	}
+	if res.ZombieRejected == 0 {
+		t.Fatalf("zombie fencing never exercised")
+	}
+	if res.FailoverTTFC <= 0 {
+		t.Fatalf("no failover TTFC measured")
+	}
+}

@@ -1,0 +1,314 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ariesim/internal/trace"
+	"ariesim/internal/wal"
+)
+
+// ErrShipperStopped reports a wait cut short by Stop.
+var ErrShipperStopped = errors.New("repl: shipper stopped")
+
+// ErrAckTimeout reports a commit-gate wait that expired before the standby
+// acknowledged the LSN.
+var ErrAckTimeout = errors.New("repl: standby ack timeout")
+
+// ShipperOpts tunes the primary-side shipper.
+type ShipperOpts struct {
+	// Epoch stamps every outgoing segment; the standby accepts only its
+	// own epoch (zombie fencing).
+	Epoch uint64
+	// Retransmit is how long shipped-but-unacked records may age before
+	// the shipper re-ships from the acked watermark (default 5ms). This is
+	// the loss-repair backstop: a dropped frame is re-sent after at most
+	// one retransmit interval, keeping the commit gate live.
+	Retransmit time.Duration
+	// MetaFn, when set, supplies the primary's current catalog blob; the
+	// shipper embeds it in a segment whenever it changes, so mid-stream
+	// DDL reaches the standby.
+	MetaFn func() []byte
+	// Stats receives shipping counters (may be nil).
+	Stats *trace.Stats
+}
+
+// Shipper streams a log's stable prefix over a Channel as framed
+// segments. Start it once; it wakes on the log's stable-notify hook
+// (wal.Log.SetStableNotify), ships everything newly hardened, and
+// services the control path: ACKs advance the acked watermark (and
+// release commit-gate waiters), NAKs rewind the ship cursor, RESEEDs
+// answer with a full archive over the reliable path.
+type Shipper struct {
+	log  *wal.Log
+	ch   *Channel
+	opts ShipperOpts
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nextShip wal.LSN // first LSN not yet shipped
+	seq      uint64
+	acked    wal.LSN // highest standby-acked LSN
+	lastMeta []byte  // last catalog blob shipped
+	stopped  bool
+
+	notify chan struct{} // stable-notify doorbell (coalesced)
+	stop   chan struct{} // closed by Stop
+	done   sync.WaitGroup
+}
+
+// NewShipper wires a shipper to the primary's log and the channel. The
+// shipper installs itself as the log's stable-notify hook.
+func NewShipper(log *wal.Log, ch *Channel, opts ShipperOpts) *Shipper {
+	if opts.Retransmit == 0 {
+		opts.Retransmit = 5 * time.Millisecond
+	}
+	s := &Shipper{
+		log:      log,
+		ch:       ch,
+		opts:     opts,
+		nextShip: wal.NilLSN + 1,
+		notify:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	log.SetStableNotify(func(wal.LSN) { s.ring() })
+	return s
+}
+
+// Start launches the ship and control loops.
+func (s *Shipper) Start() {
+	s.done.Add(2)
+	go s.shipLoop()
+	go s.controlLoop()
+	s.ring() // ship whatever is already stable
+}
+
+// Stop halts both loops and releases every gate waiter with
+// ErrShipperStopped. It does not close the channel.
+func (s *Shipper) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.stop)
+	s.done.Wait()
+}
+
+// ring nudges the ship loop (idempotent, non-blocking). It stays safe
+// after Stop: the log's stable-notify hook remains installed, so a
+// late Force on the primary's log must not panic.
+func (s *Shipper) ring() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// AckedLSN returns the highest standby-acknowledged LSN.
+func (s *Shipper) AckedLSN() wal.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// Lag returns how many stable log bytes the standby has not yet
+// acknowledged — the replication lag in the only unit LSNs measure.
+func (s *Shipper) Lag() uint64 {
+	stable := s.log.StableLSN()
+	s.mu.Lock()
+	acked := s.acked
+	s.mu.Unlock()
+	if stable <= acked {
+		return 0
+	}
+	return uint64(stable - acked)
+}
+
+// WaitAcked blocks until the standby has acknowledged lsn, the timeout
+// expires (ErrAckTimeout), or the shipper stops (ErrShipperStopped).
+func (s *Shipper) WaitAcked(lsn wal.LSN, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.acked < lsn {
+		if s.stopped {
+			return ErrShipperStopped
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: LSN %d unacked after %v", ErrAckTimeout, lsn, timeout)
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// Gate adapts WaitAcked into a db.SetCommitGate function: semi-sync
+// replication acks a commit only once the standby holds its record.
+func (s *Shipper) Gate(timeout time.Duration) func(wal.LSN) error {
+	return func(lsn wal.LSN) error {
+		if err := s.WaitAcked(lsn, timeout); err != nil {
+			return err
+		}
+		if s.opts.Stats != nil {
+			s.opts.Stats.ReplCommitsAcked.Add(1)
+		}
+		return nil
+	}
+}
+
+// ShipNow forces one segment send even when nothing new is stable — an
+// empty segment is a heartbeat, and it is how a zombie primary's dying
+// gasp reaches (and bounces off) a promoted standby's epoch fence.
+func (s *Shipper) ShipNow() {
+	s.ship(0, true)
+}
+
+// shipFrom ships [from..stable] as one segment; from 0 means the current
+// cursor. A shipped window advances the cursor; a NAK rewinds it.
+func (s *Shipper) shipFrom(from wal.LSN) {
+	s.ship(from, false)
+}
+
+func (s *Shipper) ship(from wal.LSN, force bool) {
+	s.mu.Lock()
+	if from == 0 {
+		from = s.nextShip
+	} else if from < s.nextShip {
+		s.nextShip = from // NAK rewind
+	}
+	recs, stable, master := s.log.SnapshotStable(from)
+	if len(recs) == 0 && from > stable && !force {
+		s.mu.Unlock()
+		return // nothing stable beyond the cursor; heartbeats aren't needed
+	}
+	s.seq++
+	seg := &wal.Segment{
+		Epoch:   s.opts.Epoch,
+		Seq:     s.seq,
+		PrevLSN: from - 1,
+		Stable:  stable,
+		Master:  master,
+		Records: recs,
+	}
+	if s.opts.MetaFn != nil {
+		if meta := s.opts.MetaFn(); len(meta) > 0 && !bytes.Equal(meta, s.lastMeta) {
+			seg.Meta = append([]byte(nil), meta...)
+			s.lastMeta = seg.Meta
+		}
+	}
+	if len(recs) > 0 {
+		last := recs[len(recs)-1]
+		s.nextShip = last.LSN + wal.LSN(last.EncodedSize())
+	}
+	s.mu.Unlock()
+	frame := append([]byte{frameData}, seg.Encode()...)
+	s.ch.Send(frame)
+	if s.opts.Stats != nil {
+		s.opts.Stats.SegmentsShipped.Add(1)
+	}
+}
+
+// shipLoop ships on every stable-notify doorbell and retransmits from the
+// acked watermark when acks stall — the repair path for dropped frames.
+func (s *Shipper) shipLoop() {
+	defer s.done.Done()
+	retransmit := time.NewTicker(s.opts.Retransmit)
+	defer retransmit.Stop()
+	lastAcked := wal.NilLSN
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.notify:
+			s.shipFrom(0)
+		case <-retransmit.C:
+			s.mu.Lock()
+			acked, next, stopped := s.acked, s.nextShip, s.stopped
+			s.mu.Unlock()
+			if stopped {
+				return
+			}
+			if acked+1 < next && acked == lastAcked {
+				// Shipped records aged past one interval with no ack
+				// progress: assume loss and re-ship the whole unacked
+				// window.
+				if s.opts.Stats != nil {
+					s.opts.Stats.SegmentsResent.Add(1)
+				}
+				s.shipFrom(acked + 1)
+			}
+			lastAcked = acked
+		}
+	}
+}
+
+// controlLoop services the standby's feedback.
+func (s *Shipper) controlLoop() {
+	defer s.done.Done()
+	for {
+		var m Control
+		var ok bool
+		select {
+		case m, ok = <-s.ch.ControlCh():
+			if !ok {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+		switch m.Kind {
+		case CtlAck:
+			s.mu.Lock()
+			if wal.LSN(m.LSN) > s.acked {
+				s.acked = wal.LSN(m.LSN)
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		case CtlNak:
+			if s.opts.Stats != nil {
+				s.opts.Stats.SegmentsResent.Add(1)
+			}
+			s.shipFrom(wal.LSN(m.LSN))
+		case CtlReseed:
+			s.sendReseed()
+		}
+	}
+}
+
+// sendReseed answers an unrecoverable gap with the full stable archive
+// plus the current catalog blob, over the reliable path (modeling an
+// out-of-band base copy).
+func (s *Shipper) sendReseed() {
+	var meta []byte
+	if s.opts.MetaFn != nil {
+		meta = s.opts.MetaFn()
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(frameReseed)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(meta)))
+	buf.Write(hdr[:])
+	buf.Write(meta)
+	if _, err := s.log.Archive(&buf); err != nil {
+		return // archiving an in-memory log cannot fail; defensive
+	}
+	if s.opts.Stats != nil {
+		s.opts.Stats.ReplReseeds.Add(1)
+	}
+	s.ch.SendReliable(buf.Bytes())
+}

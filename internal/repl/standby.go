@@ -1,0 +1,360 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ariesim/internal/db"
+	"ariesim/internal/recovery"
+	"ariesim/internal/wal"
+)
+
+// maxNakRetries bounds how many NAKs the standby sends for the same
+// expected LSN before declaring the gap unrecoverable and asking for a
+// full re-seed.
+const maxNakRetries = 6
+
+// flushEvery is the segment cadence of the standby's background
+// FlushAll + master-record advance. Flushed pages and a fresh master
+// bound the redo work a promotion has to repeat, exactly as checkpoints
+// bound a restart.
+const flushEvery = 16
+
+// StandbyOpts tunes the standby.
+type StandbyOpts struct {
+	// DB options for the replica engine (pool size, redo workers, online
+	// restart for promotion, ...).
+	DBOpts db.Options
+	// Epoch the standby accepts; segments from any other epoch are
+	// rejected. Promote bumps it so the dead primary's stragglers fence.
+	Epoch uint64
+	// ApplyWorkers is the perpetual-redo parallelism per batch (default 1).
+	ApplyWorkers int
+	// NakBackoff is the first gap-retry backoff (default 500µs); each
+	// further NAK for the same gap doubles it.
+	NakBackoff time.Duration
+}
+
+// Standby owns a replica engine and drives it from a Channel: append each
+// in-order segment to the local log, force it, replay it into the pool
+// with the page-partitioned parallel redo, acknowledge, repeat — forever,
+// until Promote. Gaps NAK with exponential backoff; hopeless gaps re-seed
+// from a full archive.
+type Standby struct {
+	ch   *Channel
+	opts StandbyOpts
+
+	mu       sync.Mutex
+	db       *db.DB
+	epoch    uint64
+	applied  wal.LSN // tail LSN of the last appended-and-applied record
+	promoted bool
+
+	// Gap bookkeeping: the expected LSN the current NAK run is trying to
+	// fill, how many times it was NAKed, and the backoff step.
+	gapExpected wal.LSN
+	gapNaks     int
+
+	// lag samples (stable-at-ship minus applied, in log bytes), bounded.
+	lagSamples []float64
+
+	done chan struct{}
+}
+
+// NewStandby builds the replica engine (fresh disk seeded with the
+// primary's catalog blob) and wires it to the channel.
+func NewStandby(ch *Channel, catalogMeta []byte, opts StandbyOpts) *Standby {
+	if opts.ApplyWorkers < 1 {
+		opts.ApplyWorkers = 1
+	}
+	if opts.NakBackoff == 0 {
+		opts.NakBackoff = 500 * time.Microsecond
+	}
+	return &Standby{
+		ch:    ch,
+		opts:  opts,
+		db:    db.OpenReplica(opts.DBOpts, catalogMeta),
+		epoch: opts.Epoch,
+		done:  make(chan struct{}),
+	}
+}
+
+// DB returns the replica engine (the serving primary after Promote).
+func (s *Standby) DB() *db.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db
+}
+
+// AppliedLSN returns the standby's applied watermark.
+func (s *Standby) AppliedLSN() wal.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// LagSamples returns the recorded per-segment lag samples (log bytes the
+// primary had hardened beyond the standby's applied tail at each apply).
+func (s *Standby) LagSamples() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.lagSamples...)
+}
+
+// Start launches the receive loop.
+func (s *Standby) Start() {
+	go s.recvLoop()
+}
+
+// Wait blocks until the receive loop exits (channel closed).
+func (s *Standby) Wait() { <-s.done }
+
+// recvLoop is the perpetual-redo driver.
+func (s *Standby) recvLoop() {
+	defer close(s.done)
+	for frame := range s.ch.RecvCh() {
+		if len(frame) == 0 {
+			continue
+		}
+		switch frame[0] {
+		case frameData:
+			s.handleSegment(frame[1:])
+		case frameReseed:
+			s.handleReseed(frame[1:])
+		}
+	}
+}
+
+// handleSegment validates, dedups, appends, forces, and replays one
+// shipped segment, then acknowledges the new applied watermark.
+func (s *Standby) handleSegment(frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sdb := s.db
+	stats := sdb.Stats()
+	seg, err := wal.DecodeSegment(frame)
+	if err != nil {
+		// The channel mangled the frame. We cannot even trust its window
+		// bounds, so treat it as silence: the shipper's retransmit (or our
+		// next gap NAK) repairs whatever it carried.
+		stats.SegmentsRejected.Add(1)
+		s.nakLocked(s.nextLSNLocked())
+		return
+	}
+	if seg.Epoch != s.epoch {
+		// Zombie fencing: a dead primacy's stragglers (or a sender from a
+		// future we haven't joined) are rejected wholesale.
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+	if s.promoted {
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+
+	// Dedup: drop the prefix we already hold (duplicate or overlapping
+	// delivery). Idempotent by page_LSN anyway, but trimming keeps the
+	// local log append-exact.
+	next := s.nextLSNLocked()
+	recs := seg.Records
+	for len(recs) > 0 && recs[0].LSN < next {
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		if len(seg.Records) > 0 {
+			stats.SegmentsRejected.Add(1) // pure duplicate
+		}
+		s.ackLocked()
+		return
+	}
+	if recs[0].LSN > next {
+		// Gap: something between our tail and this segment was lost.
+		stats.SegmentsRejected.Add(1)
+		s.nakLocked(next)
+		return
+	}
+	s.appendApplyLocked(recs, seg.Stable, seg.Master, seg.Meta)
+}
+
+// appendApplyLocked appends a contiguous record run starting exactly at
+// the local log's next LSN, forces it, replays it, and acks.
+func (s *Standby) appendApplyLocked(recs []*wal.Record, shipStable, shipMaster wal.LSN, meta []byte) {
+	sdb := s.db
+	stats := sdb.Stats()
+	log := sdb.Log()
+	for _, r := range recs {
+		if got := log.Append(cloneRecord(r)); got != r.LSN {
+			// An LSN is 1 + the record's byte offset, and the caller
+			// verified the run starts exactly at our next offset, so an
+			// identical byte stream must reproduce identical LSNs. A
+			// mismatch is a codec invariant violation, not channel damage.
+			panic(fmt.Sprintf("repl: shipped record LSN %d appended at %d", r.LSN, got))
+		}
+	}
+	// Force before apply: the pool may steal/flush any replayed page, and
+	// the WAL rule demands its log records be stable first.
+	log.ForceAll()
+	if _, err := recovery.ApplyRecords(sdb.Pool(), recs, s.opts.ApplyWorkers, stats); err != nil {
+		// Apply errors on a standby are unrecoverable locally (the pool
+		// saw an impossible record); ask for a clean slate.
+		s.reseedLocked()
+		return
+	}
+	s.applied = recs[len(recs)-1].LSN
+	if meta != nil {
+		sdb.Disk().WriteMeta(meta)
+	}
+	// Advance the master record (clamped to our stable prefix) so a
+	// promotion's analysis starts at the primary's last checkpoint rather
+	// than LSN 1.
+	if shipMaster != wal.NilLSN && shipMaster <= log.StableLSN() && shipMaster > log.Master() {
+		log.SetMaster(shipMaster)
+	}
+	stats.SegmentsApplied.Add(1)
+	if lag := float64(shipStable) - float64(s.applied); lag >= 0 && len(s.lagSamples) < 1<<16 {
+		s.lagSamples = append(s.lagSamples, lag)
+	}
+	if stats.SegmentsApplied.Load()%flushEvery == 0 {
+		// Background flush: bounds promotion redo like a checkpoint bounds
+		// restart redo. Everything appended is forced, so the WAL rule
+		// holds for every flushed page.
+		_ = sdb.Pool().FlushAll()
+	}
+	s.gapExpected, s.gapNaks = 0, 0 // progress resets the gap bookkeeping
+	s.ackLocked()
+}
+
+// nextLSNLocked returns the LSN the local log will assign next.
+func (s *Standby) nextLSNLocked() wal.LSN {
+	return s.db.Log().NextLSN()
+}
+
+// ackLocked reports the applied watermark to the primary.
+func (s *Standby) ackLocked() {
+	s.ch.SendControl(Control{Kind: CtlAck, LSN: uint64(s.applied)})
+}
+
+// nakLocked requests re-shipping from expected, with bounded retries and
+// exponential backoff; past the bound it escalates to a full re-seed.
+func (s *Standby) nakLocked(expected wal.LSN) {
+	stats := s.db.Stats()
+	if expected != s.gapExpected {
+		s.gapExpected, s.gapNaks = expected, 0
+	}
+	s.gapNaks++
+	if s.gapNaks > maxNakRetries {
+		s.reseedLocked()
+		return
+	}
+	stats.ReplNaks.Add(1)
+	// Exponential backoff outside the lock: give the in-flight repair a
+	// chance before asking again, without blocking frame receipt.
+	backoff := s.opts.NakBackoff << uint(s.gapNaks-1)
+	s.mu.Unlock()
+	time.Sleep(backoff)
+	s.mu.Lock()
+	if s.promoted {
+		return
+	}
+	s.ch.SendControl(Control{Kind: CtlNak, LSN: uint64(expected)})
+}
+
+// reseedLocked gives up on incremental repair and asks for the full
+// archive.
+func (s *Standby) reseedLocked() {
+	s.gapExpected, s.gapNaks = 0, 0
+	s.ch.SendControl(Control{Kind: CtlReseed})
+}
+
+// handleReseed consumes a full-archive frame: catalog blob, then the
+// primary's whole stable log. Everything we already hold is trimmed
+// (dedup by LSN); the remainder is appended and replayed as one giant
+// segment — the log never rewinds, it only extends.
+func (s *Standby) handleReseed(frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := s.db.Stats()
+	if s.promoted {
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+	if len(frame) < 4 {
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+	metaLen := int(binary.LittleEndian.Uint32(frame[:4]))
+	if 4+metaLen > len(frame) {
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+	meta := frame[4 : 4+metaLen]
+	shipped, err := wal.ReadArchive(bytes.NewReader(frame[4+metaLen:]))
+	if err != nil && !errors.Is(err, wal.ErrArchiveTorn) {
+		// A corrupt re-seed (reliable path, so only in adversarial tests):
+		// ask again.
+		stats.SegmentsRejected.Add(1)
+		s.reseedLocked()
+		return
+	}
+	next := s.nextLSNLocked()
+	recs := shipped.Records(next)
+	if len(recs) == 0 {
+		s.ackLocked() // archive adds nothing; we were already ahead
+		return
+	}
+	if recs[0].LSN != next {
+		// The archive itself starts beyond our tail — cannot happen with
+		// whole-log archives; reject.
+		stats.SegmentsRejected.Add(1)
+		return
+	}
+	var m []byte
+	if metaLen > 0 {
+		m = append([]byte(nil), meta...)
+	}
+	s.appendApplyLocked(recs, shipped.StableLSN(), shipped.Master(), m)
+}
+
+// Fence stops segment application and bumps the epoch: anything the dead
+// primary still ships is stale from this instant on (rejected and
+// counted). Fence is the first half of Promote, exposed so a harness can
+// capture the exact promoted log base between fencing and promotion.
+func (s *Standby) Fence() {
+	s.mu.Lock()
+	if !s.promoted {
+		s.promoted = true
+		s.epoch++
+	}
+	s.mu.Unlock()
+}
+
+// Promote fences the epoch, then opens the replica as the new primary
+// (db.Promote: flush, restart recovery over the shipped log, undo of the
+// dead primary's in-flight transactions). The receive loop keeps running,
+// rejecting — and counting — every late segment from the old epoch, until
+// the channel closes.
+func (s *Standby) Promote() (*db.DB, *recovery.Report, error) {
+	s.Fence()
+	s.mu.Lock()
+	sdb := s.db
+	s.mu.Unlock()
+	rep, err := sdb.Promote()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sdb, rep, nil
+}
+
+// cloneRecord copies a record so the standby's log owns its storage (the
+// decoded segment's records share the frame buffer's payload bytes).
+func cloneRecord(r *wal.Record) *wal.Record {
+	c := *r
+	if r.Payload != nil {
+		c.Payload = append([]byte(nil), r.Payload...)
+	}
+	return &c
+}

@@ -1,0 +1,535 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ariesim/internal/db"
+	"ariesim/internal/recovery"
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// The standby sweep: live traffic against a primary that ships to a
+// standby over a seeded lossy channel, a primary crash mid-traffic, a
+// promotion, continued traffic on the promoted node — and exact
+// verification at three levels:
+//
+//  1. Zero acked loss: with the semi-sync gate, every commit acknowledged
+//     to a client is present on the promoted node. (The whole point.)
+//  2. Exact state: the promoted node's rows equal the ledger model —
+//     acked commits plus exactly those ambiguous (gate-failed) commits
+//     whose commit records made it into the promoted log, nothing else.
+//  3. Every-boundary forks: for EVERY record boundary L of the log the
+//     standby had received at promotion, a standby promoted from the
+//     prefix ≤ L recovers to exactly the commits whose records fit in
+//     that prefix — the standby is a correct crash point everywhere, not
+//     just where we happened to promote.
+
+// SweepOpts configures RunStandbySweep. The zero value is usable.
+type SweepOpts struct {
+	Seed    int64
+	Workers int // concurrent client goroutines (default 3)
+	// PreCrashCommits is how many acked commits to accumulate before the
+	// primary is crashed under live traffic (default 120).
+	PreCrashCommits int
+	// PostPromoteCommits is how many commits the promoted node must serve
+	// before the sweep concludes (default 20).
+	PostPromoteCommits int
+	Keys               int // hot-key space (default 40)
+	// Faults is the channel fault profile (zero = perfect channel).
+	Faults ChannelFaults
+	// SyncGate installs the semi-sync commit gate: commits ack only once
+	// standby-durable, making the zero-acked-loss assertion airtight.
+	// Without it shipping is asynchronous and the sweep only asserts the
+	// weaker exact-state and boundary properties.
+	SyncGate    bool
+	GateTimeout time.Duration // default 2s
+	// OnlineRestart promotes with the online-restart coordinator (open
+	// after analysis).
+	OnlineRestart bool
+	// RedoWorkers drives both the standby's per-batch apply parallelism
+	// and the forks' restart redo (default 2).
+	RedoWorkers int
+	// BoundaryStride verifies every Nth boundary fork (default 1 = all).
+	BoundaryStride int
+	Logf           func(string, ...any)
+}
+
+func (o SweepOpts) withDefaults() SweepOpts {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = 3
+	}
+	if o.PreCrashCommits == 0 {
+		o.PreCrashCommits = 120
+	}
+	if o.PostPromoteCommits == 0 {
+		o.PostPromoteCommits = 20
+	}
+	if o.Keys == 0 {
+		o.Keys = 40
+	}
+	if o.GateTimeout == 0 {
+		o.GateTimeout = 2 * time.Second
+	}
+	if o.RedoWorkers == 0 {
+		o.RedoWorkers = 2
+	}
+	if o.BoundaryStride == 0 {
+		o.BoundaryStride = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// SweepResult summarizes one standby sweep.
+type SweepResult struct {
+	CommitsAcked     int // commits acknowledged to clients (both nodes)
+	CommitsUnacked   int // ambiguous gate failures (ErrCommitUnacked)
+	ResolvedIn       int // ambiguous commits whose records reached the standby
+	ResolvedOut      int // ambiguous commits lost with the primary
+	Boundaries       int // boundary forks verified
+	FailoverTTFC     time.Duration
+	SegmentsShipped  uint64
+	SegmentsResent   uint64
+	SegmentsApplied  uint64
+	SegmentsRejected uint64
+	Naks             uint64
+	Reseeds          uint64
+	ZombieRejected   uint64 // old-epoch segments rejected after promotion
+	Channel          ChannelCounts
+	LagP50, LagP99   float64 // applied-lag percentiles, log bytes
+}
+
+// sweepOp is one ledger mutation: a single-key upsert or delete.
+type sweepOp struct {
+	key, val string
+	del      bool
+}
+
+// sweepEntry is one commit in the ledger, keyed by its commit-record LSN
+// and the generation (1 = old primary, 2 = promoted node) whose log that
+// LSN addresses — the two logs share an address space, so the generation
+// disambiguates.
+type sweepEntry struct {
+	lsn   wal.LSN
+	gen   int
+	op    sweepOp
+	acked bool
+}
+
+// sweepLedger is the exact model of what clients were told.
+type sweepLedger struct {
+	mu      sync.Mutex
+	entries map[int]map[wal.LSN]*sweepEntry // gen → commit LSN → entry
+	acked   int64
+}
+
+func newSweepLedger() *sweepLedger {
+	return &sweepLedger{entries: map[int]map[wal.LSN]*sweepEntry{1: {}, 2: {}}}
+}
+
+func (l *sweepLedger) pend(gen int, lsn wal.LSN, op sweepOp) {
+	l.mu.Lock()
+	l.entries[gen][lsn] = &sweepEntry{lsn: lsn, gen: gen, op: op}
+	l.mu.Unlock()
+}
+
+func (l *sweepLedger) ack(gen int, lsn wal.LSN) {
+	l.mu.Lock()
+	if e := l.entries[gen][lsn]; e != nil {
+		e.acked = true
+		l.acked++
+	}
+	l.mu.Unlock()
+}
+
+func (l *sweepLedger) ackedCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acked
+}
+
+// genEntries returns generation gen's entries sorted by commit LSN.
+func (l *sweepLedger) genEntries(gen int) []*sweepEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*sweepEntry, 0, len(l.entries[gen]))
+	for _, e := range l.entries[gen] {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lsn < out[j].lsn })
+	return out
+}
+
+// commitSet collects the LSN of every commit record in the log.
+func commitSet(log *wal.Log) map[wal.LSN]bool {
+	set := map[wal.LSN]bool{}
+	log.Scan(1, func(r *wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			set[r.LSN] = true
+		}
+		return true
+	})
+	return set
+}
+
+// modelRows folds entries (already LSN-sorted) whose commit LSN is in the
+// set into the final key→value state.
+func modelRows(rows map[string]string, entries []*sweepEntry, commits map[wal.LSN]bool) map[string]string {
+	if rows == nil {
+		rows = map[string]string{}
+	}
+	for _, e := range entries {
+		if !commits[e.lsn] {
+			continue
+		}
+		if e.op.del {
+			delete(rows, e.op.key)
+		} else {
+			rows[e.op.key] = e.op.val
+		}
+	}
+	return rows
+}
+
+// verifyRows checks that the engine's table is exactly want.
+func verifyRows(d *db.DB, table string, want map[string]string) error {
+	tbl, err := d.Table(table)
+	if err != nil {
+		return err
+	}
+	got := map[string]string{}
+	tx, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tbl.Scan(tx, []byte(""), nil, func(r db.Row) (bool, error) {
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	}); err != nil {
+		_ = tx.Rollback()
+		return fmt.Errorf("scan: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	for k, v := range want {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Errorf("committed row %q missing (want %q)", k, v)
+		}
+		if gv != v {
+			return fmt.Errorf("row %q = %q, want %q", k, gv, v)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("phantom row %q (uncommitted effect?)", k)
+		}
+	}
+	return nil
+}
+
+func upsert(tbl *db.Table, tx *txn.Tx, op sweepOp) error {
+	if op.del {
+		err := tbl.Delete(tx, []byte(op.key))
+		if errors.Is(err, db.ErrNotFound) {
+			return nil // deleting an absent key is a no-op mutation
+		}
+		return err
+	}
+	err := tbl.Insert(tx, []byte(op.key), []byte(op.val))
+	if errors.Is(err, db.ErrDuplicate) {
+		return tbl.Update(tx, []byte(op.key), []byte(op.val))
+	}
+	return err
+}
+
+const sweepTable = "repl_kv"
+
+// RunStandbySweep drives the whole scenario. See the package comment and
+// the file comment for the verification contract.
+func RunStandbySweep(o SweepOpts) (*SweepResult, error) {
+	o = o.withDefaults()
+	res := &SweepResult{}
+
+	// ---- Build the primary, the channel, the standby, the shipper.
+	pOpts := db.Options{PoolSize: 96, RedoWorkers: o.RedoWorkers, Stats: &trace.Stats{}}
+	primary := db.Open(pOpts)
+	if _, err := primary.CreateTable(sweepTable); err != nil {
+		return nil, err
+	}
+	meta := primary.Disk().ReadMeta()
+	primary.Log().ForceAll()
+	// Boundary forks must land after the table-creation records: a log
+	// truncated inside the setup prefix describes a half-built catalog.
+	setupLSN := primary.Log().StableLSN()
+
+	ch := NewChannel(o.Faults)
+	sOpts := db.Options{PoolSize: 96, RedoWorkers: o.RedoWorkers,
+		OnlineRestart: o.OnlineRestart, Stats: &trace.Stats{}}
+	standby := NewStandby(ch, meta, StandbyOpts{DBOpts: sOpts, Epoch: 1, ApplyWorkers: o.RedoWorkers})
+	standby.Start()
+
+	shipper := NewShipper(primary.Log(), ch, ShipperOpts{
+		Epoch:      1,
+		Retransmit: 2 * time.Millisecond,
+		MetaFn:     func() []byte { return primary.Disk().ReadMeta() },
+		Stats:      primary.Stats(),
+	})
+	shipper.Start()
+	if o.SyncGate {
+		primary.SetCommitGate(shipper.Gate(o.GateTimeout))
+	}
+
+	// ---- Live traffic.
+	led := newSweepLedger()
+	var curDB atomic.Pointer[db.DB]
+	var curGen atomic.Int64
+	curDB.Store(primary)
+	curGen.Store(1)
+	promoteCh := make(chan struct{}) // closed once the promoted node serves
+	stopCh := make(chan struct{})
+	var unacked atomic.Int64
+	var postCommits atomic.Int64
+	var crashedAt time.Time
+	var ttfcOnce sync.Once
+	var ttfc time.Duration
+	var fatalMu sync.Mutex
+	var fatalErr error
+	setFatal := func(err error) {
+		fatalMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		fatalMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed*1000 + int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				d := curDB.Load()
+				gen := int(curGen.Load())
+				op := sweepOp{key: fmt.Sprintf("k%03d", rng.Intn(o.Keys))}
+				if rng.Float64() < 0.15 {
+					op.del = true
+				} else {
+					op.val = fmt.Sprintf("w%d-%d", w, i)
+				}
+				var lsn wal.LSN
+				err := d.RunTxnWith(db.RunTxnOpts{
+					Seed:          o.Seed*10000 + int64(w)*100 + int64(i) + 1,
+					RetryDeadline: 150 * time.Millisecond,
+					OnCommitted:   func(l wal.LSN) { lsn = l; led.pend(gen, l, op) },
+					OnCommit: func() {
+						led.ack(gen, lsn)
+						if gen == 2 {
+							postCommits.Add(1)
+							ttfcOnce.Do(func() { ttfc = time.Since(crashedAt) })
+						}
+					},
+				}, func(tx *txn.Tx) error {
+					tbl, err := d.TableFor(tx, sweepTable)
+					if err != nil {
+						return err
+					}
+					return upsert(tbl, tx, op)
+				})
+				switch {
+				case err == nil:
+				case errors.Is(err, db.ErrCommitUnacked):
+					// Ambiguous: locally durable, standby unconfirmed. The
+					// ledger's pending entry resolves it after failover;
+					// retrying would risk double-apply, so don't.
+					unacked.Add(1)
+				case db.ClassifyErr(err) == db.ClassCrash:
+					// The primary died under us. Park until the promoted
+					// node serves, then continue — fresh mutations, same
+					// ledger discipline.
+					select {
+					case <-promoteCh:
+					case <-stopCh:
+						return
+					}
+				default:
+					setFatal(fmt.Errorf("repl sweep: worker %d: %w", w, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	waitFor := func(cond func() bool, what string) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			fatalMu.Lock()
+			err := fatalErr
+			fatalMu.Unlock()
+			if err != nil {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("repl sweep: timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+
+	// ---- Phase 1: accumulate acked commits, then crash mid-traffic.
+	if err := waitFor(func() bool { return led.ackedCount() >= int64(o.PreCrashCommits) }, "pre-crash commits"); err != nil {
+		close(stopCh)
+		wg.Wait()
+		return nil, err
+	}
+	crashedAt = time.Now()
+	primary.Crash() // workers are live; the shipper keeps running as a zombie
+	o.Logf("repl: primary crashed after %d acked commits (lag %d bytes)",
+		led.ackedCount(), shipper.Lag())
+
+	// ---- Phase 2: fence, capture the promoted base, promote.
+	standby.Fence()
+	preLog := standby.DB().Log().Clone(&trace.Stats{})
+	promoted, _, err := standby.Promote()
+	if err != nil {
+		close(stopCh)
+		wg.Wait()
+		return nil, fmt.Errorf("repl sweep: promote: %w", err)
+	}
+	curDB.Store(promoted)
+	curGen.Store(2)
+	close(promoteCh)
+
+	// ---- Phase 3: the promoted node serves traffic.
+	if err := waitFor(func() bool { return postCommits.Load() >= int64(o.PostPromoteCommits) }, "post-promote commits"); err != nil {
+		close(stopCh)
+		wg.Wait()
+		return nil, err
+	}
+	close(stopCh)
+	wg.Wait()
+	if err := func() error { fatalMu.Lock(); defer fatalMu.Unlock(); return fatalErr }(); err != nil {
+		return nil, err
+	}
+	res.FailoverTTFC = ttfc
+
+	// ---- Phase 4: the zombie primary's dying gasp must bounce off the
+	// epoch fence.
+	rejBefore := promoted.Stats().SegmentsRejected.Load()
+	if err := waitFor(func() bool {
+		shipper.ShipNow() // keep gasping: the lossy channel may drop any one frame
+		return promoted.Stats().SegmentsRejected.Load() > rejBefore
+	}, "zombie segment rejection"); err != nil {
+		return nil, err
+	}
+	res.ZombieRejected = promoted.Stats().SegmentsRejected.Load() - rejBefore
+	shipper.Stop()
+	ch.Close()
+	standby.Wait()
+
+	// ---- Phase 5: verification.
+	if _, err := promoted.AwaitRecovered(); err != nil {
+		return nil, fmt.Errorf("repl sweep: promoted recovery: %w", err)
+	}
+	promotedCommits := commitSet(promoted.Log())
+	preCommits := commitSet(preLog)
+	gen1 := led.genEntries(1)
+	gen2 := led.genEntries(2)
+
+	// (a) Zero acked loss under the gate; resolution accounting either way.
+	for _, e := range gen1 {
+		switch {
+		case preCommits[e.lsn]:
+			if !e.acked {
+				res.ResolvedIn++
+			}
+		case e.acked:
+			if o.SyncGate {
+				return nil, fmt.Errorf("repl sweep: ACKED commit LSN %d lost in failover", e.lsn)
+			}
+		default:
+			res.ResolvedOut++
+		}
+	}
+	// Post-promote commits landed on the serving node itself.
+	for _, e := range gen2 {
+		if e.acked && !promotedCommits[e.lsn] {
+			return nil, fmt.Errorf("repl sweep: post-promote commit LSN %d missing from promoted log", e.lsn)
+		}
+	}
+
+	// (b) Exact state: promoted rows = gen-1 entries resolved by the
+	// promoted base, then gen-2 entries by the promoted log.
+	want := modelRows(nil, gen1, preCommits)
+	want = modelRows(want, gen2, promotedCommits)
+	if err := verifyRows(promoted, sweepTable, want); err != nil {
+		return nil, fmt.Errorf("repl sweep: promoted state: %v", err)
+	}
+	if err := promoted.VerifyConsistency(); err != nil {
+		return nil, fmt.Errorf("repl sweep: promoted consistency: %v", err)
+	}
+
+	// (c) Every-boundary forks over the received window: each prefix of
+	// the standby's log is a correct promotion point.
+	boundaries := recovery.Boundaries(preLog, setupLSN)
+	for i := 0; i < len(boundaries); i += o.BoundaryStride {
+		L := boundaries[i]
+		truncLog := preLog.Clone(&trace.Stats{})
+		truncLog.TruncateTo(L)
+		fOpts := db.Options{PoolSize: 96, RedoWorkers: o.RedoWorkers, Stats: &trace.Stats{}}
+		fork, _, err := db.OpenStandby(fOpts, truncLog, meta)
+		if err != nil {
+			return nil, fmt.Errorf("repl sweep: boundary %d (LSN %d): open: %v", i, L, err)
+		}
+		fw := modelRows(nil, gen1, commitSet(fork.Log()))
+		if err := verifyRows(fork, sweepTable, fw); err != nil {
+			return nil, fmt.Errorf("repl sweep: boundary %d (LSN %d): %v", i, L, err)
+		}
+		res.Boundaries++
+	}
+
+	// ---- Bookkeeping.
+	psn := primary.Stats().Snap()
+	ssn := promoted.Stats().Snap()
+	res.CommitsAcked = int(led.ackedCount())
+	res.CommitsUnacked = int(unacked.Load())
+	res.SegmentsShipped = psn.SegmentsShipped
+	res.SegmentsResent = psn.SegmentsResent
+	res.SegmentsApplied = ssn.SegmentsApplied
+	res.SegmentsRejected = ssn.SegmentsRejected
+	res.Naks = ssn.ReplNaks
+	res.Reseeds = ssn.ReplReseeds
+	res.Channel = ch.Counts()
+	if lags := standby.LagSamples(); len(lags) > 0 {
+		sort.Float64s(lags)
+		res.LagP50 = lags[len(lags)/2]
+		res.LagP99 = lags[len(lags)*99/100]
+	}
+	o.Logf("repl: %d acked (%d ambiguous: %d resolved in, %d out), TTFC %v, %d boundaries, "+
+		"%d shipped/%d resent/%d applied/%d rejected, %d naks, %d reseeds, zombie %d, channel %+v",
+		res.CommitsAcked, res.CommitsUnacked, res.ResolvedIn, res.ResolvedOut, res.FailoverTTFC,
+		res.Boundaries, res.SegmentsShipped, res.SegmentsResent, res.SegmentsApplied,
+		res.SegmentsRejected, res.Naks, res.Reseeds, res.ZombieRejected, res.Channel)
+	return res, nil
+}

@@ -34,22 +34,22 @@ const (
 // instrumented unconditionally.
 type Stats struct {
 	// Lock manager.
-	lockCalls       [MaxSpaces][MaxModes][MaxDurations]atomic.Uint64
-	LockWaits       atomic.Uint64 // requests that could not be granted immediately
-	LockDenials     atomic.Uint64 // conditional requests denied
-	Deadlocks       atomic.Uint64 // waits-for cycles detected
-	DeadlockVictims atomic.Uint64 // waiters aborted to break a cycle (requester or other)
-	VictimsOther    atomic.Uint64 // victims that were NOT the requester (cost-based choice)
-	LockTimeouts    atomic.Uint64 // waits abandoned at the lock-wait timeout
+	lockCalls             [MaxSpaces][MaxModes][MaxDurations]atomic.Uint64
+	LockWaits             atomic.Uint64 // requests that could not be granted immediately
+	LockDenials           atomic.Uint64 // conditional requests denied
+	Deadlocks             atomic.Uint64 // waits-for cycles detected
+	DeadlockVictims       atomic.Uint64 // waiters aborted to break a cycle (requester or other)
+	VictimsOther          atomic.Uint64 // victims that were NOT the requester (cost-based choice)
+	LockTimeouts          atomic.Uint64 // waits abandoned at the lock-wait timeout
 	SavepointLockReleases atomic.Uint64 // locks released early by partial rollback
 
 	// Transaction retry layer (db.RunTxn).
-	TxnRetries         atomic.Uint64 // transaction bodies re-executed after rollback
-	TxnDeadlockRetries atomic.Uint64 // ...because the txn was a deadlock victim
-	TxnTimeoutRetries  atomic.Uint64 // ...because a lock wait timed out
-	TxnCrashWaits      atomic.Uint64 // RunTxn attempts parked waiting for Restart
-	TxnStepRetries     atomic.Uint64 // savepoint-scoped partial retries (RunTxnSteps)
-	TxnRetrySuccesses  atomic.Uint64 // transactions that committed after >=1 retry
+	TxnRetries           atomic.Uint64 // transaction bodies re-executed after rollback
+	TxnDeadlockRetries   atomic.Uint64 // ...because the txn was a deadlock victim
+	TxnTimeoutRetries    atomic.Uint64 // ...because a lock wait timed out
+	TxnCrashWaits        atomic.Uint64 // RunTxn attempts parked waiting for Restart
+	TxnStepRetries       atomic.Uint64 // savepoint-scoped partial retries (RunTxnSteps)
+	TxnRetrySuccesses    atomic.Uint64 // transactions that committed after >=1 retry
 	TxnRecoveringRetries atomic.Uint64 // immediate retries on ErrRecovering (engine up, op degraded)
 
 	// Latches.
@@ -60,15 +60,15 @@ type Stats struct {
 	TreeLatchWaits    atomic.Uint64
 
 	// Buffer pool.
-	PageFixes      atomic.Uint64
-	PageMisses     atomic.Uint64 // fixes that required a disk read
-	PageWrites     atomic.Uint64 // dirty pages written to disk (steal, cleaner, or flush)
-	PageEvicted    atomic.Uint64
-	EvictionsDirty atomic.Uint64 // foreground evictions that had to write back a dirty victim
-	EvictionStalls atomic.Uint64 // Fix retries because every candidate frame was pinned
-	FixParks       atomic.Uint64 // fixers parked on another fixer's in-flight read
-	CleanerPasses  atomic.Uint64 // background cleaner passes completed
-	CleanerWrites  atomic.Uint64 // dirty frames flushed by the cleaner
+	PageFixes       atomic.Uint64
+	PageMisses      atomic.Uint64 // fixes that required a disk read
+	PageWrites      atomic.Uint64 // dirty pages written to disk (steal, cleaner, or flush)
+	PageEvicted     atomic.Uint64
+	EvictionsDirty  atomic.Uint64 // foreground evictions that had to write back a dirty victim
+	EvictionStalls  atomic.Uint64 // Fix retries because every candidate frame was pinned
+	FixParks        atomic.Uint64 // fixers parked on another fixer's in-flight read
+	CleanerPasses   atomic.Uint64 // background cleaner passes completed
+	CleanerWrites   atomic.Uint64 // dirty frames flushed by the cleaner
 	PagesPrefetched atomic.Uint64 // pages pulled in ahead of demand (restart prefetcher)
 
 	// Log.
@@ -85,15 +85,15 @@ type Stats struct {
 	TornTailTruncations atomic.Uint64 // crash sweeps that cut a bad-CRC log tail
 
 	// Index manager.
-	Traversals        atomic.Uint64 // root-to-leaf tree traversals
-	LeafReposition    atomic.Uint64 // fetch-next repositionings after LSN change
-	SMOs              atomic.Uint64 // page splits + page deletions
-	PageSplits        atomic.Uint64
-	PageDeletes       atomic.Uint64
-	UndoPageOriented  atomic.Uint64 // undos applied without a traversal
-	UndoLogical       atomic.Uint64 // undos that retraversed the tree
-	RedoApplied       atomic.Uint64 // log records redone at restart
-	RedoSkipped       atomic.Uint64 // redo candidates already on the page
+	Traversals         atomic.Uint64 // root-to-leaf tree traversals
+	LeafReposition     atomic.Uint64 // fetch-next repositionings after LSN change
+	SMOs               atomic.Uint64 // page splits + page deletions
+	PageSplits         atomic.Uint64
+	PageDeletes        atomic.Uint64
+	UndoPageOriented   atomic.Uint64 // undos applied without a traversal
+	UndoLogical        atomic.Uint64 // undos that retraversed the tree
+	RedoApplied        atomic.Uint64 // log records redone at restart
+	RedoSkipped        atomic.Uint64 // redo candidates already on the page
 	RedoRecordsScanned atomic.Uint64 // log records examined by restart redo (all workers)
 
 	// Online restart.
@@ -102,6 +102,16 @@ type Stats struct {
 	PagesRedoneOnDemand          atomic.Uint64 // DPT pages recovered at fix time by a foreground caller
 	PagesRedoneByDrain           atomic.Uint64 // DPT pages recovered by the background drain workers
 	CheckpointsSkippedRecovering atomic.Uint64 // checkpoints refused while online recovery was pending
+
+	// Replication (internal/repl hot standby).
+	SegmentsShipped  atomic.Uint64 // segments the shipper framed and sent
+	SegmentsResent   atomic.Uint64 // segments re-shipped after NAK or ack stall
+	SegmentsApplied  atomic.Uint64 // segments the standby appended and replayed
+	SegmentsRejected atomic.Uint64 // segments the standby discarded (corrupt, stale epoch, duplicate)
+	ReplNaks         atomic.Uint64 // gap re-requests sent by the standby
+	ReplReseeds      atomic.Uint64 // full-archive re-seeds after unrecoverable gaps
+	ReplCommitsAcked atomic.Uint64 // commits confirmed standby-durable through the commit gate
+	Promotions       atomic.Uint64 // standbys promoted to serving primary
 
 	AmbiguityRestarts atomic.Uint64 // Fig 4 "unwind recursion" events
 	SMBitWaits        atomic.Uint64 // operations delayed by SM_Bit
@@ -236,6 +246,9 @@ type Snapshot struct {
 	OnlineRestarts, LocksReinstated                           uint64
 	PagesRedoneOnDemand, PagesRedoneByDrain                   uint64
 	CheckpointsSkippedRecovering                              uint64
+	SegmentsShipped, SegmentsResent, SegmentsApplied          uint64
+	SegmentsRejected, ReplNaks, ReplReseeds                   uint64
+	ReplCommitsAcked, Promotions                              uint64
 	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
 }
 
@@ -305,6 +318,14 @@ func (s *Stats) Snap() Snapshot {
 	out.PagesRedoneOnDemand = s.PagesRedoneOnDemand.Load()
 	out.PagesRedoneByDrain = s.PagesRedoneByDrain.Load()
 	out.CheckpointsSkippedRecovering = s.CheckpointsSkippedRecovering.Load()
+	out.SegmentsShipped = s.SegmentsShipped.Load()
+	out.SegmentsResent = s.SegmentsResent.Load()
+	out.SegmentsApplied = s.SegmentsApplied.Load()
+	out.SegmentsRejected = s.SegmentsRejected.Load()
+	out.ReplNaks = s.ReplNaks.Load()
+	out.ReplReseeds = s.ReplReseeds.Load()
+	out.ReplCommitsAcked = s.ReplCommitsAcked.Load()
+	out.Promotions = s.Promotions.Load()
 	out.AmbiguityRestarts = s.AmbiguityRestarts.Load()
 	out.SMBitWaits = s.SMBitWaits.Load()
 	out.DeleteBitPOSCs = s.DeleteBitPOSCs.Load()
@@ -374,6 +395,14 @@ func Diff(before, after Snapshot) Snapshot {
 	d.PagesRedoneOnDemand = after.PagesRedoneOnDemand - before.PagesRedoneOnDemand
 	d.PagesRedoneByDrain = after.PagesRedoneByDrain - before.PagesRedoneByDrain
 	d.CheckpointsSkippedRecovering = after.CheckpointsSkippedRecovering - before.CheckpointsSkippedRecovering
+	d.SegmentsShipped = after.SegmentsShipped - before.SegmentsShipped
+	d.SegmentsResent = after.SegmentsResent - before.SegmentsResent
+	d.SegmentsApplied = after.SegmentsApplied - before.SegmentsApplied
+	d.SegmentsRejected = after.SegmentsRejected - before.SegmentsRejected
+	d.ReplNaks = after.ReplNaks - before.ReplNaks
+	d.ReplReseeds = after.ReplReseeds - before.ReplReseeds
+	d.ReplCommitsAcked = after.ReplCommitsAcked - before.ReplCommitsAcked
+	d.Promotions = after.Promotions - before.Promotions
 	d.AmbiguityRestarts = after.AmbiguityRestarts - before.AmbiguityRestarts
 	d.SMBitWaits = after.SMBitWaits - before.SMBitWaits
 	d.DeleteBitPOSCs = after.DeleteBitPOSCs - before.DeleteBitPOSCs

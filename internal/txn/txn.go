@@ -44,6 +44,7 @@ type Tx struct {
 	state       wal.TxState
 	lastLSN     wal.LSN
 	undoNxtLSN  wal.LSN
+	commitLSN   wal.LSN
 	rollingBack bool
 	saves       []savepoint // Savepoint history, oldest first
 
@@ -70,6 +71,15 @@ func (t *Tx) LastLSN() wal.LSN {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lastLSN
+}
+
+// CommitLSN returns the LSN of the transaction's commit record, or zero if
+// it has not committed. Replication uses it as the durability watermark a
+// standby must acknowledge before the commit is acked to the client.
+func (t *Tx) CommitLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitLSN
 }
 
 // UndoNxtLSN returns the next record rollback would examine.
@@ -333,12 +343,18 @@ func (t *Tx) Commit() error {
 		// Releasing before the device wait keeps hot locks held only for
 		// the in-memory work, not the flush latency.
 		lsn := t.Log(&wal.Record{Type: wal.RecCommit})
+		t.mu.Lock()
+		t.commitLSN = lsn
+		t.mu.Unlock()
 		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 		t.mgr.log.Force(lsn)
 	} else {
 		// Serial baseline: the commit record is appended and flushed as
 		// one latched operation, locks held across the device write.
-		t.logForced(&wal.Record{Type: wal.RecCommit})
+		lsn := t.logForced(&wal.Record{Type: wal.RecCommit})
+		t.mu.Lock()
+		t.commitLSN = lsn
+		t.mu.Unlock()
 		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 	}
 	t.Log(&wal.Record{Type: wal.RecEnd})

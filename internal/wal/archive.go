@@ -3,33 +3,58 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Log archiving. Media recovery needs the log back to the oldest image
-// copy; real systems therefore archive the stable log to offline storage.
-// Archive serializes the stable prefix with the on-log record codec, and
-// ReadArchive reconstructs a Log from an archive stream — together they
-// also pin the wire format (every record round-trips through Encode/
-// DecodeRecord, the same codec a file-backed log would use).
+// Log archiving and shipping. Media recovery needs the log back to the
+// oldest image copy; real systems therefore archive the stable log to
+// offline storage, and a hot standby consumes the same byte stream
+// incrementally. Archive serializes the stable prefix with the on-log
+// record codec, ReadArchive reconstructs a Log from an archive stream, and
+// Segment frames a resumable slice of that stream (sequence number, epoch,
+// per-segment CRC) for continuous shipping over a lossy channel. Every
+// record round-trips through Encode/DecodeRecord — the same codec a
+// file-backed log would use — so the wire format is pinned by tests.
 
-const archiveMagic = uint32(0x41524C47) // "ARLG"
+const (
+	archiveMagic = uint32(0x41524C47) // "ARLG"
+	segmentMagic = uint32(0x41525347) // "ARSG"
+)
+
+// Typed archive-stream errors. Callers classify with errors.Is.
+var (
+	// ErrArchiveTorn reports an archive stream that ends mid-record — the
+	// tail was torn off in transit or on the media, exactly like a torn WAL
+	// tail. It is RECOVERABLE: ReadArchive returns the intact prefix
+	// alongside this error, and a shipper treats the loss as a gap to
+	// re-request.
+	ErrArchiveTorn = errors.New("wal: archive tail torn")
+	// ErrArchiveCorrupt reports corruption in the middle of an archive
+	// stream: a record fails its CRC (or carries a garbage length) while
+	// more data follows. Unlike a torn tail there is no way to trust
+	// anything at or after the damage, so the stream is rejected outright.
+	ErrArchiveCorrupt = errors.New("wal: archive corrupt mid-stream")
+	// ErrSegmentCorrupt reports a replication segment whose frame CRC or
+	// record codec check failed — the channel damaged it in flight. The
+	// receiver discards the frame and NAKs.
+	ErrSegmentCorrupt = errors.New("wal: replication segment corrupt")
+)
 
 // Archive writes the stable log prefix to w: a small header (magic,
 // stable LSN, master LSN) followed by the encoded records. It returns the
 // number of records written.
+//
+// Snapshot contract: the archive is exactly the stable prefix at one
+// instant between the call and its return (records and watermarks are
+// captured under a single lock acquisition). Writers may keep appending
+// and forcing concurrently; everything they harden after that instant is
+// excluded, nothing before it is ever missing, and the header's stable LSN
+// always equals the LSN of the last archived record.
 func (l *Log) Archive(w io.Writer) (int, error) {
-	l.mu.Lock()
-	stable := l.stable
-	master := l.master
-	recs := make([]*Record, 0, len(l.recs))
-	for _, r := range l.recs {
-		if r.LSN <= stable {
-			recs = append(recs, r)
-		}
-	}
-	l.mu.Unlock()
+	recs, stable, master := l.SnapshotStable(NilLSN + 1)
 
 	bw := bufio.NewWriter(w)
 	var hdr [20]byte
@@ -51,10 +76,17 @@ func (l *Log) Archive(w io.Writer) (int, error) {
 // is fully stable (everything in an archive was forced by definition) and
 // ready for recovery replay.
 //
-// A torn or corrupted archive tail is tolerated the same way a torn log
-// tail is: the stream is read record by record and truncated at the first
-// record that is incomplete or fails its CRC — the intact prefix is still
-// usable for media recovery or standby construction.
+// Damage is classified, not silently swallowed:
+//
+//   - A torn tail — the stream simply stops mid-record — is recoverable,
+//     exactly like a torn WAL tail: the intact prefix is returned as a
+//     usable log TOGETHER with ErrArchiveTorn, so the caller can decide
+//     whether the loss matters (media recovery shrugs; a shipper
+//     re-requests the missing suffix).
+//   - Mid-stream corruption — a record that fails its CRC or carries a
+//     garbage length while more bytes follow — is unrecoverable: nothing
+//     at or beyond the damage can be trusted to re-frame, so ReadArchive
+//     rejects the stream with ErrArchiveCorrupt.
 func ReadArchive(r io.Reader) (*Log, error) {
 	br := bufio.NewReader(r)
 	var hdr [20]byte
@@ -68,23 +100,42 @@ func ReadArchive(r io.Reader) (*Log, error) {
 	master := LSN(binary.LittleEndian.Uint64(hdr[12:20]))
 
 	l := NewLog(nil)
+	// moreData reports whether any byte follows the current read position —
+	// the discriminator between a torn tail and mid-stream corruption.
+	moreData := func() bool {
+		_, err := br.Peek(1)
+		return err == nil
+	}
+	var readErr error
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			break // EOF or torn mid-length: end of usable archive
+			if err != io.EOF {
+				readErr = ErrArchiveTorn // stream died inside a length prefix
+			}
+			break
 		}
 		total := binary.LittleEndian.Uint32(lenBuf[:])
 		if total < recHeaderSize {
-			break // garbage length: treat as torn tail
+			if moreData() {
+				return nil, fmt.Errorf("%w: record length %d", ErrArchiveCorrupt, total)
+			}
+			readErr = ErrArchiveTorn
+			break
 		}
 		buf := make([]byte, total)
 		copy(buf, lenBuf[:])
 		if _, err := io.ReadFull(br, buf[4:]); err != nil {
-			break // record body truncated
+			readErr = ErrArchiveTorn // record body truncated: the stream ended here
+			break
 		}
 		rec, _, err := DecodeRecord(buf)
 		if err != nil {
-			break // bad CRC: stop at the intact prefix
+			if moreData() {
+				return nil, fmt.Errorf("%w: %v", ErrArchiveCorrupt, err)
+			}
+			readErr = ErrArchiveTorn // bad CRC on the final record: torn tail
+			break
 		}
 		l.Append(rec)
 	}
@@ -95,5 +146,162 @@ func ReadArchive(r io.Reader) (*Log, error) {
 	if master != NilLSN && master <= stable {
 		l.SetMaster(master)
 	}
-	return l, nil
+	return l, readErr
+}
+
+// Segment is one resumable slice of the stable log stream: the unit a
+// shipper sends and a standby applies. Segments carry enough framing to
+// survive a lossy channel — a sequence number and the previous segment's
+// last LSN for gap/reorder detection, an epoch for zombie-primary fencing,
+// the shipper's stable and master watermarks, an optional catalog-meta
+// snapshot, and a whole-frame CRC.
+type Segment struct {
+	// Epoch is the cluster generation the sender believes it leads. A
+	// receiver that has promoted past this epoch rejects the segment: the
+	// sender is a zombie of a dead primacy.
+	Epoch uint64
+	// Seq numbers segments within an epoch, starting at 1. Duplicates and
+	// reorderings show up as non-monotonic sequence numbers.
+	Seq uint64
+	// PrevLSN is the LSN of the last record of the previous segment
+	// (NilLSN for the first). A receiver whose applied tail does not match
+	// has a gap and must NAK.
+	PrevLSN LSN
+	// Stable and Master are the sender's watermarks at ship time.
+	Stable LSN
+	Master LSN
+	// Meta, when non-nil, is the primary's current catalog blob; the
+	// standby persists it so a promotion sees every table the shipped log
+	// references (DDL can happen mid-stream).
+	Meta []byte
+	// Records is the shipped log slice, contiguous and in LSN order.
+	Records []*Record
+}
+
+// FirstLSN returns the LSN of the segment's first record (NilLSN if empty).
+func (s *Segment) FirstLSN() LSN {
+	if len(s.Records) == 0 {
+		return NilLSN
+	}
+	return s.Records[0].LSN
+}
+
+// LastLSN returns the LSN of the segment's last record (PrevLSN if empty:
+// an empty segment — a heartbeat — extends nothing).
+func (s *Segment) LastLSN() LSN {
+	if len(s.Records) == 0 {
+		return s.PrevLSN
+	}
+	return s.Records[len(s.Records)-1].LSN
+}
+
+// segment frame layout, all little-endian:
+//
+//	magic u32 | epoch u64 | seq u64 | prev u64 | stable u64 | master u64 |
+//	firstLSN u64 | metaLen u32 | count u32 | bodyLen u32 | crc u32 |
+//	meta bytes | body (count × encoded records)
+//
+// The CRC is CRC32-Castagnoli over the entire frame with the crc field
+// zeroed — header fields included, so a flipped sequence number or epoch is
+// as detectable as a flipped payload byte.
+const segHeaderSize = 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4
+
+// Encode serializes the segment into one self-checking frame.
+func (s *Segment) Encode() []byte {
+	bodyLen := 0
+	for _, r := range s.Records {
+		bodyLen += r.EncodedSize()
+	}
+	b := make([]byte, segHeaderSize+len(s.Meta)+bodyLen)
+	binary.LittleEndian.PutUint32(b[0:4], segmentMagic)
+	binary.LittleEndian.PutUint64(b[4:12], s.Epoch)
+	binary.LittleEndian.PutUint64(b[12:20], s.Seq)
+	binary.LittleEndian.PutUint64(b[20:28], uint64(s.PrevLSN))
+	binary.LittleEndian.PutUint64(b[28:36], uint64(s.Stable))
+	binary.LittleEndian.PutUint64(b[36:44], uint64(s.Master))
+	binary.LittleEndian.PutUint64(b[44:52], uint64(s.FirstLSN()))
+	binary.LittleEndian.PutUint32(b[52:56], uint32(len(s.Meta)))
+	binary.LittleEndian.PutUint32(b[56:60], uint32(len(s.Records)))
+	binary.LittleEndian.PutUint32(b[60:64], uint32(bodyLen))
+	// crc at [64:68] stays zero while hashing.
+	off := segHeaderSize
+	off += copy(b[off:], s.Meta)
+	for _, r := range s.Records {
+		off += copy(b[off:], r.Encode())
+	}
+	binary.LittleEndian.PutUint32(b[64:68], crc32.Checksum(b, recCRCTable))
+	return b
+}
+
+// DecodeSegment parses and verifies one segment frame. Any damage — bad
+// magic, bad frame CRC, bad lengths, a record that fails its own codec, or
+// a record stream that is not contiguous in LSN — returns ErrSegmentCorrupt
+// (wrapped with detail): the channel mangled the frame and the receiver
+// should discard it and NAK.
+func DecodeSegment(b []byte) (*Segment, error) {
+	if len(b) < segHeaderSize {
+		return nil, fmt.Errorf("%w: frame %d bytes", ErrSegmentCorrupt, len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != segmentMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSegmentCorrupt)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(b[52:56]))
+	count := int(binary.LittleEndian.Uint32(b[56:60]))
+	bodyLen := int(binary.LittleEndian.Uint32(b[60:64]))
+	if metaLen < 0 || bodyLen < 0 || segHeaderSize+metaLen+bodyLen != len(b) {
+		return nil, fmt.Errorf("%w: frame length mismatch", ErrSegmentCorrupt)
+	}
+	stored := binary.LittleEndian.Uint32(b[64:68])
+	check := make([]byte, len(b))
+	copy(check, b)
+	binary.LittleEndian.PutUint32(check[64:68], 0)
+	if stored != crc32.Checksum(check, recCRCTable) {
+		return nil, fmt.Errorf("%w: frame CRC mismatch", ErrSegmentCorrupt)
+	}
+	s := &Segment{
+		Epoch:   binary.LittleEndian.Uint64(b[4:12]),
+		Seq:     binary.LittleEndian.Uint64(b[12:20]),
+		PrevLSN: LSN(binary.LittleEndian.Uint64(b[20:28])),
+		Stable:  LSN(binary.LittleEndian.Uint64(b[28:36])),
+		Master:  LSN(binary.LittleEndian.Uint64(b[36:44])),
+	}
+	firstLSN := LSN(binary.LittleEndian.Uint64(b[44:52]))
+	if metaLen > 0 {
+		s.Meta = append([]byte(nil), b[segHeaderSize:segHeaderSize+metaLen]...)
+	}
+	body := b[segHeaderSize+metaLen:]
+	lsn := firstLSN
+	for i := 0; i < count; i++ {
+		rec, n, err := DecodeRecord(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrSegmentCorrupt, i, err)
+		}
+		rec.LSN = lsn
+		lsn += LSN(n)
+		s.Records = append(s.Records, rec)
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing body bytes", ErrSegmentCorrupt, len(body))
+	}
+	return s, nil
+}
+
+// ShipFrom builds the segment covering every stable record with
+// LSN >= from, stamped with the given epoch, sequence number, and
+// previous-segment tail. The record slice is the log's own backing array
+// (zero copy; records are immutable), and the watermarks are captured in
+// the same instant as the records — the Archive snapshot contract applied
+// to a suffix. An empty result (nothing new hardened) is a valid heartbeat
+// segment.
+func (l *Log) ShipFrom(from LSN, epoch, seq uint64, prev LSN) *Segment {
+	recs, stable, master := l.SnapshotStable(from)
+	return &Segment{
+		Epoch:   epoch,
+		Seq:     seq,
+		PrevLSN: prev,
+		Stable:  stable,
+		Master:  master,
+		Records: recs,
+	}
 }

@@ -52,6 +52,13 @@ type Log struct {
 	damage    map[LSN][]damageSpot
 	truncates uint64 // torn-tail truncations performed by crash sweeps
 
+	// stableNotify, when set, is invoked (outside the log mutex) after a
+	// public operation advances the stable LSN — the hardening watermark a
+	// log shipper streams from. The callback receives the stable LSN at
+	// notification time; it must be cheap and must not call back into
+	// methods that force the log.
+	stableNotify func(LSN)
+
 	stats *trace.Stats
 }
 
@@ -93,6 +100,28 @@ func (l *Log) GroupCommit() bool {
 	on := !l.groupOff
 	l.mu.Unlock()
 	return on
+}
+
+// SetStableNotify installs (or, with nil, removes) the stable-LSN watermark
+// callback: after any Force/ForceAll/AppendForce that advances the stable
+// LSN, fn is called with the new watermark, outside the log mutex. This is
+// the streaming hook continuous log shipping rides on — the shipper wakes
+// on each notification and ships the newly hardened suffix. A crash does
+// NOT notify (stable only rewinds there), and a Clone does not inherit the
+// callback: the successor log belongs to a new epoch the old shipper must
+// never observe.
+func (l *Log) SetStableNotify(fn func(LSN)) {
+	l.mu.Lock()
+	l.stableNotify = fn
+	l.mu.Unlock()
+}
+
+// notifyStable fires the watermark callback when post > pre. Called with
+// l.mu released.
+func (l *Log) notifyStable(pre, post LSN, fn func(LSN)) {
+	if fn != nil && post > pre {
+		fn(post)
+	}
 }
 
 // Append assigns the next LSN to r and adds it to the log buffer. The
@@ -137,10 +166,13 @@ func (l *Log) appendLocked(r *Record, enc int) LSN {
 func (l *Log) AppendForce(r *Record) LSN {
 	enc := len(r.Encode())
 	l.mu.Lock()
+	pre := l.stable
 	lsn := l.appendLocked(r, enc)
 	if !l.groupOff {
 		l.forceLocked(lsn)
+		post, fn := l.stable, l.stableNotify
 		l.mu.Unlock()
+		l.notifyStable(pre, post, fn)
 		return lsn
 	}
 	if l.forceDelay > 0 {
@@ -157,7 +189,9 @@ func (l *Log) AppendForce(r *Record) LSN {
 			l.stats.LogForces.Add(1)
 		}
 	}
+	post, fn := l.stable, l.stableNotify
 	l.mu.Unlock()
+	l.notifyStable(pre, post, fn)
 	return lsn
 }
 
@@ -172,8 +206,11 @@ func (l *Log) AppendForce(r *Record) LSN {
 // record with LSN <= W.)
 func (l *Log) Force(lsn LSN) {
 	l.mu.Lock()
+	pre := l.stable
 	l.forceLocked(lsn)
+	post, fn := l.stable, l.stableNotify
 	l.mu.Unlock()
+	l.notifyStable(pre, post, fn)
 }
 
 // ForceAll hardens the entire log. The last-LSN read and the force happen
@@ -182,10 +219,13 @@ func (l *Log) Force(lsn LSN) {
 // between the snapshot and the flush start.
 func (l *Log) ForceAll() {
 	l.mu.Lock()
+	pre := l.stable
 	if n := len(l.recs); n > 0 {
 		l.forceLocked(l.recs[n-1].LSN)
 	}
+	post, fn := l.stable, l.stableNotify
 	l.mu.Unlock()
+	l.notifyStable(pre, post, fn)
 }
 
 // forceLocked hardens the log up to lsn. Caller holds l.mu; the lock is
@@ -258,6 +298,16 @@ func (l *Log) StableLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.stable
+}
+
+// NextLSN returns the LSN the next appended record will receive. Because
+// LSNs are byte addresses, a standby appending the exact record stream the
+// primary logged reproduces the primary's LSNs — NextLSN is therefore the
+// "expected next" mark replication gap detection compares against.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextOff + 1
 }
 
 // MaxLSN returns the LSN of the most recently appended record (NilLSN if
@@ -343,6 +393,25 @@ func (l *Log) SnapshotFrom(from LSN) []*Record {
 	defer l.mu.Unlock()
 	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
 	return l.recs[i:len(l.recs):len(l.recs)]
+}
+
+// SnapshotStable returns a read-only view of every record with
+// from <= LSN <= stable, together with the stable and master LSNs, all
+// captured under one lock acquisition — the consistent stable-prefix
+// snapshot the archive and the log shipper are defined against. Like
+// SnapshotFrom, the view shares the log's backing array (records are
+// immutable once appended) so callers must not modify it; unlike
+// SnapshotFrom it excludes the volatile tail, so concurrent appends and
+// forces racing the call can only land strictly after the returned prefix.
+func (l *Log) SnapshotStable(from LSN) (recs []*Record, stable, master LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lo := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
+	hi := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] > l.stable })
+	if lo > hi {
+		lo = hi
+	}
+	return l.recs[lo:hi:hi], l.stable, l.master
 }
 
 // Records returns all records from LSN from onward (test/verification aid).

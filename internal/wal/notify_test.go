@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+)
+
+// The stable-notify hook is the shipper's wakeup: it must fire exactly when
+// the stable watermark advances, with the new watermark, outside the log
+// latch (re-entering the log from the callback must not deadlock).
+func TestStableNotify(t *testing.T) {
+	l := NewLog(nil)
+	var mu sync.Mutex
+	var seen []LSN
+	l.SetStableNotify(func(lsn LSN) {
+		_ = l.StableLSN() // re-entering the log from the callback is legal
+		mu.Lock()
+		seen = append(seen, lsn)
+		mu.Unlock()
+	})
+
+	a := l.Append(upd(1, 0, 1, "a"))
+	b := l.Append(upd(1, a, 1, "b"))
+	l.Force(a)
+	l.Force(a) // no advance: no callback
+	l.Force(b)
+	c := l.AppendForce(upd(2, 0, 2, "c"))
+	l.ForceAll() // already stable: no callback
+	scratch := l.Append(upd(2, c, 2, "volatile"))
+	l.ForceAll()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []LSN{a, b, c, scratch}
+	if len(seen) != len(want) {
+		t.Fatalf("notified %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("notified %v, want %v", seen, want)
+		}
+	}
+}
