@@ -63,6 +63,10 @@ microbench:
 # (group commit + early lock release, sharded locks) across workloads and
 # worker counts. Writes BENCH_concurrency.json and fails if the hot-key
 # write speedup at 16 workers is below 2x or the JSON is malformed.
+# The -profile mutex pass then drives the append-burst workload with mutex
+# profiling at full fraction and fails if the log append path (lock-free
+# LSN reservation) shows up among the contended cycles; the pre-PR serial
+# latch runs as a control the profiler must be able to see.
 # The buffer benchmark does the same for the pool: old (single-mutex,
 # serial I/O) vs new (sharded, clock sweep, I/O outside the lock) vs
 # new-cleaner, gated on the 16-worker read speedup and the cleaner's
@@ -74,6 +78,7 @@ microbench:
 bench:
 	$(GO) run ./cmd/ariesim-perf -out BENCH_concurrency.json -minspeedup 2
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+	$(GO) run ./cmd/ariesim-perf -profile mutex
 	$(GO) run ./cmd/ariesim-perf -workload buffer -out BENCH_buffer.json -minspeedup 3 -mincleanerdrop 5
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json
 	$(GO) run ./cmd/ariesim-perf -workload recovery -out BENCH_recovery.json -minspeedup 2
@@ -87,6 +92,7 @@ bench-smoke:
 	$(GO) run ./cmd/ariesim-perf -smoke -out /tmp/ariesim_bench_smoke.json -minspeedup 2
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_concurrency.json
+	$(GO) run ./cmd/ariesim-perf -profile mutex -smoke
 	$(GO) run ./cmd/ariesim-perf -workload buffer -smoke -out /tmp/ariesim_bench_buffer_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_buffer_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_buffer.json

@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,6 +69,11 @@ type Cell struct {
 	GroupCommitRatio float64 `json:"group_commit_ratio"`
 	Deadlocks        uint64  `json:"deadlocks"`
 	TxnRetries       uint64  `json:"txn_retries"`
+
+	// Append-path counters (concurrency family): lock-free LSN range
+	// claims and the forces that had to wait for the contiguity watermark.
+	AppendReservations uint64 `json:"append_reservations,omitempty"`
+	WatermarkStalls    uint64 `json:"watermark_stalls,omitempty"`
 
 	// Buffer-family counters (omitted from concurrency-family cells).
 	PageFixes      uint64  `json:"page_fixes,omitempty"`
@@ -280,6 +287,23 @@ var benches = []bench{
 		},
 		spec: func(w int) workload.Spec {
 			return workload.Spec{Keys: 2048, Dist: workload.Zipf, InsertFrac: 1, Seed: int64(w + 1)}
+		},
+	},
+	{
+		name: "append-burst", keys: 4096, prefill: 4096, ops: 8,
+		// Worker-private update bursts: disjoint key slices mean locks
+		// never conflict and every transaction writes eight update records
+		// before one (grouped) commit force — the cell isolates the log
+		// append path itself, encode + LSN reservation + publish, under
+		// rising worker counts. This is the workload the lock-free
+		// reservation pipeline exists for.
+		body: func(tb *db.Table, tx *txn.Tx, op workload.Op) error {
+			return tb.Update(tx, op.Key, []byte("append-burst-value"))
+		},
+		spec: func(w int) workload.Spec {
+			// Keys are re-mapped to the worker's private slice in the run
+			// loop; the spec only drives op sequencing.
+			return workload.Spec{Keys: 4096, InsertFrac: 1, Seed: int64(w + 1)}
 		},
 	},
 	{
@@ -1020,6 +1044,12 @@ func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, forceDelay,
 						ops[j].Value = []byte("smo-value")
 						seq++
 					}
+					if b.name == "append-burst" {
+						// Worker-private slice of the prefilled key space:
+						// appends contend, row locks never do.
+						ops[j].Key = workload.KeyFor(w*256 + seq%256)
+						seq++
+					}
 					if ops[j].Value == nil {
 						ops[j].Value = []byte("bench-value")
 					}
@@ -1084,6 +1114,8 @@ func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, forceDelay,
 		ForceWaiters: diff.ForceWaiters,
 		Deadlocks:    diff.Deadlocks, TxnRetries: diff.TxnRetries,
 	}
+	cell.AppendReservations = diff.AppendReservations
+	cell.WatermarkStalls = diff.WatermarkStalls
 	if n := diff.GroupCommits + diff.LogForces; n > 0 {
 		cell.GroupCommitRatio = float64(diff.GroupCommits) / float64(n)
 	}
@@ -1291,6 +1323,134 @@ func validateRecovery(path string, res *Result) error {
 	return nil
 }
 
+// appendContentionBudget bounds the share of contended mutex cycles the
+// log append path may hold in -profile mutex mode. The reservation
+// pipeline is latch-free, so the honest budget is zero; 5% absorbs
+// profile-attribution noise on a loaded machine.
+const appendContentionBudget = 0.05
+
+// appendHotSymbols are the append-path frames that must stay off the
+// contention profile: mutex cycles attributed to any of them mean the
+// append latch is back on the hot-key flame.
+var appendHotSymbols = []string{
+	"wal.(*Log).Append",
+	"wal.(*Log).reserveFill",
+	"wal.(*Log).appendForceSerial",
+}
+
+// mutexSnapshot aggregates the process-wide mutex profile: total
+// contended cycles, the cycles whose stacks touch the append path, and
+// per-site totals keyed by the first in-repo frame. The runtime profile
+// accumulates for the life of the process, so callers diff snapshots.
+func mutexSnapshot() (total, appendCycles int64, sites map[string]int64) {
+	n, _ := runtime.MutexProfile(nil)
+	recs := make([]runtime.BlockProfileRecord, n+64)
+	n, _ = runtime.MutexProfile(recs)
+	recs = recs[:n]
+	sites = map[string]int64{}
+	for _, rec := range recs {
+		total += rec.Cycles
+		top, hot := "", false
+		for _, pc := range rec.Stack() {
+			fn := runtime.FuncForPC(pc)
+			if fn == nil {
+				continue
+			}
+			name := fn.Name()
+			if top == "" && strings.Contains(name, "ariesim/") {
+				top = name // first in-repo frame: the site that held the lock
+			}
+			for _, sym := range appendHotSymbols {
+				if strings.Contains(name, sym) {
+					hot = true
+				}
+			}
+		}
+		if top == "" {
+			top = "(runtime)"
+		}
+		sites[top] += rec.Cycles
+		if hot {
+			appendCycles += rec.Cycles
+		}
+	}
+	return total, appendCycles, sites
+}
+
+// runMutexProfile drives the append-burst workload at 16 workers with
+// mutex profiling at full fraction, prints the top contended call sites,
+// and fails if the log append path holds more than appendContentionBudget
+// of the contended cycles. This is the CI teeth behind "the append latch
+// is gone": group-commit flush coordination (Force, forceLocked, the
+// flush condvar) is expected and allowed — reserving an LSN must never
+// block on a lock. The current engine runs FIRST so its measurement is
+// unpolluted; the pre-PR serial configuration then runs as a control, and
+// the profiler must see ITS append latch — a control that shows nothing
+// means the gate itself is blind, and that fails too.
+func runMutexProfile(txnsPerCell int, delay time.Duration) error {
+	runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(0)
+	var b *bench
+	for i := range benches {
+		if benches[i].name == "append-burst" {
+			b = &benches[i]
+		}
+	}
+	if b == nil {
+		return errors.New("append-burst bench not registered")
+	}
+	cell, err := runCell(*b, configs[1], 16, txnsPerCell, b.ops, delay, 0)
+	if err != nil {
+		return err
+	}
+	total, appendCycles, sites := mutexSnapshot()
+
+	type site struct {
+		name   string
+		cycles int64
+	}
+	ranked := make([]site, 0, len(sites))
+	for name, cyc := range sites {
+		ranked = append(ranked, site{name, cyc})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].cycles > ranked[j].cycles })
+	pct := func(c int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(total)
+	}
+	fmt.Printf("mutex contention profile: append-burst @16 workers, %d txns, %.0f txn/s, %d reservations, %d watermark stalls\n",
+		cell.Txns, cell.TxnsPerSec, cell.AppendReservations, cell.WatermarkStalls)
+	if len(ranked) == 0 {
+		fmt.Println("  (no contended mutex cycles recorded)")
+	}
+	for i, s := range ranked {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %6.2f%%  %s\n", pct(s.cycles), s.name)
+	}
+	fmt.Printf("append-path share of contended cycles: %.2f%%\n", pct(appendCycles))
+	if total > 0 && float64(appendCycles)/float64(total) > appendContentionBudget {
+		return fmt.Errorf("append path holds %.1f%% of contended mutex cycles (budget %.0f%%) — the log latch is back on the flame",
+			pct(appendCycles), 100*appendContentionBudget)
+	}
+
+	// Control: the serial baseline's append latch must be visible to the
+	// profiler, or the clean result above proves nothing.
+	if _, err := runCell(*b, configs[0], 16, txnsPerCell, b.ops, delay, 0); err != nil {
+		return fmt.Errorf("control run: %w", err)
+	}
+	_, appendAfter, _ := mutexSnapshot()
+	if appendAfter <= appendCycles {
+		return errors.New("control run: profiler recorded no append-path contention under the serial baseline — the gate is blind")
+	}
+	fmt.Printf("control: serial baseline added %d append-path contention cycles (profiler sees the latch)\n",
+		appendAfter-appendCycles)
+	return nil
+}
+
 func serialOrZero(c *Cell) float64 {
 	if c == nil {
 		return 0
@@ -1309,6 +1469,7 @@ func main() {
 	minSpeedup := flag.Float64("minspeedup", 0, "fail unless the family's headline speedup >= this")
 	minCleanerDrop := flag.Float64("mincleanerdrop", 0, "fail unless the cleaner's dirty-eviction drop >= this (buffer family)")
 	verify := flag.String("verify", "", "validate an existing results file and exit")
+	profileMode := flag.String("profile", "", "contention profile mode: 'mutex' runs append-burst at 16 workers and fails if the log append path shows mutex contention")
 	flag.Parse()
 
 	if *verify != "" {
@@ -1317,6 +1478,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid\n", *verify)
+		return
+	}
+
+	if *profileMode != "" {
+		if *profileMode != "mutex" {
+			fmt.Fprintf(os.Stderr, "unknown profile mode %q\n", *profileMode)
+			os.Exit(1)
+		}
+		if *smoke {
+			*txnsPerCell = 160
+		}
+		if err := runMutexProfile(*txnsPerCell, *delay); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

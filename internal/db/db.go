@@ -871,6 +871,15 @@ func (t *Table) DataTable() *data.Table { return t.data }
 // any page write, so every page present in the cloned disk is covered by
 // the cloned log's stable prefix (the reverse order could capture a stolen
 // page whose undo information misses the log snapshot).
+//
+// The log clone is also the crash fence for the lock-free append pipeline:
+// Clone holds the log's crash fence exclusively, draining zombie appenders
+// out of their claim→publish window, so the clone is truncated at the
+// contiguity watermark — never mid-hole — and a reservation claimed but not
+// yet published at the crash instant simply never existed on the successor.
+// Zombie flushes parked on the orphaned original die by flush-generation
+// fencing, and a commit whose flush the crash killed surfaces
+// wal.ErrLogCrashed instead of a silently dead LSN.
 func (d *DB) Crash() {
 	// Exclusive epoch lock: wait out commits already past their epoch check
 	// (each holds the read side for at most one log force) and block new

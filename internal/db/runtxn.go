@@ -41,7 +41,12 @@ func ClassifyErr(err error) RetryClass {
 	switch {
 	case errors.Is(err, lock.ErrDeadlock), errors.Is(err, lock.ErrLockTimeout):
 		return ClassContention
-	case errors.Is(err, ErrCrashed), errors.Is(err, lock.ErrShutdown):
+	case errors.Is(err, ErrCrashed), errors.Is(err, lock.ErrShutdown),
+		errors.Is(err, wal.ErrLogCrashed):
+		// wal.ErrLogCrashed surfaces from Commit/Prepare when the crash
+		// landed during the commit record's flush: the record died with its
+		// log epoch, so the transaction is repaired exactly like any other
+		// crash casualty — await restart, re-execute.
 		return ClassCrash
 	default:
 		return ClassFatal

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ariesim/internal/trace"
@@ -56,9 +57,10 @@ type Shipper struct {
 	lastMeta []byte  // last catalog blob shipped
 	stopped  bool
 
-	notify chan struct{} // stable-notify doorbell (coalesced)
-	stop   chan struct{} // closed by Stop
-	done   sync.WaitGroup
+	notify   chan struct{} // stable-notify doorbell (coalesced)
+	notified atomic.Uint64 // highest watermark announced by the notify hook
+	stop     chan struct{} // closed by Stop
+	done     sync.WaitGroup
 }
 
 // NewShipper wires a shipper to the primary's log and the channel. The
@@ -76,7 +78,22 @@ func NewShipper(log *wal.Log, ch *Channel, opts ShipperOpts) *Shipper {
 		stop:     make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	log.SetStableNotify(func(wal.LSN) { s.ring() })
+	// The hook rides the log's contiguity watermark: deliveries are
+	// strictly increasing within a crash epoch and carry the hardened
+	// mark, so the doorbell only rings when there is genuinely new stable
+	// prefix to ship — a stale or repeated watermark is dropped here.
+	log.SetStableNotify(func(lsn wal.LSN) {
+		for {
+			prev := s.notified.Load()
+			if uint64(lsn) <= prev {
+				return
+			}
+			if s.notified.CompareAndSwap(prev, uint64(lsn)) {
+				s.ring()
+				return
+			}
+		}
+	})
 	return s
 }
 

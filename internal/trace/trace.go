@@ -72,11 +72,13 @@ type Stats struct {
 	PagesPrefetched atomic.Uint64 // pages pulled in ahead of demand (restart prefetcher)
 
 	// Log.
-	LogRecords   atomic.Uint64
-	LogBytes     atomic.Uint64
-	LogForces    atomic.Uint64 // physical flushes that advanced the stable LSN
-	ForceWaiters atomic.Uint64 // Force callers that blocked behind an in-flight flush
-	GroupCommits atomic.Uint64 // Force callers hardened by a flush they did not perform
+	LogRecords         atomic.Uint64
+	LogBytes           atomic.Uint64
+	LogForces          atomic.Uint64 // physical flushes that advanced the stable LSN
+	ForceWaiters       atomic.Uint64 // Force callers that blocked behind an in-flight flush
+	GroupCommits       atomic.Uint64 // Force callers hardened by a flush they did not perform
+	AppendReservations atomic.Uint64 // lock-free LSN range claims (one per append)
+	WatermarkStalls    atomic.Uint64 // forces that waited for the contiguity watermark to cover their LSN
 
 	// Fault handling (injected I/O errors and media corruption).
 	IORetries           atomic.Uint64 // transient I/O errors retried by the buffer pool
@@ -238,6 +240,7 @@ type Snapshot struct {
 	CleanerPasses, CleanerWrites, PagesPrefetched             uint64
 	LogRecords, LogBytes, LogForces                           uint64
 	ForceWaiters, GroupCommits                                uint64
+	AppendReservations, WatermarkStalls                       uint64
 	IORetries, CorruptPages                                   uint64
 	MediaRecoveries, TornTailTruncations                      uint64
 	Traversals, LeafReposition, SMOs, PageSplits, PageDeletes uint64
@@ -299,6 +302,8 @@ func (s *Stats) Snap() Snapshot {
 	out.LogForces = s.LogForces.Load()
 	out.ForceWaiters = s.ForceWaiters.Load()
 	out.GroupCommits = s.GroupCommits.Load()
+	out.AppendReservations = s.AppendReservations.Load()
+	out.WatermarkStalls = s.WatermarkStalls.Load()
 	out.IORetries = s.IORetries.Load()
 	out.CorruptPages = s.CorruptPages.Load()
 	out.MediaRecoveries = s.MediaRecoveries.Load()
@@ -376,6 +381,8 @@ func Diff(before, after Snapshot) Snapshot {
 	d.LogForces = after.LogForces - before.LogForces
 	d.ForceWaiters = after.ForceWaiters - before.ForceWaiters
 	d.GroupCommits = after.GroupCommits - before.GroupCommits
+	d.AppendReservations = after.AppendReservations - before.AppendReservations
+	d.WatermarkStalls = after.WatermarkStalls - before.WatermarkStalls
 	d.IORetries = after.IORetries - before.IORetries
 	d.CorruptPages = after.CorruptPages - before.CorruptPages
 	d.MediaRecoveries = after.MediaRecoveries - before.MediaRecoveries

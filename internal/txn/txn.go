@@ -238,23 +238,33 @@ func (t *Tx) HoldsLock(name lock.Name) bool {
 // Log appends a record stamped with this transaction's ID and PrevLSN
 // chain, updating LastLSN and UndoNxtLSN per ARIES rules.
 func (t *Tx) Log(rec *wal.Record) wal.LSN {
-	return t.logVia(t.mgr.log.Append, rec)
+	lsn, _ := t.logVia(t.appendPlain, rec)
+	return lsn
+}
+
+// appendPlain adapts wal.Log.Append (which cannot fail: a plain append
+// never waits on the device) to logVia's fallible signature.
+func (t *Tx) appendPlain(rec *wal.Record) (wal.LSN, error) {
+	return t.mgr.log.Append(rec), nil
 }
 
 // logForced is Log through wal.AppendForce: the record is durable when it
-// returns. Commit-scope records (commit, prepare) go through this so their
-// force takes the group-commit path — or, with group commit disabled, the
-// serial append-latch flush the benchmark baselines against.
-func (t *Tx) logForced(rec *wal.Record) wal.LSN {
+// returns nil. Commit-scope records (commit, prepare) go through this so
+// their force takes the group-commit path — or, with group commit disabled,
+// the serial append-latch flush the benchmark baselines against. A non-nil
+// error (wal.ErrLogCrashed) means a crash landed during the flush: the
+// record's LSN was assigned but the record died with its epoch, and the
+// caller must not acknowledge whatever depended on it.
+func (t *Tx) logForced(rec *wal.Record) (wal.LSN, error) {
 	return t.logVia(t.mgr.log.AppendForce, rec)
 }
 
-func (t *Tx) logVia(append func(*wal.Record) wal.LSN, rec *wal.Record) wal.LSN {
+func (t *Tx) logVia(append func(*wal.Record) (wal.LSN, error), rec *wal.Record) (wal.LSN, error) {
 	t.mu.Lock()
 	rec.TxID = t.ID
 	rec.PrevLSN = t.lastLSN
 	t.mu.Unlock()
-	lsn := append(rec)
+	lsn, err := append(rec)
 	t.mu.Lock()
 	t.lastLSN = lsn
 	switch {
@@ -269,7 +279,10 @@ func (t *Tx) logVia(append func(*wal.Record) wal.LSN, rec *wal.Record) wal.LSN {
 		t.undoNxtLSN = lsn
 	}
 	t.mu.Unlock()
-	return lsn
+	// On error the chain bookkeeping above still ran: the transaction is a
+	// zombie inside a crashed epoch and its state dies with the orphaned
+	// manager, but the caller needs the error to refuse acknowledgement.
+	return lsn, err
 }
 
 // LogUpdate logs a forward page action (undo-redo unless redoOnly).
@@ -347,11 +360,19 @@ func (t *Tx) Commit() error {
 		t.commitLSN = lsn
 		t.mu.Unlock()
 		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
-		t.mgr.log.Force(lsn)
+		if !t.mgr.log.Force(lsn) {
+			// A crash fenced the force: the commit record died with its
+			// epoch and must never be acknowledged. The transaction's locks
+			// and table entry die with the orphaned manager.
+			return wal.ErrLogCrashed
+		}
 	} else {
 		// Serial baseline: the commit record is appended and flushed as
 		// one latched operation, locks held across the device write.
-		lsn := t.logForced(&wal.Record{Type: wal.RecCommit})
+		lsn, err := t.logForced(&wal.Record{Type: wal.RecCommit})
+		if err != nil {
+			return err
+		}
 		t.mu.Lock()
 		t.commitLSN = lsn
 		t.mu.Unlock()
@@ -376,7 +397,9 @@ func (t *Tx) Prepare() error {
 	for _, h := range t.mgr.locks.LocksOf(lock.Owner(t.ID)) {
 		specs = append(specs, wal.LockSpec{Space: uint8(h.Name.Space), Mode: uint8(h.Mode), A: h.Name.A, B: h.Name.B})
 	}
-	t.logForced(&wal.Record{Type: wal.RecPrepare, Payload: wal.EncodeLocks(specs)})
+	if _, err := t.logForced(&wal.Record{Type: wal.RecPrepare, Payload: wal.EncodeLocks(specs)}); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -526,7 +549,10 @@ func (m *Manager) Checkpoint(pool *buffer.Pool) wal.LSN {
 	begin := m.log.Append(&wal.Record{Type: wal.RecBeginCkpt})
 	data := &wal.CheckpointData{Txs: m.Active(), DPT: pool.DPT()}
 	end := m.log.Append(&wal.Record{Type: wal.RecEndCkpt, PrevLSN: begin, Payload: data.Encode()})
-	m.log.Force(end)
-	m.log.SetMaster(begin)
+	if m.log.Force(end) {
+		// Only anchor the master record if the checkpoint actually reached
+		// stable storage; a crash-fenced force leaves the old anchor valid.
+		m.log.SetMaster(begin)
+	}
 	return begin
 }

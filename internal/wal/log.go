@@ -1,14 +1,22 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ariesim/internal/storage"
 	"ariesim/internal/trace"
 )
+
+// ErrLogCrashed reports an append-force whose record died with a crashed log
+// epoch: the LSN was assigned but the record never reached stable storage
+// and never will. Callers must not acknowledge anything that depended on it.
+var ErrLogCrashed = errors.New("wal: log crashed during append-force")
 
 // Log is the write-ahead log manager. Records live in a single virtual
 // byte address space; a record's LSN is one plus its byte offset, so LSNs
@@ -20,14 +28,39 @@ import (
 // WAL protocol proper (force before writing a dirty page; force at commit)
 // is enforced by the buffer pool and transaction manager, which call Force
 // with the relevant LSNs.
+//
+// The append path is a lock-free reservation pipeline (see reserve.go):
+// Append claims its byte range and slot with one atomic fetch-add, publishes
+// the record, and advances the contiguity watermark. Only the flush pipeline
+// (group commit), the crash fence, and the marks (stable/master) are
+// mutex-guarded — and every consumer of "the log's contents" (snapshots,
+// archive, shipping, redo) reads the watermarked prefix, which is hole-free
+// by construction.
 type Log struct {
-	mu      sync.Mutex
-	recs    []*Record // decoded records, in order
-	offs    []LSN     // recs[i].LSN, for binary search
-	nextOff LSN       // next byte offset to assign (LSN-1 of next record)
-	stable  LSN       // highest LSN whose record (entirely) is on stable storage
-	master  LSN       // "master record": LSN of the last end-checkpoint, forced separately
-	bytes   uint64
+	// Reservation pipeline (lock-free append path; see reserve.go).
+	resv   atomic.Uint64             // packed claim word: records<<40 | bytes
+	dir    atomic.Pointer[[]*logSeg] // slot directory, grown by CAS
+	filled atomic.Uint64             // contiguity watermark: slots [0,filled) published
+
+	// crashMu fences appends against crash truncation: appenders hold the
+	// shared side (non-serializing among themselves) across claim+publish;
+	// Crash, TruncateTo, and Clone hold it exclusively, so they only ever
+	// observe a log with no reservation mid-fill — truncation happens at
+	// the watermark, never mid-hole. Lock order: serialMu > crashMu > mu.
+	crashMu sync.RWMutex
+
+	// serialMu is the append latch of the no-group-commit baseline: held
+	// across claim+publish by every append, and across the device flush by
+	// AppendForce, so each committer pays the full flush latency alone and
+	// every other append stalls behind it — the classic serial commit path
+	// the concurrency benchmark compares against. Unused (never locked)
+	// with group commit on.
+	serialMu sync.Mutex
+	groupOff atomic.Bool // group commit disabled (serial per-caller flushes)
+
+	mu     sync.Mutex
+	stable LSN // highest LSN whose record (entirely) is on stable storage
+	master LSN // "master record": LSN of the last end-checkpoint, forced separately
 
 	// Costed log device + group commit. forceDelay simulates the latency of
 	// one physical flush (zero: instantaneous, the historical model).
@@ -39,11 +72,22 @@ type Log struct {
 	// disabled, a flush hardens only its leader's own LSN and each waiter
 	// re-flushes for itself: the serial force pipeline the old code modeled.
 	forceDelay time.Duration
-	groupOff   bool // group commit disabled (serial per-caller flushes)
 	flushing   bool
 	flushWant  LSN
-	flushGen   uint64 // bumped by crash so an in-flight flush dies with its epoch
+	flushGen   atomic.Uint64 // bumped by crash (under mu) so in-flight flushes and watermark waits die with their epoch
 	flushCond  *sync.Cond
+
+	// Stable-notify sequencer. Deliveries are strictly monotonic within a
+	// crash epoch: at most one goroutine delivers at a time (notifyBusy),
+	// it always delivers the current stable mark, and notifyDone records
+	// the highest value handed out — a lower watermark can never be
+	// delivered after a higher one, no matter how forces interleave.
+	// notifyGen is bumped by crash so an in-flight delivery from the dead
+	// epoch cannot record its value.
+	notifyFn   func(LSN)
+	notifyDone LSN
+	notifyBusy bool
+	notifyGen  uint64
 
 	// damage records byte-level corruption planted in the stored image of
 	// individual records (torn log writes, media rot). It is consulted by
@@ -51,13 +95,6 @@ type Log struct {
 	// prefix up to the first record that no longer decodes.
 	damage    map[LSN][]damageSpot
 	truncates uint64 // torn-tail truncations performed by crash sweeps
-
-	// stableNotify, when set, is invoked (outside the log mutex) after a
-	// public operation advances the stable LSN — the hardening watermark a
-	// log shipper streams from. The callback receives the stable LSN at
-	// notification time; it must be cheap and must not call back into
-	// methods that force the log.
-	stableNotify func(LSN)
 
 	stats *trace.Stats
 }
@@ -86,102 +123,133 @@ func (l *Log) SetForceDelay(d time.Duration) {
 
 // SetGroupCommit enables (default) or disables force coalescing. Disabled,
 // every Force caller whose LSN is not yet stable performs its own serial
-// flush — the baseline configuration the concurrency benchmark compares
-// against.
+// flush, and the append path serializes on the append latch — the baseline
+// configuration the concurrency benchmark compares against.
 func (l *Log) SetGroupCommit(enabled bool) {
-	l.mu.Lock()
-	l.groupOff = !enabled
-	l.mu.Unlock()
+	l.groupOff.Store(!enabled)
 }
 
 // GroupCommit reports whether force coalescing is enabled.
 func (l *Log) GroupCommit() bool {
-	l.mu.Lock()
-	on := !l.groupOff
-	l.mu.Unlock()
-	return on
+	return !l.groupOff.Load()
 }
 
 // SetStableNotify installs (or, with nil, removes) the stable-LSN watermark
 // callback: after any Force/ForceAll/AppendForce that advances the stable
 // LSN, fn is called with the new watermark, outside the log mutex. This is
 // the streaming hook continuous log shipping rides on — the shipper wakes
-// on each notification and ships the newly hardened suffix. A crash does
-// NOT notify (stable only rewinds there), and a Clone does not inherit the
-// callback: the successor log belongs to a new epoch the old shipper must
-// never observe.
+// on each notification and ships the newly hardened suffix. Deliveries are
+// strictly increasing within a crash epoch and coalesce under bursts (a
+// burst of forces may produce one callback carrying the highest watermark).
+// A crash does NOT notify (stable only rewinds there), and a Clone does not
+// inherit the callback: the successor log belongs to a new epoch the old
+// shipper must never observe.
 func (l *Log) SetStableNotify(fn func(LSN)) {
 	l.mu.Lock()
-	l.stableNotify = fn
+	l.notifyFn = fn
+	l.notifyDone = l.stable // fire only on advances from here on
 	l.mu.Unlock()
 }
 
-// notifyStable fires the watermark callback when post > pre. Called with
-// l.mu released.
-func (l *Log) notifyStable(pre, post LSN, fn func(LSN)) {
-	if fn != nil && post > pre {
-		fn(post)
+// deliverNotify drains the notify sequencer. At most one goroutine delivers
+// at a time; it hands out the current stable mark outside the mutex and
+// loops while the mark moved during delivery (the forcer that moved it saw
+// notifyBusy and left delivery to us). notifyDone only ever rises within an
+// epoch, so delivered watermarks are strictly increasing — the out-of-order
+// delivery the old post-unlock callback allowed cannot happen. Called with
+// l.mu NOT held.
+func (l *Log) deliverNotify() {
+	l.mu.Lock()
+	for {
+		fn := l.notifyFn
+		if fn == nil || l.notifyBusy || l.stable <= l.notifyDone {
+			l.mu.Unlock()
+			return
+		}
+		l.notifyBusy = true
+		lsn := l.stable
+		gen := l.notifyGen
+		l.mu.Unlock()
+		fn(lsn)
+		l.mu.Lock()
+		l.notifyBusy = false
+		if l.notifyGen == gen && lsn > l.notifyDone {
+			l.notifyDone = lsn
+		}
 	}
 }
 
 // Append assigns the next LSN to r and adds it to the log buffer. The
 // record is volatile until a Force covers it. Append returns the LSN.
-// The stats counters are updated under the log mutex so an observer can
-// never see the record list advanced while LogRecords/LogBytes lag.
+//
+// With group commit on this is the lock-free reservation path: one atomic
+// fetch-add claims the byte range and slot, and concurrent appenders never
+// serialize. With it off, appends take the serial append latch so they
+// stall behind a committer's latch-held flush — the baseline's defining
+// cost.
 func (l *Log) Append(r *Record) LSN {
-	enc := len(r.Encode()) // realistic byte accounting
-	l.mu.Lock()
-	lsn := l.appendLocked(r, enc)
-	l.mu.Unlock()
-	return lsn
-}
-
-// appendLocked is Append's body; the caller holds l.mu and passes the
-// record's encoded size (computed outside the lock).
-func (l *Log) appendLocked(r *Record, enc int) LSN {
-	r.LSN = l.nextOff + 1
-	l.recs = append(l.recs, r)
-	l.offs = append(l.offs, r.LSN)
-	l.nextOff += LSN(enc)
-	l.bytes += uint64(enc)
-	if l.stats != nil {
-		l.stats.LogRecords.Add(1)
-		l.stats.LogBytes.Add(uint64(enc))
+	enc := len(r.Encode()) // realistic byte accounting, outside any lock
+	if l.groupOff.Load() {
+		l.serialMu.Lock()
+		defer l.serialMu.Unlock()
 	}
-	return r.LSN
+	l.crashMu.RLock()
+	lsn := l.reserveFill(r, enc)
+	l.crashMu.RUnlock()
+	return lsn
 }
 
 // AppendForce appends r and hardens it — the commit-path combination.
 //
-// With group commit enabled it is an append followed by a coalescing
-// force: the flush sleeps outside the log latch, so concurrent committers
-// overlap their device waits and share flushes.
+// With group commit enabled it is a lock-free append followed by a
+// coalescing force: the flush sleeps outside the log latch, so concurrent
+// committers overlap their device waits and share flushes.
 //
-// Disabled, it models the classic serial commit path: the log latch is
-// held from the append through the device flush, so each committer pays
-// the full flush latency alone and every other append stalls behind it.
+// Disabled, it models the classic serial commit path: the append latch is
+// held from the claim through the device flush, so each committer pays the
+// full flush latency alone and every other append stalls behind it.
 // (A mere stable-LSN check before flushing would let commits ride flushes
 // they never asked for — implicit batching — which is exactly the effect
 // the no-group-commit baseline must not get for free.)
-func (l *Log) AppendForce(r *Record) LSN {
+//
+// If a crash lands while the record is being hardened, AppendForce returns
+// the dead record's LSN together with ErrLogCrashed: the record is gone
+// with its epoch and the caller must not acknowledge the commit.
+func (l *Log) AppendForce(r *Record) (LSN, error) {
 	enc := len(r.Encode())
-	l.mu.Lock()
-	pre := l.stable
-	lsn := l.appendLocked(r, enc)
-	if !l.groupOff {
-		l.forceLocked(lsn)
-		post, fn := l.stable, l.stableNotify
-		l.mu.Unlock()
-		l.notifyStable(pre, post, fn)
-		return lsn
+	if l.groupOff.Load() {
+		return l.appendForceSerial(r, enc)
 	}
+	l.crashMu.RLock()
+	lsn := l.reserveFill(r, enc)
+	l.crashMu.RUnlock()
+	if !l.Force(lsn) {
+		return lsn, ErrLogCrashed
+	}
+	return lsn, nil
+}
+
+// appendForceSerial is AppendForce's no-group-commit body: claim and fill
+// under the append latch, then flush with the latch still held. The log
+// mutex is NOT held across the device wait, so a crash can land mid-flush;
+// the generation check detects it and reports the zombie record instead of
+// silently returning a dead LSN.
+func (l *Log) appendForceSerial(r *Record, enc int) (LSN, error) {
+	l.serialMu.Lock()
+	defer l.serialMu.Unlock()
+	l.crashMu.RLock()
+	lsn := l.reserveFill(r, enc)
+	l.crashMu.RUnlock()
+	l.mu.Lock()
+	gen := l.flushGen.Load()
 	if l.forceDelay > 0 {
-		gen := l.flushGen
-		storage.SpinWait(l.forceDelay) // latch held across the device write
-		if gen != l.flushGen {         // crashed under us: the record died with its epoch
-			l.mu.Unlock()
-			return lsn
-		}
+		l.mu.Unlock()
+		storage.SpinWait(l.forceDelay) // append latch held across the device write
+		l.mu.Lock()
+	}
+	if l.flushGen.Load() != gen { // crashed under us: the record died with its epoch
+		l.mu.Unlock()
+		return lsn, ErrLogCrashed
 	}
 	if lsn > l.stable {
 		l.stable = lsn
@@ -189,10 +257,44 @@ func (l *Log) AppendForce(r *Record) LSN {
 			l.stats.LogForces.Add(1)
 		}
 	}
-	post, fn := l.stable, l.stableNotify
 	l.mu.Unlock()
-	l.notifyStable(pre, post, fn)
-	return lsn
+	l.deliverNotify()
+	return lsn, nil
+}
+
+// awaitFilled blocks until the contiguity watermark covers lsn — i.e. every
+// reservation below lsn has been published — so that a force can never
+// harden a prefix with a hole in it. Returns false if a crash fenced the
+// wait (the target epoch is gone), true otherwise; if lsn lies beyond the
+// claimed frontier there is nothing to wait for and the wait ends when the
+// outstanding reservations drain. Lock-free: the stall spins on the
+// watermark, counting one WatermarkStalls per stalled wait.
+func (l *Log) awaitFilled(lsn LSN) bool {
+	if l.filledLSN() >= lsn {
+		return true
+	}
+	gen := l.flushGen.Load()
+	stalled := false
+	for l.filledLSN() < lsn {
+		count, _ := unpackResv(l.resv.Load())
+		if l.filled.Load() >= count {
+			// Every claimed reservation is published and the watermark is
+			// still below lsn: the target is beyond the frontier (a force
+			// of a not-yet-appended LSN). Nothing left to wait for.
+			return true
+		}
+		if l.flushGen.Load() != gen {
+			return false
+		}
+		if !stalled {
+			stalled = true
+			if l.stats != nil {
+				l.stats.WatermarkStalls.Add(1)
+			}
+		}
+		runtime.Gosched()
+	}
+	return true
 }
 
 // Force hardens the log up to and including lsn (a no-op if already
@@ -200,50 +302,72 @@ func (l *Log) AppendForce(r *Record) LSN {
 // policy pay for. Concurrent callers group-commit: while one flush is in
 // flight, later arrivals register the LSN they need and park; the next
 // flush hardens up to the maximum registered LSN, so one device write
-// satisfies every parked caller at once. (A caller's record is always
-// already in the buffer when it forces, and LSNs are assigned in append
-// order, so a flush that started with high-water mark W covers every
-// record with LSN <= W.)
-func (l *Log) Force(lsn LSN) {
-	l.mu.Lock()
-	pre := l.stable
-	l.forceLocked(lsn)
-	post, fn := l.stable, l.stableNotify
-	l.mu.Unlock()
-	l.notifyStable(pre, post, fn)
-}
-
-// ForceAll hardens the entire log. The last-LSN read and the force happen
-// under one lock acquisition, so every record appended before the call is
-// covered — there is no window for a concurrent append to slip a record
-// between the snapshot and the flush start.
-func (l *Log) ForceAll() {
-	l.mu.Lock()
-	pre := l.stable
-	if n := len(l.recs); n > 0 {
-		l.forceLocked(l.recs[n-1].LSN)
+// satisfies every parked caller at once. Force first waits for the
+// contiguity watermark to cover lsn, so the hardened prefix can never
+// contain an unpublished reservation.
+//
+// Force reports whether lsn is stable on return; false means a crash
+// fenced the wait and the records it covered are gone with their epoch.
+// Callers that do not commit on the result may ignore it.
+func (l *Log) Force(lsn LSN) bool {
+	if !l.awaitFilled(lsn) {
+		return false
 	}
-	post, fn := l.stable, l.stableNotify
+	l.mu.Lock()
+	ok := l.forceLocked(lsn)
 	l.mu.Unlock()
-	l.notifyStable(pre, post, fn)
+	l.deliverNotify()
+	return ok
 }
 
-// forceLocked hardens the log up to lsn. Caller holds l.mu; the lock is
-// released only while a simulated flush is sleeping. The stable-LSN
-// advance and the LogForces bump happen under the same critical section,
-// keeping the counters consistent with the log state at every instant.
-func (l *Log) forceLocked(lsn LSN) {
-	entryGen := l.flushGen
+// ForceAll hardens the entire log. The claimed frontier is snapshotted at
+// entry and the force waits for the watermark to reach it, so every record
+// whose append began before the call is covered — there is no window for a
+// concurrent append to slip a record between the snapshot and the flush
+// start, and no hole below the flushed mark.
+func (l *Log) ForceAll() {
+	count, _ := unpackResv(l.resv.Load())
+	if count == 0 {
+		return
+	}
+	gen := l.flushGen.Load()
+	stalled := false
+	for l.filled.Load() < count {
+		if l.flushGen.Load() != gen {
+			return
+		}
+		if !stalled {
+			stalled = true
+			if l.stats != nil {
+				l.stats.WatermarkStalls.Add(1)
+			}
+		}
+		runtime.Gosched()
+	}
+	l.mu.Lock()
+	l.forceLocked(l.filledLSN())
+	l.mu.Unlock()
+	l.deliverNotify()
+}
+
+// forceLocked hardens the log up to lsn. Caller holds l.mu and has already
+// awaited the contiguity watermark; the lock is released only while a
+// simulated flush is sleeping. The stable-LSN advance and the LogForces
+// bump happen under the same critical section, keeping the counters
+// consistent with the log state at every instant. Returns false if a crash
+// fenced the force (the records it covered are gone with the epoch).
+func (l *Log) forceLocked(lsn LSN) bool {
+	entryGen := l.flushGen.Load()
 	if lsn > l.flushWant {
 		l.flushWant = lsn
 	}
 	waited, flushed := false, false
 	for lsn > l.stable {
-		if l.flushGen != entryGen {
+		if l.flushGen.Load() != entryGen {
 			// The log was crashed while this force was parked or flushing:
 			// the records it covered are gone with the epoch. Unwind; the
-			// caller is a zombie and its commit will be refused upstream.
-			return
+			// caller is a zombie and its commit must be refused.
+			return false
 		}
 		if l.flushing {
 			// Device busy: park until the in-flight flush completes.
@@ -257,7 +381,7 @@ func (l *Log) forceLocked(lsn LSN) {
 			continue
 		}
 		want := l.flushWant
-		if l.groupOff {
+		if l.groupOff.Load() {
 			want = lsn // serial baseline: flush only what this caller needs
 		}
 		if l.forceDelay <= 0 {
@@ -270,13 +394,13 @@ func (l *Log) forceLocked(lsn LSN) {
 			continue
 		}
 		l.flushing = true
-		gen := l.flushGen
+		gen := l.flushGen.Load()
 		delay := l.forceDelay
 		l.mu.Unlock()
 		storage.SpinWait(delay)
 		l.mu.Lock()
 		l.flushing = false
-		if gen == l.flushGen { // a crash during the flush discards it
+		if gen == l.flushGen.Load() { // a crash during the flush discards it
 			if want > l.stable {
 				l.stable = want
 				if l.stats != nil {
@@ -291,6 +415,7 @@ func (l *Log) forceLocked(lsn LSN) {
 		// Hardened entirely by someone else's flush: a group commit.
 		l.stats.GroupCommits.Add(1)
 	}
+	return true
 }
 
 // StableLSN returns the highest forced LSN.
@@ -305,34 +430,39 @@ func (l *Log) StableLSN() LSN {
 // primary logged reproduces the primary's LSNs — NextLSN is therefore the
 // "expected next" mark replication gap detection compares against.
 func (l *Log) NextLSN() LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.nextOff + 1
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	_, off := unpackResv(l.resv.Load())
+	return off + 1
 }
 
-// MaxLSN returns the LSN of the most recently appended record (NilLSN if
-// the log is empty).
+// MaxLSN returns the LSN of the most recently appended record under the
+// contiguity watermark (NilLSN if the log is empty).
 func (l *Log) MaxLSN() LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.recs) == 0 {
-		return NilLSN
-	}
-	return l.recs[len(l.recs)-1].LSN
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	return l.filledLSN()
 }
 
-// Bytes returns the total bytes appended (volatile + stable).
+// Bytes returns the total bytes appended (volatile + stable), up to the
+// contiguity watermark.
 func (l *Log) Bytes() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.bytes
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	f := l.filled.Load()
+	if f == 0 {
+		return 0
+	}
+	r := l.slotAt(f - 1)
+	return uint64(r.LSN) - 1 + uint64(r.EncodedSize())
 }
 
-// NumRecords returns the number of appended records.
+// NumRecords returns the number of appended records under the contiguity
+// watermark.
 func (l *Log) NumRecords() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.recs)
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	return int(l.filled.Load())
 }
 
 // SetMaster durably stores the checkpoint anchor (the "master record" kept
@@ -354,20 +484,15 @@ func (l *Log) Master() LSN {
 	return l.master
 }
 
-func (l *Log) idxOf(lsn LSN) (int, bool) {
-	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= lsn })
-	if i < len(l.offs) && l.offs[i] == lsn {
-		return i, true
-	}
-	return 0, false
-}
-
 // Read returns the record at lsn.
 func (l *Log) Read(lsn LSN) (*Record, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if i, ok := l.idxOf(lsn); ok {
-		return l.recs[i], nil
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	i, n := l.searchFilled(lsn)
+	if i < n {
+		if r := l.slotAt(i); r.LSN == lsn {
+			return r, nil
+		}
 	}
 	return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
 }
@@ -383,35 +508,35 @@ func (l *Log) Scan(from LSN, fn func(*Record) bool) {
 }
 
 // SnapshotFrom returns a read-only view of every record with LSN >= from,
-// in order. The view shares the log's backing array — records are
-// immutable once appended, and later appends never mutate the viewed
-// prefix — so ONE log scan can be fanned out across many consumers
-// (restart redo workers) with zero copying. Callers must not modify the
-// returned slice or the records it holds.
+// in order, up to the contiguity watermark. The records are shared (they
+// are immutable once appended) and only the pointer slice is materialized,
+// so ONE log scan can still be fanned out across many consumers (restart
+// redo workers) cheaply. Callers must not modify the returned records.
 func (l *Log) SnapshotFrom(from LSN) []*Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
-	return l.recs[i:len(l.recs):len(l.recs)]
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	lo, n := l.searchFilled(from)
+	return l.prefix(lo, n)
 }
 
 // SnapshotStable returns a read-only view of every record with
-// from <= LSN <= stable, together with the stable and master LSNs, all
-// captured under one lock acquisition — the consistent stable-prefix
-// snapshot the archive and the log shipper are defined against. Like
-// SnapshotFrom, the view shares the log's backing array (records are
-// immutable once appended) so callers must not modify it; unlike
-// SnapshotFrom it excludes the volatile tail, so concurrent appends and
-// forces racing the call can only land strictly after the returned prefix.
+// from <= LSN <= stable, together with the stable and master LSNs — the
+// consistent stable-prefix snapshot the archive and the log shipper are
+// defined against. The stable mark can only cover watermarked records
+// (Force awaits the watermark before advancing it), so the snapshot is
+// hole-free by construction; concurrent appends and forces racing the call
+// can only land strictly after the returned prefix.
 func (l *Log) SnapshotStable(from LSN) (recs []*Record, stable, master LSN) {
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	lo := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] >= from })
-	hi := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] > l.stable })
-	if lo > hi {
-		lo = hi
-	}
-	return l.recs[lo:hi:hi], l.stable, l.master
+	stable, master = l.stable, l.master
+	l.mu.Unlock()
+	lo, n := l.searchFilled(from)
+	hi := lo + uint64(sort.Search(int(n-lo), func(i int) bool {
+		return l.slotAt(lo+uint64(i)).LSN > stable
+	}))
+	return l.prefix(lo, hi), stable, master
 }
 
 // Records returns all records from LSN from onward (test/verification aid).
@@ -430,7 +555,11 @@ func (l *Log) Records(from LSN) []*Record {
 // torn tail from CrashWithTornTail), the log is truncated at the first
 // record that fails its CRC — everything from there on is lost.
 func (l *Log) Crash() {
-	l.crash(0, false)
+	l.crashMu.Lock()
+	defer l.crashMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.crashLocked(0, false)
 }
 
 // CrashWithTornTail crashes the log but lets up to extra unforced records
@@ -440,56 +569,100 @@ func (l *Log) Crash() {
 // CRC and truncates there, so the surviving log is the forced prefix plus
 // extra-1 intact unforced records.
 func (l *Log) CrashWithTornTail(extra int) {
-	l.crash(extra, true)
-}
-
-func (l *Log) crash(extra int, tear bool) {
+	l.crashMu.Lock()
+	defer l.crashMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	i := sort.Search(len(l.offs), func(i int) bool { return l.offs[i] > l.stable })
+	l.crashLocked(extra, true)
+}
+
+// TruncateTo is a failure-injection hook for crash-point testing: it
+// rewinds BOTH the stable mark and the log contents to lsn, simulating a
+// crash in a run whose last force reached exactly lsn. The rewind and the
+// crash happen in ONE critical section — a concurrent append or force can
+// never observe the rewound stable mark with the old contents (the window
+// the old two-step implementation left open). It must only be used when no
+// page with a higher page_LSN has reached the disk (the WAL protocol would
+// forbid that state); tests assert this themselves.
+func (l *Log) TruncateTo(lsn LSN) {
+	l.crashMu.Lock()
+	defer l.crashMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stable = lsn
+	if l.master > lsn {
+		l.master = NilLSN
+	}
+	l.crashLocked(0, false)
+}
+
+// crashLocked is the crash body. Caller holds crashMu exclusively and l.mu:
+// no appender is between claim and publish, so the watermark can be dragged
+// to the claimed frontier and the record list materialized without holes —
+// the crash-truncation rule "truncate at the watermark, never mid-hole"
+// holds by construction. Unfilled reservations cannot exist here; claimed
+// records above the surviving prefix are discarded and their slots cleared,
+// and the reservation word is rewound so the address space continues from
+// the survivor.
+func (l *Log) crashLocked(extra int, tear bool) {
+	l.advanceFilled()
+	claimed, _ := unpackResv(l.resv.Load())
+	recs := l.prefix(0, claimed)
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].LSN > l.stable })
 	keep := i + extra
-	if keep > len(l.recs) {
-		keep = len(l.recs)
+	if keep > len(recs) {
+		keep = len(recs)
 	}
 	if tear && keep > i && keep > 0 {
 		// Tear the last survivor: its trailing half never hit the platter.
-		last := l.recs[keep-1]
+		last := recs[keep-1]
 		l.damage[last.LSN] = append(l.damage[last.LSN],
 			damageSpot{off: last.EncodedSize() / 2, xor: 0xA5})
 	}
-	l.recs = l.recs[:keep]
-	l.offs = l.offs[:keep]
-	l.sweepLocked()
-	if n := len(l.recs); n > 0 {
-		last := l.recs[n-1]
-		l.nextOff = last.LSN - 1 + LSN(last.EncodedSize())
+	recs = l.sweepDamaged(recs[:keep])
+	n := uint64(len(recs))
+	var nextOff LSN
+	if n > 0 {
+		last := recs[n-1]
+		nextOff = last.LSN - 1 + LSN(last.EncodedSize())
 		l.stable = last.LSN
 	} else {
-		l.nextOff = 0
+		nextOff = 0
 		l.stable = NilLSN
 	}
-	l.bytes = uint64(l.nextOff)
+	l.filled.Store(n)
+	for j := n; j < claimed; j++ {
+		l.clearSlot(j)
+	}
+	l.resv.Store(packResv(n, nextOff))
 	if l.master > l.stable {
 		l.master = NilLSN
 	}
-	// Fence any in-flight or parked force: its epoch is gone. Parked
-	// waiters wake, observe the generation change, and unwind.
-	l.flushGen++
+	// Fence any in-flight or parked force and any watermark wait: their
+	// epoch is gone. Parked waiters wake, observe the generation change,
+	// and unwind.
+	l.flushGen.Add(1)
 	l.flushWant = l.stable
 	if l.flushCond != nil {
 		l.flushCond.Broadcast()
 	}
+	// Rebase the notify sequencer on the rewound watermark. A delivery in
+	// flight belongs to the dead epoch; the generation bump keeps it from
+	// recording its value, so post-crash advances notify from the rewound
+	// mark. (A crash itself never notifies: stable only rewinds here.)
+	l.notifyGen++
+	l.notifyDone = l.stable
 }
 
-// sweepLocked re-reads every damaged surviving record the way a restart
+// sweepDamaged re-reads every damaged surviving record the way a restart
 // reads the stable log — encoded bytes, with planted corruption applied —
-// and truncates the log at the first record that fails to decode.
-func (l *Log) sweepLocked() {
+// and truncates the list at the first record that fails to decode.
+func (l *Log) sweepDamaged(recs []*Record) []*Record {
 	if len(l.damage) == 0 {
-		return
+		return recs
 	}
 	cut := -1
-	for i, r := range l.recs {
+	for i, r := range recs {
 		spots, ok := l.damage[r.LSN]
 		if !ok {
 			continue
@@ -506,17 +679,16 @@ func (l *Log) sweepLocked() {
 		}
 	}
 	if cut < 0 {
-		return
+		return recs
 	}
-	for _, r := range l.recs[cut:] {
+	for _, r := range recs[cut:] {
 		delete(l.damage, r.LSN)
 	}
-	l.recs = l.recs[:cut]
-	l.offs = l.offs[:cut]
 	l.truncates++
 	if l.stats != nil {
 		l.stats.TornTailTruncations.Add(1)
 	}
+	return recs[:cut]
 }
 
 // CorruptStored plants byte-level corruption (XOR of mask at byte off) in
@@ -524,11 +696,14 @@ func (l *Log) sweepLocked() {
 // the next crash, when the CRC sweep re-reads the stable log: the log is
 // truncated at the first record that no longer decodes.
 func (l *Log) CorruptStored(lsn LSN, off int, mask byte) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.idxOf(lsn); !ok {
+	l.crashMu.RLock()
+	defer l.crashMu.RUnlock()
+	i, n := l.searchFilled(lsn)
+	if i >= n || l.slotAt(i).LSN != lsn {
 		return fmt.Errorf("wal: no record at LSN %d", lsn)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.damage[lsn] = append(l.damage[lsn], damageSpot{off: off, xor: mask})
 	return nil
 }
@@ -541,46 +716,34 @@ func (l *Log) TornTailTruncations() uint64 {
 	return l.truncates
 }
 
-// Clone deep-copies the log's stable state into a new Log reporting into
-// stats. Records are shared (they are immutable once appended); slices,
-// marks, and planted damage are copied. Used to fork an engine for
-// crash-point sweeps without disturbing the original.
+// Clone deep-copies the log's state into a new Log reporting into stats.
+// Records are shared (they are immutable once appended); the slot
+// directory, marks, and planted damage are copied. Clone holds the crash
+// fence exclusively, so no reservation is mid-fill and the copy is
+// hole-free. Used to fork an engine for crash-point sweeps without
+// disturbing the original.
 func (l *Log) Clone(stats *trace.Stats) *Log {
+	l.crashMu.Lock()
+	defer l.crashMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := &Log{
-		recs:       append([]*Record(nil), l.recs...),
-		offs:       append([]LSN(nil), l.offs...),
-		nextOff:    l.nextOff,
-		stable:     l.stable,
-		master:     l.master,
-		bytes:      l.bytes,
-		truncates:  l.truncates,
-		damage:     make(map[LSN][]damageSpot, len(l.damage)),
-		forceDelay: l.forceDelay,
-		groupOff:   l.groupOff,
-		stats:      stats,
+	l.advanceFilled()
+	count, off := unpackResv(l.resv.Load())
+	out := NewLog(stats)
+	for i := uint64(0); i < count; i++ {
+		out.setSlot(i, l.slotAt(i))
 	}
-	out.flushCond = sync.NewCond(&out.mu)
+	out.filled.Store(count)
+	out.resv.Store(packResv(count, off))
+	out.stable = l.stable
+	out.master = l.master
+	out.truncates = l.truncates
+	out.forceDelay = l.forceDelay
+	out.groupOff.Store(l.groupOff.Load())
 	for lsn, spots := range l.damage {
 		out.damage[lsn] = append([]damageSpot(nil), spots...)
 	}
 	return out
-}
-
-// TruncateTo is a failure-injection hook for crash-point testing: it
-// rewinds BOTH the stable mark and the log contents to lsn, simulating a
-// crash in a run whose last force reached exactly lsn. It must only be
-// used when no page with a higher page_LSN has reached the disk (the WAL
-// protocol would forbid that state); tests assert this themselves.
-func (l *Log) TruncateTo(lsn LSN) {
-	l.mu.Lock()
-	l.stable = lsn
-	if l.master > lsn {
-		l.master = NilLSN
-	}
-	l.mu.Unlock()
-	l.Crash()
 }
 
 // CodecRoundTrip re-encodes and decodes every stable record, verifying the

@@ -24,7 +24,7 @@ func TestStableNotify(t *testing.T) {
 	l.Force(a)
 	l.Force(a) // no advance: no callback
 	l.Force(b)
-	c := l.AppendForce(upd(2, 0, 2, "c"))
+	c, _ := l.AppendForce(upd(2, 0, 2, "c"))
 	l.ForceAll() // already stable: no callback
 	scratch := l.Append(upd(2, c, 2, "volatile"))
 	l.ForceAll()

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Lock-free LSN reservation pipeline.
+//
+// Appenders claim their byte range and slot index with ONE atomic fetch-add
+// on a packed reservation word, publish the record into a slot directory,
+// and fold their completion into the contiguity watermark ("filled-up-to").
+// Force, group commit, snapshots, and the stable-notify hook are all defined
+// against the watermark — never against a mutex-guarded record list — so the
+// hot append path takes no lock at all in the group-commit configuration.
+//
+// Layout of the reservation word (Log.resv):
+//
+//	bits 63..40  records claimed so far (= the next record's slot index)
+//	bits 39..0   bytes claimed so far   (= the next record's LSN - 1)
+//
+// Packing both fields into one word is what makes the claim atomic: a single
+// Add hands the caller a unique slot index AND the matching byte range, so
+// slot order and LSN order can never disagree. The fields bound the log at
+// ~16.7M records and 1 TiB of bytes; the claim panics well before either
+// field can carry into the other.
+//
+// The watermark (Log.filled) is the count of contiguously published slots.
+// Every record with slot index < filled is visible; a record may be published
+// at index >= filled while an earlier reservation is still filling — that is
+// the transient hole no consumer is allowed to see. The crash rule follows:
+// a crash truncates to the stable prefix, and stable can only ever cover
+// watermarked records (Force waits for the watermark before registering),
+// so the surviving log is hole-free by construction.
+const (
+	segShift = 9
+	segSize  = 1 << segShift
+	segMask  = segSize - 1
+
+	resvIdxShift = 40
+	resvOffMask  = (uint64(1) << resvIdxShift) - 1
+
+	maxResvRecords = (uint64(1) << (64 - resvIdxShift)) - 1
+	maxResvBytes   = resvOffMask
+)
+
+// logSeg is one fixed-size block of the slot directory. Segments are only
+// ever appended to the directory, and a slot is written exactly once per
+// epoch (crash truncation clears the tail under exclusive crashMu), so
+// readers can chase dir -> segment -> slot with three atomic loads.
+type logSeg struct {
+	slots [segSize]atomic.Pointer[Record]
+}
+
+func packResv(count uint64, off LSN) uint64 {
+	return count<<resvIdxShift | uint64(off)
+}
+
+func unpackResv(w uint64) (count uint64, off LSN) {
+	return w >> resvIdxShift, LSN(w & resvOffMask)
+}
+
+// slotAt returns the record published at slot i, or nil if the slot is
+// unpublished (a hole, the frontier, or beyond the directory).
+func (l *Log) slotAt(i uint64) *Record {
+	dirp := l.dir.Load()
+	if dirp == nil {
+		return nil
+	}
+	d := *dirp
+	seg := i >> segShift
+	if seg >= uint64(len(d)) {
+		return nil
+	}
+	return d[seg].slots[i&segMask].Load()
+}
+
+// setSlot publishes r at slot i, growing the segment directory if needed.
+// Growth copies only the (small) slice of segment pointers and installs it
+// with a CAS; the segments themselves are shared, so records published
+// through an older directory view remain reachable through every newer one.
+func (l *Log) setSlot(i uint64, r *Record) {
+	seg := i >> segShift
+	for {
+		dirp := l.dir.Load()
+		var d []*logSeg
+		if dirp != nil {
+			d = *dirp
+		}
+		if seg < uint64(len(d)) {
+			d[seg].slots[i&segMask].Store(r)
+			return
+		}
+		nd := make([]*logSeg, seg+1)
+		copy(nd, d)
+		for j := len(d); j < len(nd); j++ {
+			nd[j] = &logSeg{}
+		}
+		if l.dir.CompareAndSwap(dirp, &nd) {
+			nd[seg].slots[i&segMask].Store(r)
+			return
+		}
+	}
+}
+
+func (l *Log) clearSlot(i uint64) {
+	dirp := l.dir.Load()
+	if dirp == nil {
+		return
+	}
+	d := *dirp
+	seg := i >> segShift
+	if seg >= uint64(len(d)) {
+		return
+	}
+	d[seg].slots[i&segMask].Store(nil)
+}
+
+// advanceFilled folds published slots into the contiguity watermark: it
+// walks the frontier forward while the next slot is published. The classic
+// CAS-scan is stall-free: if this appender's CAS loses, the winner (or a
+// later publisher) has already re-driven the scan past the same slot, and
+// the loop re-reads from the current frontier, so the watermark can lag a
+// published slot only while some goroutine is still inside this loop.
+// Callers hold crashMu (shared or exclusive), so the frontier cannot be
+// concurrently truncated out from under the scan.
+func (l *Log) advanceFilled() {
+	for {
+		f := l.filled.Load()
+		if l.slotAt(f) == nil {
+			return
+		}
+		l.filled.CompareAndSwap(f, f+1)
+	}
+}
+
+// filledLSN returns the LSN of the last record under the contiguity
+// watermark (NilLSN if none). Lock-free; callers racing a crash truncation
+// may observe a value from just before the crash, which is the same answer
+// a mutex acquired just before the crash would have produced.
+func (l *Log) filledLSN() LSN {
+	for {
+		f := l.filled.Load()
+		if f == 0 {
+			return NilLSN
+		}
+		if r := l.slotAt(f - 1); r != nil {
+			return r.LSN
+		}
+		// Raced a crash truncation between the two loads; re-read.
+	}
+}
+
+// reserveFill is the lock-free append: claim the byte range and slot with
+// one fetch-add, publish, advance the watermark. Caller holds crashMu.RLock
+// (shared — appenders never serialize on it) so a crash cannot truncate
+// between the claim and the publish, which is exactly the window that would
+// otherwise leave a permanent hole. The stats counters are bumped between
+// claim and publish so an observer can never see the record list advanced
+// while LogRecords/LogBytes lag.
+func (l *Log) reserveFill(r *Record, enc int) LSN {
+	w := l.resv.Add(uint64(1)<<resvIdxShift | uint64(enc))
+	count, end := unpackResv(w)
+	if count >= maxResvRecords || uint64(end) >= maxResvBytes-uint64(enc) {
+		panic("wal: log reservation address space exhausted")
+	}
+	r.LSN = end - LSN(enc) + 1
+	if l.stats != nil {
+		l.stats.AppendReservations.Add(1)
+		l.stats.LogRecords.Add(1)
+		l.stats.LogBytes.Add(uint64(enc))
+	}
+	l.setSlot(count-1, r)
+	l.advanceFilled()
+	return r.LSN
+}
+
+// prefix materializes slots [lo, hi) into a fresh slice. Records themselves
+// are shared (immutable once appended); only the pointer slice is allocated.
+func (l *Log) prefix(lo, hi uint64) []*Record {
+	out := make([]*Record, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, l.slotAt(i))
+	}
+	return out
+}
+
+// searchFilled returns the index of the first watermarked record with
+// LSN >= from, and the watermark count. Caller holds crashMu.RLock.
+func (l *Log) searchFilled(from LSN) (uint64, uint64) {
+	n := l.filled.Load()
+	i := sort.Search(int(n), func(i int) bool { return l.slotAt(uint64(i)).LSN >= from })
+	return uint64(i), n
+}

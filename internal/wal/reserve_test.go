@@ -1,0 +1,367 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ariesim/internal/trace"
+)
+
+// Property and regression tests for the lock-free reservation pipeline.
+// Run under -race these exercise the claim/publish/watermark protocol the
+// way the mutex log never could: many appenders in flight at once, holes
+// opening and closing at the frontier, forces and crashes racing the fill.
+
+// checkDense asserts recs is a dense byte-accurate LSN sequence: each
+// record's LSN is its predecessor's LSN plus the predecessor's encoded
+// size, with the first anchored at firstLSN (0 = don't check).
+func checkDense(t *testing.T, recs []*Record, firstLSN LSN) {
+	t.Helper()
+	if len(recs) == 0 {
+		return
+	}
+	if firstLSN != 0 && recs[0].LSN != firstLSN {
+		t.Fatalf("first LSN %d, want %d", recs[0].LSN, firstLSN)
+	}
+	for i := 1; i < len(recs); i++ {
+		want := recs[i-1].LSN + LSN(recs[i-1].EncodedSize())
+		if recs[i].LSN != want {
+			t.Fatalf("hole at index %d: LSN %d, want %d (prev %d + %d bytes)",
+				i, recs[i].LSN, want, recs[i-1].LSN, recs[i-1].EncodedSize())
+		}
+	}
+}
+
+// TestConcurrentReservationsDense: N concurrent appenders with mixed
+// payload sizes produce unique, dense, byte-accurate LSN ranges — the
+// packed-claim invariant that slot order and byte order can never disagree.
+func TestConcurrentReservationsDense(t *testing.T) {
+	const workers, perWorker = 8, 400
+	st := &trace.Stats{}
+	l := NewLog(st)
+	var wg sync.WaitGroup
+	lsns := make([][]LSN, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(w)}, w%7+1) // mixed sizes
+			for i := 0; i < perWorker; i++ {
+				lsn := l.Append(&Record{Type: RecUpdate, TxID: TxID(w + 1), Op: OpDataInsert, Payload: payload})
+				lsns[w] = append(lsns[w], lsn)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := l.NumRecords(); got != workers*perWorker {
+		t.Fatalf("NumRecords = %d, want %d", got, workers*perWorker)
+	}
+	if got := st.AppendReservations.Load(); got != workers*perWorker {
+		t.Fatalf("AppendReservations = %d, want %d", got, workers*perWorker)
+	}
+	recs := l.Records(NilLSN + 1)
+	checkDense(t, recs, NilLSN+1)
+	// Every worker's LSNs strictly increasing and present exactly once.
+	seen := make(map[LSN]bool, workers*perWorker)
+	for _, r := range recs {
+		if seen[r.LSN] {
+			t.Fatalf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+	}
+	for w := range lsns {
+		for i, lsn := range lsns[w] {
+			if !seen[lsn] {
+				t.Fatalf("worker %d append %d: LSN %d missing from log", w, i, lsn)
+			}
+			if i > 0 && lsn <= lsns[w][i-1] {
+				t.Fatalf("worker %d: LSNs not increasing", w)
+			}
+		}
+	}
+	if st.LogBytes.Load() != l.Bytes() {
+		t.Fatalf("LogBytes %d != Bytes %d after quiesce", st.LogBytes.Load(), l.Bytes())
+	}
+}
+
+// TestSnapshotStableNeverExposesHole: while appenders race and forcers
+// harden arbitrary appended LSNs, every SnapshotStable must be a dense
+// prefix ending exactly at the reported stable mark — a reservation still
+// filling below the mark can never leak into the snapshot.
+func TestSnapshotStableNeverExposesHole(t *testing.T) {
+	st := &trace.Stats{}
+	l := NewLog(st)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lsn := l.Append(&Record{Type: RecUpdate, TxID: TxID(w + 1), Op: OpDataInsert, Payload: []byte("hole?")})
+				if i%8 == w {
+					l.Force(lsn)
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		recs, stable, _ := l.SnapshotStable(NilLSN + 1)
+		if stable == NilLSN {
+			continue
+		}
+		if len(recs) == 0 {
+			t.Fatal("stable mark set but snapshot empty")
+		}
+		checkDense(t, recs, NilLSN+1)
+		if last := recs[len(recs)-1]; last.LSN != stable {
+			t.Fatalf("snapshot ends at %d, stable mark %d", last.LSN, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestArchiveUnderConcurrentAppends: the archive reads the same stable
+// prefix, so an archive taken under full append concurrency must restore
+// to a dense log whose stable mark equals its last record.
+func TestArchiveUnderConcurrentAppends(t *testing.T) {
+	l := NewLog(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lsn := l.Append(&Record{Type: RecUpdate, TxID: TxID(w + 1), Op: OpDataInsert, Payload: []byte("arch")})
+				if i%16 == 0 {
+					l.Force(lsn)
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 20; round++ {
+		var buf bytes.Buffer
+		if _, err := l.Archive(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadArchive(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := got.Records(NilLSN + 1)
+		checkDense(t, recs, NilLSN+1)
+		if len(recs) > 0 && got.StableLSN() != recs[len(recs)-1].LSN {
+			t.Fatalf("restored stable %d != last record %d", got.StableLSN(), recs[len(recs)-1].LSN)
+		}
+		if err := got.CodecRoundTrip(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCrashAtEveryBoundaryMatchesPrefix: a concurrently-built log, forced
+// and then crash-truncated at every record boundary, must be byte-identical
+// to the corresponding prefix of the full log — the reservation pipeline
+// may not perturb crash truncation at any point.
+func TestCrashAtEveryBoundaryMatchesPrefix(t *testing.T) {
+	l := NewLog(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				l.Append(&Record{Type: RecUpdate, TxID: TxID(w + 1), Op: OpDataInsert,
+					Payload: []byte(fmt.Sprintf("w%d-%d", w, i))})
+			}
+		}(w)
+	}
+	wg.Wait()
+	l.ForceAll()
+	full := l.Records(NilLSN + 1)
+	checkDense(t, full, NilLSN+1)
+	for i := range full {
+		L := full[i].LSN
+		fork := l.Clone(nil)
+		fork.TruncateTo(L)
+		got := fork.Records(NilLSN + 1)
+		if len(got) != i+1 {
+			t.Fatalf("boundary %d: %d records survive, want %d", L, len(got), i+1)
+		}
+		for j := range got {
+			if !bytes.Equal(got[j].Encode(), full[j].Encode()) {
+				t.Fatalf("boundary %d: record %d differs from prefix", L, j)
+			}
+		}
+		if fork.StableLSN() != L || fork.MaxLSN() != L {
+			t.Fatalf("boundary %d: stable %d max %d", L, fork.StableLSN(), fork.MaxLSN())
+		}
+	}
+}
+
+// TestStableNotifyMonotonicUnderConcurrentForces is the regression test for
+// out-of-order stable-notify delivery: with the callback fired after the
+// mutex was dropped, two forces completing out of order could deliver a
+// lower watermark after a higher one. The notify sequencer must deliver
+// strictly increasing watermarks no matter how forces interleave.
+func TestStableNotifyMonotonicUnderConcurrentForces(t *testing.T) {
+	l := NewLog(nil)
+	// A costed device widens the window: while one flush sleeps, a crowd of
+	// forcers parks, wakes together when it completes, and drains through
+	// the callback while the NEXT flush is already advancing the mark.
+	l.SetForceDelay(50 * time.Microsecond)
+	var mu sync.Mutex
+	var high LSN
+	var violation string
+	l.SetStableNotify(func(lsn LSN) {
+		mu.Lock()
+		if lsn <= high && violation == "" {
+			violation = fmt.Sprintf("delivered %d after %d", lsn, high)
+		}
+		if lsn > high {
+			high = lsn
+		}
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				lsn := l.Append(&Record{Type: RecUpdate, TxID: TxID(w + 1), Op: OpDataInsert, Payload: []byte("n")})
+				l.Force(lsn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if violation != "" {
+		t.Fatalf("non-monotonic stable-notify: %s", violation)
+	}
+	if high == NilLSN {
+		t.Fatal("no notifications delivered")
+	}
+}
+
+// TestTruncateToAtomicUnderConcurrentForce is the regression test for the
+// TruncateTo window: rewinding the stable mark and crashing used to be two
+// critical sections, so a force sneaking between them re-advanced the mark
+// and the crash kept records the truncation was supposed to drop. Merged
+// into one critical section, TruncateTo(L) always leaves MaxLSN <= L.
+func TestTruncateToAtomicUnderConcurrentForce(t *testing.T) {
+	for round := 0; round < 60; round++ {
+		l := NewLog(nil)
+		var lsns []LSN
+		for i := 0; i < 6; i++ {
+			lsns = append(lsns, l.Append(&Record{Type: RecUpdate, TxID: 1, Op: OpDataInsert, Payload: []byte("t")}))
+		}
+		l.ForceAll()
+		last := lsns[len(lsns)-1]
+		stop := make(chan struct{})
+		var started sync.WaitGroup
+		var wg sync.WaitGroup
+		// Several forcers spin hot on the log mutex so that at the moment
+		// TruncateTo runs, at least one is actively contending — the old
+		// two-critical-section window let such a force re-advance the
+		// rewound stable mark between the rewind and the crash.
+		for f := 0; f < 4; f++ {
+			wg.Add(1)
+			started.Add(1)
+			go func() {
+				defer wg.Done()
+				first := true
+				for {
+					select {
+					case <-stop:
+						if first {
+							started.Done()
+						}
+						return
+					default:
+					}
+					l.Force(last)
+					if first {
+						first = false
+						started.Done()
+					}
+				}
+			}()
+		}
+		started.Wait() // every forcer is live and contending
+		L := lsns[0]
+		l.TruncateTo(L)
+		got := l.MaxLSN()
+		close(stop)
+		wg.Wait()
+		if got > L {
+			t.Fatalf("round %d: TruncateTo(%d) left MaxLSN %d — a concurrent force re-advanced the rewound mark", round, L, got)
+		}
+	}
+}
+
+// TestAppendForceSurfacesCrash is the regression test for AppendForce's
+// zombie return: a crash landing during the flush used to hand back the
+// dead record's LSN with no signal. Both the serial (latch-held) and the
+// group-commit paths must now report ErrLogCrashed.
+func TestAppendForceSurfacesCrash(t *testing.T) {
+	for _, group := range []bool{false, true} {
+		l := NewLog(nil)
+		l.SetGroupCommit(group)
+		l.SetForceDelay(5 * time.Millisecond)
+		seed := l.Append(&Record{Type: RecUpdate, TxID: 1, Op: OpDataInsert, Payload: []byte("s")})
+		l.Force(seed)
+
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := l.AppendForce(&Record{Type: RecCommit, TxID: 1})
+			errCh <- err
+		}()
+		time.Sleep(1 * time.Millisecond) // let the flush take flight
+		l.Crash()
+		if err := <-errCh; !errors.Is(err, ErrLogCrashed) {
+			t.Fatalf("group=%v: AppendForce returned %v, want ErrLogCrashed", group, err)
+		}
+		if got := l.StableLSN(); got != seed {
+			t.Fatalf("group=%v: stable %d after crash, want %d", group, got, seed)
+		}
+	}
+}
+
+// TestAppendForceSucceedsBothModes: the fixed signature still reports clean
+// successes as nil in both configurations.
+func TestAppendForceSucceedsBothModes(t *testing.T) {
+	for _, group := range []bool{false, true} {
+		st := &trace.Stats{}
+		l := NewLog(st)
+		l.SetGroupCommit(group)
+		lsn, err := l.AppendForce(&Record{Type: RecCommit, TxID: 1})
+		if err != nil {
+			t.Fatalf("group=%v: %v", group, err)
+		}
+		if l.StableLSN() != lsn {
+			t.Fatalf("group=%v: stable %d, want %d", group, l.StableLSN(), lsn)
+		}
+	}
+}
