@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race smoke sweep chaos chaos-online chaos-standby microbench bench bench-smoke ci
+.PHONY: all build vet staticcheck test race smoke sweep chaos chaos-online chaos-standby chaos-mvcc microbench bench bench-smoke ci
 
 all: build vet test
 
@@ -56,6 +56,13 @@ chaos-online:
 chaos-standby:
 	$(GO) run -race ./cmd/ariesim-crash -standby -faults -workers 3 -commits 60 -seed 1
 
+# Chaos sweep with lock-free snapshot readers racing the writers and the
+# crash schedule: every reader observation must be exactly the committed
+# state at some commit boundary (zero torn reads), verified against the
+# LSN-keyed acked-commit ledger, with zero lock-manager calls by readers.
+chaos-mvcc:
+	$(GO) run ./cmd/ariesim-crash -chaos -online -workers 8 -crashes 20 -seed 1 -faults -redo 8 -mvcc 4
+
 microbench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -85,6 +92,8 @@ bench:
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_recovery.json
 	$(GO) run ./cmd/ariesim-perf -workload standby -out BENCH_standby.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_standby.json
+	$(GO) run ./cmd/ariesim-perf -workload mvcc -out BENCH_mvcc.json -minspeedup 5
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_mvcc.json
 
 # Reduced run for CI: fewer transactions, same shape checks, and the
 # committed BENCH_*.json files must exist and parse.
@@ -102,5 +111,8 @@ bench-smoke:
 	$(GO) run ./cmd/ariesim-perf -workload standby -smoke -out /tmp/ariesim_bench_standby_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_standby_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_standby.json
+	$(GO) run ./cmd/ariesim-perf -workload mvcc -smoke -out /tmp/ariesim_bench_mvcc_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_mvcc_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_mvcc.json
 
-ci: build vet staticcheck race smoke chaos chaos-online chaos-standby bench-smoke
+ci: build vet staticcheck race smoke chaos chaos-online chaos-standby chaos-mvcc bench-smoke

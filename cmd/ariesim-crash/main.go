@@ -65,6 +65,7 @@ func main() {
 	crashes := flag.Int("crashes", 20, "chaos mode: crash/restart points")
 	online := flag.Bool("online", false, "chaos mode: recover with online restart (open after analysis; a rotating subset of points re-crashes mid-recovery)")
 	redoWorkers := flag.Int("redo", 8, "chaos -online mode: parallel redo/drain workers")
+	mvccReaders := flag.Int("mvcc", 0, "chaos mode: concurrent lock-free snapshot readers; every observation is verified committed-consistent against the acked-commit ledger")
 	standby := flag.Bool("standby", false, "run the hot-standby failover sweep (crash the primary under live replicated traffic, promote, verify)")
 	commits := flag.Int("commits", 120, "standby mode: acked commits before the primary is crashed")
 	flag.Parse()
@@ -78,7 +79,7 @@ func main() {
 		return
 	}
 	if *chaos {
-		runChaos(*seed, *workers, *crashes, *faults, *online, *redoWorkers)
+		runChaos(*seed, *workers, *crashes, *faults, *online, *redoWorkers, *mvccReaders)
 		return
 	}
 
@@ -321,15 +322,16 @@ func runSweep(seed int64) {
 // the engine through db.RunTxn while the driver injects faults and
 // crashes it at random points, verifying the acked-commit model exactly
 // after every restart.
-func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers int) {
+func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers, mvccReaders int) {
 	res, err := db.RunChaosSweep(db.ChaosOpts{
-		Seed:          seed,
-		Workers:       workers,
-		Crashes:       crashes,
-		Faults:        faults,
-		OnlineRestart: online,
-		RedoWorkers:   redoWorkers,
-		Logf:          func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		Seed:            seed,
+		Workers:         workers,
+		Crashes:         crashes,
+		Faults:          faults,
+		OnlineRestart:   online,
+		RedoWorkers:     redoWorkers,
+		SnapshotReaders: mvccReaders,
+		Logf:            func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {
 		fail("chaos: %v", err)
@@ -346,6 +348,10 @@ func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers
 			res.OnlineRestarts, res.MidRecoveryCrashes, res.RecoveringRetries)
 		fmt.Printf("online redo: %d pages on demand at fix time, %d by background drain, %d checkpoints fenced\n",
 			res.PagesOnDemand, res.PagesDrained, res.CheckpointsSkipped)
+	}
+	if mvccReaders > 0 {
+		fmt.Printf("mvcc: %d snapshots verified committed-consistent (%d begun, %d row reads, %d too-old retries, %d reader lock calls)\n",
+			res.SnapshotsVerified, res.SnapshotBegins, res.SnapshotReads, res.SnapshotTooOld, res.ReadOnlyLockCalls)
 	}
 	if faults {
 		fmt.Printf("fault handling: %d corrupt pages healed by %d media recoveries\n",

@@ -19,9 +19,16 @@
 //     shipping vs semi-sync gated commits — plus the failover headline:
 //     crash-promoted TTFC against an online restart of the same crash.
 //
+//   - mvcc: the read-path comparison — S-lock reads through RunTxn vs
+//     lock-free snapshot reads through RunReadOnly, both under a
+//     concurrent hot-key zipfian writer. The mvcc cells must make zero
+//     lock-manager calls (trace-counted), and regenerating the results
+//     gates the reader throughput against the committed baseline.
+//
 //     ariesim-perf                         # full matrix -> BENCH_concurrency.json
 //     ariesim-perf -workload buffer        # buffer matrix -> BENCH_buffer.json
 //     ariesim-perf -workload standby       # replication matrix -> BENCH_standby.json
+//     ariesim-perf -workload mvcc          # read-path matrix -> BENCH_mvcc.json
 //     ariesim-perf -smoke                  # reduced matrix (CI)
 //     ariesim-perf -verify FILE            # validate an existing results file
 package main
@@ -111,6 +118,17 @@ type Cell struct {
 	LagP99Bytes     float64 `json:"lag_p99_bytes,omitempty"`
 	SegmentsShipped uint64  `json:"segments_shipped,omitempty"`
 	SegmentsApplied uint64  `json:"segments_applied,omitempty"`
+
+	// MVCC-family cells only: snapshot-read accounting and the background
+	// hot-key writer's concurrent throughput. ReaderLockCalls is enforced
+	// to zero at cell generation for config "mvcc" — a snapshot reader
+	// that touches the lock manager fails the run, not just the review.
+	SnapshotReads     uint64  `json:"snapshot_reads,omitempty"`
+	SnapshotChainHits uint64  `json:"snapshot_chain_hits,omitempty"`
+	VersionsPushed    uint64  `json:"versions_pushed,omitempty"`
+	ReaderLockCalls   uint64  `json:"reader_lock_calls,omitempty"`
+	WriterTxns        int     `json:"writer_txns,omitempty"`
+	WriterTxnsPerSec  float64 `json:"writer_txns_per_sec,omitempty"`
 }
 
 // Summary is the headline comparison the acceptance gate reads.
@@ -160,6 +178,13 @@ type Summary struct {
 	StandbyFailoverTTFCMS float64 `json:"standby_failover_ttfc_ms,omitempty"`
 	StandbyOnlineTTFCMS   float64 `json:"standby_online_restart_ttfc_ms,omitempty"`
 	StandbyTTFCOverOnline float64 `json:"standby_ttfc_over_online,omitempty"`
+
+	// MVCC family: lock-free snapshot-read throughput over the S-lock
+	// read path at 16 workers, both under the same concurrent hot-key
+	// writer, plus that writer's throughput while 16 snapshot readers ran
+	// (the writer-overhead sanity number).
+	MVCCReadSpeedup16      float64 `json:"mvcc_read_speedup_16w,omitempty"`
+	MVCCWriterTxnsPerSec16 float64 `json:"mvcc_writer_txns_per_sec_16w,omitempty"`
 }
 
 // Result is the BENCH_concurrency.json / BENCH_buffer.json schema.
@@ -995,6 +1020,269 @@ func validateStandby(path string, res *Result) error {
 	return nil
 }
 
+// mvccConfigs are the two read protocols the mvcc family compares over the
+// same workload: "slock" reads through ordinary transactions (S record
+// locks, a forced commit record), "mvcc" through RunReadOnly (snapshot
+// visibility, no locks, no commit).
+var mvccConfigs = []string{"slock", "mvcc"}
+
+// mvccKeys is the prefilled key space; zipfian reads and writes over it
+// keep a hot set contended enough that version chains actually form.
+const mvccKeys = 2048
+
+// runMVCCCell measures one read protocol at one worker count: N reader
+// workers drive zipfian multi-get transactions while one background writer
+// commits single-row updates on the same zipfian hot set throughout. The
+// cell fails — it does not merely score low — if a "mvcc" reader made a
+// single lock-manager call, took no snapshots, or the writer starved.
+func runMVCCCell(cfgName string, workers, txnsTotal, opsPerTxn int, forceDelay time.Duration) (Cell, error) {
+	stats := &trace.Stats{}
+	d := db.Open(db.Options{Stats: stats, LogForceDelay: forceDelay})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return Cell{}, err
+	}
+	for lo := 0; lo < mvccKeys; lo += 256 {
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < lo+256 && i < mvccKeys; i++ {
+				if err := tbl.Insert(tx, workload.KeyFor(i), []byte("prefill-value")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("prefill: %w", err)
+		}
+	}
+
+	// The counter baseline is snapped before the writer starts, so the
+	// cell's version-push accounting includes the handshake commit — a
+	// short cell must still prove MVCC was engaged.
+	before := stats.Snap()
+	stop := make(chan struct{})
+	writerDone := make(chan int, 1)
+	writerErrCh := make(chan error, 1)
+	writerLive := make(chan struct{})
+	go func() {
+		spec, err := workload.SpecFor(workload.MixHotKey, mvccKeys, 7777)
+		if err != nil {
+			writerErrCh <- err
+			writerDone <- 0
+			return
+		}
+		g := workload.New(spec)
+		n := 0
+		for {
+			select {
+			case <-stop:
+				writerDone <- n
+				return
+			default:
+			}
+			op := g.Next()
+			err := d.RunTxnWith(db.RunTxnOpts{
+				Seed:        int64(n + 1),
+				BaseBackoff: 100 * time.Microsecond,
+				MaxBackoff:  2 * time.Millisecond,
+			}, func(tx *txn.Tx) error {
+				tb, err := d.TableFor(tx, "bench")
+				if err != nil {
+					return err
+				}
+				return tb.Update(tx, op.Key, []byte("hot-update-value"))
+			})
+			if err != nil {
+				writerErrCh <- fmt.Errorf("mvcc/%s w=%d: background writer: %w", cfgName, workers, err)
+				writerDone <- n
+				return
+			}
+			n++
+			if n == 1 {
+				close(writerLive)
+			}
+		}
+	}()
+
+	// Gate the clock on the writer's first commit: the readers must be
+	// measured against live hot-key write pressure, and on a small box a
+	// tight reader loop can out-schedule a writer that never got started.
+	select {
+	case <-writerLive:
+	case err := <-writerErrCh:
+		close(stop)
+		<-writerDone
+		return Cell{}, err
+	case <-time.After(30 * time.Second):
+		close(stop)
+		<-writerDone
+		return Cell{}, fmt.Errorf("mvcc/%s w=%d: background writer failed to commit within 30s", cfgName, workers)
+	}
+
+	// Key streams are generated before the clock starts: fmt/zipf work is
+	// harness cost, not read-path cost, and it would dilute the measured
+	// difference between the two protocols.
+	perWorker := txnsTotal / workers
+	keyStream := make([][][]byte, workers)
+	for w := 0; w < workers; w++ {
+		g := workload.New(workload.Spec{Keys: mvccKeys, Dist: workload.Zipf, ReadFrac: 1, Seed: int64(w + 1)})
+		ks := make([][]byte, perWorker*opsPerTxn)
+		for i := range ks {
+			ks[i] = g.Next().Key
+		}
+		keyStream[w] = ks
+	}
+	durations := make([][]time.Duration, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			durations[w] = make([]time.Duration, 0, perWorker)
+			var keys [][]byte
+			body := func(tx *txn.Tx) error {
+				tb, err := d.TableFor(tx, "bench")
+				if err != nil {
+					return err
+				}
+				for _, k := range keys {
+					if _, err := tb.Get(tx, k); err != nil && !errors.Is(err, db.ErrNotFound) {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < perWorker; i++ {
+				keys = keyStream[w][i*opsPerTxn : (i+1)*opsPerTxn]
+				opts := db.RunTxnOpts{
+					Seed:        int64(w*1000 + i + 1),
+					BaseBackoff: 100 * time.Microsecond,
+					MaxBackoff:  2 * time.Millisecond,
+				}
+				t0 := time.Now()
+				var err error
+				if cfgName == "mvcc" {
+					err = d.RunReadOnlyWith(opts, body)
+				} else {
+					err = d.RunTxnWith(opts, body)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("mvcc/%s w=%d: %w", cfgName, workers, err)
+					return
+				}
+				durations[w] = append(durations[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	// Discount the pre-clock handshake commit: WriterTxns counts the
+	// write pressure inside the measured window.
+	writerTxns := <-writerDone - 1
+	select {
+	case err := <-errCh:
+		return Cell{}, err
+	case err := <-writerErrCh:
+		return Cell{}, err
+	default:
+	}
+	diff := trace.Diff(before, stats.Snap())
+	if cfgName == "mvcc" {
+		if diff.ReadOnlyLockCalls != 0 {
+			return Cell{}, fmt.Errorf("mvcc w=%d: snapshot readers made %d lock-manager calls (must be 0)",
+				workers, diff.ReadOnlyLockCalls)
+		}
+		if diff.SnapshotBegins == 0 {
+			return Cell{}, fmt.Errorf("mvcc w=%d: no snapshots were taken — readers fell back to the locked path", workers)
+		}
+	}
+	if writerTxns <= 0 {
+		return Cell{}, fmt.Errorf("mvcc/%s w=%d: background writer committed nothing in the measured window — the cell ran an unchallenged read path",
+			cfgName, workers)
+	}
+
+	var all []time.Duration
+	for _, ds := range durations {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
+	}
+	txns := len(all)
+	cell := Cell{
+		Workload: "mvcc-read", Config: cfgName, Workers: workers,
+		Txns: txns, Ops: txns * opsPerTxn,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		TxnsPerSec: float64(txns) / elapsed.Seconds(),
+		OpsPerSec:  float64(txns*opsPerTxn) / elapsed.Seconds(),
+		P50Micros:  pct(0.50), P99Micros: pct(0.99),
+		LogForces: diff.LogForces, GroupCommits: diff.GroupCommits,
+		ForceWaiters: diff.ForceWaiters,
+		Deadlocks:    diff.Deadlocks, TxnRetries: diff.TxnRetries,
+		SnapshotReads:     diff.SnapshotReads,
+		SnapshotChainHits: diff.SnapshotChainHits,
+		VersionsPushed:    diff.VersionsPushed,
+		ReaderLockCalls:   diff.ReadOnlyLockCalls,
+		WriterTxns:        writerTxns,
+		WriterTxnsPerSec:  float64(writerTxns) / elapsed.Seconds(),
+	}
+	if n := diff.GroupCommits + diff.LogForces; n > 0 {
+		cell.GroupCommitRatio = float64(diff.GroupCommits) / float64(n)
+	}
+	return cell, nil
+}
+
+// validateMVCC self-verifies an mvcc-family results file: the full
+// protocol × workers matrix, positive reader AND writer throughput in
+// every cell, real snapshot traffic with zero reader lock calls in the
+// mvcc cells, and the headline speedup present.
+func validateMVCC(path string, res *Result) error {
+	seen := map[string]*Cell{}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		tag := fmt.Sprintf("%s: cell %s/%s/%dw", path, c.Workload, c.Config, c.Workers)
+		if c.Workload != "mvcc-read" || c.Config == "" || c.Workers <= 0 {
+			return fmt.Errorf("%s: cell %d incomplete or unknown: %+v", path, i, *c)
+		}
+		if c.TxnsPerSec <= 0 || c.Txns <= 0 {
+			return fmt.Errorf("%s: non-positive reader throughput", tag)
+		}
+		if c.WriterTxns <= 0 {
+			return fmt.Errorf("%s: background writer committed nothing", tag)
+		}
+		if c.Config == "mvcc" {
+			if c.ReaderLockCalls != 0 {
+				return fmt.Errorf("%s: %d reader lock calls recorded (must be 0)", tag, c.ReaderLockCalls)
+			}
+			if c.SnapshotReads == 0 {
+				return fmt.Errorf("%s: no snapshot reads recorded", tag)
+			}
+			if c.VersionsPushed == 0 {
+				return fmt.Errorf("%s: writer pushed no versions — MVCC was not engaged", tag)
+			}
+		}
+		seen[c.Config+"/"+fmt.Sprint(c.Workers)] = c
+	}
+	for _, cfg := range mvccConfigs {
+		for _, w := range workerCounts {
+			if seen[cfg+"/"+fmt.Sprint(w)] == nil {
+				return fmt.Errorf("%s: missing cell mvcc-read/%s/%dw", path, cfg, w)
+			}
+		}
+	}
+	if res.Summary.MVCCReadSpeedup16 <= 0 {
+		return fmt.Errorf("%s: summary missing mvcc read speedup", path)
+	}
+	return nil
+}
+
 // runCell measures one (workload, config, workers) point.
 func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, forceDelay, ioDelay time.Duration) (Cell, error) {
 	stats := &trace.Stats{}
@@ -1154,6 +1442,9 @@ func validate(path string) error {
 	}
 	if res.Meta.Workload == "standby" {
 		return validateStandby(path, &res)
+	}
+	if res.Meta.Workload == "mvcc" {
+		return validateMVCC(path, &res)
 	}
 	buffer := res.Meta.Workload == "buffer"
 	wantBenches, wantConfigs := benches, configs
@@ -1459,7 +1750,7 @@ func serialOrZero(c *Cell) float64 {
 }
 
 func main() {
-	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, recovery, or standby")
+	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, recovery, standby, or mvcc")
 	out := flag.String("out", "", "results file (default BENCH_<family>.json)")
 	txnsPerCell := flag.Int("txns", 800, "transactions per benchmark cell")
 	opsPerTxn := flag.Int("ops", 4, "operations per transaction")
@@ -1468,6 +1759,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "reduced matrix for CI (fewer txns per cell)")
 	minSpeedup := flag.Float64("minspeedup", 0, "fail unless the family's headline speedup >= this")
 	minCleanerDrop := flag.Float64("mincleanerdrop", 0, "fail unless the cleaner's dirty-eviction drop >= this (buffer family)")
+	minBaseline := flag.Float64("minbaseline", 0.9, "mvcc family: fail unless the 16-worker snapshot-read throughput is >= this fraction of the committed baseline file (0 disables; skipped in -smoke)")
 	verify := flag.String("verify", "", "validate an existing results file and exit")
 	profileMode := flag.String("profile", "", "contention profile mode: 'mutex' runs append-burst at 16 workers and fails if the log append path shows mutex contention")
 	flag.Parse()
@@ -1496,7 +1788,7 @@ func main() {
 		return
 	}
 
-	buffer, recoveryFam, standbyFam := false, false, false
+	buffer, recoveryFam, standbyFam, mvccFam := false, false, false, false
 	switch *family {
 	case "concurrency":
 		*ioDelay = 0 // the lock/commit bench keeps the page device free
@@ -1506,6 +1798,8 @@ func main() {
 		recoveryFam = true
 	case "standby":
 		standbyFam = true
+	case "mvcc":
+		mvccFam = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload family %q\n", *family)
 		os.Exit(1)
@@ -1518,6 +1812,8 @@ func main() {
 			*out = "BENCH_recovery.json"
 		case standbyFam:
 			*out = "BENCH_standby.json"
+		case mvccFam:
+			*out = "BENCH_mvcc.json"
 		default:
 			*out = "BENCH_concurrency.json"
 		}
@@ -1529,8 +1825,24 @@ func main() {
 	if buffer {
 		activeBenches, activeConfigs = bufferBenches, bufferConfigs
 	}
-	if recoveryFam || standbyFam {
+	if recoveryFam || standbyFam || mvccFam {
 		activeBenches = nil // these families drive their own loops
+	}
+
+	// The mvcc regression gate compares against the COMMITTED baseline, so
+	// its cells must be read before this run overwrites the file.
+	var baselineRead16 float64
+	if mvccFam && !*smoke && *minBaseline > 0 {
+		if raw, err := os.ReadFile(*out); err == nil {
+			var prev Result
+			if json.Unmarshal(raw, &prev) == nil {
+				for _, c := range prev.Cells {
+					if c.Workload == "mvcc-read" && c.Config == "mvcc" && c.Workers == 16 {
+						baselineRead16 = c.TxnsPerSec
+					}
+				}
+			}
+		}
 	}
 
 	var res Result
@@ -1547,6 +1859,9 @@ func main() {
 	if standbyFam {
 		res.Meta.Workload = "standby"
 		res.Meta.IODelayUS = int(*ioDelay / time.Microsecond)
+	}
+	if mvccFam {
+		res.Meta.Workload = "mvcc"
 	}
 	res.Meta.ForceDelayUS = int(*delay / time.Microsecond)
 	res.Meta.TxnsPerCell = *txnsPerCell
@@ -1621,6 +1936,28 @@ func main() {
 			base.Workload, base.Config, base.Workers, base.TimeToFirstCommitMS, base.RowsRecovered)
 		fmt.Printf("%-15s %-16s %3d  first commit %8.1fms (%d rows verified)\n",
 			fo.Workload, fo.Config, fo.Workers, fo.TimeToFirstCommitMS, fo.RowsRecovered)
+	} else if mvccFam {
+		fmt.Printf("%-10s %-6s %3s  %10s %10s %9s %9s %10s %9s %8s %9s\n",
+			"workload", "cfg", "w", "txn/s", "ops/s", "p50(us)", "p99(us)", "snapreads", "chainhit", "lockcall", "writer/s")
+		// Snapshot read transactions are an order of magnitude shorter than
+		// the write transactions the other families measure; scale the cell
+		// up so it runs long enough that the background writer gets real
+		// scheduler time even on a single-CPU machine.
+		mvccTxns := *txnsPerCell * 8
+		for _, cfg := range mvccConfigs {
+			for _, workers := range workerCounts {
+				cell, err := runMVCCCell(cfg, workers, mvccTxns, *opsPerTxn, *delay)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				res.Cells = append(res.Cells, cell)
+				fmt.Printf("%-10s %-6s %3d  %10.0f %10.0f %9.0f %9.0f %10d %9d %8d %9.0f\n",
+					cell.Workload, cell.Config, cell.Workers, cell.TxnsPerSec, cell.OpsPerSec,
+					cell.P50Micros, cell.P99Micros, cell.SnapshotReads, cell.SnapshotChainHits,
+					cell.ReaderLockCalls, cell.WriterTxnsPerSec)
+			}
+		}
 	} else if buffer {
 		fmt.Printf("%-12s %-11s %3s  %10s %8s %8s %8s %8s %7s\n",
 			"workload", "cfg", "w", "txn/s", "hit", "misses", "evict", "dirtyev", "cleanw")
@@ -1709,6 +2046,26 @@ func main() {
 		fmt.Printf("failover: promoted standby first commit %.1fms vs %.1fms online restart (%.2fx, gate 2x + %.0fms)\n",
 			res.Summary.StandbyFailoverTTFCMS, res.Summary.StandbyOnlineTTFCMS,
 			res.Summary.StandbyTTFCOverOnline, ttfcNoiseFloorMS)
+	} else if mvccFam {
+		slock16, snap16 := find("mvcc-read", "slock", 16), find("mvcc-read", "mvcc", 16)
+		if slock16 != nil && snap16 != nil && slock16.TxnsPerSec > 0 {
+			res.Summary.MVCCReadSpeedup16 = snap16.TxnsPerSec / slock16.TxnsPerSec
+			res.Summary.MVCCWriterTxnsPerSec16 = snap16.WriterTxnsPerSec
+		}
+		headlineSpeedup = res.Summary.MVCCReadSpeedup16
+		fmt.Printf("\nread path @16 workers under hot-key writer: s-lock %.0f txn/s -> snapshot %.0f txn/s (%.2fx), writer held %.0f txn/s\n",
+			slock16.TxnsPerSec, snap16.TxnsPerSec, res.Summary.MVCCReadSpeedup16,
+			res.Summary.MVCCWriterTxnsPerSec16)
+		if baselineRead16 > 0 {
+			frac := snap16.TxnsPerSec / baselineRead16
+			fmt.Printf("baseline: committed file had %.0f reader txn/s @16w; this run is %.2fx of it (floor %.2f)\n",
+				baselineRead16, frac, *minBaseline)
+			if frac < *minBaseline {
+				fmt.Fprintf(os.Stderr, "snapshot-read throughput regressed to %.2fx of the committed baseline (floor %.2f)\n",
+					frac, *minBaseline)
+				os.Exit(1)
+			}
+		}
 	} else if buffer {
 		oldRead16, newRead16 := find("buffer-read", "old", 16), find("buffer-read", "new", 16)
 		oldRead1, newRead1 := find("buffer-read", "old", 1), find("buffer-read", "new", 1)

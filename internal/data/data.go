@@ -350,6 +350,35 @@ func (t *Table) Fetch(tx *txn.Tx, rid storage.RID, lockIt bool) ([]byte, error) 
 	return append([]byte(nil), rec...), nil
 }
 
+// FetchNoLock reads the record at rid with latches only: no intent lock,
+// no record lock, no transaction. Snapshot readers call it after the
+// index positioned them; ghost records are reported (not skipped) so the
+// caller can distinguish "deleted on the page" from "missing slot" when
+// it consults the version store. A missing or reused slot returns
+// ok=false rather than an error — on the lock-free path that is a benign
+// race with a purge, resolved by the caller's chain re-check.
+func (t *Table) FetchNoLock(rid storage.RID) (rec []byte, ghost, ok bool, err error) {
+	f, err := t.m.pool.Fix(rid.Page)
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer t.m.pool.Unfix(f)
+	f.Latch.Acquire(latch.S)
+	defer f.Latch.Release(latch.S)
+	if f.Page.Type() != storage.PageTypeData {
+		return nil, false, false, nil
+	}
+	cell, present := f.Page.Cell(int(rid.Slot))
+	if !present {
+		return nil, false, false, nil
+	}
+	g, raw := unwrapCell(cell)
+	if g {
+		return nil, true, true, nil
+	}
+	return append([]byte(nil), raw...), false, true, nil
+}
+
 // ScanAll returns every live record in the table, bypassing locking: the
 // verification sweep used by tests and the crash tool on a quiesced engine.
 func (t *Table) ScanAll() (map[storage.RID][]byte, error) {

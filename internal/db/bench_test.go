@@ -1,0 +1,160 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"ariesim/internal/txn"
+)
+
+// benchDB opens an engine prefilled with n rows for read-path benchmarks.
+func benchDB(b *testing.B, n int) (*DB, *Table) {
+	b.Helper()
+	d := Open(Options{})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += 256 {
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < lo+256 && i < n; i++ {
+				if err := tbl.Insert(tx, benchKey(i), []byte("bench-value-payload")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d, tbl
+}
+
+func benchKey(i int) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
+
+// BenchmarkSnapshotGet measures one lock-free snapshot read-only
+// transaction performing a single Get: the full BeginReadOnly / chain
+// check / latch-only page probe / EndReadOnly cycle. This is the unit the
+// mvcc throughput gate multiplies, so CPU regressions here show up
+// directly in BENCH_mvcc.json.
+func BenchmarkSnapshotGet(b *testing.B) {
+	d, _ := benchDB(b, 1024)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = benchKey(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := d.RunReadOnly(func(tx *txn.Tx) error {
+			t, err := d.TableFor(tx, "bench")
+			if err != nil {
+				return err
+			}
+			_, err = t.Get(tx, keys[i%len(keys)])
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLockedGet is the same single-Get transaction through the
+// ordinary S-lock path (lock-manager call + forced commit record) — the
+// baseline the snapshot path is gated against.
+func BenchmarkLockedGet(b *testing.B) {
+	d, _ := benchDB(b, 1024)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = benchKey(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			t, err := d.TableFor(tx, "bench")
+			if err != nil {
+				return err
+			}
+			_, err = t.Get(tx, keys[i%len(keys)])
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotGetOnly isolates the per-read cost (snapshotRead via
+// Get) from the begin/end cost by reusing one read-only transaction for
+// all iterations.
+func BenchmarkSnapshotGetOnly(b *testing.B) {
+	d, _ := benchDB(b, 1024)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = benchKey(i)
+	}
+	tx, err := d.BeginReadOnly()
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := d.TableFor(tx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Get(tx, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := d.EndReadOnly(tx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSnapshotBeginEnd isolates the snapshot begin/end cost alone.
+func BenchmarkSnapshotBeginEnd(b *testing.B) {
+	d, _ := benchDB(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := d.BeginReadOnly()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.EndReadOnly(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotScan measures a snapshot range scan over the table.
+func BenchmarkSnapshotScan(b *testing.B) {
+	d, _ := benchDB(b, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := d.RunReadOnly(func(tx *txn.Tx) error {
+			t, err := d.TableFor(tx, "bench")
+			if err != nil {
+				return err
+			}
+			return t.Scan(tx, benchKey(0), benchKey(63), func(r Row) (bool, error) {
+				n++
+				return true, nil
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("scan saw nothing")
+		}
+	}
+}

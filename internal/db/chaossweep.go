@@ -13,12 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ariesim/internal/storage"
 	"ariesim/internal/txn"
+	"ariesim/internal/wal"
 	"ariesim/internal/workload"
 )
 
@@ -57,6 +59,14 @@ type ChaosOpts struct {
 	OnlineRestart bool
 	// RedoWorkers sets restart redo parallelism (0/1 = serial).
 	RedoWorkers int
+	// SnapshotReaders adds N lock-free snapshot reader goroutines to the
+	// crash phase: each loops full-table scans through RunReadOnly while
+	// the writers churn and the engine crashes. Every observation is
+	// verified at the end against an LSN-keyed ledger of acked commits
+	// replayed through the snapshot's LSN — a torn read (any prefix that
+	// is not exactly the committed state at some commit boundary) fails
+	// the sweep, as does a single lock-manager call by a snapshot reader.
+	SnapshotReaders int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -117,6 +127,70 @@ type ChaosResult struct {
 	CheckpointsSkipped uint64 // checkpoints refused while recovery was pending
 	PagesOnDemand      uint64 // pages recovered at fix time by the hook
 	PagesDrained       uint64 // pages recovered by the background drain
+
+	// Snapshot-reader counters (zero unless ChaosOpts.SnapshotReaders > 0).
+	SnapshotsVerified int    // observations verified committed-consistent
+	SnapshotBegins    uint64 // lock-free snapshots taken
+	SnapshotReads     uint64 // per-key visibility resolutions
+	SnapshotTooOld    uint64 // pruned-snapshot aborts absorbed by retry
+	ReadOnlyLockCalls uint64 // lock-manager calls by snapshot readers (must be 0)
+}
+
+// chaosSnapLedger keys every acked commit's staged rows by commit-record
+// LSN so a snapshot observed at LSN s replays exactly: apply all entries
+// with LSN <= s in LSN order. Methods are nil-safe so the writer paths can
+// record unconditionally; the ledger only exists when SnapshotReaders > 0.
+type chaosSnapLedger struct {
+	mu      sync.Mutex
+	entries map[wal.LSN]map[string]*string
+}
+
+func (l *chaosSnapLedger) record(lsn wal.LSN, local map[string]*string) {
+	if l == nil {
+		return
+	}
+	cp := make(map[string]*string, len(local))
+	for k, v := range local {
+		if v == nil {
+			cp[k] = nil
+		} else {
+			s := *v
+			cp[k] = &s
+		}
+	}
+	l.mu.Lock()
+	l.entries[lsn] = cp
+	l.mu.Unlock()
+}
+
+func (l *chaosSnapLedger) applyThrough(s wal.LSN) map[string]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsns := make([]wal.LSN, 0, len(l.entries))
+	for lsn := range l.entries {
+		if lsn <= s {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	model := map[string]string{}
+	for _, lsn := range lsns {
+		for k, v := range l.entries[lsn] {
+			if v == nil {
+				delete(model, k)
+			} else {
+				model[k] = *v
+			}
+		}
+	}
+	return model
+}
+
+// chaosSnapObs is one snapshot reader observation: the full table as seen
+// at snapshot LSN s.
+type chaosSnapObs struct {
+	s    wal.LSN
+	rows map[string]string
 }
 
 // chaosModel is the exact model of acked-committed state. Mutations happen
@@ -196,6 +270,10 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 	var commits atomic.Int64
 	var gaveUp atomic.Int64
 	res := &ChaosResult{}
+	var snapLedger *chaosSnapLedger // nil unless the snapshot phase runs
+	if o.SnapshotReaders > 0 {
+		snapLedger = &chaosSnapLedger{entries: map[wal.LSN]map[string]*string{}}
+	}
 
 	// Phase 1: deterministic contention. Guarantees both repair paths —
 	// deadlock victim and lock-wait timeout — are exercised and retried to
@@ -207,7 +285,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 		if tries == 5 {
 			return nil, fmt.Errorf("chaos: forced deadlock phase aborted no victim in %d tries", tries)
 		}
-		if err := forceDeadlockRepair(d, tableName, model, &commits, o.Seed+int64(tries)); err != nil {
+		if err := forceDeadlockRepair(d, tableName, model, &commits, snapLedger, o.Seed+int64(tries)); err != nil {
 			return nil, err
 		}
 	}
@@ -215,7 +293,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 		if tries == 5 {
 			return nil, fmt.Errorf("chaos: forced timeout phase timed nothing out in %d tries", tries)
 		}
-		if err := forceTimeoutRepair(d, tableName, model, &commits, o.Seed+int64(tries), o.LockWaitTimeout); err != nil {
+		if err := forceTimeoutRepair(d, tableName, model, &commits, snapLedger, o.Seed+int64(tries), o.LockWaitTimeout); err != nil {
 			return nil, err
 		}
 	}
@@ -274,6 +352,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 						model.apply(local)
 						commits.Add(1)
 					},
+					OnCommitted: func(lsn wal.LSN) { snapLedger.record(lsn, local) },
 				}
 				err := d.RunTxnWith(opts, func(tx *txn.Tx) error {
 					local = map[string]*string{} // fresh staging per attempt
@@ -357,6 +436,62 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 				}
 			}
 		}(w)
+	}
+
+	// Snapshot readers: lock-free full scans racing the writers and the
+	// crash schedule. Observations are verified against the LSN ledger only
+	// after the run quiesces — a commit can become visible to a snapshot
+	// before its OnCommitted callback records it, so the ledger is complete
+	// only once the writers stop.
+	obsCh := make(chan chaosSnapObs, 4096)
+	for r := 0; r < o.SnapshotReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var obs *chaosSnapObs
+				err := d.RunReadOnlyWith(RunTxnOpts{
+					Seed:          o.Seed + int64(r)*7919 + int64(iter),
+					RetryDeadline: o.WatchdogPatience,
+				}, func(tx *txn.Tx) error {
+					obs = nil
+					snap := tx.Snapshot()
+					tbl, err := d.TableFor(tx, tableName)
+					if err != nil {
+						return err
+					}
+					rows := map[string]string{}
+					if err := tbl.Scan(tx, nil, nil, func(row Row) (bool, error) {
+						rows[string(row.Key)] = string(row.Value)
+						return true, nil
+					}); err != nil {
+						return err
+					}
+					if snap != nil { // locked fallback reads are not point-in-time
+						obs = &chaosSnapObs{s: snap.LSN, rows: rows}
+					}
+					return nil
+				})
+				if err != nil {
+					if ClassifyErr(err) == ClassFatal {
+						failWorker(fmt.Errorf("chaos: snapshot reader %d: %w", r, err))
+						return
+					}
+					continue // give-up under extreme contention: legal, retry fresh
+				}
+				if obs != nil {
+					select {
+					case obsCh <- *obs:
+					default: // bounded backlog; later snapshots are just as good
+					}
+				}
+			}
+		}(r)
 	}
 
 	crashRNG := rand.New(rand.NewSource(o.Seed * 31))
@@ -483,6 +618,36 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 	}
 
 	sn := d.Stats().Snap()
+	if o.SnapshotReaders > 0 {
+		// Readers have exited (wg above); drain and verify every snapshot
+		// observation against the now-complete acked-commit ledger.
+		close(obsCh)
+		for obs := range obsCh {
+			want := snapLedger.applyThrough(obs.s)
+			if len(want) != len(obs.rows) {
+				return nil, fmt.Errorf("chaos: torn snapshot at LSN %d: observed %d rows, ledger has %d",
+					obs.s, len(obs.rows), len(want))
+			}
+			for k, v := range want {
+				if obs.rows[k] != v {
+					return nil, fmt.Errorf("chaos: torn snapshot at LSN %d: key %q = %q, ledger says %q",
+						obs.s, k, obs.rows[k], v)
+				}
+			}
+			res.SnapshotsVerified++
+		}
+		if res.SnapshotsVerified == 0 {
+			return nil, fmt.Errorf("chaos: snapshot phase produced no verifiable observations")
+		}
+		if sn.ReadOnlyLockCalls != 0 {
+			return nil, fmt.Errorf("chaos: snapshot readers issued %d lock-manager calls (must be 0)",
+				sn.ReadOnlyLockCalls)
+		}
+		res.SnapshotBegins = sn.SnapshotBegins
+		res.SnapshotReads = sn.SnapshotReads
+		res.SnapshotTooOld = sn.SnapshotTooOld
+		res.ReadOnlyLockCalls = sn.ReadOnlyLockCalls
+	}
 	res.Commits = int(commits.Load())
 	res.GaveUp = int(gaveUp.Load())
 	res.Deadlocks = sn.Deadlocks
@@ -559,11 +724,12 @@ func verifyAgainst(d *DB, tableName string, want map[string]string) error {
 // A committed separator key sits between the two so their initial inserts
 // are not next-key neighbors (adjacent inserts would couple through the
 // next-key lock before the rendezvous).
-func forceDeadlockRepair(d *DB, tableName string, model *chaosModel, commits *atomic.Int64, seed int64) error {
+func forceDeadlockRepair(d *DB, tableName string, model *chaosModel, commits *atomic.Int64, ledger *chaosSnapLedger, seed int64) error {
 	var sepLocal map[string]*string
 	err := d.RunTxnWith(RunTxnOpts{
-		Seed:     seed + 17,
-		OnCommit: func() { model.apply(sepLocal); commits.Add(1) },
+		Seed:        seed + 17,
+		OnCommit:    func() { model.apply(sepLocal); commits.Add(1) },
+		OnCommitted: func(lsn wal.LSN) { ledger.record(lsn, sepLocal) },
 	}, func(tx *txn.Tx) error {
 		sepLocal = map[string]*string{}
 		tbl, err := d.TableFor(tx, tableName)
@@ -588,8 +754,9 @@ func forceDeadlockRepair(d *DB, tableName string, model *chaosModel, commits *at
 			rendezvoused := false
 			var local map[string]*string
 			errs[i] = d.RunTxnWith(RunTxnOpts{
-				Seed:     seed + int64(i) + 51,
-				OnCommit: func() { model.apply(local); commits.Add(1) },
+				Seed:        seed + int64(i) + 51,
+				OnCommit:    func() { model.apply(local); commits.Add(1) },
+				OnCommitted: func(lsn wal.LSN) { ledger.record(lsn, local) },
 			}, func(tx *txn.Tx) error {
 				local = map[string]*string{}
 				tbl, err := d.TableFor(tx, tableName)
@@ -623,7 +790,7 @@ func forceDeadlockRepair(d *DB, tableName string, model *chaosModel, commits *at
 // forceTimeoutRepair parks one transaction on a key well past the lock-wait
 // timeout while another requests it: the waiter must time out and RunTxn
 // must retry it to success once the holder commits.
-func forceTimeoutRepair(d *DB, tableName string, model *chaosModel, commits *atomic.Int64, seed int64, timeout time.Duration) error {
+func forceTimeoutRepair(d *DB, tableName string, model *chaosModel, commits *atomic.Int64, ledger *chaosSnapLedger, seed int64, timeout time.Duration) error {
 	key := []byte("force-to")
 	holderHas := make(chan struct{})
 	var once sync.Once
@@ -634,8 +801,9 @@ func forceTimeoutRepair(d *DB, tableName string, model *chaosModel, commits *ato
 		defer wg.Done()
 		var local map[string]*string
 		holderErr = d.RunTxnWith(RunTxnOpts{
-			Seed:     seed + 97,
-			OnCommit: func() { model.apply(local); commits.Add(1) },
+			Seed:        seed + 97,
+			OnCommit:    func() { model.apply(local); commits.Add(1) },
+			OnCommitted: func(lsn wal.LSN) { ledger.record(lsn, local) },
 		}, func(tx *txn.Tx) error {
 			local = map[string]*string{}
 			tbl, err := d.TableFor(tx, tableName)
@@ -653,8 +821,9 @@ func forceTimeoutRepair(d *DB, tableName string, model *chaosModel, commits *ato
 	<-holderHas
 	var local map[string]*string
 	waiterErr := d.RunTxnWith(RunTxnOpts{
-		Seed:     seed + 193,
-		OnCommit: func() { model.apply(local); commits.Add(1) },
+		Seed:        seed + 193,
+		OnCommit:    func() { model.apply(local); commits.Add(1) },
+		OnCommitted: func(lsn wal.LSN) { ledger.record(lsn, local) },
 	}, func(tx *txn.Tx) error {
 		local = map[string]*string{}
 		tbl, err := d.TableFor(tx, tableName)

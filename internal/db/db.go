@@ -21,6 +21,7 @@ import (
 	"ariesim/internal/core"
 	"ariesim/internal/data"
 	"ariesim/internal/lock"
+	"ariesim/internal/mvcc"
 	"ariesim/internal/recovery"
 	"ariesim/internal/storage"
 	"ariesim/internal/trace"
@@ -179,12 +180,18 @@ type DB struct {
 	// reverse order.
 	epochMu sync.RWMutex
 
-	mu     sync.Mutex
-	locks  *lock.Manager
-	tm     *txn.Manager
-	pool   *buffer.Pool
-	im     *core.Manager
-	dm     *data.Manager
+	mu    sync.Mutex
+	locks *lock.Manager
+	tm    *txn.Manager
+	pool  *buffer.Pool
+	im    *core.Manager
+	dm    *data.Manager
+	// vs is this epoch's MVCC version store (see internal/mvcc and
+	// snapshot.go). buildVolatile replaces it wholesale, so restart and
+	// standby promotion invalidate every chain for free; the transaction
+	// manager's version hook points at the same store, keeping a zombie
+	// transaction's pushes on its own orphaned epoch.
+	vs     *mvcc.Store
 	cat    catalog
 	tables map[string]*Table
 	downed bool
@@ -259,6 +266,12 @@ func (d *DB) buildVolatile() {
 	d.im = core.NewManager(d.pool, d.stats)
 	d.dm = data.NewManager(d.pool, d.opts.Granularity, d.stats)
 	d.tm.SetUndoer(&undoRouter{im: d.im, dm: d.dm})
+	d.vs = mvcc.NewStore(d.stats)
+	// Pre-epoch commits live in pages with no chains; start the snapshot
+	// watermark past them so a fresh snapshot orders after every one.
+	d.vs.StartAt(log.MaxLSN())
+	d.tm.SetVersionHook(d.vs)
+	d.tm.SetStats(d.stats)
 	d.pool.SetMediaRecoverer(func(id storage.PageID) error {
 		return d.recoverPageOn(disk, log, id)
 	})
@@ -491,6 +504,11 @@ type Table struct {
 	id      uint64
 	data    *data.Table
 	primary *core.Index
+	// vs is the version store of the epoch this handle was built in. Kept
+	// on the handle (not read through db) so a zombie writer holding a
+	// pre-crash handle pushes versions into its own orphaned store, never
+	// into the successor epoch's.
+	vs *mvcc.Store
 
 	mu          sync.Mutex
 	secondaries []*secondary
@@ -541,7 +559,7 @@ func (d *DB) CreateTable(name string) (*Table, error) {
 		Indexes: []catalogIndex{{Name: name + "_pk", ID: indexID, Root: uint32(ix.Root()), Unique: true}},
 	})
 	d.saveCatalog()
-	t := &Table{db: d, name: name, id: tableID, data: dt, primary: ix}
+	t := &Table{db: d, name: name, id: tableID, data: dt, primary: ix, vs: d.vs}
 	d.tables[name] = t
 	return t, nil
 }
@@ -658,9 +676,22 @@ func decodeRow(rec []byte) (key, value []byte, err error) {
 // index key referencing it, so the index inserts add only instant
 // next-key locks (the paper's minimal-locking claim).
 func (t *Table) Insert(tx *txn.Tx, key, value []byte) error {
+	if tx.Snapshot() != nil {
+		return fmt.Errorf("%w: insert %q", ErrReadOnlyTxn, key)
+	}
 	save := tx.Savepoint()
 	rid, err := t.data.Insert(tx, encodeRow(key, value))
 	if err != nil {
+		return err
+	}
+	// Version push BEFORE the index insert: the heap record is not yet
+	// reachable by key, so no snapshot reader can observe this insert
+	// until the chain that hides it exists. A failure from here on rolls
+	// back to save, and DropTxSince discards the version with the pages.
+	if err := t.pushVersion(tx, key, true, value, t.insertSeed(tx, key)); err != nil {
+		if rbErr := tx.RollbackTo(save); rbErr != nil {
+			return fmt.Errorf("db: version push failed (%v); rollback failed: %w", err, rbErr)
+		}
 		return err
 	}
 	if err := t.primary.Insert(tx, storage.Key{Val: key, RID: rid}); err != nil {
@@ -692,10 +723,27 @@ func (t *Table) recordLockNeeded() bool {
 	return t.db.opts.Protocol != core.DataOnly
 }
 
+// fetchRow is the single locked read-path call site: every repeatable-read
+// and cursor-stability record fetch (Get, Delete's positioning read, Scan,
+// ScanSecondary, GetCS, ScanPrefix) resolves its RID through here, so the
+// lock-or-not decision — and its divergence from the lock-free snapshot
+// path, which replaces this call entirely — lives in exactly one place.
+func (t *Table) fetchRow(tx *txn.Tx, rid storage.RID) (key, value []byte, err error) {
+	rec, err := t.data.Fetch(tx, rid, t.recordLockNeeded())
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeRow(rec)
+}
+
 // Get fetches a row by primary key at repeatable-read isolation. The index
 // fetch locks the key — which under data-only locking is the record lock,
-// so the record manager does not lock again (§2.1).
+// so the record manager does not lock again (§2.1). Under a snapshot
+// transaction the read routes to the lock-free MVCC path instead.
 func (t *Table) Get(tx *txn.Tx, key []byte) ([]byte, error) {
+	if s := tx.Snapshot(); s != nil {
+		return t.snapshotGet(s.LSN, key)
+	}
 	res, _, err := t.primary.Fetch(tx, key, core.EQ)
 	if err != nil {
 		return nil, err
@@ -703,15 +751,8 @@ func (t *Table) Get(tx *txn.Tx, key []byte) ([]byte, error) {
 	if !res.Found {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
-	if err != nil {
-		return nil, err
-	}
-	_, value, err := decodeRow(rec)
-	if err != nil {
-		return nil, err
-	}
-	return value, nil
+	_, value, err := t.fetchRow(tx, res.Key.RID)
+	return value, err
 }
 
 // Delete removes a row by primary key. The positioning fetch locks the
@@ -719,6 +760,9 @@ func (t *Table) Get(tx *txn.Tx, key []byte) ([]byte, error) {
 // delete would let two deleters of the same key each hold S and wait for
 // the other's X — a guaranteed conversion deadlock under contention.
 func (t *Table) Delete(tx *txn.Tx, key []byte) error {
+	if tx.Snapshot() != nil {
+		return fmt.Errorf("%w: delete %q", ErrReadOnlyTxn, key)
+	}
 	save := tx.Savepoint()
 	res, _, err := t.primary.FetchForUpdate(tx, key, core.EQ)
 	if err != nil {
@@ -728,15 +772,8 @@ func (t *Table) Delete(tx *txn.Tx, key []byte) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	rid := res.Key.RID
-	rec, err := t.data.Fetch(tx, rid, t.recordLockNeeded())
+	_, value, err := t.fetchRow(tx, rid)
 	if err != nil {
-		return err
-	}
-	_, value, err := decodeRow(rec)
-	if err != nil {
-		return err
-	}
-	if err := t.data.Delete(tx, rid, false); err != nil { // X already held by the fetch
 		return err
 	}
 	fail := func(err error) error {
@@ -744,6 +781,19 @@ func (t *Table) Delete(tx *txn.Tx, key []byte) error {
 			return fmt.Errorf("db: delete failed (%v); rollback failed: %w", err, rbErr)
 		}
 		return err
+	}
+	// Tombstone push BEFORE the ghosting update: a snapshot reader that
+	// observes any trace of this delete must find the chain that hides it.
+	// The row image in hand is the committed state (the X key lock from
+	// the positioning fetch excludes other writers), so a chain seeded
+	// here needs no page probe.
+	if err := t.pushVersion(tx, key, false, nil, func() (bool, []byte, uint64, error) {
+		return true, value, t.vs.Seq(t.id), nil
+	}); err != nil {
+		return fail(err)
+	}
+	if err := t.data.Delete(tx, rid, false); err != nil { // X already held by the fetch
+		return fail(err)
 	}
 	if err := t.primary.Delete(tx, storage.Key{Val: res.Key.Val, RID: rid}); err != nil {
 		return fail(err)
@@ -776,7 +826,12 @@ type Row struct {
 // Scan iterates rows with from <= key <= to (nil to = unbounded) in key
 // order at repeatable-read isolation: every row touched stays S-locked to
 // commit, and next-key locking protects the range's gaps from phantoms.
+// Under a snapshot transaction the scan routes to the lock-free MVCC
+// merge of the page cursor with the version chains.
 func (t *Table) Scan(tx *txn.Tx, from, to []byte, fn func(Row) (bool, error)) error {
+	if s := tx.Snapshot(); s != nil {
+		return t.snapshotScan(s.LSN, from, to, fn)
+	}
 	res, cur, err := t.primary.Fetch(tx, from, core.GE)
 	if err != nil {
 		return err
@@ -785,11 +840,7 @@ func (t *Table) Scan(tx *txn.Tx, from, to []byte, fn func(Row) (bool, error)) er
 		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
 			return nil
 		}
-		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
-		if err != nil {
-			return err
-		}
-		k, v, err := decodeRow(rec)
+		k, v, err := t.fetchRow(tx, res.Key.RID)
 		if err != nil {
 			return err
 		}
@@ -805,7 +856,13 @@ func (t *Table) Scan(tx *txn.Tx, from, to []byte, fn func(Row) (bool, error)) er
 }
 
 // ScanSecondary iterates (secondaryKey, row) pairs in secondary-key order.
+// Snapshot transactions are refused with ErrSnapshotUnsupported: version
+// chains are keyed by primary key, so a secondary-order scan cannot merge
+// them without a secondary→primary mapping the store does not keep.
 func (t *Table) ScanSecondary(tx *txn.Tx, name string, from, to []byte, fn func(secKey []byte, r Row) (bool, error)) error {
+	if tx.Snapshot() != nil {
+		return fmt.Errorf("%w: secondary scan %q", ErrSnapshotUnsupported, name)
+	}
 	t.mu.Lock()
 	var sec *secondary
 	for _, s := range t.secondaries {
@@ -825,11 +882,7 @@ func (t *Table) ScanSecondary(tx *txn.Tx, name string, from, to []byte, fn func(
 		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
 			return nil
 		}
-		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
-		if err != nil {
-			return err
-		}
-		k, v, err := decodeRow(rec)
+		k, v, err := t.fetchRow(tx, res.Key.RID)
 		if err != nil {
 			return err
 		}
@@ -960,7 +1013,7 @@ func (d *DB) reopenLocked() error {
 	}
 	for _, ct := range d.cat.Tables {
 		t := &Table{db: d, name: ct.Name, id: ct.ID,
-			data: d.dm.OpenTable(ct.ID, storage.PageID(ct.FirstPage))}
+			data: d.dm.OpenTable(ct.ID, storage.PageID(ct.FirstPage)), vs: d.vs}
 		for _, ci := range ct.Indexes {
 			ix := d.im.OpenIndex(d.indexConfig(ci.ID, ci.Unique), storage.PageID(ci.Root))
 			if ci.Secondary {
@@ -1232,6 +1285,11 @@ func (d *DB) checksumSweep() error {
 // later writers nor guarantees repeatability. The paper's protocols target
 // repeatable read; CS is the weaker mode real systems offer alongside it.
 func (t *Table) GetCS(tx *txn.Tx, key []byte) ([]byte, error) {
+	if s := tx.Snapshot(); s != nil {
+		// Snapshot isolation subsumes cursor stability: committed data,
+		// no locks left behind — route to the same lock-free read.
+		return t.snapshotGet(s.LSN, key)
+	}
 	res, err := t.primary.FetchCS(tx, key, core.EQ)
 	if err != nil {
 		return nil, err
@@ -1239,17 +1297,16 @@ func (t *Table) GetCS(tx *txn.Tx, key []byte) ([]byte, error) {
 	if !res.Found {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
-	if err != nil {
-		return nil, err
-	}
-	_, value, err := decodeRow(rec)
+	_, value, err := t.fetchRow(tx, res.Key.RID)
 	return value, err
 }
 
 // ScanPrefix iterates all rows whose key starts with prefix, in key order,
 // at repeatable-read isolation (§1.1's partial-key starting condition).
 func (t *Table) ScanPrefix(tx *txn.Tx, prefix []byte, fn func(Row) (bool, error)) error {
+	if s := tx.Snapshot(); s != nil {
+		return t.snapshotScanPrefix(s.LSN, prefix, fn)
+	}
 	res, cur, err := t.primary.FetchPrefix(tx, prefix)
 	if err != nil {
 		return err
@@ -1258,11 +1315,7 @@ func (t *Table) ScanPrefix(tx *txn.Tx, prefix []byte, fn func(Row) (bool, error)
 		if res.EOF || !res.Found {
 			return nil
 		}
-		rec, err := t.data.Fetch(tx, res.Key.RID, t.recordLockNeeded())
-		if err != nil {
-			return err
-		}
-		k, v, err := decodeRow(rec)
+		k, v, err := t.fetchRow(tx, res.Key.RID)
 		if err != nil {
 			return err
 		}

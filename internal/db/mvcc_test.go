@@ -1,0 +1,559 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ariesim/internal/trace"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+func key8(i int) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
+
+// TestSnapshotReadBasic: a read-only transaction sees committed rows via
+// Get/Scan/ScanPrefix/GetCS, refuses writes and secondary scans, and
+// makes zero lock-manager requests.
+func TestSnapshotReadBasic(t *testing.T) {
+	d := Open(Options{})
+	tbl, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTxn(func(tx *txn.Tx) error {
+		for i := 0; i < 20; i++ {
+			if err := tbl.Insert(tx, key8(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats().Snap()
+	err = d.RunReadOnly(func(tx *txn.Tx) error {
+		if tx.Snapshot() == nil {
+			return fmt.Errorf("expected a snapshot transaction")
+		}
+		v, err := tbl.Get(tx, key8(7))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v7" {
+			return fmt.Errorf("get = %q, want v7", v)
+		}
+		if v, err = tbl.GetCS(tx, key8(3)); err != nil || string(v) != "v3" {
+			return fmt.Errorf("getcs = %q, %v", v, err)
+		}
+		if _, err := tbl.Get(tx, []byte("nope")); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("missing key: %v", err)
+		}
+		var n int
+		if err := tbl.Scan(tx, nil, nil, func(r Row) (bool, error) { n++; return true, nil }); err != nil {
+			return err
+		}
+		if n != 20 {
+			return fmt.Errorf("scan saw %d rows, want 20", n)
+		}
+		n = 0
+		if err := tbl.ScanPrefix(tx, []byte("k0000001"), func(r Row) (bool, error) { n++; return true, nil }); err != nil {
+			return err
+		}
+		if n != 10 {
+			return fmt.Errorf("prefix scan saw %d rows, want 10", n)
+		}
+		if err := tbl.Insert(tx, []byte("x"), []byte("y")); !errors.Is(err, ErrReadOnlyTxn) {
+			return fmt.Errorf("insert on snapshot tx: %v", err)
+		}
+		if err := tbl.Delete(tx, key8(0)); !errors.Is(err, ErrReadOnlyTxn) {
+			return fmt.Errorf("delete on snapshot tx: %v", err)
+		}
+		if err := tbl.ScanSecondary(tx, "s", nil, nil, nil); !errors.Is(err, ErrSnapshotUnsupported) {
+			return fmt.Errorf("secondary scan on snapshot tx: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := trace.Diff(before, d.Stats().Snap())
+	if diff.ReadOnlyLockCalls != 0 {
+		t.Errorf("snapshot reader made %d lock-manager calls, want 0", diff.ReadOnlyLockCalls)
+	}
+	if diff.SnapshotBegins == 0 || diff.SnapshotReads == 0 {
+		t.Errorf("snapshot counters not advancing: %+v", diff)
+	}
+}
+
+// TestSnapshotIsolation: a reader holding a snapshot keeps seeing the
+// old world while writers commit updates, deletes, and inserts past it;
+// a fresh snapshot sees the new world.
+func TestSnapshotIsolation(t *testing.T) {
+	d := Open(Options{})
+	tbl, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(k, v string) {
+		t.Helper()
+		if err := d.RunTxn(func(tx *txn.Tx) error {
+			if err := tbl.Insert(tx, []byte(k), []byte(v)); errors.Is(err, ErrDuplicate) {
+				return tbl.Update(tx, []byte(k), []byte(v))
+			} else {
+				return err
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del := func(k string) {
+		t.Helper()
+		if err := d.RunTxn(func(tx *txn.Tx) error { return tbl.Delete(tx, []byte(k)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", "1")
+	put("b", "2")
+	put("c", "3")
+
+	rtx, err := d.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.EndReadOnly(rtx)
+
+	put("a", "1'") // update past the snapshot
+	del("b")       // delete past the snapshot
+	put("d", "4")  // insert past the snapshot
+
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	got := map[string]string{}
+	if err := tbl.Scan(rtx, nil, nil, func(r Row) (bool, error) {
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot scan = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("snapshot scan[%q] = %q, want %q", k, got[k], v)
+		}
+		gv, err := tbl.Get(rtx, []byte(k))
+		if err != nil || string(gv) != v {
+			t.Errorf("snapshot get %q = %q, %v; want %q", k, gv, err, v)
+		}
+	}
+	if _, err := tbl.Get(rtx, []byte("d")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("post-snapshot insert visible: %v", err)
+	}
+
+	// A fresh snapshot sees the new world.
+	if err := d.RunReadOnly(func(tx *txn.Tx) error {
+		if v, err := tbl.Get(tx, []byte("a")); err != nil || string(v) != "1'" {
+			return fmt.Errorf("fresh get a = %q, %v", v, err)
+		}
+		if _, err := tbl.Get(tx, []byte("b")); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("deleted b still visible: %v", err)
+		}
+		if v, err := tbl.Get(tx, []byte("d")); err != nil || string(v) != "4" {
+			return fmt.Errorf("fresh get d = %q, %v", v, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotTooOldRetryable: churning a key past the chain cap while an
+// old snapshot is live forces ErrSnapshotTooOld, which classifies as
+// contention (never fatal) and repairs under RunReadOnly's retry loop.
+func TestSnapshotTooOldRetryable(t *testing.T) {
+	d := Open(Options{})
+	tbl, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunTxn(func(tx *txn.Tx) error { return tbl.Insert(tx, []byte("hot"), []byte("v0")) }); err != nil {
+		t.Fatal(err)
+	}
+	rtx, err := d.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.EndReadOnly(rtx)
+	// Each update pushes two versions (tombstone + insert); 40 commits
+	// blow far past the 32-version chain cap, forcing folds beyond the
+	// registered snapshot.
+	for i := 1; i <= 40; i++ {
+		v := []byte(fmt.Sprintf("v%d", i))
+		if err := d.RunTxn(func(tx *txn.Tx) error { return tbl.Update(tx, []byte("hot"), v) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = tbl.Get(rtx, []byte("hot"))
+	if !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("stale snapshot read: %v, want ErrSnapshotTooOld", err)
+	}
+	if ClassifyErr(err) != ClassContention {
+		t.Errorf("ErrSnapshotTooOld classified %v, want ClassContention", ClassifyErr(err))
+	}
+	if d.Stats().SnapshotTooOld.Load() == 0 {
+		t.Error("SnapshotTooOld counter did not advance")
+	}
+	// RunReadOnly repairs it: the first attempt's injected staleness is
+	// retried on a fresh snapshot.
+	attempt := 0
+	if err := d.RunReadOnly(func(tx *txn.Tx) error {
+		if attempt++; attempt == 1 {
+			return ErrSnapshotTooOld
+		}
+		v, err := tbl.Get(tx, []byte("hot"))
+		if err != nil {
+			return err
+		}
+		if string(v) != "v40" {
+			return fmt.Errorf("retried read = %q, want v40", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 2 {
+		t.Errorf("RunReadOnly ran %d attempts, want 2", attempt)
+	}
+}
+
+// TestReadOnlyFallbackDuringRecovery: while online restart recovery is
+// pending, BeginReadOnly degrades to an ordinary locked transaction (nil
+// snapshot) that still reads correctly; after recovery, snapshots resume.
+func TestReadOnlyFallbackDuringRecovery(t *testing.T) {
+	d := Open(Options{OnlineRestart: true})
+	tbl, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.RunTxn(func(tx *txn.Tx) error {
+			return tbl.Insert(tx, key8(i), []byte("v"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash()
+	if _, err := d.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	sawFallback := false
+	for i := 0; i < 10 && d.Recovering(); i++ {
+		err := d.RunReadOnly(func(tx *txn.Tx) error {
+			if tx.Snapshot() == nil {
+				sawFallback = true
+			}
+			tbl2, err := d.TableFor(tx, "t")
+			if err != nil {
+				return err
+			}
+			v, err := tbl2.Get(tx, key8(3))
+			if err != nil {
+				return err
+			}
+			if string(v) != "v" {
+				return fmt.Errorf("fallback get = %q", v)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = sawFallback // timing-dependent; correctness is what matters
+	if _, err := d.AwaitRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunReadOnly(func(tx *txn.Tx) error {
+		if tx.Snapshot() == nil {
+			return fmt.Errorf("expected snapshot mode after recovery")
+		}
+		tbl2, err := d.TableFor(tx, "t")
+		if err != nil {
+			return err
+		}
+		_, err = tbl2.Get(tx, key8(3))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleLedger records every acknowledged commit's row effects keyed by
+// its commit LSN. OnCommitted runs under the commit's epoch lock, so a
+// recorded entry is durable and an unrecorded one never acked.
+type oracleLedger struct {
+	mu      sync.Mutex
+	entries map[wal.LSN][]oracleOp
+}
+
+type oracleOp struct {
+	key     string
+	present bool
+	value   string
+}
+
+func (l *oracleLedger) record(lsn wal.LSN, ops []oracleOp) {
+	l.mu.Lock()
+	l.entries[lsn] = append([]oracleOp(nil), ops...)
+	l.mu.Unlock()
+}
+
+// applyThrough replays all entries with LSN <= s in LSN order.
+func (l *oracleLedger) applyThrough(s wal.LSN) map[string]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsns := make([]wal.LSN, 0, len(l.entries))
+	for lsn := range l.entries {
+		if lsn <= s {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	model := map[string]string{}
+	for _, lsn := range lsns {
+		for _, op := range l.entries[lsn] {
+			if op.present {
+				model[op.key] = op.value
+			} else {
+				delete(model, op.key)
+			}
+		}
+	}
+	return model
+}
+
+type snapObservation struct {
+	s    wal.LSN
+	rows map[string]string
+}
+
+// TestMVCCSnapshotOracle is the race-mode property test: interleaved
+// writers, lock-free snapshot readers, and crashes; every snapshot a
+// reader observed must be byte-identical to the serial oracle — the
+// acked-commit ledger replayed through the snapshot's LSN. Verification
+// is deferred to the quiesced end so the ledger is complete.
+func TestMVCCSnapshotOracle(t *testing.T) {
+	const keySpace = 48
+	writers, readers, crashes, iters := 4, 4, 3, 60
+	if testing.Short() {
+		writers, readers, crashes, iters = 3, 3, 2, 25
+	}
+	d := Open(Options{OnlineRestart: true})
+	if _, err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	ledger := &oracleLedger{entries: map[wal.LSN][]oracleOp{}}
+	var writerWg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(seed int64) {
+			defer writerWg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				var ops []oracleOp
+				err := d.RunTxnWith(RunTxnOpts{
+					Seed:          seed*1000 + int64(i) + 1,
+					RetryDeadline: 20 * time.Second,
+					OnCommitted:   func(lsn wal.LSN) { ledger.record(lsn, ops) },
+				}, func(tx *txn.Tx) error {
+					ops = ops[:0]
+					tbl, err := d.TableFor(tx, "t")
+					if err != nil {
+						return err
+					}
+					for j := 0; j < 2; j++ {
+						k := fmt.Sprintf("k%03d", rng.Intn(keySpace))
+						v := fmt.Sprintf("w%d.%d.%d", seed, i, j)
+						if rng.Intn(3) == 0 {
+							err := tbl.Delete(tx, []byte(k))
+							if errors.Is(err, ErrNotFound) {
+								continue
+							}
+							if err != nil {
+								return err
+							}
+							ops = append(ops, oracleOp{key: k, present: false})
+							continue
+						}
+						err := tbl.Insert(tx, []byte(k), []byte(v))
+						if errors.Is(err, ErrDuplicate) {
+							err = tbl.Update(tx, []byte(k), []byte(v))
+						}
+						if err != nil {
+							return err
+						}
+						ops = append(ops, oracleOp{key: k, present: true, value: v})
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("writer %d: %v", seed, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+
+	obsCh := make(chan snapObservation, 1024)
+	for r := 0; r < readers; r++ {
+		readerWg.Add(1)
+		go func(seed int64) {
+			defer readerWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var obs *snapObservation
+				err := d.RunReadOnlyWith(RunTxnOpts{Seed: seed + 100, RetryDeadline: 20 * time.Second}, func(tx *txn.Tx) error {
+					obs = nil
+					snap := tx.Snapshot()
+					tbl, err := d.TableFor(tx, "t")
+					if err != nil {
+						return err
+					}
+					rows := map[string]string{}
+					if err := tbl.Scan(tx, nil, nil, func(r Row) (bool, error) {
+						rows[string(r.Key)] = string(r.Value)
+						return true, nil
+					}); err != nil {
+						return err
+					}
+					if snap != nil { // locked fallback snapshots are not point-in-time
+						obs = &snapObservation{s: snap.LSN, rows: rows}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("reader %d: %v", seed, err)
+					return
+				}
+				if obs != nil {
+					select {
+					case obsCh <- *obs:
+					default: // keep the channel bounded; later observations replace nothing
+					}
+				}
+			}
+		}(int64(r))
+	}
+
+	for c := 0; c < crashes; c++ {
+		time.Sleep(40 * time.Millisecond)
+		d.Crash()
+		if _, err := d.Restart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the writers drain, then stop the readers: readers only exit on
+	// stop, so waiting for them before closing it would deadlock.
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+	close(obsCh)
+
+	verified := 0
+	for obs := range obsCh {
+		model := ledger.applyThrough(obs.s)
+		if len(model) != len(obs.rows) {
+			t.Fatalf("snapshot %d: observed %d rows, oracle has %d\nobserved=%v\noracle=%v",
+				obs.s, len(obs.rows), len(model), obs.rows, model)
+		}
+		for k, v := range model {
+			if obs.rows[k] != v {
+				t.Fatalf("snapshot %d: key %q = %q, oracle says %q", obs.s, k, obs.rows[k], v)
+			}
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Error("no snapshot observations verified")
+	}
+	t.Logf("mvcc oracle: %d snapshots verified byte-identical", verified)
+}
+
+// TestSnapshotBackupUnderLoad: the whole-table consistent read stays
+// consistent (every row from one snapshot) while writers churn.
+func TestSnapshotBackupUnderLoad(t *testing.T) {
+	d := Open(Options{})
+	tbl, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariant: writers keep key i and its shadow i+100 equal; a
+	// consistent snapshot must never see them differ.
+	if err := d.RunTxn(func(tx *txn.Tx) error {
+		for i := 0; i < 16; i++ {
+			if err := tbl.Insert(tx, key8(i), []byte("0")); err != nil {
+				return err
+			}
+			if err := tbl.Insert(tx, key8(i+100), []byte("0")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for gen := 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i := rng.Intn(16)
+			v := []byte(fmt.Sprintf("%d", gen))
+			if err := d.RunTxn(func(tx *txn.Tx) error {
+				if err := tbl.Update(tx, key8(i), v); err != nil {
+					return err
+				}
+				return tbl.Update(tx, key8(i+100), v)
+			}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for n := 0; n < 20; n++ {
+		rows, err := d.SnapshotBackup("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[string]string{}
+		for _, r := range rows {
+			m[string(r.Key)] = string(r.Value)
+		}
+		for i := 0; i < 16; i++ {
+			a, b := m[string(key8(i))], m[string(key8(i+100))]
+			if a != b {
+				t.Fatalf("backup %d inconsistent: %s=%q %s=%q", n, key8(i), a, key8(i+100), b)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

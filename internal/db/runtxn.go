@@ -41,6 +41,10 @@ func ClassifyErr(err error) RetryClass {
 	switch {
 	case errors.Is(err, lock.ErrDeadlock), errors.Is(err, lock.ErrLockTimeout):
 		return ClassContention
+	case errors.Is(err, ErrSnapshotTooOld):
+		// A long reader's version was pruned out from under it: never
+		// fatal — a fresh snapshot sees the surviving state.
+		return ClassContention
 	case errors.Is(err, ErrCrashed), errors.Is(err, lock.ErrShutdown),
 		errors.Is(err, wal.ErrLogCrashed):
 		// wal.ErrLogCrashed surfaces from Commit/Prepare when the crash
@@ -101,6 +105,24 @@ func (o RunTxnOpts) withDefaults() RunTxnOpts {
 	return o
 }
 
+// lazyRNG defers math/rand source construction until a retry actually
+// draws jitter: seeding a source costs microseconds and ~5KB, which on
+// the happy path (zero retries — the overwhelmingly common case) would
+// tax every transaction for randomness nobody consumes. Laziness changes
+// only when the source is built, not the sequence it produces, so seeded
+// runs stay deterministic.
+type lazyRNG struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+func (l *lazyRNG) Int63n(n int64) int64 {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(l.seed))
+	}
+	return l.rng.Int63n(n)
+}
+
 // RunTxn executes fn inside a transaction and commits it, automatically
 // repairing contention aborts (rollback + capped exponential backoff +
 // retry) and engine crashes (wait for restart + retry on the new epoch).
@@ -114,7 +136,7 @@ func (d *DB) RunTxn(fn func(*txn.Tx) error) error {
 // RunTxnWith is RunTxn with explicit retry options.
 func (d *DB) RunTxnWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := &lazyRNG{seed: opts.Seed}
 	backoff := opts.BaseBackoff
 	var lastErr error
 	var deadline time.Time
@@ -217,7 +239,7 @@ const maxStepAttempts = 3
 // that keeps losing escalates to RunTxnWith's full rollback-and-retry.
 func (d *DB) RunTxnSteps(opts RunTxnOpts, steps ...func(*txn.Tx) error) error {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	rng := &lazyRNG{seed: opts.Seed + 1}
 	return d.RunTxnWith(opts, func(tx *txn.Tx) error {
 		for _, step := range steps {
 			save := tx.Savepoint()

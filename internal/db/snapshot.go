@@ -1,0 +1,469 @@
+// Snapshot reads: lock-free read-only transactions at snapshot isolation.
+//
+// A read-only transaction captures the version store's visibility
+// watermark at begin and resolves every read with a pure commit-LSN
+// comparison — zero lock-manager calls, no latching beyond buffer fixes.
+// Writers cooperate by pushing a version per record mutation (see
+// Table.Insert/Delete) before the mutation becomes reachable by key, and
+// the commit path stamps those versions only after the commit record is
+// durable, so a snapshot can never observe a torn or unforced commit.
+//
+// Per-key reader protocol (the chain-removal invariant makes it sound):
+//
+//  1. Consult the version chain; if one exists it is authoritative.
+//  2. Otherwise capture the table's chain-removal sequence and probe the
+//     page image latch-only (index descent + heap fetch, no locks).
+//  3. Re-check the chain. If one appeared it is authoritative; if none
+//     exists and the removal sequence is unchanged, the page value is
+//     the committed state at the snapshot: any writer whose effect the
+//     probe could have seen pushes a chain before its first
+//     key-reachable mutation, an in-flight chain cannot be removed, and
+//     a chain whose newest commit exceeds the snapshot cannot be removed
+//     while the snapshot is registered — so "no chain across the whole
+//     probe window" proves the page carried only commits <= snapshot.
+//
+// During online restart recovery the store is empty while loser data may
+// still sit in pages, so BeginReadOnly falls back to an ordinary locked
+// transaction: the reinstated loser locks supply the isolation until the
+// background undo finishes.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ariesim/internal/core"
+	"ariesim/internal/mvcc"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// ErrSnapshotTooOld reports that a version this snapshot needed was pruned
+// while the reader ran (a long reader under heavy churn on a capped
+// chain). It is retryable — RunReadOnly repairs it with a fresh snapshot.
+var ErrSnapshotTooOld = mvcc.ErrSnapshotTooOld
+
+// ErrReadOnlyTxn reports a write attempted through a snapshot read-only
+// transaction.
+var ErrReadOnlyTxn = errors.New("db: write attempted in a read-only snapshot transaction")
+
+// ErrSnapshotUnsupported reports an operation a snapshot transaction
+// cannot serve (secondary-order scans).
+var ErrSnapshotUnsupported = errors.New("db: operation not supported under a snapshot read")
+
+// BeginReadOnly starts a read-only transaction. Normally it is a detached,
+// non-logging transaction carrying a snapshot of the visibility watermark:
+// its Get/Scan route to the lock-free MVCC path and it must be ended with
+// EndReadOnly (never Commit/Rollback). While online restart recovery is
+// still pending it degrades to an ordinary locked transaction (nil
+// Snapshot) — the version store is empty then, and the reinstated loser
+// locks protect readers from uncommitted restart data; EndReadOnly
+// handles both shapes.
+func (d *DB) BeginReadOnly() (*txn.Tx, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.downed {
+		return nil, ErrCrashed
+	}
+	if d.recoveringLocked() {
+		return d.tm.Begin(), nil
+	}
+	tx := d.tm.BeginDetached()
+	s, id := d.vs.Begin()
+	tx.SetSnapshot(txn.Snapshot{LSN: s, ID: id})
+	return tx, nil
+}
+
+// EndReadOnly finishes a BeginReadOnly transaction: a snapshot reader
+// retires its registration (unblocking version pruning); a locked
+// fallback reader rolls back, which releases its S locks without paying
+// a commit-record log force.
+func (d *DB) EndReadOnly(tx *txn.Tx) error {
+	if snap := tx.Snapshot(); snap != nil {
+		d.mu.Lock()
+		vs := d.vs
+		d.mu.Unlock()
+		// If the epoch changed under the reader this End is a no-op on
+		// the successor store (snapshot IDs are process-global), and the
+		// orphaned store's registration dies with it.
+		vs.End(snap.ID)
+		return nil
+	}
+	if err := tx.Rollback(); err != nil && !errors.Is(err, txn.ErrTxDone) {
+		return err
+	}
+	return nil
+}
+
+// RunReadOnly executes fn as a read-only transaction with the same
+// repair-and-retry discipline as RunTxn: contention-class errors (which
+// include ErrSnapshotTooOld) are retried on a fresh snapshot after a
+// backoff, crash-class errors wait for the restart, fatal errors surface.
+func (d *DB) RunReadOnly(fn func(*txn.Tx) error) error {
+	return d.RunReadOnlyWith(RunTxnOpts{}, fn)
+}
+
+// RunReadOnlyWith is RunReadOnly with explicit retry options (OnCommit /
+// OnCommitted do not apply and are ignored).
+func (d *DB) RunReadOnlyWith(opts RunTxnOpts, fn func(*txn.Tx) error) error {
+	opts = opts.withDefaults()
+	rng := &lazyRNG{seed: opts.Seed}
+	backoff := opts.BaseBackoff
+	var lastErr error
+	var deadline time.Time
+	if opts.RetryDeadline > 0 {
+		deadline = time.Now().Add(opts.RetryDeadline)
+	}
+	awaitUp := func() bool {
+		if deadline.IsZero() {
+			d.AwaitUp()
+			return true
+		}
+		return d.AwaitUpFor(time.Until(deadline))
+	}
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		if !awaitUp() {
+			break
+		}
+		tx, err := d.BeginReadOnly()
+		if err != nil {
+			if errors.Is(err, ErrCrashed) {
+				continue // raced a fresh crash; wait out the restart
+			}
+			return err
+		}
+		err = fn(tx)
+		if endErr := d.EndReadOnly(tx); err == nil {
+			err = endErr
+		}
+		if err == nil {
+			if attempt > 0 {
+				d.stats.TxnRetrySuccesses.Add(1)
+			}
+			return nil
+		}
+		lastErr = err
+		switch ClassifyErr(err) {
+		case ClassContention:
+			d.stats.TxnRetries.Add(1)
+			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff)+1)))
+			if backoff *= 2; backoff > opts.MaxBackoff {
+				backoff = opts.MaxBackoff
+			}
+		case ClassCrash:
+			d.stats.TxnRetries.Add(1)
+			if errors.Is(err, ErrRecovering) {
+				d.stats.TxnRecoveringRetries.Add(1)
+				continue
+			}
+			d.stats.TxnCrashWaits.Add(1)
+			if !awaitUp() {
+				return fmt.Errorf("db: retry deadline %v exceeded: %w", opts.RetryDeadline, lastErr)
+			}
+			time.Sleep(time.Duration(rng.Int63n(int64(opts.BaseBackoff) + 1)))
+		default:
+			return err
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrCrashed
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return fmt.Errorf("db: retry deadline %v exceeded: %w", opts.RetryDeadline, lastErr)
+	}
+	return fmt.Errorf("db: read-only transaction gave up after %d attempts: %w", opts.MaxAttempts, lastErr)
+}
+
+// SnapshotBackup reads an entire table at one consistent snapshot — the
+// long-running consistent scan the paper's lock-based reader could only
+// get by S-locking every row to commit. Under a concurrent write load it
+// neither blocks writers nor observes any of their in-flight work.
+func (d *DB) SnapshotBackup(table string) ([]Row, error) {
+	var rows []Row
+	err := d.RunReadOnly(func(tx *txn.Tx) error {
+		rows = rows[:0]
+		t, err := d.TableFor(tx, table)
+		if err != nil {
+			return err
+		}
+		return t.Scan(tx, nil, nil, func(r Row) (bool, error) {
+			rows = append(rows, r)
+			return true, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// pushVersion records one mutation of key in the version store and marks
+// tx versioned so its commit/rollback drive the store's hooks. seed
+// supplies the committed pre-state if a chain must be created.
+func (t *Table) pushVersion(tx *txn.Tx, key []byte, present bool, value []byte, seed func() (bool, []byte, uint64, error)) error {
+	if err := t.vs.Push(t.id, key, present, value, tx.ID, tx.LastLSN(), seed); err != nil {
+		return err
+	}
+	tx.MarkVersioned()
+	return nil
+}
+
+// insertSeed builds the committed-state probe for an insert's version
+// push: capture the removal sequence, then resolve the key's committed
+// image latch-only. The inserter holds no lock on the key's prior
+// incarnation, but Push validates the sequence under the table lock and
+// retries the probe if chain turnover raced it, and any in-flight writer
+// on the key implies a chain — in which case the probe is discarded and
+// the version appended instead.
+func (t *Table) insertSeed(tx *txn.Tx, key []byte) func() (bool, []byte, uint64, error) {
+	return func() (bool, []byte, uint64, error) {
+		seq := t.vs.Seq(t.id)
+		present, rec, err := t.probePage(key, func(pid storage.PageID) error {
+			// The writer has a real transaction: clear the stale SM_Bit
+			// in-line (a redo-only logged update, safe mid-operation).
+			t.primary.ResolveStaleSMBit(tx, pid)
+			return nil
+		})
+		if err != nil {
+			return false, nil, 0, err
+		}
+		if !present {
+			return false, nil, seq, nil
+		}
+		_, v, err := decodeRow(rec)
+		if err != nil {
+			return false, nil, 0, err
+		}
+		return true, v, seq, nil
+	}
+}
+
+// maxSnapshotRetries bounds per-key protocol retries against pathological
+// chain turnover; each retry requires a full create-and-retire cycle to
+// have raced the probe, so the bound is never approached in practice.
+const maxSnapshotRetries = 16
+
+// probePage resolves key's current page state latch-only: index descent
+// to the RID, then an unlocked heap fetch. resolve is called to clear a
+// stale SM_Bit when the lock-free traversal gives up on one (crash
+// leftover); the probe then retries.
+func (t *Table) probePage(key []byte, resolve func(storage.PageID) error) (present bool, rec []byte, err error) {
+	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
+		res, _, err := t.primary.FetchNoLock(key, core.EQ)
+		var amb *core.AmbiguityError
+		if errors.As(err, &amb) {
+			if rerr := resolve(amb.Page); rerr != nil {
+				return false, nil, rerr
+			}
+			continue
+		}
+		if err != nil {
+			return false, nil, err
+		}
+		if !res.Found {
+			return false, nil, nil
+		}
+		raw, ghost, ok, err := t.data.FetchNoLock(res.Key.RID)
+		if err != nil {
+			return false, nil, err
+		}
+		if !ok || ghost {
+			// The record vanished or is a ghost: with no chain this is a
+			// committed absence; with one, the caller's re-check rules.
+			return false, nil, nil
+		}
+		return true, raw, nil
+	}
+	return false, nil, fmt.Errorf("db: probe of %q kept hitting ambiguous pages", key)
+}
+
+// housekeepingResolve clears a stale SM_Bit on behalf of a lock-free
+// reader, which has no transaction to log the reset with: a short-lived
+// ordinary transaction performs the redo-only update (Fig 8's "optional"
+// reset, done by whoever trips over the bit after a crash) and commits.
+// The reader itself stays zero-lock — the housekeeping write is a
+// separate transaction, not part of the snapshot read.
+func (t *Table) housekeepingResolve(ix *core.Index, pid storage.PageID) error {
+	tx, err := t.db.Begin()
+	if err != nil {
+		return err
+	}
+	ix.ResolveStaleSMBit(tx, pid)
+	if err := tx.Commit(); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return nil
+}
+
+// snapshotGet is Get under a snapshot.
+func (t *Table) snapshotGet(s wal.LSN, key []byte) ([]byte, error) {
+	value, found, err := t.snapshotRead(s, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return value, nil
+}
+
+// snapshotRead resolves one key under snapshot s via the per-key protocol
+// documented at the top of this file.
+func (t *Table) snapshotRead(s wal.LSN, key []byte) ([]byte, bool, error) {
+	vs := t.vs
+	t.db.stats.SnapshotReads.Add(1)
+	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
+		r, err := vs.Read(t.id, key, s)
+		if err != nil {
+			return nil, false, err
+		}
+		if r.Chain {
+			return r.Value, r.Present, nil
+		}
+		seq := vs.Seq(t.id)
+		present, rec, err := t.probePage(key, func(pid storage.PageID) error {
+			return t.housekeepingResolve(t.primary, pid)
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		r2, err := vs.Read(t.id, key, s)
+		if err != nil {
+			return nil, false, err
+		}
+		if r2.Chain {
+			return r2.Value, r2.Present, nil
+		}
+		if vs.Seq(t.id) != seq {
+			continue // a chain was born and retired mid-probe; redo
+		}
+		if !present {
+			return nil, false, nil
+		}
+		_, v, err := decodeRow(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	return nil, false, fmt.Errorf("db: snapshot read of %q kept racing chain turnover", key)
+}
+
+// snapshotScan is Scan under a snapshot: a latch-only page cursor walk
+// merged, window by window, with the version chains. The cursor yields
+// every key currently in the index; each gap between consecutive cursor
+// keys is filled from the chains (keys visible at s whose index entry a
+// later committed delete removed), and each cursor key itself resolves
+// through the per-key protocol (so an entry from an in-flight or
+// post-snapshot insert reads as absent, and a post-snapshot delete's
+// pre-image comes back from its chain).
+func (t *Table) snapshotScan(s wal.LSN, from, to []byte, fn func(Row) (bool, error)) error {
+	vs := t.vs
+	emit := func(k string, v []byte) (bool, error) {
+		return fn(Row{Key: []byte(k), Value: v})
+	}
+	emitWindow := func(rows []mvcc.Row) (bool, error) {
+		for _, r := range rows {
+			if !r.Present {
+				continue
+			}
+			t.db.stats.SnapshotReads.Add(1)
+			if cont, err := emit(r.Key, r.Value); err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	prev, prevIncl := string(from), true
+	res, cur, err := t.snapCursorStart(from)
+	if err != nil {
+		return err
+	}
+	for {
+		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
+			// Close the range: chain-only keys past the last cursor key.
+			var rows []mvcc.Row
+			if to == nil {
+				rows, err = vs.RowsBetween(t.id, prev, prevIncl, "", false, true, s)
+			} else {
+				rows, err = vs.RowsBetween(t.id, prev, prevIncl, string(to), true, false, s)
+			}
+			if err != nil {
+				return err
+			}
+			_, err = emitWindow(rows)
+			return err
+		}
+		k := string(res.Key.Val)
+		rows, err := vs.RowsBetween(t.id, prev, prevIncl, k, false, false, s)
+		if err != nil {
+			return err
+		}
+		if cont, err := emitWindow(rows); err != nil || !cont {
+			return err
+		}
+		value, found, err := t.snapshotRead(s, res.Key.Val)
+		if err != nil {
+			return err
+		}
+		if found {
+			if cont, err := emit(k, value); err != nil || !cont {
+				return err
+			}
+		}
+		prev, prevIncl = k, false
+		res, err = t.snapCursorNext(cur)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// snapshotScanPrefix is ScanPrefix under a snapshot: an unbounded
+// snapshot scan from the prefix that stops at the first key past it
+// (emission is in key order, so the cut is exact).
+func (t *Table) snapshotScanPrefix(s wal.LSN, prefix []byte, fn func(Row) (bool, error)) error {
+	p := string(prefix)
+	return t.snapshotScan(s, prefix, nil, func(r Row) (bool, error) {
+		if len(r.Key) < len(p) || string(r.Key[:len(p)]) != p {
+			return false, nil
+		}
+		return fn(r)
+	})
+}
+
+// snapCursorStart positions a latch-only cursor at the first key >= from,
+// resolving stale SM_Bits via housekeeping transactions.
+func (t *Table) snapCursorStart(from []byte) (core.FetchResult, *core.Cursor, error) {
+	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
+		res, cur, err := t.primary.FetchNoLock(from, core.GE)
+		var amb *core.AmbiguityError
+		if errors.As(err, &amb) {
+			if rerr := t.housekeepingResolve(t.primary, amb.Page); rerr != nil {
+				return core.FetchResult{}, nil, rerr
+			}
+			continue
+		}
+		return res, cur, err
+	}
+	return core.FetchResult{}, nil, fmt.Errorf("db: snapshot scan start kept hitting ambiguous pages")
+}
+
+// snapCursorNext advances a latch-only cursor, resolving stale SM_Bits.
+func (t *Table) snapCursorNext(cur *core.Cursor) (core.FetchResult, error) {
+	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
+		res, err := t.primary.FetchNextNoLock(cur)
+		var amb *core.AmbiguityError
+		if errors.As(err, &amb) {
+			if rerr := t.housekeepingResolve(t.primary, amb.Page); rerr != nil {
+				return core.FetchResult{}, rerr
+			}
+			continue
+		}
+		return res, err
+	}
+	return core.FetchResult{}, fmt.Errorf("db: snapshot scan kept hitting ambiguous pages")
+}

@@ -1,0 +1,555 @@
+// Package mvcc is the in-memory version store behind snapshot-isolated
+// read-only transactions. Writers push a version per record mutation
+// (keyed by table + primary key, carrying the full row image), commit
+// stamps every version of the transaction with its commit LSN once the
+// commit record is durable, and readers resolve a key against a snapshot
+// LSN with a pure LSN comparison — no lock-manager calls at all.
+//
+// The store is volatile and epoch-scoped: the engine builds a fresh one
+// per restart/promotion (versions are reconstructable from the page +
+// undo state, and recovery holds reinstated loser locks that force
+// readers onto the locked path until chains could matter again), so
+// restart "invalidation" is simply starting empty.
+//
+// Visibility watermark. A commit becomes visible only after its record
+// is durable AND every commit at a lower LSN has also been stamped or
+// abandoned. Committers enter a ticket before appending their commit
+// record, attach the LSN once known, and retire the ticket after the
+// log force; `visible` advances to min(inflight)-1 (or the max stamped
+// LSN when no ticket is open) and never past an unassigned ticket. A
+// snapshot is just `visible` at begin: every commit <= S is stamped and
+// durable, every commit > S is invisible, so torn or unordered reads
+// cannot occur — even across crashes, because an unforced commit never
+// advances the watermark.
+//
+// Chain-removal invariant. A chain may be dropped (or old versions
+// folded into its base) only when it has no in-flight versions and the
+// folded commit LSNs are <= min(visible, every active snapshot). Hence
+// "no chain for key K" proves to any reader that the page image of K it
+// probed carries only commits <= its snapshot — uncommitted writer data
+// or a newer commit would imply a chain that cannot have been removed
+// while the reader's snapshot is registered. Writers seeding a new
+// chain validate their committed-state probe against a per-table
+// removal sequence number to close the probe/creation race.
+package mvcc
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ariesim/internal/trace"
+	"ariesim/internal/wal"
+)
+
+// ErrSnapshotTooOld reports that the version a snapshot needs was pruned
+// while the reader ran (a long reader under heavy churn on a capped
+// chain). It is retryable: a fresh snapshot sees the surviving state.
+var ErrSnapshotTooOld = errors.New("mvcc: snapshot too old (version pruned)")
+
+// maxChainVersions caps a chain's stamped history; beyond it, pruning
+// folds old versions into the base even past a straggling reader's
+// snapshot, raising the chain floor (ErrSnapshotTooOld for that reader).
+const maxChainVersions = 32
+
+// version is one record image pushed by a writer.
+type version struct {
+	present   bool
+	value     []byte
+	txID      wal.TxID
+	commitLSN wal.LSN // 0 while the writer is in flight
+	pushLSN   wal.LSN // writer's log position at push (savepoint rollback)
+}
+
+// chain is the version history of one (table, key). base is the
+// committed state at chain creation (or after folding); floor is the
+// lowest snapshot LSN the base can still answer (0 = any).
+type chain struct {
+	key         string
+	tc          *tableChains // owning table (chains never migrate)
+	basePresent bool
+	baseValue   []byte
+	floor       wal.LSN
+	versions    []version
+}
+
+// visibleAt resolves the chain against snapshot s.
+func (c *chain) visibleAt(s wal.LSN) (present bool, value []byte, err error) {
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		v := &c.versions[i]
+		if v.commitLSN != 0 && v.commitLSN <= s {
+			return v.present, v.value, nil
+		}
+	}
+	if s < c.floor {
+		return false, nil, ErrSnapshotTooOld
+	}
+	return c.basePresent, c.baseValue, nil
+}
+
+// tableChains holds one table's chains plus the removal sequence that
+// writers use to validate committed-state probes.
+type tableChains struct {
+	mu         sync.Mutex
+	chains     map[string]*chain
+	removalSeq atomic.Uint64
+}
+
+// Store is the engine-wide version store for one epoch.
+type Store struct {
+	stats *trace.Stats
+
+	mu         sync.Mutex
+	visible    wal.LSN
+	stampedMax wal.LSN
+	tickets    map[wal.TxID]wal.LSN  // open commits; 0 = LSN not yet assigned
+	snaps      map[uint64]wal.LSN    // active snapshot registry
+	touched    map[wal.TxID][]*chain // chains holding in-flight versions per tx
+
+	tmu    sync.RWMutex
+	tables map[uint64]*tableChains
+}
+
+// NewStore creates an empty store reporting into stats.
+func NewStore(stats *trace.Stats) *Store {
+	if stats == nil {
+		stats = &trace.Stats{} // field addresses must be takeable
+	}
+	return &Store{
+		stats:   stats,
+		tickets: make(map[wal.TxID]wal.LSN),
+		snaps:   make(map[uint64]wal.LSN),
+		touched: make(map[wal.TxID][]*chain),
+		tables:  make(map[uint64]*tableChains),
+	}
+}
+
+func (st *Store) table(id uint64) *tableChains {
+	st.tmu.RLock()
+	tc := st.tables[id]
+	st.tmu.RUnlock()
+	if tc != nil {
+		return tc
+	}
+	st.tmu.Lock()
+	defer st.tmu.Unlock()
+	if tc = st.tables[id]; tc == nil {
+		tc = &tableChains{chains: make(map[string]*chain)}
+		st.tables[id] = tc
+	}
+	return tc
+}
+
+// Seq returns the table's chain-removal sequence number. A writer reads
+// it before probing committed state for a chain seed; Push re-checks it
+// under the table lock and asks for a fresh probe if removals intervened.
+func (st *Store) Seq(tableID uint64) uint64 {
+	return st.table(tableID).removalSeq.Load()
+}
+
+// StartAt initializes the visibility watermark of a fresh (empty) store
+// to the log's current end. Everything committed before this epoch is
+// page state with no chain — visible to every snapshot — so the epoch's
+// first snapshot must order AFTER every pre-epoch commit LSN, not at 0.
+func (st *Store) StartAt(lsn wal.LSN) {
+	st.mu.Lock()
+	if lsn > st.stampedMax {
+		st.stampedMax = lsn
+	}
+	if lsn > st.visible {
+		st.visible = lsn
+	}
+	st.mu.Unlock()
+}
+
+// snapIDs issues snapshot registration IDs. Process-global rather than
+// per-store so that an End delivered to a successor epoch's store (the
+// reader outlived a restart that swapped stores) can never retire another
+// reader's registration by ID collision — it is simply unknown there.
+var snapIDs atomic.Uint64
+
+// Begin captures a snapshot: the current visibility watermark, registered
+// so pruning cannot fold commits the snapshot still needs.
+func (st *Store) Begin() (s wal.LSN, id uint64) {
+	id = snapIDs.Add(1)
+	st.mu.Lock()
+	s = st.visible
+	st.snaps[id] = s
+	st.mu.Unlock()
+	trace.Add(&st.stats.SnapshotBegins, 1)
+	return s, id
+}
+
+// End retires a snapshot registration.
+func (st *Store) End(id uint64) {
+	st.mu.Lock()
+	delete(st.snaps, id)
+	st.mu.Unlock()
+}
+
+// minActive returns the lowest registered snapshot LSN, or ^0 when no
+// snapshot is active. Caller holds st.mu.
+func (st *Store) minActiveLocked() wal.LSN {
+	min := ^wal.LSN(0)
+	for _, s := range st.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Push records a version for (table, key) on behalf of writer tx. seed
+// supplies the committed state of the key and is consulted only when a
+// new chain must be materialized; it may be retried if chain removals
+// race the probe, and its error aborts the push (the caller's operation
+// fails before any page mutation, so nothing is torn).
+func (st *Store) Push(tableID uint64, key []byte, present bool, value []byte, tx wal.TxID, pushLSN wal.LSN, seed func() (bool, []byte, uint64, error)) error {
+	tc := st.table(tableID)
+	k := string(key)
+	v := version{present: present, txID: tx, commitLSN: 0, pushLSN: pushLSN}
+	if value != nil {
+		v.value = append([]byte(nil), value...)
+	}
+	for {
+		tc.mu.Lock()
+		if c, ok := tc.chains[k]; ok {
+			c.versions = append(c.versions, v)
+			st.noteTouched(tx, c)
+			st.stats.MaxGauge(&st.stats.VersionChainPeak, uint64(len(c.versions)))
+			tc.mu.Unlock()
+			trace.Add(&st.stats.VersionsPushed, 1)
+			return nil
+		}
+		tc.mu.Unlock()
+		// No chain: probe committed state outside the table lock, then
+		// create, validating against the removal sequence (a removal
+		// between probe and create could have changed committed state).
+		basePresent, baseValue, seq, err := seed()
+		if err != nil {
+			return err
+		}
+		tc.mu.Lock()
+		if _, ok := tc.chains[k]; ok {
+			tc.mu.Unlock()
+			continue // a racing writer created it; append instead
+		}
+		if tc.removalSeq.Load() != seq {
+			tc.mu.Unlock()
+			continue // stale probe; redo it
+		}
+		c := &chain{key: k, tc: tc, basePresent: basePresent, versions: []version{v}}
+		if baseValue != nil {
+			c.baseValue = append([]byte(nil), baseValue...)
+		}
+		tc.chains[k] = c
+		st.noteTouched(tx, c)
+		st.stats.MaxGauge(&st.stats.VersionChainPeak, 1)
+		tc.mu.Unlock()
+		trace.Add(&st.stats.ChainsCreated, 1)
+		trace.Add(&st.stats.VersionsPushed, 1)
+		return nil
+	}
+}
+
+// noteTouched remembers that tx holds an in-flight version on c. Caller
+// holds the chain's table lock; st.mu nests inside it.
+func (st *Store) noteTouched(tx wal.TxID, c *chain) {
+	st.mu.Lock()
+	refs := st.touched[tx]
+	for _, r := range refs {
+		if r == c {
+			st.mu.Unlock()
+			return
+		}
+	}
+	st.touched[tx] = append(refs, c)
+	st.mu.Unlock()
+}
+
+// EnterCommit opens the writer's commit ticket before its commit record
+// is appended, freezing the visibility watermark below the upcoming LSN.
+func (st *Store) EnterCommit(tx wal.TxID) {
+	st.mu.Lock()
+	st.tickets[tx] = 0
+	st.mu.Unlock()
+}
+
+// CommitAt attaches the commit record's LSN to the ticket (pre-force).
+func (st *Store) CommitAt(tx wal.TxID, lsn wal.LSN) {
+	st.mu.Lock()
+	if _, ok := st.tickets[tx]; ok {
+		st.tickets[tx] = lsn
+	}
+	st.mu.Unlock()
+}
+
+// FinishCommit runs after the commit record is durable: stamp every
+// version the transaction pushed, retire the ticket, advance the
+// watermark, and opportunistically prune the touched chains.
+func (st *Store) FinishCommit(tx wal.TxID, lsn wal.LSN) {
+	st.mu.Lock()
+	refs := st.touched[tx]
+	delete(st.touched, tx)
+	st.mu.Unlock()
+	for _, c := range refs {
+		st.withChain(c, func(tc *tableChains) {
+			for i := range c.versions {
+				if c.versions[i].txID == tx && c.versions[i].commitLSN == 0 {
+					c.versions[i].commitLSN = lsn
+				}
+			}
+			// Push order can differ from commit order: an inserter pushes
+			// before it holds any lock on the key, so a racing deleter of
+			// the prior incarnation may commit first. Restore commit order
+			// now that the LSN is known; in-flight versions stay at the
+			// tail (they must commit after everything already stamped —
+			// their writer acquired the key X lock last), and the stable
+			// sort keeps a single transaction's same-LSN pushes in push
+			// order so its final state wins.
+			sort.SliceStable(c.versions, func(i, j int) bool {
+				vi, vj := c.versions[i].commitLSN, c.versions[j].commitLSN
+				if vi == 0 {
+					return false
+				}
+				if vj == 0 {
+					return true
+				}
+				return vi < vj
+			})
+		})
+	}
+	st.mu.Lock()
+	delete(st.tickets, tx)
+	if lsn > st.stampedMax {
+		st.stampedMax = lsn
+	}
+	st.advanceLocked()
+	visible := st.visible
+	minActive := st.minActiveLocked()
+	st.mu.Unlock()
+	for _, c := range refs {
+		st.pruneChain(c, visible, minActive)
+	}
+}
+
+// AbortCommit retires the ticket of a commit whose log force failed (the
+// record died with its epoch) and drops the transaction's versions.
+func (st *Store) AbortCommit(tx wal.TxID) {
+	st.mu.Lock()
+	delete(st.tickets, tx)
+	st.advanceLocked()
+	st.mu.Unlock()
+	st.DropTx(tx)
+}
+
+// advanceLocked recomputes the visibility watermark. Caller holds st.mu.
+func (st *Store) advanceLocked() {
+	cand := st.stampedMax
+	for _, lsn := range st.tickets {
+		if lsn == 0 {
+			return // an appended-but-unplaced commit: no advance at all
+		}
+		if lsn-1 < cand {
+			cand = lsn - 1
+		}
+	}
+	if cand > st.visible {
+		st.visible = cand
+	}
+}
+
+// withChain runs fn under the chain's table lock.
+func (st *Store) withChain(c *chain, fn func(*tableChains)) {
+	c.tc.mu.Lock()
+	fn(c.tc)
+	c.tc.mu.Unlock()
+}
+
+// removeIfRetired drops a drained chain per the removal invariant: no
+// in-flight or stamped versions remain and everything folded into the
+// base is visible to every active and future snapshot. Caller holds
+// tc.mu. The identity check guards against a same-key successor chain.
+func (st *Store) removeIfRetired(tc *tableChains, c *chain, minActive, visible wal.LSN) {
+	if len(c.versions) != 0 || c.floor > minActiveOrVisible(minActive, visible) {
+		return
+	}
+	if tc.chains[c.key] != c {
+		return
+	}
+	delete(tc.chains, c.key)
+	tc.removalSeq.Add(1)
+	trace.Add(&st.stats.ChainsRemoved, 1)
+}
+
+// pruneChain folds fully-visible history into the base and retires empty
+// chains per the removal invariant.
+func (st *Store) pruneChain(c *chain, visible, minActive wal.LSN) {
+	st.withChain(c, func(tc *tableChains) {
+		pruned := uint64(0)
+		for len(c.versions) > 0 {
+			v := &c.versions[0]
+			if v.commitLSN == 0 || v.commitLSN > visible {
+				break
+			}
+			forced := len(c.versions) > maxChainVersions
+			if v.commitLSN > minActive && !forced {
+				break
+			}
+			if v.commitLSN > minActive {
+				// Folding past a live reader: raise the floor so that
+				// reader gets ErrSnapshotTooOld instead of a wrong base.
+				c.floor = v.commitLSN
+			}
+			c.basePresent, c.baseValue = v.present, v.value
+			c.versions = c.versions[1:]
+			pruned++
+		}
+		if pruned > 0 {
+			trace.Add(&st.stats.VersionsPruned, pruned)
+		}
+		st.removeIfRetired(tc, c, minActive, visible)
+	})
+}
+
+// minActiveOrVisible bounds chain removal: every folded commit (<= the
+// floor after folding) must be visible to all active and future readers.
+func minActiveOrVisible(minActive, visible wal.LSN) wal.LSN {
+	if minActive < visible {
+		return minActive
+	}
+	return visible
+}
+
+// DropTx discards every in-flight version tx pushed (rollback, restart
+// loser undo). Chains left empty are retired.
+func (st *Store) DropTx(tx wal.TxID) {
+	st.dropTx(tx, 0)
+}
+
+// DropTxSince discards tx's in-flight versions pushed at or after the
+// savepoint LSN (partial rollback); earlier versions survive. The bound
+// is inclusive because an operation may push before it writes its first
+// log record (a delete pushes its tombstone before the ghosting update),
+// leaving pushLSN equal to the savepoint taken at operation entry; the
+// converse confusion cannot arise because every completed operation logs
+// at least one record after its push, so a pre-savepoint push always has
+// pushLSN strictly below the savepoint.
+func (st *Store) DropTxSince(tx wal.TxID, save wal.LSN) {
+	st.dropTx(tx, save)
+}
+
+func (st *Store) dropTx(tx wal.TxID, save wal.LSN) {
+	st.mu.Lock()
+	refs := st.touched[tx]
+	visible := st.visible
+	minActive := st.minActiveLocked()
+	st.mu.Unlock()
+	var kept []*chain
+	for _, c := range refs {
+		remains := false
+		st.withChain(c, func(tc *tableChains) {
+			out := c.versions[:0]
+			for _, v := range c.versions {
+				if v.txID == tx && v.commitLSN == 0 && v.pushLSN >= save {
+					continue
+				}
+				out = append(out, v)
+				if v.txID == tx && v.commitLSN == 0 {
+					remains = true
+				}
+			}
+			c.versions = out
+			st.removeIfRetired(tc, c, minActive, visible)
+		})
+		if remains {
+			kept = append(kept, c)
+		}
+	}
+	st.mu.Lock()
+	if len(kept) > 0 {
+		st.touched[tx] = kept
+	} else {
+		delete(st.touched, tx)
+	}
+	st.mu.Unlock()
+}
+
+// ReadResult is a snapshot resolution for one key.
+type ReadResult struct {
+	// Chain reports the key had a version chain; Present/Value are then
+	// authoritative. Without a chain the caller probes the page image and
+	// may trust it (see the removal invariant).
+	Chain   bool
+	Present bool
+	Value   []byte
+}
+
+// Read resolves key under snapshot s.
+func (st *Store) Read(tableID uint64, key []byte, s wal.LSN) (ReadResult, error) {
+	tc := st.table(tableID)
+	tc.mu.Lock()
+	c, ok := tc.chains[string(key)]
+	if !ok {
+		tc.mu.Unlock()
+		return ReadResult{}, nil
+	}
+	present, value, err := c.visibleAt(s)
+	tc.mu.Unlock()
+	if err != nil {
+		trace.Add(&st.stats.SnapshotTooOld, 1)
+		return ReadResult{}, err
+	}
+	trace.Add(&st.stats.SnapshotChainHits, 1)
+	if value != nil {
+		value = append([]byte(nil), value...)
+	}
+	return ReadResult{Chain: true, Present: present, Value: value}, nil
+}
+
+// Row is a snapshot-resolved chain row inside a scan window.
+type Row struct {
+	Key     string
+	Present bool
+	Value   []byte
+}
+
+// RowsBetween resolves every chained key in the (lo, hi) window — bound
+// inclusivity per the flags, hi ignored when hiUnbounded — under
+// snapshot s, in key order. Scans merge these rows with the page
+// cursor: a key deleted after s has no page entry but its chain still
+// answers with the pre-delete image.
+func (st *Store) RowsBetween(tableID uint64, lo string, loIncl bool, hi string, hiIncl, hiUnbounded bool, s wal.LSN) ([]Row, error) {
+	tc := st.table(tableID)
+	tc.mu.Lock()
+	var rows []Row
+	for k, c := range tc.chains {
+		if k < lo || (k == lo && !loIncl) {
+			continue
+		}
+		if !hiUnbounded && (k > hi || (k == hi && !hiIncl)) {
+			continue
+		}
+		present, value, err := c.visibleAt(s)
+		if err != nil {
+			tc.mu.Unlock()
+			trace.Add(&st.stats.SnapshotTooOld, 1)
+			return nil, err
+		}
+		if value != nil {
+			value = append([]byte(nil), value...)
+		}
+		rows = append(rows, Row{Key: k, Present: present, Value: value})
+	}
+	tc.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows, nil
+}
+
+// Visible exposes the current watermark (tests, diagnostics).
+func (st *Store) Visible() wal.LSN {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.visible
+}

@@ -118,6 +118,32 @@ type Stats struct {
 	AmbiguityRestarts atomic.Uint64 // Fig 4 "unwind recursion" events
 	SMBitWaits        atomic.Uint64 // operations delayed by SM_Bit
 	DeleteBitPOSCs    atomic.Uint64 // points of structural consistency forced by Delete_Bit
+
+	// MVCC snapshot reads (internal/mvcc version store + db read-only mode).
+	SnapshotBegins    atomic.Uint64 // read-only transactions begun in snapshot mode
+	SnapshotReads     atomic.Uint64 // Get/Scan row reads resolved through a snapshot
+	SnapshotChainHits atomic.Uint64 // snapshot reads answered by a version chain (not the page)
+	SnapshotTooOld    atomic.Uint64 // reads aborted because the needed version was pruned
+	VersionsPushed    atomic.Uint64 // record versions appended to chains by writers
+	VersionsPruned    atomic.Uint64 // obsolete versions discarded from chains
+	ChainsCreated     atomic.Uint64 // version chains materialized
+	ChainsRemoved     atomic.Uint64 // version chains fully retired
+	VersionChainPeak  atomic.Uint64 // max versions ever held by one chain (gauge, not a counter)
+	ReadOnlyLockCalls atomic.Uint64 // lock-manager requests issued by snapshot transactions (must stay 0)
+}
+
+// MaxGauge raises a gauge counter to v if v exceeds its current value
+// (lock-free CAS loop; nil-safe like every Stats method).
+func (s *Stats) MaxGauge(c *atomic.Uint64, v uint64) {
+	if s == nil || c == nil {
+		return
+	}
+	for {
+		cur := c.Load()
+		if v <= cur || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // mu guards spaceNames / modeNames / durationNames registration.
@@ -253,6 +279,10 @@ type Snapshot struct {
 	SegmentsRejected, ReplNaks, ReplReseeds                   uint64
 	ReplCommitsAcked, Promotions                              uint64
 	AmbiguityRestarts, SMBitWaits, DeleteBitPOSCs             uint64
+	SnapshotBegins, SnapshotReads, SnapshotChainHits          uint64
+	SnapshotTooOld, VersionsPushed, VersionsPruned            uint64
+	ChainsCreated, ChainsRemoved, VersionChainPeak            uint64
+	ReadOnlyLockCalls                                         uint64
 }
 
 // Snap copies the current counter values.
@@ -334,6 +364,16 @@ func (s *Stats) Snap() Snapshot {
 	out.AmbiguityRestarts = s.AmbiguityRestarts.Load()
 	out.SMBitWaits = s.SMBitWaits.Load()
 	out.DeleteBitPOSCs = s.DeleteBitPOSCs.Load()
+	out.SnapshotBegins = s.SnapshotBegins.Load()
+	out.SnapshotReads = s.SnapshotReads.Load()
+	out.SnapshotChainHits = s.SnapshotChainHits.Load()
+	out.SnapshotTooOld = s.SnapshotTooOld.Load()
+	out.VersionsPushed = s.VersionsPushed.Load()
+	out.VersionsPruned = s.VersionsPruned.Load()
+	out.ChainsCreated = s.ChainsCreated.Load()
+	out.ChainsRemoved = s.ChainsRemoved.Load()
+	out.VersionChainPeak = s.VersionChainPeak.Load()
+	out.ReadOnlyLockCalls = s.ReadOnlyLockCalls.Load()
 	return out
 }
 
@@ -413,6 +453,18 @@ func Diff(before, after Snapshot) Snapshot {
 	d.AmbiguityRestarts = after.AmbiguityRestarts - before.AmbiguityRestarts
 	d.SMBitWaits = after.SMBitWaits - before.SMBitWaits
 	d.DeleteBitPOSCs = after.DeleteBitPOSCs - before.DeleteBitPOSCs
+	d.SnapshotBegins = after.SnapshotBegins - before.SnapshotBegins
+	d.SnapshotReads = after.SnapshotReads - before.SnapshotReads
+	d.SnapshotChainHits = after.SnapshotChainHits - before.SnapshotChainHits
+	d.SnapshotTooOld = after.SnapshotTooOld - before.SnapshotTooOld
+	d.VersionsPushed = after.VersionsPushed - before.VersionsPushed
+	d.VersionsPruned = after.VersionsPruned - before.VersionsPruned
+	d.ChainsCreated = after.ChainsCreated - before.ChainsCreated
+	d.ChainsRemoved = after.ChainsRemoved - before.ChainsRemoved
+	// VersionChainPeak is an epoch-global high-water gauge; subtracting
+	// snapshots is meaningless, so a diff carries the "after" reading.
+	d.VersionChainPeak = after.VersionChainPeak
+	d.ReadOnlyLockCalls = after.ReadOnlyLockCalls - before.ReadOnlyLockCalls
 	return d
 }
 

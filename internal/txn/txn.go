@@ -20,8 +20,35 @@ import (
 	"ariesim/internal/buffer"
 	"ariesim/internal/lock"
 	"ariesim/internal/storage"
+	"ariesim/internal/trace"
 	"ariesim/internal/wal"
 )
+
+// VersionHook is the MVCC version store's view of transaction lifecycle
+// events. Only versioned transactions (those that pushed at least one
+// record version) invoke it, so version-less commits pay nothing.
+//
+// Commit sequencing: EnterCommit before the commit record is appended
+// (freezing the visibility watermark), CommitAt once the record's LSN is
+// known, then FinishCommit after the log force succeeds — or AbortCommit
+// if it does not — so the watermark only ever covers durable commits.
+type VersionHook interface {
+	EnterCommit(wal.TxID)
+	CommitAt(wal.TxID, wal.LSN)
+	FinishCommit(wal.TxID, wal.LSN)
+	AbortCommit(wal.TxID)
+	// DropTx discards the transaction's in-flight versions (rollback);
+	// DropTxSince discards those pushed after the savepoint LSN.
+	DropTx(wal.TxID)
+	DropTxSince(wal.TxID, wal.LSN)
+}
+
+// Snapshot is a read-only transaction's captured visibility point plus
+// its registration in the version store's active-snapshot registry.
+type Snapshot struct {
+	LSN wal.LSN
+	ID  uint64
+}
 
 // Undoer compensates one undoable log record on behalf of tx. The
 // implementation (the owning resource manager) must apply the inverse page
@@ -46,6 +73,8 @@ type Tx struct {
 	undoNxtLSN  wal.LSN
 	commitLSN   wal.LSN
 	rollingBack bool
+	versioned   bool        // pushed >= 1 version into the MVCC store
+	snap        *Snapshot   // non-nil: snapshot-mode read-only transaction
 	saves       []savepoint // Savepoint history, oldest first
 
 	mgr *Manager
@@ -99,6 +128,8 @@ type Manager struct {
 	log    *wal.Log
 	locks  *lock.Manager
 	undoer Undoer
+	hook   VersionHook
+	stats  *trace.Stats
 }
 
 // NewManager creates a transaction manager over log and locks.
@@ -109,6 +140,13 @@ func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
 // SetUndoer wires the resource-manager undo dispatcher (done once at
 // engine assembly; a separate call breaks the package cycle).
 func (m *Manager) SetUndoer(u Undoer) { m.undoer = u }
+
+// SetVersionHook wires the MVCC version store (done once at engine
+// assembly, per epoch — the hook and the store share the epoch's fate).
+func (m *Manager) SetVersionHook(h VersionHook) { m.hook = h }
+
+// SetStats wires the trace sink (read-only lock-call accounting).
+func (m *Manager) SetStats(s *trace.Stats) { m.stats = s }
 
 // Locks exposes the lock manager (index/record managers lock through tx).
 func (m *Manager) Locks() *lock.Manager { return m.locks }
@@ -149,6 +187,51 @@ func (m *Manager) Begin() *Tx {
 	m.nextID++
 	m.table[t.ID] = t
 	return t
+}
+
+// BeginDetached starts a transaction that is deliberately NOT entered in
+// the transaction table: the snapshot-mode read-only transaction. It
+// never logs, locks, or commits, so checkpoints and restart analysis
+// must not see it; keeping mgr set preserves the Owns epoch check.
+func (m *Manager) BeginDetached() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Tx{ID: m.nextID, state: wal.TxActive, mgr: m}
+	m.nextID++
+	return t
+}
+
+// SetSnapshot marks t as a snapshot-mode reader.
+func (t *Tx) SetSnapshot(s Snapshot) {
+	t.mu.Lock()
+	t.snap = &s
+	t.mu.Unlock()
+}
+
+// Snapshot returns the reader's snapshot, or nil for ordinary (locked)
+// transactions.
+func (t *Tx) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snap
+}
+
+// MarkVersioned records that t pushed a version into the MVCC store, so
+// its commit/rollback must run the version hook.
+func (t *Tx) MarkVersioned() {
+	t.mu.Lock()
+	t.versioned = true
+	t.mu.Unlock()
+}
+
+// hookFor returns the version hook if t must drive it.
+func (t *Tx) hookFor() VersionHook {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.versioned {
+		return nil
+	}
+	return t.mgr.hook
 }
 
 // adopt installs a reconstructed transaction (restart undo of losers).
@@ -215,6 +298,17 @@ func (m *Manager) finish(t *Tx) {
 
 // Lock requests a lock on behalf of the transaction.
 func (t *Tx) Lock(name lock.Name, mode lock.Mode, dur lock.Duration, conditional bool) error {
+	t.mu.Lock()
+	snapped := t.snap != nil
+	t.mu.Unlock()
+	if snapped {
+		// Snapshot readers must never reach the lock manager; the counter
+		// is the benchmark's zero-lock proof (and trips the gate if a code
+		// path regresses).
+		if s := t.mgr.stats; s != nil {
+			s.ReadOnlyLockCalls.Add(1)
+		}
+	}
 	return t.mgr.locks.Request(lock.Owner(t.ID), name, mode, dur, conditional)
 }
 
@@ -347,6 +441,14 @@ func (t *Tx) Commit() error {
 	}
 	t.state = wal.TxCommitted
 	t.mu.Unlock()
+	// The version hook brackets the commit record's append/force so the
+	// MVCC visibility watermark never covers a volatile commit: ticket in
+	// before the append, LSN attached once known, stamp only after the
+	// force proves durability (or abandon if a crash fences it).
+	hook := t.hookFor()
+	if hook != nil {
+		hook.EnterCommit(t.ID)
+	}
 	if t.mgr.log.GroupCommit() {
 		// Early lock release: append the commit record, drop locks, then
 		// wait for the force. Safe because a dependent transaction's
@@ -359,23 +461,39 @@ func (t *Tx) Commit() error {
 		t.mu.Lock()
 		t.commitLSN = lsn
 		t.mu.Unlock()
+		if hook != nil {
+			hook.CommitAt(t.ID, lsn)
+		}
 		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 		if !t.mgr.log.Force(lsn) {
 			// A crash fenced the force: the commit record died with its
 			// epoch and must never be acknowledged. The transaction's locks
 			// and table entry die with the orphaned manager.
+			if hook != nil {
+				hook.AbortCommit(t.ID)
+			}
 			return wal.ErrLogCrashed
+		}
+		if hook != nil {
+			hook.FinishCommit(t.ID, lsn)
 		}
 	} else {
 		// Serial baseline: the commit record is appended and flushed as
 		// one latched operation, locks held across the device write.
 		lsn, err := t.logForced(&wal.Record{Type: wal.RecCommit})
 		if err != nil {
+			if hook != nil {
+				hook.AbortCommit(t.ID)
+			}
 			return err
 		}
 		t.mu.Lock()
 		t.commitLSN = lsn
 		t.mu.Unlock()
+		if hook != nil {
+			hook.CommitAt(t.ID, lsn)
+			hook.FinishCommit(t.ID, lsn)
+		}
 		t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 	}
 	t.Log(&wal.Record{Type: wal.RecEnd})
@@ -417,6 +535,9 @@ func (t *Tx) Rollback() error {
 	if err := t.undoTo(wal.NilLSN); err != nil {
 		return err
 	}
+	if hook := t.hookFor(); hook != nil {
+		hook.DropTx(t.ID)
+	}
 	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 	t.Log(&wal.Record{Type: wal.RecEnd})
 	t.mgr.finish(t)
@@ -454,6 +575,11 @@ func (t *Tx) RollbackTo(save wal.LSN) error {
 	t.mu.Lock()
 	t.rollingBack = false
 	t.mu.Unlock()
+	if err == nil {
+		if hook := t.hookFor(); hook != nil {
+			hook.DropTxSince(t.ID, save)
+		}
+	}
 	if err == nil && sp != nil {
 		t.mgr.locks.ReleaseSince(lock.Owner(t.ID), sp.lockTok)
 	}
@@ -521,6 +647,9 @@ func (t *Tx) undoTo(stopAfter wal.LSN) error {
 // prepared transactions reacquired any), end record written, table entry
 // removed.
 func (t *Tx) EndLoser() {
+	if hook := t.hookFor(); hook != nil {
+		hook.DropTx(t.ID)
+	}
 	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 	t.Log(&wal.Record{Type: wal.RecEnd})
 	t.mgr.finish(t)
@@ -535,6 +664,9 @@ func (t *Tx) UndoAll() error {
 	t.mu.Unlock()
 	if err := t.undoTo(wal.NilLSN); err != nil {
 		return err
+	}
+	if hook := t.hookFor(); hook != nil {
+		hook.DropTx(t.ID)
 	}
 	t.mgr.locks.ReleaseAll(lock.Owner(t.ID))
 	t.Log(&wal.Record{Type: wal.RecEnd})

@@ -128,6 +128,55 @@ func (g *Generator) Next() Op {
 	return op
 }
 
+// Mix names a canonical operation mix shared by the bench and chaos
+// harnesses. A mix pins everything except the key space and seed, so runs
+// of different protocols over the same mix are directly comparable.
+type Mix string
+
+const (
+	// MixReadHeavy is 90/10 read/insert over uniform keys.
+	MixReadHeavy Mix = "read-heavy"
+	// MixWriteHeavy is 20/50/30 read/insert/delete over uniform keys.
+	MixWriteHeavy Mix = "write-heavy"
+	// MixHotKey is all inserts over zipfian keys: lock-conflict fodder.
+	MixHotKey Mix = "hot-key"
+	// MixScan is mostly short scans with a trickle of inserts.
+	MixScan Mix = "scan"
+	// MixMVCC is 95/4/1 read/insert/delete over zipfian keys: the
+	// snapshot-read benchmark mix — read-dominated with enough hot-key
+	// churn that versions actually chain.
+	MixMVCC Mix = "mvcc"
+)
+
+// Mixes returns every named mix in stable order, for enumeration by tests
+// and tools.
+func Mixes() []Mix {
+	return []Mix{MixReadHeavy, MixWriteHeavy, MixHotKey, MixScan, MixMVCC}
+}
+
+// SpecFor returns the canonical Spec for a named mix over a key space with
+// a seed. Unknown names are an error, not a silent default — a bench run
+// against the wrong mix would produce a comparable-looking, wrong number.
+func SpecFor(m Mix, keys int, seed int64) (Spec, error) {
+	s := Spec{Keys: keys, Seed: seed}
+	switch m {
+	case MixReadHeavy:
+		s.ReadFrac, s.InsertFrac = 0.9, 0.1
+	case MixWriteHeavy:
+		s.ReadFrac, s.InsertFrac, s.DeleteFrac = 0.2, 0.5, 0.3
+	case MixHotKey:
+		s.Dist, s.InsertFrac = Zipf, 1
+	case MixScan:
+		s.InsertFrac = 0.05 // remainder (0.95) becomes short scans
+	case MixMVCC:
+		s.Dist = Zipf
+		s.ReadFrac, s.InsertFrac, s.DeleteFrac = 0.95, 0.04, 0.01
+	default:
+		return Spec{}, fmt.Errorf("workload: unknown mix %q", m)
+	}
+	return s, nil
+}
+
 // Value builds a deterministic payload for key number n.
 func (g *Generator) Value(n int) []byte {
 	v := make([]byte, g.spec.ValueSize)
