@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race smoke sweep chaos chaos-online chaos-standby chaos-mvcc microbench bench bench-smoke ci
+.PHONY: all build vet staticcheck test race smoke sweep chaos chaos-online chaos-standby chaos-mvcc chaos-index microbench bench bench-smoke ci
 
 all: build vet test
 
@@ -24,8 +24,14 @@ staticcheck:
 test:
 	$(GO) test ./...
 
+# The ordinary race pass, then a 1000-iteration loop of the rollback
+# torture test that used to flake with "undo chain broken: wal: no record
+# at LSN" — the claim→publish race in the lock-free append path. The loop
+# is the regression gate for that fix: any reintroduced window resurfaces
+# as a flake well within 1000 schedules.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestRollbackNeverDeadlocks$$' -count=1000 ./internal/core
 
 # Crash-torture smoke under injected disk faults, torn log tails, and
 # planted silent corruption: every fault class must be absorbed.
@@ -63,6 +69,14 @@ chaos-standby:
 chaos-mvcc:
 	$(GO) run ./cmd/ariesim-crash -chaos -online -workers 8 -crashes 20 -seed 1 -faults -redo 8 -mvcc 4
 
+# Chaos sweep with a secondary index maintained through the whole run:
+# every transaction updates both trees, snapshot readers alternate between
+# primary-order and index-order scans, and after every crash+restart the
+# secondary index is cross-verified entry-by-entry against the base table
+# (no orphan entries, no missing entries, keys match the extractor).
+chaos-index:
+	$(GO) run ./cmd/ariesim-crash -chaos -online -workers 8 -crashes 20 -seed 1 -faults -redo 8 -mvcc 4 -index
+
 microbench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -94,6 +108,8 @@ bench:
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_standby.json
 	$(GO) run ./cmd/ariesim-perf -workload mvcc -out BENCH_mvcc.json -minspeedup 5
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_mvcc.json
+	$(GO) run ./cmd/ariesim-perf -workload index -out BENCH_index.json -minspeedup 5
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_index.json
 
 # Reduced run for CI: fewer transactions, same shape checks, and the
 # committed BENCH_*.json files must exist and parse.
@@ -114,5 +130,8 @@ bench-smoke:
 	$(GO) run ./cmd/ariesim-perf -workload mvcc -smoke -out /tmp/ariesim_bench_mvcc_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_mvcc_smoke.json
 	$(GO) run ./cmd/ariesim-perf -verify BENCH_mvcc.json
+	$(GO) run ./cmd/ariesim-perf -workload index -smoke -out /tmp/ariesim_bench_index_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify /tmp/ariesim_bench_index_smoke.json
+	$(GO) run ./cmd/ariesim-perf -verify BENCH_index.json
 
-ci: build vet staticcheck race smoke chaos chaos-online chaos-standby chaos-mvcc bench-smoke
+ci: build vet staticcheck race smoke chaos chaos-online chaos-standby chaos-mvcc chaos-index bench-smoke

@@ -66,6 +66,7 @@ func main() {
 	online := flag.Bool("online", false, "chaos mode: recover with online restart (open after analysis; a rotating subset of points re-crashes mid-recovery)")
 	redoWorkers := flag.Int("redo", 8, "chaos -online mode: parallel redo/drain workers")
 	mvccReaders := flag.Int("mvcc", 0, "chaos mode: concurrent lock-free snapshot readers; every observation is verified committed-consistent against the acked-commit ledger")
+	secIndex := flag.Bool("index", false, "chaos mode: maintain a secondary index through the whole run and cross-verify it against the base table at every crash boundary")
 	standby := flag.Bool("standby", false, "run the hot-standby failover sweep (crash the primary under live replicated traffic, promote, verify)")
 	commits := flag.Int("commits", 120, "standby mode: acked commits before the primary is crashed")
 	flag.Parse()
@@ -79,7 +80,7 @@ func main() {
 		return
 	}
 	if *chaos {
-		runChaos(*seed, *workers, *crashes, *faults, *online, *redoWorkers, *mvccReaders)
+		runChaos(*seed, *workers, *crashes, *faults, *online, *redoWorkers, *mvccReaders, *secIndex)
 		return
 	}
 
@@ -322,7 +323,7 @@ func runSweep(seed int64) {
 // the engine through db.RunTxn while the driver injects faults and
 // crashes it at random points, verifying the acked-commit model exactly
 // after every restart.
-func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers, mvccReaders int) {
+func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers, mvccReaders int, secIndex bool) {
 	res, err := db.RunChaosSweep(db.ChaosOpts{
 		Seed:            seed,
 		Workers:         workers,
@@ -331,6 +332,7 @@ func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers
 		OnlineRestart:   online,
 		RedoWorkers:     redoWorkers,
 		SnapshotReaders: mvccReaders,
+		SecondaryIndex:  secIndex,
 		Logf:            func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 	})
 	if err != nil {
@@ -338,6 +340,9 @@ func runChaos(seed int64, workers, crashes int, faults, online bool, redoWorkers
 	}
 	fmt.Printf("\nPASS: %d crashes survived under live traffic, %d commits verified (%d gave up)\n",
 		res.Crashes, res.Commits, res.GaveUp)
+	if secIndex {
+		fmt.Printf("secondary index: cross-verified against the base table at every crash boundary\n")
+	}
 	fmt.Printf("contention: %d deadlocks (%d victims), %d lock timeouts\n",
 		res.Deadlocks, res.DeadlockVictims, res.LockTimeouts)
 	fmt.Printf("retry layer: %d retries (%d deadlock, %d timeout, %d crash-wait), %d retried txns committed\n",

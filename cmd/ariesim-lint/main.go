@@ -158,7 +158,8 @@ func lintFile(path string) (int, parsedFile) {
 var snapshotRoots = []string{
 	"BeginReadOnly", "EndReadOnly", "RunReadOnly", "RunReadOnlyWith",
 	"SnapshotBackup", "snapshotGet", "snapshotRead", "snapshotScan",
-	"snapshotScanPrefix", "probePage", "snapCursorStart", "snapCursorNext",
+	"snapshotScanPrefix", "snapshotScanIndex", "probePage",
+	"snapCursorStart", "snapCursorNext",
 }
 
 // dispatchStops are dual-path dispatchers: they branch on tx.Snapshot()
@@ -166,7 +167,10 @@ var snapshotRoots = []string{
 // snapshot path. The walk does not descend into them — their snapshot
 // branches re-enter through the snapshot* helpers, which are roots — so
 // their locked arms don't false-positive the gate.
-var dispatchStops = map[string]bool{"Get": true, "Scan": true, "ScanPrefix": true}
+var dispatchStops = map[string]bool{
+	"Get": true, "Scan": true, "ScanPrefix": true,
+	"ScanIndex": true, "ScanIndexRange": true, "ScanSecondary": true,
+}
 
 // lintReadOnlyPath walks a name-based call graph of package db from the
 // snapshot read-path roots and flags lock-manager traffic in any function

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, name, src string) parsedFile {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return parsedFile{path: name, fset: fset, file: f}
+}
+
+// TestReadOnlyPathFlagsIndexScanLockCall is the gate's negative test: a
+// snapshotScanIndex that reaches a locked fetch (here via a helper, to
+// prove the walk is transitive) must be flagged.
+func TestReadOnlyPathFlagsIndexScanLockCall(t *testing.T) {
+	src := `package db
+
+func (t *Table) snapshotScanIndex(sec *secondary) error {
+	return t.walkEntries(sec)
+}
+
+func (t *Table) walkEntries(sec *secondary) error {
+	_, _, err := sec.ix.Fetch(nil, nil, 0) // locked fetch on the snapshot path
+	return err
+}
+`
+	if n := lintReadOnlyPath([]parsedFile{parseSrc(t, "bad.go", src)}); n == 0 {
+		t.Fatal("locked Fetch reachable from snapshotScanIndex was not flagged")
+	}
+}
+
+// TestReadOnlyPathAllowsLatchOnlyIndexScan is the matching positive case:
+// the sanctioned NoLock fetches and a re-dispatch through snapshotScan
+// must pass clean, and the locked arm of the ScanIndexRange dispatcher
+// must not false-positive the gate.
+func TestReadOnlyPathAllowsLatchOnlyIndexScan(t *testing.T) {
+	src := `package db
+
+func (t *Table) snapshotScanIndex(sec *secondary) error {
+	return t.snapshotScan(nil, nil, nil)
+}
+
+func (t *Table) snapshotScan(s, from, to any) error {
+	_, _, err := t.primary.FetchNoLock(nil, 0)
+	return err
+}
+
+func (t *Table) ScanIndexRange(name string) error {
+	if t == nil { // the snapshot arm re-enters via snapshotScanIndex (a root)
+		return t.snapshotScanIndex(nil)
+	}
+	_, err := t.fetchRow(nil, nil) // locked arm: legitimate for ordinary txns
+	return err
+}
+`
+	if n := lintReadOnlyPath([]parsedFile{parseSrc(t, "good.go", src)}); n != 0 {
+		t.Fatalf("latch-only index scan flagged %d finding(s); want 0", n)
+	}
+}

@@ -185,6 +185,13 @@ type Summary struct {
 	// (the writer-overhead sanity number).
 	MVCCReadSpeedup16      float64 `json:"mvcc_read_speedup_16w,omitempty"`
 	MVCCWriterTxnsPerSec16 float64 `json:"mvcc_writer_txns_per_sec_16w,omitempty"`
+
+	// Index family: throughput of a secondary-key range query answered by
+	// an indexed range scan over the same query answered by a locked full
+	// scan + filter, at 16 workers, both under the same concurrent
+	// key-moving writer, plus that writer's concurrent throughput.
+	IndexScanSpeedup16      float64 `json:"index_scan_speedup_16w,omitempty"`
+	IndexWriterTxnsPerSec16 float64 `json:"index_writer_txns_per_sec_16w,omitempty"`
 }
 
 // Result is the BENCH_concurrency.json / BENCH_buffer.json schema.
@@ -1283,6 +1290,264 @@ func validateMVCC(path string, res *Result) error {
 	return nil
 }
 
+// indexConfigs are the two plans the index family compares for the same
+// secondary-key range query: "fullscan" walks the whole primary in key
+// order and filters on the extracted attribute (what the engine had to do
+// before secondary indexes); "indexed" reads exactly the matching range
+// off the secondary tree. Both run as ordinary locked transactions under
+// the same background writer, so the comparison is plan vs plan, not
+// isolation vs isolation.
+var indexConfigs = []string{"fullscan", "indexed"}
+
+// indexKeys/indexGroups shape the indexed table: indexKeys rows spread
+// uniformly over indexGroups secondary-key groups, so an indexed query
+// touches ~indexKeys/indexGroups rows while the full scan touches (and
+// S-locks) all indexKeys of them.
+const (
+	indexKeys   = 4096
+	indexGroups = 64
+)
+
+func indexGroupKey(g int) []byte { return []byte(fmt.Sprintf("g%03d", g%indexGroups)) }
+
+func indexExtract(value []byte) []byte { return append([]byte(nil), value[:4]...) }
+
+func indexValue(g, n int) []byte {
+	return []byte(fmt.Sprintf("%s|v%06d", indexGroupKey(g), n))
+}
+
+func runIndexCell(cfgName string, workers, txnsTotal int, forceDelay time.Duration) (Cell, error) {
+	stats := &trace.Stats{}
+	d := db.Open(db.Options{Stats: stats, LogForceDelay: forceDelay})
+	tbl, err := d.CreateTable("bench")
+	if err != nil {
+		return Cell{}, err
+	}
+	if err := tbl.CreateIndex("by_group", indexExtract); err != nil {
+		return Cell{}, err
+	}
+	for lo := 0; lo < indexKeys; lo += 256 {
+		err := d.RunTxn(func(tx *txn.Tx) error {
+			for i := lo; i < lo+256 && i < indexKeys; i++ {
+				if err := tbl.Insert(tx, workload.KeyFor(i), indexValue(i, i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("prefill: %w", err)
+		}
+	}
+
+	// A background writer keeps index maintenance live: every update moves
+	// its row to a different group, so each one is a paired secondary
+	// delete+insert racing the measured scans. Same handshake as the mvcc
+	// cell: the clock only starts once the writer has committed.
+	before := stats.Snap()
+	stop := make(chan struct{})
+	writerDone := make(chan int, 1)
+	writerErrCh := make(chan error, 1)
+	writerLive := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewSource(7777))
+		n := 0
+		for {
+			select {
+			case <-stop:
+				writerDone <- n
+				return
+			default:
+			}
+			key := workload.KeyFor(rng.Intn(indexKeys))
+			g := rng.Intn(indexGroups)
+			err := d.RunTxnWith(db.RunTxnOpts{
+				Seed:        int64(n + 1),
+				BaseBackoff: 100 * time.Microsecond,
+				MaxBackoff:  2 * time.Millisecond,
+			}, func(tx *txn.Tx) error {
+				tb, err := d.TableFor(tx, "bench")
+				if err != nil {
+					return err
+				}
+				return tb.Update(tx, key, indexValue(g, n))
+			})
+			if err != nil {
+				writerErrCh <- fmt.Errorf("index/%s w=%d: background writer: %w", cfgName, workers, err)
+				writerDone <- n
+				return
+			}
+			n++
+			if n == 1 {
+				close(writerLive)
+			}
+		}
+	}()
+	select {
+	case <-writerLive:
+	case err := <-writerErrCh:
+		close(stop)
+		<-writerDone
+		return Cell{}, err
+	case <-time.After(30 * time.Second):
+		close(stop)
+		<-writerDone
+		return Cell{}, fmt.Errorf("index/%s w=%d: background writer failed to commit within 30s", cfgName, workers)
+	}
+
+	// Group streams are pregenerated: the query parameter draw is harness
+	// cost, not plan cost.
+	perWorker := txnsTotal / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	groupStream := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		gs := make([]int, perWorker)
+		for i := range gs {
+			gs[i] = rng.Intn(indexGroups)
+		}
+		groupStream[w] = gs
+	}
+	durations := make([][]time.Duration, workers)
+	rows := make([]int, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			durations[w] = make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				gk := indexGroupKey(groupStream[w][i])
+				matched := 0
+				body := func(tx *txn.Tx) error {
+					matched = 0
+					tb, err := d.TableFor(tx, "bench")
+					if err != nil {
+						return err
+					}
+					if cfgName == "indexed" {
+						return tb.ScanIndexRange(tx, "by_group", gk, gk, func(sk []byte, r db.Row) (bool, error) {
+							if string(sk) != string(indexExtract(r.Value)) {
+								return false, fmt.Errorf("row %q under index key %q, value says %q", r.Key, sk, indexExtract(r.Value))
+							}
+							matched++
+							return true, nil
+						})
+					}
+					return tb.Scan(tx, nil, nil, func(r db.Row) (bool, error) {
+						if string(indexExtract(r.Value)) == string(gk) {
+							matched++
+						}
+						return true, nil
+					})
+				}
+				t0 := time.Now()
+				err := d.RunTxnWith(db.RunTxnOpts{
+					Seed:        int64(w*1000 + i + 1),
+					BaseBackoff: 100 * time.Microsecond,
+					MaxBackoff:  2 * time.Millisecond,
+				}, body)
+				if err != nil {
+					errCh <- fmt.Errorf("index/%s w=%d: %w", cfgName, workers, err)
+					return
+				}
+				durations[w] = append(durations[w], time.Since(t0))
+				rows[w] += matched
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writerTxns := <-writerDone - 1 // discount the pre-clock handshake commit
+	select {
+	case err := <-errCh:
+		return Cell{}, err
+	case err := <-writerErrCh:
+		return Cell{}, err
+	default:
+	}
+	diff := trace.Diff(before, stats.Snap())
+	if writerTxns <= 0 {
+		return Cell{}, fmt.Errorf("index/%s w=%d: background writer committed nothing in the measured window — the scans ran unchallenged",
+			cfgName, workers)
+	}
+
+	var all []time.Duration
+	totalRows := 0
+	for w, ds := range durations {
+		all = append(all, ds...)
+		totalRows += rows[w]
+	}
+	if totalRows == 0 {
+		return Cell{}, fmt.Errorf("index/%s w=%d: no rows matched any range query", cfgName, workers)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
+	}
+	txns := len(all)
+	cell := Cell{
+		Workload: "index-scan", Config: cfgName, Workers: workers,
+		Txns: txns, Ops: totalRows,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		TxnsPerSec: float64(txns) / elapsed.Seconds(),
+		OpsPerSec:  float64(totalRows) / elapsed.Seconds(),
+		P50Micros:  pct(0.50), P99Micros: pct(0.99),
+		LogForces: diff.LogForces, GroupCommits: diff.GroupCommits,
+		ForceWaiters: diff.ForceWaiters,
+		Deadlocks:    diff.Deadlocks, TxnRetries: diff.TxnRetries,
+		WriterTxns:       writerTxns,
+		WriterTxnsPerSec: float64(writerTxns) / elapsed.Seconds(),
+	}
+	if n := diff.GroupCommits + diff.LogForces; n > 0 {
+		cell.GroupCommitRatio = float64(diff.GroupCommits) / float64(n)
+	}
+	return cell, nil
+}
+
+// validateIndex self-verifies an index-family results file: the full
+// plan × workers matrix, positive scan AND writer throughput everywhere,
+// real rows matched, and the headline speedup present.
+func validateIndex(path string, res *Result) error {
+	seen := map[string]*Cell{}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		tag := fmt.Sprintf("%s: cell %s/%s/%dw", path, c.Workload, c.Config, c.Workers)
+		if c.Workload != "index-scan" || c.Config == "" || c.Workers <= 0 {
+			return fmt.Errorf("%s: cell %d incomplete or unknown: %+v", path, i, *c)
+		}
+		if c.TxnsPerSec <= 0 || c.Txns <= 0 {
+			return fmt.Errorf("%s: non-positive scan throughput", tag)
+		}
+		if c.Ops <= 0 {
+			return fmt.Errorf("%s: no rows matched — the range queries measured nothing", tag)
+		}
+		if c.WriterTxns <= 0 {
+			return fmt.Errorf("%s: background writer committed nothing", tag)
+		}
+		seen[c.Config+"/"+fmt.Sprint(c.Workers)] = c
+	}
+	for _, cfg := range indexConfigs {
+		for _, w := range workerCounts {
+			if seen[cfg+"/"+fmt.Sprint(w)] == nil {
+				return fmt.Errorf("%s: missing cell index-scan/%s/%dw", path, cfg, w)
+			}
+		}
+	}
+	if res.Summary.IndexScanSpeedup16 <= 0 {
+		return fmt.Errorf("%s: summary missing index scan speedup", path)
+	}
+	return nil
+}
+
 // runCell measures one (workload, config, workers) point.
 func runCell(b bench, cfg config, workers, txnsTotal, opsPerTxn int, forceDelay, ioDelay time.Duration) (Cell, error) {
 	stats := &trace.Stats{}
@@ -1445,6 +1710,9 @@ func validate(path string) error {
 	}
 	if res.Meta.Workload == "mvcc" {
 		return validateMVCC(path, &res)
+	}
+	if res.Meta.Workload == "index" {
+		return validateIndex(path, &res)
 	}
 	buffer := res.Meta.Workload == "buffer"
 	wantBenches, wantConfigs := benches, configs
@@ -1750,7 +2018,7 @@ func serialOrZero(c *Cell) float64 {
 }
 
 func main() {
-	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, recovery, standby, or mvcc")
+	family := flag.String("workload", "concurrency", "workload family: concurrency, buffer, recovery, standby, mvcc, or index")
 	out := flag.String("out", "", "results file (default BENCH_<family>.json)")
 	txnsPerCell := flag.Int("txns", 800, "transactions per benchmark cell")
 	opsPerTxn := flag.Int("ops", 4, "operations per transaction")
@@ -1788,7 +2056,7 @@ func main() {
 		return
 	}
 
-	buffer, recoveryFam, standbyFam, mvccFam := false, false, false, false
+	buffer, recoveryFam, standbyFam, mvccFam, indexFam := false, false, false, false, false
 	switch *family {
 	case "concurrency":
 		*ioDelay = 0 // the lock/commit bench keeps the page device free
@@ -1800,6 +2068,8 @@ func main() {
 		standbyFam = true
 	case "mvcc":
 		mvccFam = true
+	case "index":
+		indexFam = true
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload family %q\n", *family)
 		os.Exit(1)
@@ -1814,6 +2084,8 @@ func main() {
 			*out = "BENCH_standby.json"
 		case mvccFam:
 			*out = "BENCH_mvcc.json"
+		case indexFam:
+			*out = "BENCH_index.json"
 		default:
 			*out = "BENCH_concurrency.json"
 		}
@@ -1825,7 +2097,7 @@ func main() {
 	if buffer {
 		activeBenches, activeConfigs = bufferBenches, bufferConfigs
 	}
-	if recoveryFam || standbyFam || mvccFam {
+	if recoveryFam || standbyFam || mvccFam || indexFam {
 		activeBenches = nil // these families drive their own loops
 	}
 
@@ -1862,6 +2134,9 @@ func main() {
 	}
 	if mvccFam {
 		res.Meta.Workload = "mvcc"
+	}
+	if indexFam {
+		res.Meta.Workload = "index"
 	}
 	res.Meta.ForceDelayUS = int(*delay / time.Microsecond)
 	res.Meta.TxnsPerCell = *txnsPerCell
@@ -1956,6 +2231,23 @@ func main() {
 					cell.Workload, cell.Config, cell.Workers, cell.TxnsPerSec, cell.OpsPerSec,
 					cell.P50Micros, cell.P99Micros, cell.SnapshotReads, cell.SnapshotChainHits,
 					cell.ReaderLockCalls, cell.WriterTxnsPerSec)
+			}
+		}
+	} else if indexFam {
+		fmt.Printf("%-10s %-9s %3s  %10s %10s %9s %9s %7s %7s %9s\n",
+			"workload", "cfg", "w", "txn/s", "rows/s", "p50(us)", "p99(us)", "dlock", "retries", "writer/s")
+		for _, cfg := range indexConfigs {
+			for _, workers := range workerCounts {
+				cell, err := runIndexCell(cfg, workers, *txnsPerCell, *delay)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(1)
+				}
+				res.Cells = append(res.Cells, cell)
+				fmt.Printf("%-10s %-9s %3d  %10.0f %10.0f %9.0f %9.0f %7d %7d %9.0f\n",
+					cell.Workload, cell.Config, cell.Workers, cell.TxnsPerSec, cell.OpsPerSec,
+					cell.P50Micros, cell.P99Micros, cell.Deadlocks, cell.TxnRetries,
+					cell.WriterTxnsPerSec)
 			}
 		}
 	} else if buffer {
@@ -2066,6 +2358,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	} else if indexFam {
+		full16, idx16 := find("index-scan", "fullscan", 16), find("index-scan", "indexed", 16)
+		if full16 != nil && idx16 != nil && full16.TxnsPerSec > 0 {
+			res.Summary.IndexScanSpeedup16 = idx16.TxnsPerSec / full16.TxnsPerSec
+			res.Summary.IndexWriterTxnsPerSec16 = idx16.WriterTxnsPerSec
+		}
+		headlineSpeedup = res.Summary.IndexScanSpeedup16
+		fmt.Printf("\nrange query @16 workers under key-moving writer: full scan %.0f txn/s -> indexed %.0f txn/s (%.2fx), writer held %.0f txn/s\n",
+			full16.TxnsPerSec, idx16.TxnsPerSec, res.Summary.IndexScanSpeedup16,
+			res.Summary.IndexWriterTxnsPerSec16)
 	} else if buffer {
 		oldRead16, newRead16 := find("buffer-read", "old", 16), find("buffer-read", "new", 16)
 		oldRead1, newRead1 := find("buffer-read", "old", 1), find("buffer-read", "new", 1)

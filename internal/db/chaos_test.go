@@ -86,3 +86,76 @@ func TestChaosSweepOnlineRestart(t *testing.T) {
 	}
 	t.Logf("chaos result: %+v", res)
 }
+
+// TestChaosSweepSecondaryIndex reruns the chaos sweep with a secondary
+// index maintained transactionally for the whole run and snapshot readers
+// alternating base-table and index-order scans. Every crash boundary
+// cross-verifies the index against the base table (offline restarts here;
+// TestChaosSweepSecondaryIndexOnline covers the online mode), and every
+// index-scan snapshot observation is ledger-verified like a base scan.
+// The full-size runs are `make chaos-index`.
+func TestChaosSweepSecondaryIndex(t *testing.T) {
+	o := ChaosOpts{
+		Seed:            5,
+		Workers:         8,
+		Crashes:         5,
+		CommitsPerPhase: 12,
+		Faults:          true,
+		SecondaryIndex:  true,
+		SnapshotReaders: 2,
+		Logf:            t.Logf,
+	}
+	if testing.Short() {
+		o.Workers = 4
+		o.Crashes = 2
+		o.CommitsPerPhase = 6
+	}
+	res, err := RunChaosSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != o.Crashes {
+		t.Errorf("crashes = %d, want %d", res.Crashes, o.Crashes)
+	}
+	if res.SnapshotsVerified == 0 {
+		t.Error("no snapshot observations verified")
+	}
+	if res.ReadOnlyLockCalls != 0 {
+		t.Errorf("snapshot readers made %d lock calls, want 0", res.ReadOnlyLockCalls)
+	}
+	t.Logf("chaos result: %+v", res)
+}
+
+// TestChaosSweepSecondaryIndexOnline is the online-restart counterpart:
+// index/base cross-verification at crash boundaries that land while the
+// background drain and loser undo are still running.
+func TestChaosSweepSecondaryIndexOnline(t *testing.T) {
+	o := ChaosOpts{
+		Seed:            7,
+		Workers:         8,
+		Crashes:         6,
+		CommitsPerPhase: 12,
+		Faults:          true,
+		OnlineRestart:   true,
+		RedoWorkers:     8,
+		SecondaryIndex:  true,
+		SnapshotReaders: 2,
+		Logf:            t.Logf,
+	}
+	if testing.Short() {
+		o.Workers = 4
+		o.Crashes = 3
+		o.CommitsPerPhase = 6
+	}
+	res, err := RunChaosSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != o.Crashes {
+		t.Errorf("crashes = %d, want %d", res.Crashes, o.Crashes)
+	}
+	if res.MidRecoveryCrashes == 0 {
+		t.Error("no crash landed mid-recovery")
+	}
+	t.Logf("chaos result: %+v", res)
+}

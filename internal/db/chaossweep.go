@@ -67,6 +67,15 @@ type ChaosOpts struct {
 	// is not exactly the committed state at some commit boundary) fails
 	// the sweep, as does a single lock-manager call by a snapshot reader.
 	SnapshotReaders int
+	// SecondaryIndex maintains a secondary index over the workload's values
+	// for the whole run: every Insert/Update/Delete updates both trees in
+	// one transaction, and every crash boundary cross-verifies the index
+	// against the base table (each committed row indexed exactly once under
+	// the key the extractor derives, no orphan entries) in the verification
+	// fork AND the restarted engine's final check. With SnapshotReaders,
+	// readers alternate base-table and index-order snapshot scans and both
+	// observation kinds are ledger-verified.
+	SecondaryIndex bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -187,10 +196,27 @@ func (l *chaosSnapLedger) applyThrough(s wal.LSN) map[string]string {
 }
 
 // chaosSnapObs is one snapshot reader observation: the full table as seen
-// at snapshot LSN s.
+// at snapshot LSN s, keyed by primary key. viaIndex marks observations
+// gathered through a secondary-index-order scan (same verification: the
+// index merge must yield exactly the committed rows at s).
 type chaosSnapObs struct {
-	s    wal.LSN
-	rows map[string]string
+	s        wal.LSN
+	rows     map[string]string
+	viaIndex bool
+}
+
+// chaosIndexName is the secondary index the SecondaryIndex option maintains.
+const chaosIndexName = "chaos_by_val"
+
+// chaosIndexExtract derives the secondary key from a row value: the first
+// two bytes. The workload's values collide heavily under it, so the
+// secondary tree exercises duplicate-key paths, and short control values
+// ("dl", "sep") stay legal.
+func chaosIndexExtract(value []byte) []byte {
+	if len(value) > 2 {
+		value = value[:2]
+	}
+	return append([]byte(nil), value...)
 }
 
 // chaosModel is the exact model of acked-committed state. Mutations happen
@@ -263,8 +289,25 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 		RedoWorkers:     o.RedoWorkers,
 	})
 	const tableName = "chaos"
-	if _, err := d.CreateTable(tableName); err != nil {
+	tbl0, err := d.CreateTable(tableName)
+	if err != nil {
 		return nil, fmt.Errorf("chaos: create table: %v", err)
+	}
+	if o.SecondaryIndex {
+		if err := tbl0.CreateIndex(chaosIndexName, chaosIndexExtract); err != nil {
+			return nil, fmt.Errorf("chaos: create index: %v", err)
+		}
+	}
+	// verifyState checks an engine's visible rows (and, with SecondaryIndex,
+	// the index/base cross-consistency) against a model snapshot.
+	verifyState := func(vd *DB, want map[string]string) error {
+		if err := verifyAgainst(vd, tableName, want); err != nil {
+			return err
+		}
+		if o.SecondaryIndex {
+			return verifyIndexAgainst(vd, tableName, chaosIndexName, want)
+		}
+		return nil
 	}
 	model := &chaosModel{rows: map[string]string{}}
 	var commits atomic.Int64
@@ -455,6 +498,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 				default:
 				}
 				var obs *chaosSnapObs
+				viaIndex := o.SecondaryIndex && iter%2 == 1
 				err := d.RunReadOnlyWith(RunTxnOpts{
 					Seed:          o.Seed + int64(r)*7919 + int64(iter),
 					RetryDeadline: o.WatchdogPatience,
@@ -466,14 +510,29 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 						return err
 					}
 					rows := map[string]string{}
-					if err := tbl.Scan(tx, nil, nil, func(row Row) (bool, error) {
+					if viaIndex && snap != nil {
+						// Index-order scan through the lock-free chain merge;
+						// the pair must agree with the extractor on the spot.
+						if err := tbl.ScanIndex(tx, chaosIndexName, func(sk []byte, row Row) (bool, error) {
+							if string(sk) != string(chaosIndexExtract(row.Value)) {
+								return false, fmt.Errorf("index scan pair %q / %q disagrees with extractor", sk, row.Value)
+							}
+							if _, dup := rows[string(row.Key)]; dup {
+								return false, fmt.Errorf("index scan emitted row %q twice", row.Key)
+							}
+							rows[string(row.Key)] = string(row.Value)
+							return true, nil
+						}); err != nil {
+							return err
+						}
+					} else if err := tbl.Scan(tx, nil, nil, func(row Row) (bool, error) {
 						rows[string(row.Key)] = string(row.Value)
 						return true, nil
 					}); err != nil {
 						return err
 					}
 					if snap != nil { // locked fallback reads are not point-in-time
-						obs = &chaosSnapObs{s: snap.LSN, rows: rows}
+						obs = &chaosSnapObs{s: snap.LSN, rows: rows, viaIndex: viaIndex}
 					}
 					return nil
 				})
@@ -579,7 +638,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 				wg.Wait()
 				return nil, fmt.Errorf("chaos: crash %d: mid-recovery fork await: %v", c, err)
 			}
-			if err := verifyAgainst(refork, tableName, snap2); err != nil {
+			if err := verifyState(refork, snap2); err != nil {
 				close(stop)
 				wg.Wait()
 				return nil, fmt.Errorf("chaos: crash %d: mid-recovery: %v", c, err)
@@ -592,7 +651,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 			wg.Wait()
 			return nil, fmt.Errorf("chaos: crash %d: fork await recovered: %v", c, err)
 		}
-		if err := verifyAgainst(fork, tableName, snap); err != nil {
+		if err := verifyState(fork, snap); err != nil {
 			close(stop)
 			wg.Wait()
 			return nil, fmt.Errorf("chaos: crash %d: %v", c, err)
@@ -613,7 +672,7 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 	if _, err := d.AwaitRecovered(); err != nil {
 		return nil, fmt.Errorf("chaos: final await recovered: %v", err)
 	}
-	if err := verifyAgainst(d, tableName, model.snapshot()); err != nil {
+	if err := verifyState(d, model.snapshot()); err != nil {
 		return nil, fmt.Errorf("chaos: final: %v", err)
 	}
 
@@ -622,19 +681,28 @@ func RunChaosSweep(o ChaosOpts) (*ChaosResult, error) {
 		// Readers have exited (wg above); drain and verify every snapshot
 		// observation against the now-complete acked-commit ledger.
 		close(obsCh)
+		indexObs := 0
 		for obs := range obsCh {
+			via := "scan"
+			if obs.viaIndex {
+				via = "index scan"
+				indexObs++
+			}
 			want := snapLedger.applyThrough(obs.s)
 			if len(want) != len(obs.rows) {
-				return nil, fmt.Errorf("chaos: torn snapshot at LSN %d: observed %d rows, ledger has %d",
-					obs.s, len(obs.rows), len(want))
+				return nil, fmt.Errorf("chaos: torn snapshot (%s) at LSN %d: observed %d rows, ledger has %d",
+					via, obs.s, len(obs.rows), len(want))
 			}
 			for k, v := range want {
 				if obs.rows[k] != v {
-					return nil, fmt.Errorf("chaos: torn snapshot at LSN %d: key %q = %q, ledger says %q",
-						obs.s, k, obs.rows[k], v)
+					return nil, fmt.Errorf("chaos: torn snapshot (%s) at LSN %d: key %q = %q, ledger says %q",
+						via, obs.s, k, obs.rows[k], v)
 				}
 			}
 			res.SnapshotsVerified++
+		}
+		if o.SecondaryIndex && indexObs == 0 {
+			return nil, fmt.Errorf("chaos: snapshot phase produced no index-scan observations")
 		}
 		if res.SnapshotsVerified == 0 {
 			return nil, fmt.Errorf("chaos: snapshot phase produced no verifiable observations")
@@ -714,6 +782,51 @@ func verifyAgainst(d *DB, tableName string, want map[string]string) error {
 	}
 	if err := d.VerifyConsistency(); err != nil {
 		return fmt.Errorf("consistency: %v", err)
+	}
+	return nil
+}
+
+// verifyIndexAgainst cross-checks a secondary index against the committed
+// model: an index-order scan must yield every committed row exactly once,
+// under exactly the key the extractor derives from its committed value, and
+// nothing else — zero base/index divergence at this crash boundary.
+func verifyIndexAgainst(d *DB, tableName, indexName string, want map[string]string) error {
+	tbl, err := d.Table(tableName)
+	if err != nil {
+		return err
+	}
+	tx, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	got := map[string]string{} // primary key → secondary key observed
+	if err := tbl.ScanIndex(tx, indexName, func(sk []byte, r Row) (bool, error) {
+		if prev, dup := got[string(r.Key)]; dup {
+			return false, fmt.Errorf("index %q: row %q indexed twice (%q and %q)", indexName, r.Key, prev, sk)
+		}
+		got[string(r.Key)] = string(sk)
+		wv, ok := want[string(r.Key)]
+		if !ok {
+			return false, fmt.Errorf("index %q: orphan entry %q → uncommitted row %q", indexName, sk, r.Key)
+		}
+		if string(r.Value) != wv {
+			return false, fmt.Errorf("index %q: row %q = %q through the index, committed value %q", indexName, r.Key, r.Value, wv)
+		}
+		return true, nil
+	}); err != nil {
+		return fmt.Errorf("index verify scan: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	for k, v := range want {
+		sk, ok := got[k]
+		if !ok {
+			return fmt.Errorf("index %q: committed row %q missing from index", indexName, k)
+		}
+		if wantSK := string(chaosIndexExtract([]byte(v))); sk != wantSK {
+			return fmt.Errorf("index %q: row %q indexed under %q, extractor derives %q", indexName, k, sk, wantSK)
+		}
 	}
 	return nil
 }

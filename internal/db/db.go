@@ -219,6 +219,15 @@ type DB struct {
 	// (valid here because the simulated log is never pruned).
 	imgMu sync.Mutex
 	img   *recovery.ImageCopy
+
+	// extractors remembers every secondary-index extractor registered this
+	// process ("table/index" → fn), so reopenLocked re-binds them during
+	// restart — BEFORE the engine reopens to writers, which would otherwise
+	// race OpenSecondaryIndex and hit the unbound placeholder. Extractors
+	// are code, not data: a fresh process (or OpenStandby) still re-binds
+	// via OpenSecondaryIndex. Guarded by mu; Fork inherits a copy (the
+	// forked engine is "the same application" reopening its state).
+	extractors map[string]func(value []byte) []byte
 }
 
 // Open creates a fresh engine on a new simulated disk.
@@ -518,6 +527,10 @@ type secondary struct {
 	name    string
 	ix      *core.Index
 	extract func(value []byte) []byte
+	// bound reports whether extract is real code: false after a restart
+	// until OpenSecondaryIndex re-binds it (the placeholder panics).
+	// Verification skips extractor checks on unbound indexes.
+	bound bool
 }
 
 // CreateTable creates a table with its primary index in one internal
@@ -601,49 +614,25 @@ func (d *DB) TableFor(tx *txn.Tx, name string) (*Table, error) {
 }
 
 // AddSecondaryIndex creates a non-unique secondary index over extract(value).
-// The extractor is code, not data: after Restart it must be re-registered
-// with the same name via OpenSecondaryIndex.
+// It is CreateIndex under its historical name: the index is backfilled from
+// any existing rows in one transaction. The extractor is code, not data:
+// after Restart it must be re-registered with the same name via
+// OpenSecondaryIndex.
 func (t *Table) AddSecondaryIndex(name string, extract func(value []byte) []byte) error {
-	d := t.db
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.downed {
-		return ErrCrashed
-	}
-	if d.recoveringLocked() {
-		return ErrRecovering
-	}
-	tx := d.tm.Begin()
-	id := d.cat.NextIndexID
-	ix, err := d.im.CreateIndex(tx, d.indexConfig(id, false))
-	if err != nil {
-		_ = tx.Rollback()
-		return err
-	}
-	if err := tx.Commit(); err != nil {
-		return err
-	}
-	d.cat.NextIndexID++
-	for i := range d.cat.Tables {
-		if d.cat.Tables[i].ID == t.id {
-			d.cat.Tables[i].Indexes = append(d.cat.Tables[i].Indexes,
-				catalogIndex{Name: name, ID: id, Root: uint32(ix.Root()), Secondary: true})
-		}
-	}
-	d.saveCatalog()
-	t.mu.Lock()
-	t.secondaries = append(t.secondaries, &secondary{name: name, ix: ix, extract: extract})
-	t.mu.Unlock()
-	return nil
+	return t.CreateIndex(name, extract)
 }
 
 // OpenSecondaryIndex re-binds a secondary index's extractor after restart.
+// The binding is also remembered process-wide, so later restarts of this
+// engine (and its forks) re-bind automatically.
 func (t *Table) OpenSecondaryIndex(name string, extract func(value []byte) []byte) error {
+	t.db.registerExtractor(t.name, name, extract)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, s := range t.secondaries {
 		if s.name == name {
 			s.extract = extract
+			s.bound = true
 			return nil
 		}
 	}
@@ -856,45 +845,10 @@ func (t *Table) Scan(tx *txn.Tx, from, to []byte, fn func(Row) (bool, error)) er
 }
 
 // ScanSecondary iterates (secondaryKey, row) pairs in secondary-key order.
-// Snapshot transactions are refused with ErrSnapshotUnsupported: version
-// chains are keyed by primary key, so a secondary-order scan cannot merge
-// them without a secondary→primary mapping the store does not keep.
+// It is ScanIndexRange under its historical name; snapshot transactions are
+// served by the lock-free chain merge like any other index scan.
 func (t *Table) ScanSecondary(tx *txn.Tx, name string, from, to []byte, fn func(secKey []byte, r Row) (bool, error)) error {
-	if tx.Snapshot() != nil {
-		return fmt.Errorf("%w: secondary scan %q", ErrSnapshotUnsupported, name)
-	}
-	t.mu.Lock()
-	var sec *secondary
-	for _, s := range t.secondaries {
-		if s.name == name {
-			sec = s
-		}
-	}
-	t.mu.Unlock()
-	if sec == nil {
-		return fmt.Errorf("db: no secondary index %q", name)
-	}
-	res, cur, err := sec.ix.Fetch(tx, from, core.GE)
-	if err != nil {
-		return err
-	}
-	for {
-		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
-			return nil
-		}
-		k, v, err := t.fetchRow(tx, res.Key.RID)
-		if err != nil {
-			return err
-		}
-		cont, err := fn(append([]byte(nil), res.Key.Val...), Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
-		if err != nil || !cont {
-			return err
-		}
-		res, err = sec.ix.FetchNext(tx, cur)
-		if err != nil {
-			return err
-		}
-	}
+	return t.ScanIndexRange(tx, name, from, to, fn)
 }
 
 // Name returns the table name.
@@ -1017,8 +971,12 @@ func (d *DB) reopenLocked() error {
 		for _, ci := range ct.Indexes {
 			ix := d.im.OpenIndex(d.indexConfig(ci.ID, ci.Unique), storage.PageID(ci.Root))
 			if ci.Secondary {
-				t.secondaries = append(t.secondaries, &secondary{name: ci.Name, ix: ix,
-					extract: func([]byte) []byte { panic("db: secondary extractor not re-bound; call OpenSecondaryIndex") }})
+				sec := &secondary{name: ci.Name, ix: ix,
+					extract: func([]byte) []byte { panic("db: secondary extractor not re-bound; call OpenSecondaryIndex") }}
+				if fn, ok := d.extractors[ct.Name+"/"+ci.Name]; ok {
+					sec.extract, sec.bound = fn, true
+				}
+				t.secondaries = append(t.secondaries, sec)
 			} else {
 				t.primary = ix
 			}
@@ -1157,12 +1115,29 @@ func (d *DB) Fork() *DB {
 		cat:   catalog{NextTableID: 1, NextIndexID: 1},
 	}
 	nd.upCh = make(chan struct{})
+	if len(d.extractors) > 0 {
+		nd.extractors = make(map[string]func(value []byte) []byte, len(d.extractors))
+		for k, fn := range d.extractors {
+			nd.extractors[k] = fn
+		}
+	}
 	nd.buildVolatile()
 	nd.downed = true // stable state only; Restart brings it up
 	d.imgMu.Lock()
 	nd.img = d.img // image pages are immutable; safe to share
 	d.imgMu.Unlock()
 	return nd
+}
+
+// registerExtractor remembers a secondary-index extractor for automatic
+// re-binding on restart (see DB.extractors).
+func (d *DB) registerExtractor(table, index string, fn func(value []byte) []byte) {
+	d.mu.Lock()
+	if d.extractors == nil {
+		d.extractors = make(map[string]func(value []byte) []byte)
+	}
+	d.extractors[table+"/"+index] = fn
+	d.mu.Unlock()
 }
 
 // VerifyConsistency cross-checks every table on a quiesced engine: every
@@ -1229,6 +1204,34 @@ func (d *DB) VerifyConsistency() error {
 			}
 			if len(skeys) != len(records) {
 				return fmt.Errorf("table %q secondary %q: %d keys vs %d records", t.name, s.name, len(skeys), len(records))
+			}
+			// Entry-by-entry cross-check: every entry references a live
+			// record (under the RID it was built for, at most once), and —
+			// when the extractor is bound — carries exactly the key the
+			// extractor derives from that record's value. Together with the
+			// count equality this proves the mirror in both directions:
+			// injective entry→record plus equal cardinality means every
+			// record is indexed exactly once.
+			indexed := make(map[storage.RID]bool, len(skeys))
+			for _, sk := range skeys {
+				if indexed[sk.RID] {
+					return fmt.Errorf("table %q secondary %q: record %s indexed twice", t.name, s.name, sk.RID)
+				}
+				indexed[sk.RID] = true
+				rec, ok := records[sk.RID]
+				if !ok {
+					return fmt.Errorf("table %q secondary %q: entry %q references missing record %s", t.name, s.name, sk.Val, sk.RID)
+				}
+				if !s.bound {
+					continue
+				}
+				_, value, err := decodeRow(rec)
+				if err != nil {
+					return err
+				}
+				if want := s.extract(value); string(want) != string(sk.Val) {
+					return fmt.Errorf("table %q secondary %q: entry %q at %s, extractor derives %q", t.name, s.name, sk.Val, sk.RID, want)
+				}
 			}
 		}
 	}

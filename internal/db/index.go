@@ -1,0 +1,251 @@
+// Secondary indexes: a second ARIES/IM tree per table, maintained in the
+// same transaction as the base row.
+//
+// CreateIndex builds the tree and backfills it from the existing rows in
+// one internal transaction whose locked scan (commit-duration S locks plus
+// next-key locks on every gap) freezes the table's key population: any
+// writer whose primary-index operation would change the row set blocks
+// until the backfill commits, and by then the new index is published on the
+// table handle — writers copy the secondary list only AFTER their primary
+// index operation, so every row the backfill could not see is maintained by
+// its own writer. From then on Insert/Update/Delete log entries into both
+// trees under one transaction, rollback undoes the pair through the normal
+// PrevLSN chain (index-op undo routes through core.Manager.Undo), and
+// restart redo/undo drive both trees with no index-specific code.
+//
+// ScanIndex/ScanIndexRange read in secondary-key order with the same
+// key-range (next-key) protocol as primary scans: every entry touched stays
+// S-locked to commit and the gap beyond the range end is protected by the
+// next-key fetch, so phantoms cannot appear in the scanned range. Snapshot
+// transactions instead route to snapshotScanIndex, which re-keys the
+// latch-only primary-order chain merge by extracted secondary key (zero
+// lock-manager calls; see its comment for why the secondary tree itself
+// cannot be walked soundly under a snapshot).
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"ariesim/internal/core"
+	"ariesim/internal/storage"
+	"ariesim/internal/txn"
+	"ariesim/internal/wal"
+)
+
+// CreateIndex creates a non-unique secondary index named name over
+// extract(value) and backfills it from the table's existing rows in one
+// internal transaction. The extractor is code, not data: after Restart it
+// must be re-registered under the same name via OpenSecondaryIndex.
+//
+// The backfill scan takes commit-duration S + next-key locks on every
+// existing primary key, so under live write traffic CreateIndex can block
+// behind writers (or lose a deadlock) — contention-class failures leave the
+// catalog untouched and may simply be retried.
+func (t *Table) CreateIndex(name string, extract func(value []byte) []byte) error {
+	d := t.db
+	d.mu.Lock()
+	if d.downed {
+		d.mu.Unlock()
+		return ErrCrashed
+	}
+	if d.recoveringLocked() {
+		d.mu.Unlock()
+		return ErrRecovering
+	}
+	for i := range d.cat.Tables {
+		if d.cat.Tables[i].ID != t.id {
+			continue
+		}
+		for _, ci := range d.cat.Tables[i].Indexes {
+			if ci.Name == name {
+				d.mu.Unlock()
+				return fmt.Errorf("db: table %q already has index %q", t.name, name)
+			}
+		}
+	}
+	// Reserve the index ID under d.mu; a failed backfill leaks only the
+	// number. The managers are captured here so a crash mid-backfill leaves
+	// this DDL a zombie of its own epoch, like any in-flight transaction.
+	id := d.cat.NextIndexID
+	d.cat.NextIndexID++
+	tm, im := d.tm, d.im
+	d.mu.Unlock()
+
+	// The backfill transaction runs WITHOUT d.mu: its locked scan can wait
+	// behind writers, and holding the engine mutex across a lock wait would
+	// wedge every Begin/TableFor into the same queue.
+	tx := tm.Begin()
+	ix, err := im.CreateIndex(tx, d.indexConfig(id, false))
+	if err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	fail := func(err error) error {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return fmt.Errorf("db: index backfill failed (%v); rollback failed: %w", err, rbErr)
+		}
+		return err
+	}
+	res, cur, err := t.primary.Fetch(tx, nil, core.GE)
+	if err != nil {
+		return fail(err)
+	}
+	for !res.EOF {
+		_, value, err := t.fetchRow(tx, res.Key.RID)
+		if err != nil {
+			return fail(err)
+		}
+		if err := ix.Insert(tx, storage.Key{Val: extract(value), RID: res.Key.RID}); err != nil {
+			return fail(err)
+		}
+		if res, err = t.primary.FetchNext(tx, cur); err != nil {
+			return fail(err)
+		}
+	}
+	// Publish before commit: a writer blocked on the backfill's locks
+	// resumes only after the commit releases them, re-reads the secondary
+	// list after its primary-index operation, and maintains the new tree.
+	sec := &secondary{name: name, ix: ix, extract: extract, bound: true}
+	t.mu.Lock()
+	t.secondaries = append(t.secondaries, sec)
+	t.mu.Unlock()
+	if err := tx.Commit(); err != nil {
+		t.removeSecondary(sec)
+		return err
+	}
+	d.registerExtractor(t.name, name, extract)
+	d.mu.Lock()
+	for i := range d.cat.Tables {
+		if d.cat.Tables[i].ID == t.id {
+			d.cat.Tables[i].Indexes = append(d.cat.Tables[i].Indexes,
+				catalogIndex{Name: name, ID: id, Root: uint32(ix.Root()), Secondary: true})
+		}
+	}
+	d.saveCatalog()
+	d.mu.Unlock()
+	return nil
+}
+
+// removeSecondary unpublishes a secondary whose creating transaction failed
+// to commit.
+func (t *Table) removeSecondary(sec *secondary) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range t.secondaries {
+		if s == sec {
+			t.secondaries = append(t.secondaries[:i], t.secondaries[i+1:]...)
+			return
+		}
+	}
+}
+
+// lookupSecondary returns the named secondary index, or nil.
+func (t *Table) lookupSecondary(name string) *secondary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.secondaries {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ScanIndex iterates every (secondaryKey, row) pair of the named index in
+// secondary-key order. Equivalent to ScanIndexRange over the full range.
+func (t *Table) ScanIndex(tx *txn.Tx, name string, fn func(secKey []byte, r Row) (bool, error)) error {
+	return t.ScanIndexRange(tx, name, nil, nil, fn)
+}
+
+// ScanIndexRange iterates (secondaryKey, row) pairs with
+// from <= secondaryKey <= to (nil = unbounded) in secondary-key order.
+//
+// At repeatable read every entry touched stays S-locked to commit — under
+// data-only locking the entry's key lock IS the base record's lock — and
+// next-key locking protects the range's gaps from phantoms. Snapshot
+// transactions route to the lock-free chain merge instead (emission is then
+// in (secondaryKey, primaryKey) order from a buffered merge, not streamed
+// off the tree).
+func (t *Table) ScanIndexRange(tx *txn.Tx, name string, from, to []byte, fn func(secKey []byte, r Row) (bool, error)) error {
+	sec := t.lookupSecondary(name)
+	if sec == nil {
+		return fmt.Errorf("db: no secondary index %q", name)
+	}
+	if s := tx.Snapshot(); s != nil {
+		return t.snapshotScanIndex(s.LSN, sec, from, to, fn)
+	}
+	res, cur, err := sec.ix.Fetch(tx, from, core.GE)
+	if err != nil {
+		return err
+	}
+	for {
+		if res.EOF || (to != nil && string(res.Key.Val) > string(to)) {
+			return nil
+		}
+		k, v, err := t.fetchRow(tx, res.Key.RID)
+		if err != nil {
+			return err
+		}
+		cont, err := fn(append([]byte(nil), res.Key.Val...), Row{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+		if err != nil || !cont {
+			return err
+		}
+		res, err = sec.ix.FetchNext(tx, cur)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// snapshotScanIndex is ScanIndexRange under a snapshot: the primary-order
+// latch-only scan re-keyed by extracted secondary key.
+//
+// Version chains are keyed by PRIMARY key, so the only sound merge of page
+// state with chains is the one snapshotScan already performs — window by
+// window, immediately at each cursor step. A secondary-order tree walk
+// cannot be merged that way: its gaps are secondary-key ranges, which name
+// no chain, and deferring the chain query to the end of the walk loses any
+// row whose writer was in flight when the cursor passed its entry and then
+// ROLLED BACK before the query — undo restores the tree entry behind the
+// cursor and the drained chain is retired regardless of registered
+// snapshots (retirement only preserves chains whose newest COMMIT exceeds
+// a registered snapshot; an aborter commits nothing). So the snapshot path
+// does not read the secondary tree at all: it runs the proven primary-key
+// merge, extracts each visible row's secondary key from its value-at-s —
+// which decides both visibility and emission key — filters to [from, to],
+// and emits sorted by (secondaryKey, primaryKey). Emission was never
+// streamed off the tree under a snapshot, so the buffering is not new
+// cost; locked transactions keep the streaming secondary-order scan.
+func (t *Table) snapshotScanIndex(s wal.LSN, sec *secondary, from, to []byte, fn func(secKey []byte, r Row) (bool, error)) error {
+	if !sec.bound {
+		return fmt.Errorf("db: secondary index %q has no extractor; call OpenSecondaryIndex", sec.name)
+	}
+	type hit struct {
+		skey, pk, value []byte
+	}
+	var hits []hit
+	if err := t.snapshotScan(s, nil, nil, func(r Row) (bool, error) {
+		sk := sec.extract(r.Value)
+		if (from != nil && string(sk) < string(from)) || (to != nil && string(sk) > string(to)) {
+			return true, nil
+		}
+		hits = append(hits, hit{skey: append([]byte(nil), sk...), pk: r.Key, value: r.Value})
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if si, sj := string(hits[i].skey), string(hits[j].skey); si != sj {
+			return si < sj
+		}
+		return string(hits[i].pk) < string(hits[j].pk)
+	})
+	for _, h := range hits {
+		cont, err := fn(h.skey, Row{Key: h.pk, Value: h.value})
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ariesim/internal/txn"
+)
+
+// idxVal builds a row value that embeds its own primary key and a payload
+// whose first 4 bytes are the secondary key, so any scan can verify both
+// the row's integrity and its index placement from the value alone.
+func idxVal(pk []byte, group, n int) []byte {
+	return []byte(fmt.Sprintf("g%03d|%s|%d", group, pk, n))
+}
+
+func idxExtract(value []byte) []byte { return append([]byte(nil), value[:4]...) }
+
+// TestCreateIndexBackfill builds an index on a table that already has rows:
+// the backfill must cover every existing row, range bounds must hold, and
+// rows inserted after the build must be maintained by their own writers.
+func TestCreateIndexBackfill(t *testing.T) {
+	d := openSmall(t)
+	tbl, _ := d.CreateTable("t")
+	tx := d.MustBegin()
+	for i := 0; i < 60; i++ {
+		if err := tbl.Insert(tx, k(i), idxVal(k(i), i%5, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("by_group", idxExtract); err != nil {
+		t.Fatal(err)
+	}
+	// Post-build writers maintain the index without touching CreateIndex.
+	tx2 := d.MustBegin()
+	for i := 60; i < 80; i++ {
+		if err := tbl.Insert(tx2, k(i), idxVal(k(i), i%5, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Delete(tx2, k(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rtx := d.MustBegin()
+	got := map[string]string{}
+	var lastSK, lastPK string
+	err := tbl.ScanIndex(rtx, "by_group", func(sk []byte, r Row) (bool, error) {
+		if string(sk) != string(idxExtract(r.Value)) {
+			t.Fatalf("row %q under key %q, want %q", r.Key, sk, idxExtract(r.Value))
+		}
+		if s, p := string(sk), string(r.Key); s < lastSK || (s == lastSK && p <= lastPK) {
+			t.Fatalf("scan order violated at (%q, %q) after (%q, %q)", s, p, lastSK, lastPK)
+		} else {
+			lastSK, lastPK = s, p
+		}
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 79 {
+		t.Fatalf("index scan found %d rows, want 79", len(got))
+	}
+	if _, ok := got[string(k(3))]; ok {
+		t.Fatal("deleted row still reachable through the index")
+	}
+	n := 0
+	err = tbl.ScanIndexRange(rtx, "by_group", []byte("g002"), []byte("g002"), func(sk []byte, r Row) (bool, error) {
+		if string(sk) != "g002" {
+			t.Fatalf("range scan leaked key %q", sk)
+		}
+		n++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("range scan found %d rows, want 16", n)
+	}
+	_ = rtx.Commit()
+	if err := tbl.CreateIndex("by_group", idxExtract); err == nil {
+		t.Fatal("duplicate CreateIndex succeeded")
+	}
+	if err := d.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateIndexDuringWrites races the backfill's locked scan against
+// live writers: whichever rows the scan could not see must be indexed by
+// their own (blocked, then resumed) writers.
+func TestCreateIndexDuringWrites(t *testing.T) {
+	d := openSmall(t)
+	tbl, _ := d.CreateTable("t")
+	tx := d.MustBegin()
+	for i := 0; i < 40; i++ {
+		_ = tbl.Insert(tx, k(i), idxVal(k(i), i%5, i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var inserted atomic.Int64
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := k(1000 + w*1000 + i)
+				err := d.RunTxn(func(tx *txn.Tx) error {
+					return tbl.Insert(tx, key, idxVal(key, i%5, i))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				inserted.Add(1)
+			}
+		}(w)
+	}
+	if err := tbl.CreateIndex("by_group", idxExtract); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	rtx := d.MustBegin()
+	n := 0
+	err := tbl.ScanIndex(rtx, "by_group", func(sk []byte, r Row) (bool, error) {
+		if string(sk) != string(idxExtract(r.Value)) {
+			t.Fatalf("row %q under key %q, want %q", r.Key, sk, idxExtract(r.Value))
+		}
+		n++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 40 + int(inserted.Load()); n != want {
+		t.Fatalf("index scan found %d rows, want %d", n, want)
+	}
+	_ = rtx.Commit()
+	if err := d.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexRollbackRestoresBothTrees rolls back a transaction that
+// touched base rows and index entries (including key moves) and checks
+// both trees return to the pre-transaction state.
+func TestIndexRollbackRestoresBothTrees(t *testing.T) {
+	d := openSmall(t)
+	tbl, _ := d.CreateTable("t")
+	if err := tbl.CreateIndex("by_group", idxExtract); err != nil {
+		t.Fatal(err)
+	}
+	tx := d.MustBegin()
+	for i := 0; i < 30; i++ {
+		_ = tbl.Insert(tx, k(i), idxVal(k(i), i%3, i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	rtx := d.MustBegin()
+	_ = tbl.ScanIndex(rtx, "by_group", func(sk []byte, r Row) (bool, error) {
+		before[string(sk)+"|"+string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	_ = rtx.Commit()
+
+	vic := d.MustBegin()
+	_ = tbl.Insert(vic, k(100), idxVal(k(100), 7, 100))
+	_ = tbl.Delete(vic, k(5))
+	// Update that MOVES the secondary key: group 1 -> group 9.
+	_ = tbl.Update(vic, k(1), idxVal(k(1), 9, 1))
+	if err := vic.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	after := map[string]string{}
+	rtx2 := d.MustBegin()
+	_ = tbl.ScanIndex(rtx2, "by_group", func(sk []byte, r Row) (bool, error) {
+		after[string(sk)+"|"+string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	_ = rtx2.Commit()
+	if len(after) != len(before) {
+		t.Fatalf("rollback left %d index rows, want %d", len(after), len(before))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("index row %q: %q after rollback, want %q", k, after[k], v)
+		}
+	}
+	if err := d.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexScanWriterOracle interleaves committing/aborting writers with
+// locked and snapshot index scanners and checks every scan against the
+// per-row oracle baked into the values: the value names its own primary
+// key and secondary key, so a torn read, a mis-placed entry, or a
+// double-emitted row is caught no matter how the schedule interleaves.
+// Run under -race this is also the data-race oracle for the index path.
+func TestIndexScanWriterOracle(t *testing.T) {
+	d := openSmall(t)
+	tbl, _ := d.CreateTable("t")
+	if err := tbl.CreateIndex("by_group", idxExtract); err != nil {
+		t.Fatal(err)
+	}
+	seed := d.MustBegin()
+	for i := 0; i < 50; i++ {
+		_ = tbl.Insert(seed, k(i), idxVal(k(i), i%5, i))
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, scanners, rounds = 4, 3, 40
+	var wgWrite, wgScan sync.WaitGroup
+	stop := make(chan struct{})
+	upsert := func(tx *txn.Tx, key, value []byte) error {
+		err := tbl.Update(tx, key, value)
+		if errors.Is(err, ErrNotFound) {
+			err = tbl.Insert(tx, key, value)
+		}
+		return err
+	}
+	for w := 0; w < writers; w++ {
+		wgWrite.Add(1)
+		go func(w int) {
+			defer wgWrite.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := k((w*13 + i) % 50)
+				err := d.RunTxn(func(tx *txn.Tx) error {
+					switch i % 4 {
+					case 0, 3:
+						return upsert(tx, key, idxVal(key, (w+i)%5, i))
+					case 1:
+						if err := tbl.Delete(tx, key); err != nil && !errors.Is(err, ErrNotFound) {
+							return err
+						}
+						return nil
+					default: // abort after touching both trees
+						if err := upsert(tx, key, idxVal(key, 9, i)); err != nil {
+							return err
+						}
+						return errAbortOracle
+					}
+				})
+				if err != nil && !errors.Is(err, errAbortOracle) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	check := func(kind string, sk []byte, r Row) error {
+		if string(sk) != string(idxExtract(r.Value)) {
+			return fmt.Errorf("%s scan: row %q under key %q, value says %q", kind, r.Key, sk, idxExtract(r.Value))
+		}
+		if !bytes.Contains(r.Value, r.Key) {
+			return fmt.Errorf("%s scan: row %q carries foreign value %q", kind, r.Key, r.Value)
+		}
+		return nil
+	}
+	for sc := 0; sc < scanners; sc++ {
+		wgScan.Add(1)
+		go func(sc int) {
+			defer wgScan.Done()
+			for i := 0; i < rounds; i++ {
+				seen := map[string]bool{}
+				var err error
+				if i%2 == 0 {
+					err = d.RunReadOnly(func(tx *txn.Tx) error {
+						clear(seen)
+						return tbl.ScanIndex(tx, "by_group", func(sk []byte, r Row) (bool, error) {
+							if seen[string(r.Key)] {
+								return false, fmt.Errorf("snapshot scan emitted %q twice", r.Key)
+							}
+							seen[string(r.Key)] = true
+							return true, check("snapshot", sk, r)
+						})
+					})
+				} else {
+					err = d.RunTxn(func(tx *txn.Tx) error {
+						clear(seen)
+						return tbl.ScanIndexRange(tx, "by_group", []byte("g001"), []byte("g003"), func(sk []byte, r Row) (bool, error) {
+							if seen[string(r.Key)] {
+								return false, fmt.Errorf("locked scan emitted %q twice", r.Key)
+							}
+							seen[string(r.Key)] = true
+							return true, check("locked", sk, r)
+						})
+					})
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(sc)
+	}
+	// Scanners drive the duration; writers churn until they finish.
+	wgScan.Wait()
+	close(stop)
+	wgWrite.Wait()
+	if err := d.VerifyConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errAbortOracle = fmt.Errorf("oracle: deliberate abort")

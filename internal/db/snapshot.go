@@ -50,7 +50,9 @@ var ErrSnapshotTooOld = mvcc.ErrSnapshotTooOld
 var ErrReadOnlyTxn = errors.New("db: write attempted in a read-only snapshot transaction")
 
 // ErrSnapshotUnsupported reports an operation a snapshot transaction
-// cannot serve (secondary-order scans).
+// cannot serve. Secondary-order scans, its original occupant, are now
+// served by the chain merge (snapshotScanIndex); the sentinel remains for
+// callers that still classify it.
 var ErrSnapshotUnsupported = errors.New("db: operation not supported under a snapshot read")
 
 // BeginReadOnly starts a read-only transaction. Normally it is a detached,
@@ -378,7 +380,7 @@ func (t *Table) snapshotScan(s wal.LSN, from, to []byte, fn func(Row) (bool, err
 		return true, nil
 	}
 	prev, prevIncl := string(from), true
-	res, cur, err := t.snapCursorStart(from)
+	res, cur, err := t.snapCursorStart(t.primary, from)
 	if err != nil {
 		return err
 	}
@@ -398,6 +400,20 @@ func (t *Table) snapshotScan(s wal.LSN, from, to []byte, fn func(Row) (bool, err
 			return err
 		}
 		k := string(res.Key.Val)
+		if !prevIncl && k == prev {
+			// Tree keys are (value, RID) pairs and the cursor advances by
+			// RID past the entry it just returned, so a concurrent
+			// delete+reinsert of the same primary key at a higher RID puts
+			// a second entry in the cursor's path. The first visit already
+			// answered for this key at s (chain answers are stable while
+			// the snapshot is registered; a validated no-chain page probe
+			// is provably the committed state at s) — skip the revisit.
+			res, err = t.snapCursorNext(t.primary, cur)
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		rows, err := vs.RowsBetween(t.id, prev, prevIncl, k, false, false, s)
 		if err != nil {
 			return err
@@ -415,7 +431,7 @@ func (t *Table) snapshotScan(s wal.LSN, from, to []byte, fn func(Row) (bool, err
 			}
 		}
 		prev, prevIncl = k, false
-		res, err = t.snapCursorNext(cur)
+		res, err = t.snapCursorNext(t.primary, cur)
 		if err != nil {
 			return err
 		}
@@ -435,14 +451,15 @@ func (t *Table) snapshotScanPrefix(s wal.LSN, prefix []byte, fn func(Row) (bool,
 	})
 }
 
-// snapCursorStart positions a latch-only cursor at the first key >= from,
-// resolving stale SM_Bits via housekeeping transactions.
-func (t *Table) snapCursorStart(from []byte) (core.FetchResult, *core.Cursor, error) {
+// snapCursorStart positions a latch-only cursor on ix at the first key >=
+// from, resolving stale SM_Bits via housekeeping transactions. ix is the
+// table's primary or one of its secondary trees.
+func (t *Table) snapCursorStart(ix *core.Index, from []byte) (core.FetchResult, *core.Cursor, error) {
 	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
-		res, cur, err := t.primary.FetchNoLock(from, core.GE)
+		res, cur, err := ix.FetchNoLock(from, core.GE)
 		var amb *core.AmbiguityError
 		if errors.As(err, &amb) {
-			if rerr := t.housekeepingResolve(t.primary, amb.Page); rerr != nil {
+			if rerr := t.housekeepingResolve(ix, amb.Page); rerr != nil {
 				return core.FetchResult{}, nil, rerr
 			}
 			continue
@@ -452,13 +469,14 @@ func (t *Table) snapCursorStart(from []byte) (core.FetchResult, *core.Cursor, er
 	return core.FetchResult{}, nil, fmt.Errorf("db: snapshot scan start kept hitting ambiguous pages")
 }
 
-// snapCursorNext advances a latch-only cursor, resolving stale SM_Bits.
-func (t *Table) snapCursorNext(cur *core.Cursor) (core.FetchResult, error) {
+// snapCursorNext advances a latch-only cursor on ix, resolving stale
+// SM_Bits.
+func (t *Table) snapCursorNext(ix *core.Index, cur *core.Cursor) (core.FetchResult, error) {
 	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
-		res, err := t.primary.FetchNextNoLock(cur)
+		res, err := ix.FetchNextNoLock(cur)
 		var amb *core.AmbiguityError
 		if errors.As(err, &amb) {
-			if rerr := t.housekeepingResolve(t.primary, amb.Page); rerr != nil {
+			if rerr := t.housekeepingResolve(ix, amb.Page); rerr != nil {
 				return core.FetchResult{}, rerr
 			}
 			continue

@@ -29,6 +29,11 @@ type SweepOpts struct {
 	// serial). The sweep's verification is identical either way — that is
 	// the point of running it with workers > 1.
 	RedoWorkers int
+	// SecondaryIndex additionally maintains a secondary index over the
+	// swept table, so every crash boundary exercises paired base+index
+	// redo/undo; at each point the recovered index is checked entry by
+	// entry against the covered committed snapshot (both restart modes).
+	SecondaryIndex bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +116,11 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 	tbl, err := d.CreateTable("sweep")
 	if err != nil {
 		return nil, err
+	}
+	if opts.SecondaryIndex {
+		if err := tbl.CreateIndex(sweepIndexName, sweepIndexExtract); err != nil {
+			return nil, err
+		}
 	}
 	// Catalog and root-page setup is not crash-swept: catalog persistence
 	// is via non-logged meta writes, so boundaries start after it.
@@ -233,6 +243,11 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 		if err := verifyState(fork, want); err != nil {
 			return nil, fmt.Errorf("point %d (LSN %d): %w", i, L, err)
 		}
+		if opts.SecondaryIndex {
+			if err := verifySweepIndex(fork, want); err != nil {
+				return nil, fmt.Errorf("point %d (LSN %d): index: %w", i, L, err)
+			}
+		}
 		if err := fork.VerifyConsistency(); err != nil {
 			return nil, fmt.Errorf("point %d (LSN %d): consistency: %w", i, L, err)
 		}
@@ -262,6 +277,11 @@ func CrashSweep(opts SweepOpts) (*SweepResult, error) {
 		if err := verifyState(ofork, want); err != nil {
 			return nil, fmt.Errorf("point %d (LSN %d): online: %w", i, L, err)
 		}
+		if opts.SecondaryIndex {
+			if err := verifySweepIndex(ofork, want); err != nil {
+				return nil, fmt.Errorf("point %d (LSN %d): online index: %w", i, L, err)
+			}
+		}
 		if err := ofork.VerifyConsistency(); err != nil {
 			return nil, fmt.Errorf("point %d (LSN %d): online consistency: %w", i, L, err)
 		}
@@ -282,6 +302,59 @@ func stateAt(history []committedState, L wal.LSN) map[string]string {
 		return history[i].commitLSN > L
 	})
 	return history[i-1].rows
+}
+
+// sweepIndexName / sweepIndexExtract define the sweep's secondary index:
+// the value's trailing 4 bytes (the random digits), a non-unique key that
+// moves on every update so index maintenance rides along with every op.
+const sweepIndexName = "sweep_by_val"
+
+func sweepIndexExtract(v []byte) []byte {
+	if len(v) > 4 {
+		v = v[len(v)-4:]
+	}
+	return append([]byte(nil), v...)
+}
+
+// verifySweepIndex checks the recovered secondary index semantically
+// against the covered committed snapshot: a locked secondary-order scan
+// must return exactly want's rows, each under the key extracted from its
+// recovered value (structural base↔index cross-checks are
+// VerifyConsistency's job).
+func verifySweepIndex(fork *DB, want map[string]string) error {
+	tbl, err := fork.Table("sweep")
+	if err != nil {
+		return err
+	}
+	tx, err := fork.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Commit()
+	got := map[string]string{}
+	err = tbl.ScanIndex(tx, sweepIndexName, func(sk []byte, r Row) (bool, error) {
+		if string(sk) != string(sweepIndexExtract(r.Value)) {
+			return false, fmt.Errorf("row %q under index key %q, want %q",
+				r.Key, sk, sweepIndexExtract(r.Value))
+		}
+		if _, dup := got[string(r.Key)]; dup {
+			return false, fmt.Errorf("row %q returned twice by index scan", r.Key)
+		}
+		got[string(r.Key)] = string(r.Value)
+		return true, nil
+	})
+	if err != nil {
+		return fmt.Errorf("index scan: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("index scan returned %d rows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return fmt.Errorf("index row %q: recovered %q, want %q", k, got[k], v)
+		}
+	}
+	return nil
 }
 
 func verifyState(fork *DB, want map[string]string) error {

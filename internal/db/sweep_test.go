@@ -42,6 +42,32 @@ func TestCrashSweepEveryBoundary(t *testing.T) {
 	}
 }
 
+// TestCrashSweepSecondaryIndex re-runs the boundary sweep with a secondary
+// index riding on every transaction: each crash point must recover the
+// base table AND the index to the covered committed snapshot, after both
+// the offline double-recovery and the online (re-crashed) restart.
+func TestCrashSweepSecondaryIndex(t *testing.T) {
+	opts := SweepOpts{Seed: 43, Txns: 25, SecondaryIndex: true, Logf: t.Logf}
+	if testing.Short() {
+		opts.Txns = 8
+	}
+	res, err := CrashSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sweep: %d points, %d commits, %d rollbacks, %d double recoveries",
+		res.Points, res.Commits, res.Rollbacks, res.DoubleRecoveries)
+	if res.Points != res.Records {
+		t.Fatalf("swept %d of %d boundaries", res.Points, res.Records)
+	}
+	if res.OnlinePoints != res.Points {
+		t.Fatalf("online pass covered %d of %d points", res.OnlinePoints, res.Points)
+	}
+	if res.Rollbacks == 0 || res.Commits == 0 {
+		t.Fatalf("workload not mixed: %d commits, %d rollbacks", res.Commits, res.Rollbacks)
+	}
+}
+
 // TestCrashSweepDeterministic re-runs a small sweep with the same seed and
 // expects identical shape — the substrate promise that lets a failing
 // crash point be replayed exactly.

@@ -89,6 +89,13 @@ type Log struct {
 	notifyBusy bool
 	notifyGen  uint64
 
+	// publishGate, when non-nil, is called by reserveFill between the claim
+	// and the slot publish with the claimed slot index. Test-only: it lets a
+	// schedule-pinned test hold one reservation open inside the
+	// claim→publish window while other appenders publish past it. Installed
+	// before any appender starts (never mutated concurrently).
+	publishGate func(slot uint64)
+
 	// damage records byte-level corruption planted in the stored image of
 	// individual records (torn log writes, media rot). It is consulted by
 	// the CRC sweep that every crash performs: the surviving log is the
@@ -485,14 +492,47 @@ func (l *Log) Master() LSN {
 }
 
 // Read returns the record at lsn.
+//
+// Appends publish out of slot order: a record can sit published at slot i
+// while an earlier reservation (slot j < i, another appender) is still
+// inside its claim→publish window, which parks the contiguity watermark at
+// j. A reader chasing an undo chain lands in exactly that window — the
+// transaction's own just-appended record is published but not yet covered —
+// so a watermark-capped search must not conclude "no such record" while
+// unpublished reservations remain below the claimed frontier. Read waits
+// out the transient hole (mirroring awaitFilled): it returns the record as
+// soon as the watermark covers it, and reports absence only once the LSN is
+// provably beyond every claim or every claimed reservation has published.
+// The wait cannot deadlock or outlive the epoch: Read holds crashMu shared,
+// so no crash truncates mid-wait, and every unpublished reservation it can
+// wait on is owned by an appender that already holds crashMu shared too —
+// the publish it waits for can never park behind a pending exclusive locker.
 func (l *Log) Read(lsn LSN) (*Record, error) {
 	l.crashMu.RLock()
 	defer l.crashMu.RUnlock()
-	i, n := l.searchFilled(lsn)
-	if i < n {
-		if r := l.slotAt(i); r.LSN == lsn {
-			return r, nil
+	for {
+		i, n := l.searchFilled(lsn)
+		if i < n {
+			if r := l.slotAt(i); r.LSN == lsn {
+				return r, nil
+			}
 		}
+		count, off := unpackResv(l.resv.Load())
+		if lsn > off {
+			// Beyond every claimed byte: no reservation can hold this LSN.
+			break
+		}
+		if l.filled.Load() >= count {
+			// Every claimed reservation has published and the watermark
+			// covers the frontier; one fresh search is authoritative.
+			if i, n := l.searchFilled(lsn); i < n {
+				if r := l.slotAt(i); r.LSN == lsn {
+					return r, nil
+				}
+			}
+			break
+		}
+		runtime.Gosched()
 	}
 	return nil, fmt.Errorf("wal: no record at LSN %d", lsn)
 }

@@ -170,6 +170,9 @@ func (l *Log) reserveFill(r *Record, enc int) LSN {
 		l.stats.LogRecords.Add(1)
 		l.stats.LogBytes.Add(uint64(enc))
 	}
+	if l.publishGate != nil {
+		l.publishGate(count - 1)
+	}
 	l.setSlot(count-1, r)
 	l.advanceFilled()
 	return r.LSN

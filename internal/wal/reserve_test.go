@@ -365,3 +365,75 @@ func TestAppendForceSucceedsBothModes(t *testing.T) {
 		}
 	}
 }
+
+// TestReadWaitsOutClaimPublishWindow is the schedule-pinned regression for
+// the undo-chain race: appender A is parked inside its claim→publish window
+// (via the publishGate test hook) while appender B claims the next slot and
+// publishes. B's record now exists in the slot directory but the contiguity
+// watermark is parked below it at A's hole. The pre-fix Read consulted only
+// the watermark-capped search and immediately reported B's record missing —
+// which is exactly how a rolling-back transaction chasing its own PrevLSN
+// chain hit "undo chain broken: wal: no record at LSN". The fixed Read must
+// wait out the transient hole and return the record once A publishes, while
+// still reporting a genuinely absent LSN (beyond every claim) without
+// blocking.
+func TestReadWaitsOutClaimPublishWindow(t *testing.T) {
+	l := NewLog(nil)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	l.publishGate = func(slot uint64) {
+		if slot == 0 {
+			close(entered)
+			<-gate
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.Append(&Record{Type: RecUpdate, TxID: 1, Op: OpDataInsert, Payload: []byte("a")})
+	}()
+	<-entered
+
+	// A holds slot 0 unpublished; B publishes at slot 1. The watermark
+	// cannot advance past A's hole, so B's record is exactly the
+	// published-but-uncovered state the race exposes.
+	lsnB := l.Append(&Record{Type: RecUpdate, TxID: 2, Op: OpDataInsert, Payload: []byte("b")})
+
+	// A genuinely absent LSN (beyond every claimed byte) must still be
+	// reported promptly even while the hole is open.
+	if _, err := l.Read(lsnB + 4096); err == nil {
+		t.Fatal("Read of an unclaimed LSN succeeded")
+	}
+
+	type readRes struct {
+		r   *Record
+		err error
+	}
+	got := make(chan readRes, 1)
+	go func() {
+		r, err := l.Read(lsnB)
+		got <- readRes{r, err}
+	}()
+
+	select {
+	case rr := <-got:
+		if rr.err != nil {
+			t.Fatalf("Read(%d) inside the claim→publish window: %v (published record reported missing — the undo-chain race)", lsnB, rr.err)
+		}
+		t.Fatalf("Read(%d) returned before the watermark could cover the record", lsnB)
+	case <-time.After(50 * time.Millisecond):
+		// Fixed behavior: Read is waiting out the hole.
+	}
+
+	close(gate)
+	wg.Wait()
+	rr := <-got
+	if rr.err != nil {
+		t.Fatalf("Read(%d) after the hole closed: %v", lsnB, rr.err)
+	}
+	if rr.r.LSN != lsnB || rr.r.TxID != 2 {
+		t.Fatalf("Read(%d) = {LSN %d, TxID %d}, want B's record", lsnB, rr.r.LSN, rr.r.TxID)
+	}
+}

@@ -21,6 +21,9 @@ const (
 	Delete
 	// ScanShort reads a short range (16 keys).
 	ScanShort
+	// IndexScan reads a short secondary-key range through a secondary
+	// index (the driver defines the index and derives the range from Key).
+	IndexScan
 )
 
 func (k Kind) String() string {
@@ -31,6 +34,8 @@ func (k Kind) String() string {
 		return "insert"
 	case Delete:
 		return "delete"
+	case IndexScan:
+		return "index-scan"
 	default:
 		return "scan"
 	}
@@ -54,9 +59,9 @@ type Spec struct {
 	Keys int
 	// Dist selects the key distribution.
 	Dist Dist
-	// ReadFrac, InsertFrac, DeleteFrac select the op mix; the remainder
-	// becomes short scans. They must sum to <= 1.
-	ReadFrac, InsertFrac, DeleteFrac float64
+	// ReadFrac, InsertFrac, DeleteFrac, IndexScanFrac select the op mix;
+	// the remainder becomes short scans. They must sum to <= 1.
+	ReadFrac, InsertFrac, DeleteFrac, IndexScanFrac float64
 	// ValueSize is the payload size of inserts.
 	ValueSize int
 	// Seed makes the stream deterministic.
@@ -122,6 +127,8 @@ func (g *Generator) Next() Op {
 		op.Value = g.Value(n)
 	case r < g.spec.ReadFrac+g.spec.InsertFrac+g.spec.DeleteFrac:
 		op.Kind = Delete
+	case r < g.spec.ReadFrac+g.spec.InsertFrac+g.spec.DeleteFrac+g.spec.IndexScanFrac:
+		op.Kind = IndexScan
 	default:
 		op.Kind = ScanShort
 	}
@@ -146,12 +153,17 @@ const (
 	// snapshot-read benchmark mix — read-dominated with enough hot-key
 	// churn that versions actually chain.
 	MixMVCC Mix = "mvcc"
+	// MixIndex is 70% secondary-index range scans with a 20/10
+	// insert/delete write trickle over uniform keys: the secondary-index
+	// benchmark mix — scan-dominated with enough churn that index
+	// maintenance rides along in most transactions.
+	MixIndex Mix = "index"
 )
 
 // Mixes returns every named mix in stable order, for enumeration by tests
 // and tools.
 func Mixes() []Mix {
-	return []Mix{MixReadHeavy, MixWriteHeavy, MixHotKey, MixScan, MixMVCC}
+	return []Mix{MixReadHeavy, MixWriteHeavy, MixHotKey, MixScan, MixMVCC, MixIndex}
 }
 
 // SpecFor returns the canonical Spec for a named mix over a key space with
@@ -171,6 +183,8 @@ func SpecFor(m Mix, keys int, seed int64) (Spec, error) {
 	case MixMVCC:
 		s.Dist = Zipf
 		s.ReadFrac, s.InsertFrac, s.DeleteFrac = 0.95, 0.04, 0.01
+	case MixIndex:
+		s.InsertFrac, s.DeleteFrac, s.IndexScanFrac = 0.2, 0.1, 0.7
 	default:
 		return Spec{}, fmt.Errorf("workload: unknown mix %q", m)
 	}

@@ -63,7 +63,7 @@ func TestNamedMixesDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
-		if sum := spec.ReadFrac + spec.InsertFrac + spec.DeleteFrac; sum > 1 {
+		if sum := spec.ReadFrac + spec.InsertFrac + spec.DeleteFrac + spec.IndexScanFrac; sum > 1 {
 			t.Fatalf("%s: fractions sum to %v > 1", m, sum)
 		}
 		a, b := New(spec), New(spec)
@@ -86,7 +86,8 @@ func TestNamedMixesDeterministic(t *testing.T) {
 		// up within 2000 draws.
 		fracs := map[Kind]float64{
 			Read: spec.ReadFrac, Insert: spec.InsertFrac, Delete: spec.DeleteFrac,
-			ScanShort: 1 - spec.ReadFrac - spec.InsertFrac - spec.DeleteFrac,
+			IndexScan: spec.IndexScanFrac,
+			ScanShort: 1 - spec.ReadFrac - spec.InsertFrac - spec.DeleteFrac - spec.IndexScanFrac,
 		}
 		for kind, frac := range fracs {
 			switch {
@@ -125,6 +126,32 @@ func TestMVCCMixShape(t *testing.T) {
 	}
 	if writes == 0 {
 		t.Fatal("mvcc mix generated no writes; chains would never form")
+	}
+}
+
+// TestIndexMixShape pins the secondary-index mix's defining properties:
+// index-scan domination with a real write trickle, so index maintenance
+// and index reads contend in the same run.
+func TestIndexMixShape(t *testing.T) {
+	spec, err := SpecFor(MixIndex, 2048, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(spec)
+	scans, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch g.Next().Kind {
+		case IndexScan:
+			scans++
+		case Insert, Delete:
+			writes++
+		}
+	}
+	if scans < 6500 {
+		t.Fatalf("index mix scans = %d/10000, want >= 6500", scans)
+	}
+	if writes < 2000 {
+		t.Fatalf("index mix writes = %d/10000, want >= 2000", writes)
 	}
 }
 
